@@ -1,0 +1,275 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation (see DESIGN.md §3 for the experiment index):
+//
+//	experiments -fig 1      # weights per depth (permutation tree)
+//	experiments -fig 2      # node numbers
+//	experiments -fig 3      # node ranges
+//	experiments -fig 4      # fold/unfold of an active list
+//	experiments -fig 5      # B&B processes + coordinator snapshot
+//	experiments -fig 6      # the national grid (same data as table 1)
+//	experiments -fig 7      # processors over time (simulated)
+//	experiments -table 1    # the computational pool
+//	experiments -table 2    # execution statistics (simulated resolution)
+//	experiments -table 3    # famous resolutions ranking
+//	experiments -headline   # the Ta056 story: generator, bounds, optimum
+//	experiments -all        # everything (figures 7/tables 2-3 in fast mode)
+//
+// Figures 7 and tables 2–3 run the grid simulator; pass -fast for a
+// seconds-scale run or leave it off for the paper-scale (minutes) replay.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"repro/internal/bb"
+	"repro/internal/core"
+	"repro/internal/farmer"
+	"repro/internal/flowshop"
+	"repro/internal/gridsim"
+	"repro/internal/interval"
+	"repro/internal/transport"
+	"repro/internal/tree"
+	"repro/internal/worker"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("experiments: ")
+	var (
+		fig      = flag.Int("fig", 0, "figure to regenerate (1..7)")
+		table    = flag.Int("table", 0, "table to regenerate (1..3)")
+		headline = flag.Bool("headline", false, "the Ta056 headline experiment")
+		all      = flag.Bool("all", false, "everything")
+		fast     = flag.Bool("fast", false, "fast simulation scenario for fig 7 / tables 2-3")
+		seed     = flag.Int64("seed", 1, "simulation seed")
+	)
+	flag.Parse()
+
+	ran := false
+	run := func(cond bool, f func()) {
+		if cond || *all {
+			f()
+			fmt.Println()
+			ran = true
+		}
+	}
+	run(*fig == 1, figure1)
+	run(*fig == 2, figure2)
+	run(*fig == 3, figure3)
+	run(*fig == 4, figure4)
+	run(*fig == 5, figure5)
+	run(*fig == 6 || *table == 1, table1)
+	run(*headline, headlineTa056)
+	// The simulation serves figure 7 and tables 2–3 in one run.
+	run(*fig == 7 || *table == 2 || *table == 3, func() { simulate(*fast || *all, *seed) })
+	if !ran {
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+// figure1 reproduces Figure 1: the per-depth weights of a permutation tree
+// (eq. 3: weight = (P-depth)!).
+func figure1() {
+	fmt.Println("=== Figure 1: weight of a node (permutation tree, 4 elements) ===")
+	nb := core.NewNumbering(tree.Permutation{N: 4})
+	fmt.Printf("%-8s %-12s %s\n", "depth", "branching", "weight (leaves below)")
+	for d := 0; d <= nb.Depth(); d++ {
+		br := "-"
+		if d < nb.Depth() {
+			br = fmt.Sprint(nb.Shape().Branching(d))
+		}
+		fmt.Printf("%-8d %-12s %s\n", d, br, nb.Weight(d))
+	}
+}
+
+// figure2 reproduces Figure 2: node numbers (eq. 6) of a 3-element
+// permutation tree, printed per level.
+func figure2() {
+	fmt.Println("=== Figure 2: node numbers (permutation tree, 3 elements) ===")
+	printLevels(tree.Permutation{N: 3}, func(nb *core.Numbering, ranks []int) string {
+		return nb.Number(ranks).String()
+	})
+}
+
+// figure3 reproduces Figure 3: node ranges (eq. 7).
+func figure3() {
+	fmt.Println("=== Figure 3: node ranges (permutation tree, 3 elements) ===")
+	printLevels(tree.Permutation{N: 3}, func(nb *core.Numbering, ranks []int) string {
+		return nb.Range(ranks).String()
+	})
+}
+
+// printLevels walks a small tree breadth-first and prints label(node) per
+// level.
+func printLevels(shape tree.Shape, label func(*core.Numbering, []int) string) {
+	nb := core.NewNumbering(shape)
+	level := [][]int{{}}
+	for d := 0; d <= shape.Depth(); d++ {
+		fmt.Printf("depth %d: ", d)
+		var next [][]int
+		for i, ranks := range level {
+			if i > 0 {
+				fmt.Print("  ")
+			}
+			fmt.Print(label(nb, ranks))
+			if d < shape.Depth() {
+				for r := 0; r < shape.Branching(d); r++ {
+					next = append(next, append(append([]int(nil), ranks...), r))
+				}
+			}
+		}
+		fmt.Println()
+		level = next
+	}
+}
+
+// figure4 reproduces Figure 4: an interval unfolds into the minimal active
+// list and folds back.
+func figure4() {
+	fmt.Println("=== Figure 4: fold and unfold (permutation tree, 4 elements) ===")
+	nb := core.NewNumbering(tree.Permutation{N: 4})
+	iv := interval.FromInt64(5, 19)
+	fmt.Printf("interval: %v of root range %v\n", iv, nb.RootRange())
+	nodes := core.Unfold(nb, iv)
+	fmt.Printf("unfold -> %d active nodes:\n", len(nodes))
+	for _, n := range nodes {
+		fmt.Printf("  %-12v range %v\n", n, nb.Range(n.Ranks))
+	}
+	back, err := core.FoldStrict(nb, nodes)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("fold   -> %v (round trip exact: %v)\n", back, back.Equal(iv))
+}
+
+// figure5 reproduces Figure 5: three B&B processes and a coordinator, with
+// the INTERVALS set holding one interval per process plus one waiting.
+func figure5() {
+	fmt.Println("=== Figure 5: B&B processes and coordinator ===")
+	ins := flowshop.Taillard(11, 5, 3)
+	factory := func() bb.Problem {
+		return flowshop.NewProblem(ins, flowshop.BoundOneMachine, flowshop.PairsAll)
+	}
+	nb := core.NewNumbering(factory().Shape())
+	f := farmer.New(nb.RootRange())
+	var sessions []*worker.Session
+	for i := 0; i < 3; i++ {
+		s := worker.NewSession(worker.Config{
+			ID:                transport.WorkerID(fmt.Sprintf("bb%d", i+1)),
+			Power:             1,
+			UpdatePeriodNodes: 50,
+		}, f, factory())
+		sessions = append(sessions, s)
+	}
+	// Interleave a little exploration so the intervals diverge, then a
+	// mid-run failure leaves a fourth interval waiting for a process.
+	for round := 0; round < 4; round++ {
+		for _, s := range sessions {
+			if _, _, err := s.Advance(120); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	fmt.Println("INTERVALS (coordinator copies):")
+	for _, rec := range f.IntervalsSnapshot() {
+		fmt.Printf("  interval #%d: %v\n", rec.ID, rec.Interval)
+	}
+	best := f.Best()
+	fmt.Printf("SOLUTION: cost %d\n", best.Cost)
+	card, size := f.Size()
+	fmt.Printf("cardinality %d, remaining size %s of %s\n", card, size, nb.LeafCount())
+}
+
+// table1 reproduces Table 1 / Figure 6: the computational pool.
+func table1() {
+	fmt.Println("=== Table 1 / Figure 6: the computational pool ===")
+	pool := gridsim.Table1Pool()
+	fmt.Printf("%-9s %-10s %-24s %s\n", "CPU", "GHz", "Domain", "No.")
+	for _, s := range pool {
+		fmt.Printf("%-9s %-10.2f %-24s %d\n", s.Model, s.GHz, s.Domain, s.Count)
+	}
+	fmt.Printf("%-45s%d (paper: %d)\n", "Total", gridsim.PoolSize(pool), gridsim.Table1Total)
+	fmt.Printf("administrative domains: %d (paper: 9)\n", len(gridsim.PoolDomains(pool)))
+}
+
+// headlineTa056 replays the §5.3 headline at the scales this repository can
+// reach: the bit-exact instance, the paper's printed schedule, heuristic
+// bounds, and an exact resolution of a reduced prefix of the same data.
+func headlineTa056() {
+	fmt.Println("=== Headline: Ta056 (50 jobs x 20 machines) ===")
+	ins := flowshop.Ta056()
+	fmt.Printf("instance regenerated from Taillard seed %d\n", flowshop.Ta056TimeSeed)
+	got := ins.Makespan(flowshop.Ta056PaperPermutation)
+	fmt.Printf("paper's printed optimal schedule evaluates to %d (claimed optimum %d, previous best %d)\n",
+		got, flowshop.Ta056Optimum, flowshop.Ta056PreviousBest)
+	fmt.Println("  (the one-unit gap is a transcription artifact in the printed schedule; see EXPERIMENTS.md)")
+
+	nehSeq, nehC := flowshop.NEH(ins)
+	fmt.Printf("NEH constructive upper bound: %d\n", nehC)
+	_ = nehSeq
+	igPerm, igC := flowshop.IteratedGreedy(ins, flowshop.IGOptions{Iterations: 4000, DestructSize: 4, TemperatureFactor: 0.4, Seed: 1})
+	fmt.Printf("iterated greedy (Ruiz-Stützle, 4000 iters): %d\n", igC)
+	_ = igPerm
+
+	p := flowshop.NewProblem(ins, flowshop.BoundCombined, flowshop.PairsFirstLast)
+	p.Reset()
+	fmt.Printf("root lower bound (combined 1-machine + Johnson 2-machine): %d\n", p.Bound())
+
+	red, err := ins.Reduced(12, 8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	start := time.Now()
+	sol, stats := bb.Solve(flowshop.NewProblem(red, flowshop.BoundOneMachine, flowshop.PairsAll), bb.Infinity)
+	fmt.Printf("exact resolution of the %s prefix: optimum %d, %d nodes, %s\n",
+		red.Name, sol.Cost, stats.Explored, time.Since(start).Round(time.Millisecond))
+	nbFull := core.NewNumbering(tree.Permutation{N: 50})
+	fmt.Printf("full Ta056 search space: %s leaves (interval arithmetic is exact at this scale)\n", nbFull.LeafCount())
+}
+
+// simulate runs the grid simulation serving Figure 7 and Tables 2–3.
+func simulate(fast bool, seed int64) {
+	full := flowshop.Ta056()
+	ins, err := full.Reduced(14, 8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	factory := func() bb.Problem {
+		return flowshop.NewProblem(ins, flowshop.BoundOneMachine, flowshop.PairsAll)
+	}
+	seq, seqStats := bb.Solve(factory(), bb.Infinity)
+
+	var cfg gridsim.Config
+	if fast {
+		cfg = gridsim.FastScenario(seed, seqStats.Explored*12/10, 3)
+	} else {
+		cfg = gridsim.PaperScenario(seed, seqStats.Explored*12/10, 25)
+	}
+	cfg.InitialUpper = seq.Cost + 1
+
+	mode := "paper-scale"
+	if fast {
+		mode = "fast"
+	}
+	log.Printf("running the %s simulation (%s standing in for Ta056, %d processors)...",
+		mode, ins.Name, gridsim.PoolSize(cfg.Pool))
+	res, err := gridsim.New(cfg, factory).Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("=== Table 2: execution statistics (simulated; optimum %d%s) ===\n", res.Best.Cost,
+		map[bool]string{true: ", matches sequential proof"}[res.Best.Cost == seq.Cost])
+	fmt.Println(res.Table2.RenderComparison())
+	fmt.Println("=== Table 3: famous exact resolutions ===")
+	fmt.Println(gridsim.RenderTable3(gridsim.Table3(res.Table2.TotalCPUSeconds)))
+	fmt.Println("=== Figure 7: evolution of the number of available processors ===")
+	fmt.Println(gridsim.RenderTrace(res.Trace, 100, 12))
+	avg, max := gridsim.TraceStats(res.Trace)
+	fmt.Printf("trace: average %.0f, peak %d of %d (paper: 328 avg, 1195 peak of 1889)\n",
+		avg, max, gridsim.PoolSize(cfg.Pool))
+}

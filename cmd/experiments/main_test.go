@@ -1,0 +1,96 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"strings"
+	"testing"
+)
+
+// captureStdout runs f with os.Stdout redirected and returns what it wrote.
+func captureStdout(t *testing.T, f func()) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	done := make(chan string)
+	go func() {
+		var buf bytes.Buffer
+		io.Copy(&buf, r)
+		done <- buf.String()
+	}()
+	f()
+	w.Close()
+	os.Stdout = old
+	return <-done
+}
+
+// TestFigure1Output: the printed weight column is the paper's Figure 1.
+func TestFigure1Output(t *testing.T) {
+	out := captureStdout(t, figure1)
+	for _, want := range []string{"24", "6", "2", "1"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("figure 1 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestFigure2And3Output: numbering and ranges print every level.
+func TestFigure2And3Output(t *testing.T) {
+	out := captureStdout(t, figure2)
+	if !strings.Contains(out, "depth 3: 0  1  2  3  4  5") {
+		t.Fatalf("figure 2 leaf numbering wrong:\n%s", out)
+	}
+	out = captureStdout(t, figure3)
+	if !strings.Contains(out, "[0,6)") || !strings.Contains(out, "[4,6)") {
+		t.Fatalf("figure 3 ranges wrong:\n%s", out)
+	}
+}
+
+// TestFigure4Output: the round trip reports exactness.
+func TestFigure4Output(t *testing.T) {
+	out := captureStdout(t, figure4)
+	if !strings.Contains(out, "round trip exact: true") {
+		t.Fatalf("figure 4 round trip failed:\n%s", out)
+	}
+}
+
+// TestFigure5Output: the INTERVALS snapshot shows live work units.
+func TestFigure5Output(t *testing.T) {
+	out := captureStdout(t, figure5)
+	if !strings.Contains(out, "INTERVALS") || !strings.Contains(out, "SOLUTION") {
+		t.Fatalf("figure 5 output incomplete:\n%s", out)
+	}
+	if !strings.Contains(out, "interval #") {
+		t.Fatalf("no intervals listed:\n%s", out)
+	}
+}
+
+// TestTable1Output: the pool totals match the paper.
+func TestTable1Output(t *testing.T) {
+	out := captureStdout(t, table1)
+	if !strings.Contains(out, "1889 (paper: 1889)") {
+		t.Fatalf("table 1 total wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "administrative domains: 9") {
+		t.Fatalf("table 1 domains wrong:\n%s", out)
+	}
+}
+
+// TestSimulateFastOutput runs the fast simulation end to end through the
+// experiment harness.
+func TestSimulateFastOutput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a full fast simulation")
+	}
+	out := captureStdout(t, func() { simulate(true, 1) })
+	for _, want := range []string{"Table 2", "Table 3", "Figure 7", "Worker CPU exploitation", "matches sequential proof"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("simulation output missing %q:\n%s", want, out)
+		}
+	}
+}

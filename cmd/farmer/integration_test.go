@@ -1,0 +1,117 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestFarmerWorkerBinaries is the end-to-end deployment test: it builds the
+// real farmer and worker binaries, runs them as separate OS processes
+// talking TCP, kills a worker mid-run (the §4.1 failure scenario), and
+// checks that the farmer still reports the proven optimum.
+func TestFarmerWorkerBinaries(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process integration test")
+	}
+	dir := t.TempDir()
+	farmerBin := filepath.Join(dir, "farmer")
+	workerBin := filepath.Join(dir, "worker")
+	for _, b := range []struct{ out, pkg string }{
+		{farmerBin, "repro/cmd/farmer"},
+		{workerBin, "repro/cmd/worker"},
+	} {
+		cmd := exec.Command("go", "build", "-o", b.out, b.pkg)
+		cmd.Dir = repoRoot(t)
+		if out, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("build %s: %v\n%s", b.pkg, err, out)
+		}
+	}
+
+	// A 11x6 reduction solves in a couple of seconds with two worker
+	// processes while leaving room to kill one mid-run.
+	args := []string{
+		"-instance", "ta056", "-reduce-jobs", "11", "-reduce-machines", "6",
+	}
+	var farmerOut bytes.Buffer
+	// A fixed high port keeps the worker processes simple; the test fails
+	// loudly if it is taken.
+	farmer := exec.Command(farmerBin, append([]string{
+		"-addr", "127.0.0.1:43219",
+		"-checkpoint-dir", filepath.Join(dir, "ckpt"),
+		"-lease-ttl", "2",
+		"-status-period", "1",
+	}, args...)...)
+	farmer.Stdout = &farmerOut
+	farmer.Stderr = &farmerOut
+	if err := farmer.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if farmer.Process != nil {
+			farmer.Process.Kill()
+			farmer.Wait()
+		}
+	}()
+	time.Sleep(500 * time.Millisecond) // let it bind
+
+	workerArgs := append([]string{"-addr", "127.0.0.1:43219", "-update-nodes", "2000"}, args...)
+	w1 := exec.Command(workerBin, append(workerArgs, "-name", "w1")...)
+	w1.Stdout = os.Stderr
+	w1.Stderr = os.Stderr
+	if err := w1.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// Kill w1 shortly after it starts: its interval must be recovered.
+	go func() {
+		time.Sleep(700 * time.Millisecond)
+		w1.Process.Kill()
+		w1.Wait()
+	}()
+
+	w2 := exec.Command(workerBin, append(workerArgs, "-name", "w2", "-procs", "2")...)
+	w2.Stdout = os.Stderr
+	w2.Stderr = os.Stderr
+	if err := w2.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if w2.Process != nil {
+			w2.Process.Kill()
+		}
+	}()
+
+	// Wait for the farmer to declare completion (it exits by itself).
+	done := make(chan error, 1)
+	go func() { done <- farmer.Wait() }()
+	select {
+	case <-done:
+	case <-time.After(90 * time.Second):
+		t.Fatalf("farmer did not finish; output so far:\n%s", farmerOut.String())
+	}
+	w2.Wait()
+
+	out := farmerOut.String()
+	if !strings.Contains(out, "RESOLUTION COMPLETE") {
+		t.Fatalf("no completion banner in farmer output:\n%s", out)
+	}
+	if !strings.Contains(out, "optimal makespan: 842") {
+		// 842 is the sequential optimum of ta056 reduced to 11x6,
+		// asserted independently in TestReducedOptimumOracle.
+		t.Fatalf("unexpected optimum in farmer output:\n%s", out)
+	}
+}
+
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// cmd/farmer -> repo root is two levels up.
+	return filepath.Dir(filepath.Dir(dir))
+}

@@ -1,0 +1,114 @@
+// Command taillard generates Taillard (1993) flowshop benchmark instances
+// bit-exactly from their published seeds, prints them in the conventional
+// benchmark text layout, and evaluates schedules.
+//
+// Usage:
+//
+//	taillard -instance ta056            # print the paper's instance
+//	taillard -jobs 20 -machines 5 -seed 873654221
+//	taillard -instance ta056 -eval "14,37,3,..."   # makespan of a schedule (1-based)
+//	taillard -list                      # list the 120 published instances
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/flowshop"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("taillard: ")
+	var (
+		instance = flag.String("instance", "", "published instance name (ta001..ta120)")
+		jobs     = flag.Int("jobs", 0, "jobs for a custom instance")
+		machines = flag.Int("machines", 0, "machines for a custom instance")
+		seed     = flag.Int64("seed", 0, "time seed for a custom instance")
+		evalPerm = flag.String("eval", "", "comma-separated 1-based job schedule to evaluate instead of printing the matrix")
+		list     = flag.Bool("list", false, "list the published instances")
+		neh      = flag.Bool("neh", false, "print the NEH heuristic schedule and makespan")
+		file     = flag.String("file", "", "read the instance from a benchmark-layout file instead of generating")
+		out      = flag.String("o", "", "write the instance to a file instead of stdout")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, idx := range flowshop.TaillardIndices() {
+			ins, err := flowshop.TaillardByIndex(idx)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("ta%03d  %3d jobs x %2d machines\n", idx, ins.Jobs, ins.Machines)
+		}
+		return
+	}
+
+	var ins *flowshop.Instance
+	switch {
+	case *file != "":
+		var err error
+		ins, err = flowshop.ParseFile(*file)
+		if err != nil {
+			log.Fatal(err)
+		}
+	case *instance != "":
+		var err error
+		ins, err = flowshop.TaillardNamed(*instance)
+		if err != nil {
+			log.Fatal(err)
+		}
+	case *jobs > 0 && *machines > 0 && *seed > 0:
+		ins = flowshop.Taillard(*jobs, *machines, *seed)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	switch {
+	case *evalPerm != "":
+		perm, err := parsePerm(*evalPerm, ins.Jobs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s makespan = %d\n", ins.Name, ins.Makespan(perm))
+	case *neh:
+		seq, cmax := flowshop.NEH(ins)
+		fmt.Printf("%s NEH makespan = %d\nschedule (1-based):", ins.Name, cmax)
+		for _, j := range seq {
+			fmt.Printf(" %d", j+1)
+		}
+		fmt.Println()
+	default:
+		if *out != "" {
+			if err := ins.WriteFile(*out); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("wrote %s to %s\n", ins, *out)
+			return
+		}
+		fmt.Print(ins.Format())
+	}
+}
+
+// parsePerm converts a comma-separated 1-based schedule into 0-based job
+// indices.
+func parsePerm(s string, jobs int) ([]int, error) {
+	fields := strings.Split(s, ",")
+	if len(fields) != jobs {
+		return nil, fmt.Errorf("schedule has %d entries for %d jobs", len(fields), jobs)
+	}
+	perm := make([]int, 0, jobs)
+	for _, f := range fields {
+		v, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil {
+			return nil, fmt.Errorf("bad entry %q: %v", f, err)
+		}
+		perm = append(perm, v-1)
+	}
+	return perm, nil
+}

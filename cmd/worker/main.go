@@ -1,0 +1,111 @@
+// Command worker joins a TCP farmer (cmd/farmer) as one or more B&B
+// processes — the paper's worker side: pull-model messaging (works from
+// behind firewalls and NATs), periodic interval checkpointing, immediate
+// solution push. Kill it any time: the farmer's lease mechanism recovers
+// its intervals from their last checkpoint.
+//
+// The instance configuration must match the farmer's — like the paper's
+// deployment, problem data is distributed out of band and only intervals
+// travel.
+//
+// Usage:
+//
+//	worker -addr farmerhost:4321 -instance ta056 -reduce-jobs 13 -reduce-machines 8 -procs 4
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"sync"
+	"time"
+
+	"repro/gridbb"
+	"repro/internal/flowshop"
+	"repro/internal/transport"
+	"repro/internal/worker"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("worker: ")
+	var (
+		addr     = flag.String("addr", "127.0.0.1:4321", "farmer address")
+		instance = flag.String("instance", "ta056", "Taillard instance (must match the farmer)")
+		redJobs  = flag.Int("reduce-jobs", 0, "reduce to this many jobs (must match the farmer)")
+		redMach  = flag.Int("reduce-machines", 0, "reduce to this many machines (must match the farmer)")
+		procs    = flag.Int("procs", 1, "B&B processes to host (the paper: one per processor)")
+		bound    = flag.String("bound", "one", "bound: one, two, combined")
+		update   = flag.Int64("update-nodes", 1<<16, "nodes between interval checkpoints")
+		name     = flag.String("name", "", "worker name prefix (default host-pid)")
+	)
+	flag.Parse()
+
+	ins, err := flowshop.TaillardNamed(*instance)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *redJobs > 0 || *redMach > 0 {
+		j, m := *redJobs, *redMach
+		if j == 0 {
+			j = ins.Jobs
+		}
+		if m == 0 {
+			m = ins.Machines
+		}
+		if ins, err = ins.Reduced(j, m); err != nil {
+			log.Fatal(err)
+		}
+	}
+	kind := flowshop.BoundOneMachine
+	switch *bound {
+	case "one":
+	case "two":
+		kind = flowshop.BoundTwoMachine
+	case "combined":
+		kind = flowshop.BoundCombined
+	default:
+		log.Fatalf("unknown bound %q", *bound)
+	}
+	prefix := *name
+	if prefix == "" {
+		host, _ := os.Hostname()
+		prefix = fmt.Sprintf("%s-%d", host, os.Getpid())
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	var wg sync.WaitGroup
+	for i := 0; i < *procs; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			cfg := worker.Config{
+				ID:                transport.WorkerID(fmt.Sprintf("%s-p%d", prefix, i)),
+				Power:             1,
+				AutoPower:         true, // measure the real rate, report it
+				UpdatePeriodNodes: *update,
+			}
+			start := time.Now()
+			res, err := gridbb.RunRemoteWorker(ctx, *addr, cfg, flowshop.NewProblem(ins, kind, flowshop.PairsAll))
+			if err != nil && ctx.Err() == nil {
+				log.Printf("process %d: %v", i, err)
+				return
+			}
+			log.Printf("process %d done in %s: explored %d nodes, %d updates, local best %s",
+				i, time.Since(start).Round(time.Second), res.Stats.Explored, res.Updates, costString(res.Best.Cost))
+		}(i)
+	}
+	wg.Wait()
+}
+
+func costString(c int64) string {
+	if c == gridbb.Infinity {
+		return "inf"
+	}
+	return fmt.Sprint(c)
+}

@@ -1,0 +1,14 @@
+// Package repro is a full Go reproduction of Mezmaz, Melab and Talbi,
+// "A Grid-enabled Branch and Bound Algorithm for Solving Challenging
+// Combinatorial Optimization Problems" (INRIA RR-5945 / IPPS 2007): an
+// interval coding of B&B work units, a farmer–worker grid runtime with
+// dynamic load balancing, fault tolerance, implicit termination detection
+// and global solution sharing, the permutation flowshop application with
+// Taillard's benchmark generator, and a discrete-event grid simulator
+// reproducing the paper's evaluation (Tables 1–3, Figures 1–7).
+//
+// The public API lives in repro/gridbb; see README.md for a tour and
+// DESIGN.md for the system inventory and the experiment index. The
+// benchmarks in bench_test.go regenerate one measurement per table and
+// figure of the paper.
+package repro

@@ -1,0 +1,266 @@
+// Package gridbb is the public API of this repository: a grid-enabled
+// Branch and Bound library reproducing Mezmaz, Melab and Talbi,
+// "A Grid-enabled Branch and Bound Algorithm for Solving Challenging
+// Combinatorial Optimization Problems" (INRIA RR-5945 / IPPS 2007).
+//
+// The library codes B&B work units as intervals of node numbers over a
+// regular search tree (weights, numbers and ranges of §3; fold and unfold
+// operators of §3.4–3.5) and runs them under a farmer–worker architecture
+// with dynamic load balancing, checkpoint-based fault tolerance, implicit
+// termination detection and global solution sharing (§4).
+//
+// Quick start — define or pick a Problem (see repro/internal/flowshop,
+// repro/internal/tsp, repro/internal/knapsack for complete examples), then:
+//
+//	sol, stats, err := gridbb.Solve(problem, gridbb.Options{Workers: 8})
+//
+// For multi-process deployments, run a farmer with ServeFarmer and connect
+// workers with RunRemoteWorker (see cmd/farmer and cmd/worker).
+package gridbb
+
+import (
+	"context"
+	"fmt"
+	"math/big"
+	"sync"
+	"time"
+
+	"repro/internal/bb"
+	"repro/internal/checkpoint"
+	"repro/internal/core"
+	"repro/internal/farmer"
+	"repro/internal/interval"
+	"repro/internal/p2p"
+	"repro/internal/transport"
+	"repro/internal/worker"
+)
+
+// Problem is the problem abstraction: a backtracking state machine over a
+// regular tree. See repro/internal/bb for the full contract.
+type Problem = bb.Problem
+
+// Solution is an incumbent (cost + rank path).
+type Solution = bb.Solution
+
+// Stats are exploration counters.
+type Stats = bb.Stats
+
+// Interval is a half-open work unit [A, B) of node numbers.
+type Interval = interval.Interval
+
+// Numbering assigns numbers/ranges to tree nodes (§3.1–3.3).
+type Numbering = core.Numbering
+
+// Explorer is the interval-driven DFS engine (one B&B process).
+type Explorer = core.Explorer
+
+// NodeRef identifies a node by its rank path.
+type NodeRef = core.NodeRef
+
+// Farmer is the coordinator.
+type Farmer = farmer.Farmer
+
+// WorkerConfig parameterizes one worker process.
+type WorkerConfig = worker.Config
+
+// Infinity is the "no solution / no bound" cost sentinel.
+const Infinity = bb.Infinity
+
+// NewNumbering builds the node numbering of a problem's tree.
+func NewNumbering(p Problem) *Numbering { return core.NewNumbering(p.Shape()) }
+
+// NewExplorer builds an interval-driven engine over iv primed with
+// initialUpper.
+func NewExplorer(p Problem, nb *Numbering, iv Interval, initialUpper int64) *Explorer {
+	return core.NewExplorer(p, nb, iv, initialUpper)
+}
+
+// Fold folds an active-node list into its interval (eq. 10).
+func Fold(nb *Numbering, active []NodeRef) (Interval, error) { return core.Fold(nb, active) }
+
+// Unfold unfolds an interval into its minimal active-node list (eq. 11).
+func Unfold(nb *Numbering, iv Interval) []NodeRef { return core.Unfold(nb, iv) }
+
+// SolveSequential runs the single-process baseline B&B to optimality.
+func SolveSequential(p Problem, initialUpper int64) (Solution, Stats) {
+	return bb.Solve(p, initialUpper)
+}
+
+// Options parameterizes Solve.
+type Options struct {
+	// Workers is the number of in-process B&B workers (goroutines).
+	// Default: 4.
+	Workers int
+	// InitialUpper primes the global best cost; Infinity (the zero
+	// Options value is normalized to it) when unknown. The paper's runs
+	// start from the best known makespan (§5.3).
+	InitialUpper int64
+	// InitialPath optionally carries the rank path of the initial
+	// solution.
+	InitialPath []int
+	// UpdatePeriodNodes is the worker checkpoint period in nodes.
+	UpdatePeriodNodes int64
+	// Threshold is the duplication threshold of the partitioning
+	// operator (§4.2); nil uses the farmer default.
+	Threshold *big.Int
+	// CheckpointDir, when non-empty, attaches a two-file checkpoint
+	// store and snapshots the farmer every CheckpointPeriod.
+	CheckpointDir string
+	// CheckpointPeriod defaults to 30 time.Minute like the paper's
+	// coordinator; only used when CheckpointDir is set.
+	CheckpointPeriod time.Duration
+	// ProblemFactory must return a fresh, independent Problem instance
+	// for each worker. Required when Workers > 1 because Problem state
+	// machines are single-threaded. When nil, Solve runs a single
+	// worker on the given problem.
+	ProblemFactory func() Problem
+}
+
+// Result is the outcome of a parallel resolution.
+type Result struct {
+	// Best is the optimal solution (with proof: the whole root interval
+	// was explored).
+	Best Solution
+	// Counters are the farmer-side protocol statistics.
+	Counters farmer.Counters
+	// Redundancy is the duplicated-work accounting.
+	Redundancy farmer.RedundancyStats
+	// PerWorker are the individual worker results.
+	PerWorker []worker.Result
+	// Elapsed is the wall-clock duration of the resolution.
+	Elapsed time.Duration
+}
+
+// Solve runs the full farmer–worker resolution in-process: one coordinator
+// goroutine-safe monitor and opt.Workers worker goroutines exchanging
+// intervals. It terminates when INTERVALS is empty and returns the proven
+// optimum.
+func Solve(p Problem, opt Options) (Result, error) {
+	if opt.Workers <= 0 {
+		opt.Workers = 4
+	}
+	if opt.InitialUpper == 0 {
+		opt.InitialUpper = Infinity
+	}
+	if opt.Workers > 1 && opt.ProblemFactory == nil {
+		return Result{}, fmt.Errorf("gridbb: Workers=%d needs a ProblemFactory (Problem state is single-threaded)", opt.Workers)
+	}
+	nb := core.NewNumbering(p.Shape())
+
+	fopts := []farmer.Option{farmer.WithInitialBest(opt.InitialUpper, opt.InitialPath)}
+	if opt.Threshold != nil {
+		fopts = append(fopts, farmer.WithThreshold(opt.Threshold))
+	}
+	var store *checkpoint.Store
+	if opt.CheckpointDir != "" {
+		var err error
+		store, err = checkpoint.NewStore(opt.CheckpointDir)
+		if err != nil {
+			return Result{}, err
+		}
+		fopts = append(fopts, farmer.WithCheckpointStore(store))
+	}
+	f := farmer.New(nb.RootRange(), fopts...)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	if store != nil {
+		period := opt.CheckpointPeriod
+		if period <= 0 {
+			period = 30 * time.Minute
+		}
+		go func() {
+			ticker := time.NewTicker(period)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-ticker.C:
+					// Best-effort: a failed snapshot must not
+					// kill the resolution; the previous one
+					// remains valid.
+					_ = f.Checkpoint()
+				}
+			}
+		}()
+	}
+
+	start := time.Now()
+	results := make([]worker.Result, opt.Workers)
+	errs := make([]error, opt.Workers)
+	var wg sync.WaitGroup
+	for i := 0; i < opt.Workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			prob := p
+			if opt.ProblemFactory != nil {
+				prob = opt.ProblemFactory()
+			}
+			cfg := worker.Config{
+				ID:                transport.WorkerID(fmt.Sprintf("w%03d", i)),
+				Power:             1,
+				UpdatePeriodNodes: opt.UpdatePeriodNodes,
+			}
+			results[i], errs[i] = worker.Run(ctx, cfg, f, prob)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return Result{}, err
+		}
+	}
+	if store != nil {
+		// Final snapshot records the completed state.
+		if err := f.Checkpoint(); err != nil {
+			return Result{}, err
+		}
+	}
+	return Result{
+		Best:       f.Best(),
+		Counters:   f.Counters(),
+		Redundancy: f.Redundancy(),
+		PerWorker:  results,
+		Elapsed:    time.Since(start),
+	}, nil
+}
+
+// P2POptions parameterizes the decentralized runtime.
+type P2POptions = p2p.Options
+
+// P2PResult is the outcome of a peer-to-peer resolution.
+type P2PResult = p2p.Result
+
+// SolveP2P runs the decentralized peer-to-peer variant (the paper's §6
+// future work): no coordinator, hungry peers steal intervals directly from
+// random victims, and termination is detected by a ring token. It proves
+// the same optima as Solve; the trade-off is no central checkpoint.
+func SolveP2P(factory func() Problem, opt P2POptions) (P2PResult, error) {
+	return p2p.Solve(factory, opt)
+}
+
+// ServeFarmer starts a TCP farmer for the problem's tree on addr and
+// returns the server and the coordinator. Use cmd/farmer for the packaged
+// binary.
+func ServeFarmer(p Problem, addr string, opts ...farmer.Option) (*transport.Server, *Farmer, error) {
+	nb := core.NewNumbering(p.Shape())
+	f := farmer.New(nb.RootRange(), opts...)
+	srv, err := transport.Serve(f, addr)
+	if err != nil {
+		return nil, nil, err
+	}
+	return srv, f, nil
+}
+
+// RunRemoteWorker connects to a TCP farmer and works until the resolution
+// finishes or the context is cancelled.
+func RunRemoteWorker(ctx context.Context, addr string, cfg WorkerConfig, p Problem) (worker.Result, error) {
+	client, err := transport.Dial(addr)
+	if err != nil {
+		return worker.Result{}, err
+	}
+	defer client.Close()
+	return worker.Run(ctx, cfg, client, p)
+}

@@ -1,0 +1,217 @@
+// Package bb defines the problem abstraction shared by every Branch and
+// Bound engine in this repository and provides the classical sequential
+// depth-first B&B solver, which serves both as the correctness oracle for
+// the grid engine and as the single-processor baseline of the paper's
+// evaluation.
+//
+// Problems are expressed as backtracking state machines over a regular tree
+// (see internal/tree): the engine drives Descend/Ascend calls along a
+// root-to-leaf path and asks for bounds and leaf costs; the problem never
+// allocates per node, which keeps the exploration hot loop free of garbage.
+// All problems are minimization problems; maximization problems negate
+// their objective (see internal/knapsack).
+package bb
+
+import (
+	"math"
+
+	"repro/internal/tree"
+)
+
+// Infinity is the lower-bound sentinel meaning "this subtree contains no
+// feasible solution"; any node bounded at Infinity is pruned whatever the
+// incumbent is.
+const Infinity int64 = math.MaxInt64
+
+// Problem is a combinatorial minimization problem explored over a regular
+// tree. Implementations maintain the state of the current root-to-leaf path
+// internally and mutate it in place as the engine descends and ascends.
+//
+// The branching operator is expressed through Descend(rank): rank r selects
+// the r-th child in the problem's canonical child order, which must be
+// deterministic and identical in every process — the node-number coding of
+// the paper (§3.2) is a shared coordinate system and only works if every
+// worker agrees on which child has which rank.
+//
+// Implementations must generate the full regular tree: children that are
+// infeasible in the problem domain still exist in the shape and must be
+// reported as hopeless through Bound() returning Infinity, never by
+// shrinking the branching factor, which would desynchronize the numbering.
+type Problem interface {
+	// Shape returns the regular tree explored by the problem. It must be
+	// constant for the lifetime of the value.
+	Shape() tree.Shape
+	// Reset returns the path to the root. Engines call it before any
+	// exploration and implementations must support repeated calls.
+	Reset()
+	// Descend extends the current path with the child of the given rank
+	// (0-based, in canonical order). The engine guarantees
+	// 0 <= rank < Shape().Branching(depth) where depth is the current
+	// path depth.
+	Descend(rank int)
+	// Ascend removes the deepest element of the current path. The engine
+	// never calls it at the root.
+	Ascend()
+	// Bound returns a lower bound on the cost of every leaf below the
+	// current path node. Tighter is better; Infinity prunes
+	// unconditionally. Bound is never called on a leaf.
+	Bound() int64
+	// Cost returns the objective value of the current leaf. It is only
+	// called when the path has reached depth Shape().Depth().
+	Cost() int64
+}
+
+// Decoder is implemented by problems that can translate a rank path into a
+// domain-level solution description (a job permutation, a tour, an item
+// subset...). It is optional; engines report rank paths either way.
+type Decoder interface {
+	// DecodePath renders the solution identified by the rank path.
+	DecodePath(ranks []int) string
+}
+
+// Solution is an incumbent: the best leaf found so far.
+type Solution struct {
+	// Cost is the objective value. Infinity means "no solution found".
+	Cost int64
+	// Path is the rank path from the root to the leaf; its length is the
+	// tree depth. Nil when Cost is Infinity.
+	Path []int
+}
+
+// Valid reports whether the solution denotes an actual leaf.
+func (s Solution) Valid() bool { return s.Cost < Infinity && s.Path != nil }
+
+// Clone returns a deep copy of the solution.
+func (s Solution) Clone() Solution {
+	c := Solution{Cost: s.Cost}
+	if s.Path != nil {
+		c.Path = append([]int(nil), s.Path...)
+	}
+	return c
+}
+
+// Stats aggregates exploration counters. "Explored" counts every node
+// visited (branched or evaluated), matching the paper's "explored nodes"
+// statistic in Table 2; "Pruned" counts subtrees eliminated by bounding.
+type Stats struct {
+	Explored int64 // nodes visited (internal nodes decomposed + leaves evaluated)
+	Pruned   int64 // subtrees cut by the bounding operator
+	Leaves   int64 // leaves evaluated
+	Improved int64 // times the incumbent improved
+}
+
+// Add accumulates other into s.
+func (s *Stats) Add(other Stats) {
+	s.Explored += other.Explored
+	s.Pruned += other.Pruned
+	s.Leaves += other.Leaves
+	s.Improved += other.Improved
+}
+
+// Solve runs a sequential depth-first Branch and Bound to completion and
+// returns the optimal solution (or an invalid one if the tree has no leaf,
+// which only happens for depth-0 shapes). initialUpper primes the incumbent
+// cost — the paper initializes runs on Ta056 with the best known makespan
+// (3681, then 3680, §5.3); pass Infinity when no upper bound is known.
+// Pruning uses "bound >= incumbent", so Solve proves optimality of the
+// returned cost even when initialUpper equals the optimum: it will simply
+// find no improving leaf, and the caller learns the initial bound was
+// optimal if the returned solution is invalid.
+func Solve(p Problem, initialUpper int64) (Solution, Stats) {
+	eng := engine{p: p, best: Solution{Cost: initialUpper}}
+	eng.run()
+	return eng.best, eng.stats
+}
+
+// engine is the plain DFS baseline: no interval coding, a single path walk.
+type engine struct {
+	p     Problem
+	best  Solution
+	stats Stats
+}
+
+func (e *engine) run() {
+	p := e.p
+	shape := p.Shape()
+	depthMax := shape.Depth()
+	p.Reset()
+	if depthMax == 0 {
+		return
+	}
+	// cursor[d] is the rank of the next child to try at depth d; the
+	// current path is defined by cursor[d]-1 for d < depth.
+	cursor := make([]int, depthMax)
+	path := make([]int, depthMax)
+	depth := 0
+	for {
+		if cursor[depth] >= shape.Branching(depth) {
+			// Level exhausted: backtrack.
+			cursor[depth] = 0
+			if depth == 0 {
+				return
+			}
+			depth--
+			p.Ascend()
+			continue
+		}
+		r := cursor[depth]
+		cursor[depth]++
+		path[depth] = r
+		p.Descend(r)
+		e.stats.Explored++
+		if depth+1 == depthMax {
+			// Leaf.
+			e.stats.Leaves++
+			if c := p.Cost(); c < e.best.Cost {
+				e.best.Cost = c
+				e.best.Path = append(e.best.Path[:0], path...)
+				e.stats.Improved++
+			}
+			p.Ascend()
+			continue
+		}
+		if b := p.Bound(); b >= e.best.Cost {
+			e.stats.Pruned++
+			p.Ascend()
+			continue
+		}
+		depth++
+	}
+}
+
+// Enumerate visits every leaf of the problem tree without any bounding and
+// reports the best one. It is exponential and exists solely as a brute-force
+// oracle for tests on tiny instances.
+func Enumerate(p Problem) (Solution, Stats) {
+	shape := p.Shape()
+	depthMax := shape.Depth()
+	p.Reset()
+	best := Solution{Cost: Infinity}
+	var stats Stats
+	if depthMax == 0 {
+		return best, stats
+	}
+	path := make([]int, 0, depthMax)
+	var walk func(depth int)
+	walk = func(depth int) {
+		if depth == depthMax {
+			stats.Leaves++
+			if c := p.Cost(); c < best.Cost {
+				best.Cost = c
+				best.Path = append([]int(nil), path...)
+				stats.Improved++
+			}
+			return
+		}
+		for r := 0; r < shape.Branching(depth); r++ {
+			p.Descend(r)
+			stats.Explored++
+			path = append(path, r)
+			walk(depth + 1)
+			path = path[:len(path)-1]
+			p.Ascend()
+		}
+	}
+	walk(0)
+	return best, stats
+}

@@ -1,0 +1,212 @@
+// Package checkpoint implements the coordinator-side fault tolerance of the
+// paper (§4.1): "The coordinator manages a possible failure of the farmer by
+// periodically saving, in two files, the contents of INTERVALS and
+// SOLUTION. In the case of the farmer failure, the coordinator initializes
+// INTERVALS and SOLUTION by the contents of these files."
+//
+// Snapshots are versioned text files written atomically (temp file + rename)
+// so a crash mid-write can never corrupt the previous checkpoint.
+package checkpoint
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/interval"
+)
+
+// IntervalRecord is one INTERVALS entry: the coordinator's copy of a work
+// unit. Owner identities are deliberately not persisted — after a farmer
+// restart every interval is an orphan and gets handed out afresh, exactly
+// the virtual null-power process rule of §4.2.
+type IntervalRecord struct {
+	// ID is the coordinator-side identifier.
+	ID int64
+	// Interval is the not-yet-explored range.
+	Interval interval.Interval
+}
+
+// Snapshot is the persistent state of a resolution.
+type Snapshot struct {
+	// Intervals is the content of INTERVALS.
+	Intervals []IntervalRecord
+	// NextID continues the ID sequence so restored and fresh intervals
+	// never collide.
+	NextID int64
+	// BestCost is SOLUTION's cost; bb.Infinity when no solution exists.
+	BestCost int64
+	// BestPath is SOLUTION's rank path; nil when no solution exists.
+	BestPath []int
+}
+
+// Store reads and writes snapshots under a directory, using the paper's
+// two-file layout.
+type Store struct {
+	dir string
+}
+
+// intervalsFile and solutionFile are the two files of §4.1.
+const (
+	intervalsFile = "intervals.ckpt"
+	solutionFile  = "solution.ckpt"
+	formatVersion = "gridbb-checkpoint-v1"
+)
+
+// NewStore creates the directory if needed and returns a store over it.
+func NewStore(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("checkpoint: create %s: %w", dir, err)
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir returns the store's directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Save persists the snapshot atomically: each file is written to a
+// temporary name and renamed into place, so readers always see either the
+// old or the new checkpoint in full.
+func (s *Store) Save(snap Snapshot) error {
+	var iv strings.Builder
+	fmt.Fprintf(&iv, "%s intervals\n", formatVersion)
+	fmt.Fprintf(&iv, "nextid %d\n", snap.NextID)
+	for _, rec := range snap.Intervals {
+		text, err := rec.Interval.MarshalText()
+		if err != nil {
+			return fmt.Errorf("checkpoint: marshal interval %d: %w", rec.ID, err)
+		}
+		fmt.Fprintf(&iv, "interval %d %s\n", rec.ID, text)
+	}
+	if err := writeAtomic(filepath.Join(s.dir, intervalsFile), iv.String()); err != nil {
+		return err
+	}
+	var sol strings.Builder
+	fmt.Fprintf(&sol, "%s solution\n", formatVersion)
+	fmt.Fprintf(&sol, "cost %d\n", snap.BestCost)
+	if snap.BestPath != nil {
+		fmt.Fprintf(&sol, "path")
+		for _, r := range snap.BestPath {
+			fmt.Fprintf(&sol, " %d", r)
+		}
+		fmt.Fprintf(&sol, "\n")
+	}
+	return writeAtomic(filepath.Join(s.dir, solutionFile), sol.String())
+}
+
+func writeAtomic(path, content string) error {
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, []byte(content), 0o644); err != nil {
+		return fmt.Errorf("checkpoint: write %s: %w", tmp, err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("checkpoint: rename %s: %w", tmp, err)
+	}
+	return nil
+}
+
+// Exists reports whether a checkpoint is present.
+func (s *Store) Exists() bool {
+	_, err1 := os.Stat(filepath.Join(s.dir, intervalsFile))
+	_, err2 := os.Stat(filepath.Join(s.dir, solutionFile))
+	return err1 == nil && err2 == nil
+}
+
+// Load reads the latest snapshot.
+func (s *Store) Load() (Snapshot, error) {
+	var snap Snapshot
+	if err := s.loadIntervals(&snap); err != nil {
+		return snap, err
+	}
+	if err := s.loadSolution(&snap); err != nil {
+		return snap, err
+	}
+	return snap, nil
+}
+
+func (s *Store) loadIntervals(snap *Snapshot) error {
+	f, err := os.Open(filepath.Join(s.dir, intervalsFile))
+	if err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	if !sc.Scan() || !strings.HasPrefix(sc.Text(), formatVersion) {
+		return fmt.Errorf("checkpoint: %s: bad or missing header", intervalsFile)
+	}
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "nextid":
+			if len(fields) != 2 {
+				return fmt.Errorf("checkpoint: bad nextid line %q", line)
+			}
+			if _, err := fmt.Sscanf(fields[1], "%d", &snap.NextID); err != nil {
+				return fmt.Errorf("checkpoint: bad nextid %q: %w", fields[1], err)
+			}
+		case "interval":
+			if len(fields) != 4 {
+				return fmt.Errorf("checkpoint: bad interval line %q", line)
+			}
+			var rec IntervalRecord
+			if _, err := fmt.Sscanf(fields[1], "%d", &rec.ID); err != nil {
+				return fmt.Errorf("checkpoint: bad interval id %q: %w", fields[1], err)
+			}
+			if err := rec.Interval.UnmarshalText([]byte(fields[2] + " " + fields[3])); err != nil {
+				return fmt.Errorf("checkpoint: %w", err)
+			}
+			snap.Intervals = append(snap.Intervals, rec)
+		default:
+			return fmt.Errorf("checkpoint: unknown record %q", fields[0])
+		}
+	}
+	return sc.Err()
+}
+
+func (s *Store) loadSolution(snap *Snapshot) error {
+	f, err := os.Open(filepath.Join(s.dir, solutionFile))
+	if err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	if !sc.Scan() || !strings.HasPrefix(sc.Text(), formatVersion) {
+		return fmt.Errorf("checkpoint: %s: bad or missing header", solutionFile)
+	}
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "cost":
+			if len(fields) != 2 {
+				return fmt.Errorf("checkpoint: bad cost line %q", line)
+			}
+			if _, err := fmt.Sscanf(fields[1], "%d", &snap.BestCost); err != nil {
+				return fmt.Errorf("checkpoint: bad cost %q: %w", fields[1], err)
+			}
+		case "path":
+			snap.BestPath = make([]int, 0, len(fields)-1)
+			for _, fstr := range fields[1:] {
+				var r int
+				if _, err := fmt.Sscanf(fstr, "%d", &r); err != nil {
+					return fmt.Errorf("checkpoint: bad path entry %q: %w", fstr, err)
+				}
+				snap.BestPath = append(snap.BestPath, r)
+			}
+		default:
+			return fmt.Errorf("checkpoint: unknown record %q", fields[0])
+		}
+	}
+	return sc.Err()
+}

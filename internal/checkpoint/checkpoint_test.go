@@ -1,0 +1,184 @@
+package checkpoint
+
+import (
+	"math/big"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/interval"
+)
+
+func bigIv(a, b string) interval.Interval {
+	x, _ := new(big.Int).SetString(a, 10)
+	y, _ := new(big.Int).SetString(b, 10)
+	return interval.New(x, y)
+}
+
+// TestSaveLoadRoundTrip: a snapshot with huge intervals and a solution
+// survives the two files exactly.
+func TestSaveLoadRoundTrip(t *testing.T) {
+	store, err := NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := Snapshot{
+		NextID:   42,
+		BestCost: 3679,
+		BestPath: []int{13, 36, 2, 0},
+		Intervals: []IntervalRecord{
+			{ID: 3, Interval: bigIv("0", "30414093201713378043612608166064768844377641568960512000000000000")},
+			{ID: 7, Interval: bigIv("123456789012345678901234567890", "999999999999999999999999999999")},
+		},
+	}
+	if err := store.Save(snap); err != nil {
+		t.Fatal(err)
+	}
+	if !store.Exists() {
+		t.Fatal("snapshot not found after save")
+	}
+	got, err := store.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NextID != snap.NextID || got.BestCost != snap.BestCost {
+		t.Fatalf("scalar fields differ: %+v", got)
+	}
+	if len(got.BestPath) != 4 || got.BestPath[0] != 13 {
+		t.Fatalf("best path = %v", got.BestPath)
+	}
+	if len(got.Intervals) != 2 {
+		t.Fatalf("intervals = %d", len(got.Intervals))
+	}
+	for i := range snap.Intervals {
+		if got.Intervals[i].ID != snap.Intervals[i].ID ||
+			!got.Intervals[i].Interval.Equal(snap.Intervals[i].Interval) {
+			t.Fatalf("interval %d differs: %v vs %v", i, got.Intervals[i], snap.Intervals[i])
+		}
+	}
+}
+
+// TestSaveOverwritesAtomically: a second save fully replaces the first; no
+// temp files linger.
+func TestSaveOverwritesAtomically(t *testing.T) {
+	dir := t.TempDir()
+	store, err := NewStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Save(Snapshot{NextID: 1, BestCost: 100,
+		Intervals: []IntervalRecord{{ID: 1, Interval: interval.FromInt64(0, 10)}}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Save(Snapshot{NextID: 2, BestCost: 50}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := store.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.BestCost != 50 || len(got.Intervals) != 0 {
+		t.Fatalf("second snapshot not authoritative: %+v", got)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".tmp") {
+			t.Fatalf("temp file %s left behind", e.Name())
+		}
+	}
+	if len(entries) != 2 {
+		t.Fatalf("expected the paper's two files, found %d", len(entries))
+	}
+}
+
+// TestEmptySolution: a snapshot without a best path loads with a nil path.
+func TestEmptySolution(t *testing.T) {
+	store, err := NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Save(Snapshot{NextID: 5, BestCost: 1 << 62}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := store.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.BestPath != nil {
+		t.Fatalf("path = %v, want nil", got.BestPath)
+	}
+}
+
+// TestLoadRejectsCorruption: headerless or garbled files fail loudly, never
+// silently restoring a wrong state.
+func TestLoadRejectsCorruption(t *testing.T) {
+	dir := t.TempDir()
+	store, err := NewStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Save(Snapshot{NextID: 1}); err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string]string{
+		"intervals.ckpt": "not a checkpoint\n",
+		"solution.ckpt":  "gridbb-checkpoint-v1 solution\ncost notanumber\n",
+	}
+	for file, content := range cases {
+		if err := os.WriteFile(filepath.Join(dir, file), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := store.Load(); err == nil {
+			t.Fatalf("corrupted %s accepted", file)
+		}
+		// Restore a valid pair for the next case.
+		if err := store.Save(Snapshot{NextID: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestLoadRejectsBadRecords: unknown record types error.
+func TestLoadRejectsBadRecords(t *testing.T) {
+	dir := t.TempDir()
+	store, err := NewStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Save(Snapshot{}); err != nil {
+		t.Fatal(err)
+	}
+	bad := "gridbb-checkpoint-v1 intervals\nmystery 1 2 3\n"
+	if err := os.WriteFile(filepath.Join(dir, "intervals.ckpt"), []byte(bad), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := store.Load(); err == nil {
+		t.Fatal("unknown record accepted")
+	}
+}
+
+// TestExistsRequiresBothFiles: the paper's scheme is two files; one alone
+// is not a checkpoint.
+func TestExistsRequiresBothFiles(t *testing.T) {
+	dir := t.TempDir()
+	store, err := NewStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if store.Exists() {
+		t.Fatal("empty store claims a checkpoint")
+	}
+	if err := store.Save(Snapshot{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(filepath.Join(dir, "solution.ckpt")); err != nil {
+		t.Fatal(err)
+	}
+	if store.Exists() {
+		t.Fatal("half a checkpoint reported as present")
+	}
+}

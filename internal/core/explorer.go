@@ -1,0 +1,274 @@
+package core
+
+import (
+	"math/big"
+
+	"repro/internal/bb"
+	"repro/internal/interval"
+)
+
+// Explorer is the interval-driven depth-first Branch and Bound engine: the
+// B&B process of the paper's farmer–worker architecture (§4). It explores
+// exactly the leaf numbers of an assigned interval [A, B), maintains the
+// local best solution, and can fold its remaining work back into an interval
+// at any moment for communication and checkpointing (§3: "the interval is
+// used for communications and check-pointing, while the list of active nodes
+// is used for exploration").
+//
+// The exploration hot loop performs a constant number of big.Int operations
+// per visited node on reused buffers and allocates nothing; numbers are
+// tracked incrementally along the path (number(child) = number(parent) +
+// rank·weight(child), a direct consequence of eq. 6).
+//
+// An Explorer is not safe for concurrent use; workers own one each and
+// serialize external updates (interval restriction, incumbent sharing)
+// through their message loop.
+type Explorer struct {
+	p  bb.Problem
+	nb *Numbering
+
+	lo, hi *big.Int // assigned interval [lo, hi)
+
+	// Depth-first walk state. cursor[d] is the rank of the next child to
+	// try at depth d; the current path is cursor[d]-1 for d < depth.
+	cursor []int
+	depth  int
+	num    []*big.Int // num[d] = number of the current path node at depth d
+	path   []int      // rank path of the current position (path[d] valid for d <= depth)
+
+	childNum *big.Int // scratch: number of the child being examined
+	childEnd *big.Int // scratch: end of the child's range
+
+	best  bb.Solution
+	stats bb.Stats
+	done  bool
+
+	// OnImprove, when non-nil, is invoked synchronously each time the
+	// local best solution improves — the hook behind the paper's rule (2)
+	// of solution sharing: "immediately informs the coordinator of any
+	// solution which improves its local solution" (§4.4). The callback
+	// receives a private copy of the solution.
+	OnImprove func(bb.Solution)
+}
+
+// NewExplorer builds an explorer for the problem over the given interval,
+// primed with the initial incumbent cost initialUpper (bb.Infinity when no
+// upper bound is known). The interval is clamped to the tree's root range.
+func NewExplorer(p bb.Problem, nb *Numbering, iv interval.Interval, initialUpper int64) *Explorer {
+	e := &Explorer{
+		p:        p,
+		nb:       nb,
+		cursor:   make([]int, nb.Depth()+1),
+		num:      make([]*big.Int, nb.Depth()+1),
+		path:     make([]int, nb.Depth()+1),
+		childNum: new(big.Int),
+		childEnd: new(big.Int),
+		best:     bb.Solution{Cost: initialUpper},
+	}
+	for d := range e.num {
+		e.num[d] = new(big.Int)
+	}
+	clamped := iv.Intersect(nb.RootRange())
+	e.lo, e.hi = clamped.A(), clamped.B()
+	e.done = clamped.IsEmpty()
+	p.Reset()
+	return e
+}
+
+// Numbering returns the numbering the explorer navigates with.
+func (e *Explorer) Numbering() *Numbering { return e.nb }
+
+// Done reports whether the assigned interval is fully explored.
+func (e *Explorer) Done() bool { return e.done }
+
+// Best returns a copy of the local best solution found or adopted so far.
+func (e *Explorer) Best() bb.Solution { return e.best.Clone() }
+
+// Stats returns a snapshot of the exploration counters.
+func (e *Explorer) Stats() bb.Stats { return e.stats }
+
+// AdoptBest lowers the incumbent cost to the given externally discovered
+// value if it improves on the local one. The path is unknown to this
+// process, so only the cost is kept — enough for the bounding operator.
+// This is rule (3) of solution sharing: "regularly reads SOLUTION to update
+// its local optimal solution" (§4.4).
+func (e *Explorer) AdoptBest(cost int64) {
+	if cost < e.best.Cost {
+		e.best = bb.Solution{Cost: cost}
+	}
+}
+
+// Restrict intersects the assigned interval with the coordinator's copy
+// (eq. 14). Shrinking the end is the normal effect of load balancing (the
+// holder "is informed to limit its exploration to [A,C) instead of [A,B)",
+// §4.2); advancing the beginning happens when a duplicated interval was
+// partly explored by another process. Both take effect lazily: the walk
+// skips numbers that fall outside on its way.
+func (e *Explorer) Restrict(iv interval.Interval) {
+	if a := iv.A(); a.Cmp(e.lo) > 0 {
+		e.lo = a
+	}
+	if b := iv.B(); b.Cmp(e.hi) < 0 {
+		e.hi = b
+	}
+	if e.lo.Cmp(e.hi) >= 0 {
+		e.done = true
+	}
+}
+
+// nextNumber returns the number of the next node the walk will visit, or nil
+// if the walk is exhausted. The next node is at the deepest level that still
+// has untried children (remaining children of deeper levels come first in
+// depth-first order and carry the smallest numbers).
+func (e *Explorer) nextNumber() *big.Int {
+	if e.done {
+		return nil
+	}
+	for d := e.depth; d >= 0; d-- {
+		if e.cursor[d] < e.nb.shape.Branching(d) {
+			n := big.NewInt(int64(e.cursor[d]))
+			n.Mul(n, e.nb.weights[d+1])
+			n.Add(n, e.num[d])
+			return n
+		}
+	}
+	return nil
+}
+
+// Remaining folds the not-yet-explored part of the assigned interval
+// (eq. 10 applied to the live frontier). It is what the worker sends to the
+// coordinator on every checkpoint/update (§4.1). The result is empty when
+// exploration is finished.
+func (e *Explorer) Remaining() interval.Interval {
+	n := e.nextNumber()
+	if n == nil {
+		return interval.New(e.hi, e.hi)
+	}
+	if n.Cmp(e.lo) < 0 {
+		n.Set(e.lo)
+	}
+	return interval.New(n, e.hi)
+}
+
+// Step explores up to budget nodes and returns how many were actually
+// visited and whether the interval is now fully explored. A zero or negative
+// budget visits nothing. Step is the single entry point used by both the
+// goroutine runtime and the discrete-event grid simulator, so simulated
+// statistics come from real exploration.
+func (e *Explorer) Step(budget int64) (explored int64, done bool) {
+	if e.done {
+		return 0, true
+	}
+	p := e.p
+	shape := e.nb.shape
+	depthMax := e.nb.Depth()
+	for explored < budget {
+		if e.cursor[e.depth] >= shape.Branching(e.depth) {
+			// Level exhausted: backtrack.
+			e.cursor[e.depth] = 0
+			if e.depth == 0 {
+				e.done = true
+				break
+			}
+			e.depth--
+			p.Ascend()
+			continue
+		}
+		r := e.cursor[e.depth]
+		e.cursor[e.depth]++
+		childDepth := e.depth + 1
+		// number(child) = number(parent) + rank·weight(child) (eq. 6).
+		e.childNum.SetInt64(int64(r))
+		e.childNum.Mul(e.childNum, e.nb.weights[childDepth])
+		e.childNum.Add(e.childNum, e.num[e.depth])
+		if e.childNum.Cmp(e.hi) >= 0 {
+			// Depth-first order visits numbers in ascending order:
+			// once a child starts at or past hi, every remaining
+			// node does too. The whole walk is finished.
+			e.done = true
+			break
+		}
+		e.childEnd.Add(e.childNum, e.nb.weights[childDepth])
+		if e.childEnd.Cmp(e.lo) <= 0 {
+			// Entirely before lo: this subtree belongs to nobody
+			// here (it was either already explored under a
+			// duplicated interval or assigned elsewhere). Skip
+			// without descending and without counting.
+			continue
+		}
+		explored++
+		e.stats.Explored++
+		e.path[e.depth] = r
+		p.Descend(r)
+		if childDepth == depthMax {
+			e.stats.Leaves++
+			if c := p.Cost(); c < e.best.Cost {
+				e.best.Cost = c
+				e.best.Path = append(e.best.Path[:0], e.path[:childDepth]...)
+				e.stats.Improved++
+				if e.OnImprove != nil {
+					e.OnImprove(e.best.Clone())
+				}
+			}
+			p.Ascend()
+			continue
+		}
+		if b := p.Bound(); b >= e.best.Cost {
+			// The elimination operator. Pruning is justified by the
+			// cost of a feasible solution, so it stays valid for any
+			// process that may re-explore this region later; skipped
+			// numbers inside the folded interval are at worst
+			// redundant work after a failure, never lost work.
+			e.stats.Pruned++
+			p.Ascend()
+			continue
+		}
+		e.num[childDepth].Set(e.childNum)
+		e.depth++
+	}
+	if e.done {
+		// Rewind the problem state so the explorer can be reused with
+		// a fresh interval via Reassign.
+		for e.depth > 0 {
+			e.depth--
+			p.Ascend()
+		}
+		for d := range e.cursor {
+			e.cursor[d] = 0
+		}
+	}
+	return explored, e.done
+}
+
+// Reassign gives the explorer a new interval to explore, keeping the
+// incumbent and cumulative statistics. It is how a worker starts its next
+// work unit after finishing one (§4.2: "a B&B process requests an interval
+// ... when it finishes the exploration of its interval").
+func (e *Explorer) Reassign(iv interval.Interval) {
+	clamped := iv.Intersect(e.nb.RootRange())
+	e.lo, e.hi = clamped.A(), clamped.B()
+	e.done = clamped.IsEmpty()
+	e.depth = 0
+	for d := range e.cursor {
+		e.cursor[d] = 0
+	}
+	for d := range e.num {
+		e.num[d].SetInt64(0)
+	}
+	e.p.Reset()
+}
+
+// Run explores the assigned interval to completion in stepBudget-sized
+// slices and returns the best solution and the statistics. It is a
+// convenience for single-worker uses (examples, tests, the sequential
+// comparison in benchmarks).
+func (e *Explorer) Run(stepBudget int64) (bb.Solution, bb.Stats) {
+	if stepBudget <= 0 {
+		stepBudget = 1 << 16
+	}
+	for {
+		if _, done := e.Step(stepBudget); done {
+			return e.Best(), e.Stats()
+		}
+	}
+}

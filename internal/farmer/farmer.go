@@ -1,0 +1,580 @@
+// Package farmer implements the coordinator of the paper's farmer–worker
+// architecture (§4): it owns INTERVALS (the copies of all not-yet-explored
+// intervals) and SOLUTION (the global best), serves the pull-model worker
+// protocol of internal/transport, and realizes the four mechanisms the
+// paper builds on the interval coding — load balancing (selection +
+// partitioning operators, §4.2), fault tolerance (intersection updates and
+// two-file checkpoints, §4.1), implicit termination detection (INTERVALS
+// empty, §4.3) and solution sharing (§4.4).
+package farmer
+
+import (
+	"fmt"
+	"math/big"
+	"sync"
+	"time"
+
+	"repro/internal/bb"
+	"repro/internal/checkpoint"
+	"repro/internal/interval"
+	"repro/internal/transport"
+)
+
+// Counters aggregates the farmer-observable statistics of the paper's
+// Table 2. Times and exploitation rates are owned by the runtime driving
+// the farmer (real clock or discrete-event simulator).
+type Counters struct {
+	// WorkRequests counts all RequestWork calls, whatever the reply.
+	WorkRequests int64
+	// WorkAllocations counts RequestWork calls answered with an interval
+	// ("Work allocations" row, 129,958 in the paper).
+	WorkAllocations int64
+	// WorkerCheckpoints counts UpdateInterval calls: every one is a
+	// worker-side checkpoint ("Checkpoint operations" row, 4,094,176).
+	WorkerCheckpoints int64
+	// FarmerCheckpoints counts coordinator file snapshots (every 30
+	// minutes in the paper).
+	FarmerCheckpoints int64
+	// SolutionReports and SolutionImprovements count ReportSolution
+	// calls and the ones that improved SOLUTION.
+	SolutionReports, SolutionImprovements int64
+	// ExploredNodes, PrunedNodes, EvaluatedLeaves accumulate the deltas
+	// workers attach to updates ("Explored nodes" row, 6.5e12).
+	ExploredNodes, PrunedNodes, EvaluatedLeaves int64
+	// Duplications counts threshold-triggered interval duplications, the
+	// paper's source of redundant exploration.
+	Duplications int64
+	// Expiry counts owners dropped by the lease mechanism (worker
+	// failures, real or presumed).
+	ExpiredOwners int64
+	// HandedOffOrphans counts orphaned intervals given to new workers.
+	HandedOffOrphans int64
+}
+
+// RedundancyStats measures duplicated work in leaf-number units, the
+// currency of the interval coding. The paper reports node-level redundancy
+// (0.39 %); leaf units are the farmer-observable proxy — see DESIGN.md.
+type RedundancyStats struct {
+	// ConsumedUnits is the total leaf-number progress reported by all
+	// workers.
+	ConsumedUnits *big.Int
+	// RedundantUnits is the progress reported over regions some other
+	// worker had already covered (duplicated intervals, restarts).
+	RedundantUnits *big.Int
+}
+
+// Rate returns RedundantUnits/ConsumedUnits, or 0 when nothing was
+// consumed.
+func (r RedundancyStats) Rate() float64 {
+	if r.ConsumedUnits == nil || r.ConsumedUnits.Sign() == 0 {
+		return 0
+	}
+	num := new(big.Float).SetInt(r.RedundantUnits)
+	den := new(big.Float).SetInt(r.ConsumedUnits)
+	v, _ := new(big.Float).Quo(num, den).Float64()
+	return v
+}
+
+// owner is a worker currently exploring (a copy of) a tracked interval.
+type owner struct {
+	power    int64
+	lastSeen int64    // clock nanoseconds
+	lastA    *big.Int // last reported beginning, for redundancy accounting
+}
+
+// tracked is one INTERVALS entry with its exploration metadata.
+type tracked struct {
+	id        int64
+	iv        interval.Interval
+	owners    map[transport.WorkerID]*owner
+	coveredTo *big.Int // high watermark of reported beginnings
+}
+
+func (t *tracked) holderPower() int64 {
+	var p int64
+	for _, o := range t.owners {
+		p += o.power
+	}
+	return p
+}
+
+// Farmer is the coordinator. It is a monitor: every operation takes the
+// single mutex, which is realistic — the paper's farmer is one process and
+// its low exploitation rate (1.7 %) is precisely the scalability claim the
+// interval coding enables.
+type Farmer struct {
+	mu sync.Mutex
+
+	intervals map[int64]*tracked
+	nextID    int64
+
+	bestCost int64
+	bestPath []int
+
+	threshold  *big.Int
+	clock      func() int64
+	leaseTTL   int64
+	store      *checkpoint.Store
+	equalSplit bool
+
+	counters   Counters
+	redundancy RedundancyStats
+
+	// busyNanos accumulates time spent inside farmer operations, the
+	// numerator of the farmer exploitation rate. The runtime measures it
+	// with the same clock it measures wall time with.
+	busyNanos int64
+}
+
+// Option customizes a Farmer.
+type Option func(*Farmer)
+
+// WithThreshold sets the minimum length below which the partitioning
+// operator duplicates instead of splitting (§4.2: "An interval which has a
+// length lower than this threshold is duplicated instead of being
+// divided"). The default is 2.
+func WithThreshold(t *big.Int) Option {
+	return func(f *Farmer) { f.threshold = new(big.Int).Set(t) }
+}
+
+// WithClock injects a nanosecond clock; the discrete-event simulator uses a
+// virtual one. The default is the wall clock.
+func WithClock(clock func() int64) Option {
+	return func(f *Farmer) { f.clock = clock }
+}
+
+// WithLeaseTTL sets how long a worker may stay silent before it is presumed
+// dead and its interval orphaned (§4.1 worker failures). Zero disables
+// expiry. The default is one minute.
+func WithLeaseTTL(d time.Duration) Option {
+	return func(f *Farmer) { f.leaseTTL = int64(d) }
+}
+
+// WithCheckpointStore attaches the two-file persistent store of §4.1.
+func WithCheckpointStore(store *checkpoint.Store) Option {
+	return func(f *Farmer) { f.store = store }
+}
+
+// WithEqualSplit makes the partitioning operator ignore the holder's and
+// requester's powers and always split in the middle. It exists for the
+// ablation study of the paper's proportional rule (§4.2) — on heterogeneous
+// pools equal splits leave fast hosts starving while slow hosts sit on huge
+// intervals.
+func WithEqualSplit(equal bool) Option {
+	return func(f *Farmer) { f.equalSplit = equal }
+}
+
+// WithInitialBest primes SOLUTION with an externally known solution — the
+// paper initializes its Ta056 runs with the best known makespans 3681 and
+// 3680 (§5.3). The path may be nil when only the cost is known.
+func WithInitialBest(cost int64, path []int) Option {
+	return func(f *Farmer) {
+		f.bestCost = cost
+		if path != nil {
+			f.bestPath = append([]int(nil), path...)
+		}
+	}
+}
+
+// New creates a farmer whose INTERVALS is initialized with the root
+// interval of the search tree (§4.3: "INTERVALS is initialized by the range
+// of the root node").
+func New(root interval.Interval, opts ...Option) *Farmer {
+	f := &Farmer{
+		intervals: make(map[int64]*tracked),
+		bestCost:  bb.Infinity,
+		threshold: big.NewInt(2),
+		clock:     func() int64 { return time.Now().UnixNano() },
+		leaseTTL:  int64(time.Minute),
+	}
+	for _, opt := range opts {
+		opt(f)
+	}
+	f.redundancy = RedundancyStats{ConsumedUnits: new(big.Int), RedundantUnits: new(big.Int)}
+	if !root.IsEmpty() {
+		f.addTracked(root)
+	}
+	return f
+}
+
+// Restore creates a farmer from the latest checkpoint in store, falling
+// back to a fresh one over root if no checkpoint exists (first start).
+func Restore(root interval.Interval, store *checkpoint.Store, opts ...Option) (*Farmer, error) {
+	opts = append(opts, WithCheckpointStore(store))
+	if !store.Exists() {
+		return New(root, opts...), nil
+	}
+	snap, err := store.Load()
+	if err != nil {
+		return nil, err
+	}
+	f := New(interval.Interval{}, opts...)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.nextID = snap.NextID
+	for _, rec := range snap.Intervals {
+		if rec.Interval.IsEmpty() {
+			continue
+		}
+		t := &tracked{
+			id:        rec.ID,
+			iv:        rec.Interval.Clone(),
+			owners:    make(map[transport.WorkerID]*owner),
+			coveredTo: rec.Interval.A(),
+		}
+		f.intervals[rec.ID] = t
+	}
+	f.bestCost = snap.BestCost
+	f.bestPath = snap.BestPath
+	return f, nil
+}
+
+// addTracked registers a new orphan interval and returns it. Caller holds
+// no lock (construction) or the lock (runtime paths handle locking).
+func (f *Farmer) addTracked(iv interval.Interval) *tracked {
+	t := &tracked{
+		id:        f.nextID,
+		iv:        iv.Clone(),
+		owners:    make(map[transport.WorkerID]*owner),
+		coveredTo: iv.A(),
+	}
+	f.nextID++
+	f.intervals[t.id] = t
+	return t
+}
+
+// expireLocked drops owners that have been silent longer than the lease.
+// Their intervals remain in INTERVALS as orphans: "the last copy of its
+// interval is either entirely given to another B&B process, or shared
+// between several B&B processes" (§4.1) — both happen through the normal
+// allocation path afterwards.
+func (f *Farmer) expireLocked(now int64) {
+	if f.leaseTTL <= 0 {
+		return
+	}
+	for _, t := range f.intervals {
+		for id, o := range t.owners {
+			if now-o.lastSeen > f.leaseTTL {
+				delete(t.owners, id)
+				f.counters.ExpiredOwners++
+			}
+		}
+	}
+}
+
+// cleanLocked removes empty intervals (§4.3: "Any empty interval of
+// INTERVALS is automatically removed").
+func (f *Farmer) cleanLocked() {
+	for id, t := range f.intervals {
+		if t.iv.IsEmpty() {
+			delete(f.intervals, id)
+		}
+	}
+}
+
+// RequestWork implements transport.Coordinator: the selection and
+// partitioning operators of §4.2.
+func (f *Farmer) RequestWork(req transport.WorkRequest) (transport.WorkReply, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	now := f.clock()
+	defer f.accountBusy(now)
+	f.counters.WorkRequests++
+	f.expireLocked(now)
+	f.cleanLocked()
+	if len(f.intervals) == 0 {
+		return transport.WorkReply{Status: transport.WorkFinished, BestCost: f.bestCost}, nil
+	}
+	if req.Power < 0 {
+		return transport.WorkReply{}, fmt.Errorf("farmer: negative power %d from %q", req.Power, req.Worker)
+	}
+
+	// Selection operator: pick the interval producing the greatest
+	// donated part [C,B) given the requester's power (§4.2: "The
+	// selection operator does not choose the greatest interval [A,B[ of
+	// INTERVALS, but the one which produces the greatest possible
+	// interval [C,B[").
+	var chosen *tracked
+	bestDonated := new(big.Int)
+	scratch := new(big.Int)
+	for _, t := range f.intervals {
+		donated := donatedLength(scratch, t.iv, t.holderPower(), req.Power)
+		if chosen == nil || donated.Cmp(bestDonated) > 0 ||
+			(donated.Cmp(bestDonated) == 0 && t.id < chosen.id) {
+			chosen = t
+			bestDonated.Set(donated)
+		}
+	}
+
+	reply := transport.WorkReply{Status: transport.WorkAssigned, BestCost: f.bestCost}
+	holderPower := chosen.holderPower()
+	if chosen.iv.Len().Cmp(f.threshold) < 0 && holderPower > 0 {
+		// Partitioning operator, duplication rule: the interval is
+		// below the threshold and actively explored — share it rather
+		// than splitting crumbs. "The coordinator keeps only one copy
+		// of a duplicated interval, even if it is assigned to several
+		// processes" (§4.2).
+		chosen.owners[req.Worker] = &owner{power: req.Power, lastSeen: now, lastA: chosen.iv.A()}
+		f.counters.Duplications++
+		f.counters.WorkAllocations++
+		reply.IntervalID = chosen.id
+		reply.Interval = chosen.iv.Clone()
+		reply.Duplicated = true
+		return reply, nil
+	}
+
+	splitHolderPower, splitReqPower := holderPower, req.Power
+	if f.equalSplit && holderPower > 0 && req.Power > 0 {
+		splitHolderPower, splitReqPower = 1, 1
+	}
+	holder, donated := chosen.iv.SplitProportional(splitHolderPower, splitReqPower)
+	if holderPower == 0 {
+		f.counters.HandedOffOrphans++
+	}
+	if holder.IsEmpty() {
+		// Whole interval handed over (orphans: the virtual null-power
+		// process rule). Retire the old copy; the new owner gets a
+		// fresh id so any late update from a presumed-dead previous
+		// owner is recognizably stale.
+		delete(f.intervals, chosen.id)
+	} else {
+		chosen.iv = holder
+		// The holder keeps exploring [A,C) and learns of the shrink
+		// at its next update (§4.2: "After a certain time, the holder
+		// process is also informed to limit its exploration").
+	}
+	nt := f.addTracked(donated)
+	nt.owners[req.Worker] = &owner{power: req.Power, lastSeen: now, lastA: donated.A()}
+	f.counters.WorkAllocations++
+	reply.IntervalID = nt.id
+	reply.Interval = donated.Clone()
+	return reply, nil
+}
+
+// donatedLength computes len([C,B)) for a hypothetical split of iv between
+// a holder of power hp and a requester of power rp, into dst.
+func donatedLength(dst *big.Int, iv interval.Interval, hp, rp int64) *big.Int {
+	l := iv.Len()
+	if hp <= 0 {
+		return dst.Set(l)
+	}
+	if rp <= 0 {
+		return dst.SetInt64(0)
+	}
+	dst.Mul(l, big.NewInt(rp))
+	dst.Quo(dst, big.NewInt(hp+rp))
+	return dst
+}
+
+// UpdateInterval implements transport.Coordinator: the intersection
+// operator (eq. 14) plus progress and redundancy accounting.
+func (f *Farmer) UpdateInterval(req transport.UpdateRequest) (transport.UpdateReply, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	now := f.clock()
+	defer f.accountBusy(now)
+	f.counters.WorkerCheckpoints++
+	f.counters.ExploredNodes += req.ExploredDelta
+	f.counters.PrunedNodes += req.PrunedDelta
+	f.counters.EvaluatedLeaves += req.LeavesDelta
+
+	t, ok := f.intervals[req.IntervalID]
+	if !ok {
+		// Completed or reassigned after presumed death: the worker
+		// should drop its copy and request fresh work.
+		f.cleanLocked()
+		return transport.UpdateReply{
+			Known:    false,
+			Finished: len(f.intervals) == 0,
+			BestCost: f.bestCost,
+		}, nil
+	}
+	o, isOwner := t.owners[req.Worker]
+	if !isOwner {
+		// A lease-expired owner resurfaced while its interval still
+		// exists (it was shared, not handed off). Re-admit it: it is
+		// evidently alive, and the paper explicitly allows an
+		// interval to be "shared between several B&B processes".
+		o = &owner{power: req.Power, lastSeen: now, lastA: t.iv.A()}
+		t.owners[req.Worker] = o
+	}
+	o.lastSeen = now
+	if req.Power > 0 {
+		o.power = req.Power
+	}
+
+	// Redundancy accounting in leaf units: progress over a region some
+	// other owner had already reported is redundant.
+	reportedA := req.Remaining.A()
+	if reportedA.Cmp(o.lastA) > 0 {
+		consumed := new(big.Int).Sub(reportedA, o.lastA)
+		f.redundancy.ConsumedUnits.Add(f.redundancy.ConsumedUnits, consumed)
+		if o.lastA.Cmp(t.coveredTo) < 0 {
+			overlapEnd := reportedA
+			if t.coveredTo.Cmp(overlapEnd) < 0 {
+				overlapEnd = t.coveredTo
+			}
+			redundant := new(big.Int).Sub(overlapEnd, o.lastA)
+			f.redundancy.RedundantUnits.Add(f.redundancy.RedundantUnits, redundant)
+		}
+		if reportedA.Cmp(t.coveredTo) > 0 {
+			t.coveredTo = new(big.Int).Set(reportedA)
+		}
+		o.lastA = new(big.Int).Set(reportedA)
+	}
+
+	// Intersection operator (eq. 14): reconcile the worker's view with
+	// the coordinator's copy.
+	t.iv = t.iv.Intersect(req.Remaining)
+	reply := transport.UpdateReply{Known: true, BestCost: f.bestCost, Interval: t.iv.Clone()}
+	if t.iv.IsEmpty() {
+		delete(f.intervals, t.id)
+	}
+	f.cleanLocked()
+	reply.Finished = len(f.intervals) == 0
+	return reply, nil
+}
+
+// ReportSolution implements transport.Coordinator (§4.4 rule 2).
+func (f *Farmer) ReportSolution(req transport.SolutionReport) (transport.SolutionAck, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	now := f.clock()
+	defer f.accountBusy(now)
+	f.counters.SolutionReports++
+	ack := transport.SolutionAck{}
+	if req.Cost < f.bestCost {
+		f.bestCost = req.Cost
+		f.bestPath = append([]int(nil), req.Path...)
+		f.counters.SolutionImprovements++
+		ack.Accepted = true
+	}
+	ack.BestCost = f.bestCost
+	return ack, nil
+}
+
+// accountBusy charges the elapsed time since start to the farmer's busy
+// counter. Under a virtual clock the charge is zero here and the simulator
+// accounts message costs itself.
+func (f *Farmer) accountBusy(start int64) {
+	f.busyNanos += f.clock() - start
+}
+
+// BusyNanos returns the cumulative time spent serving requests.
+func (f *Farmer) BusyNanos() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.busyNanos
+}
+
+// AddBusyNanos lets a simulator charge virtual per-message costs.
+func (f *Farmer) AddBusyNanos(n int64) {
+	f.mu.Lock()
+	f.busyNanos += n
+	f.mu.Unlock()
+}
+
+// Done reports whether INTERVALS is empty — the paper's implicit
+// termination criterion (§4.3).
+func (f *Farmer) Done() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.cleanLocked()
+	return len(f.intervals) == 0
+}
+
+// Best returns the current SOLUTION.
+func (f *Farmer) Best() bb.Solution {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return bb.Solution{Cost: f.bestCost, Path: append([]int(nil), f.bestPath...)}
+}
+
+// Counters returns a snapshot of the protocol counters.
+func (f *Farmer) Counters() Counters {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.counters
+}
+
+// Redundancy returns a snapshot of the redundancy accounting.
+func (f *Farmer) Redundancy() RedundancyStats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return RedundancyStats{
+		ConsumedUnits:  new(big.Int).Set(f.redundancy.ConsumedUnits),
+		RedundantUnits: new(big.Int).Set(f.redundancy.RedundantUnits),
+	}
+}
+
+// IntervalsSnapshot returns the current INTERVALS content, ordered by id —
+// the Figure 5 view of the system.
+func (f *Farmer) IntervalsSnapshot() []checkpoint.IntervalRecord {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]checkpoint.IntervalRecord, 0, len(f.intervals))
+	for _, t := range f.intervals {
+		out = append(out, checkpoint.IntervalRecord{ID: t.id, Interval: t.iv.Clone()})
+	}
+	sortRecords(out)
+	return out
+}
+
+func sortRecords(recs []checkpoint.IntervalRecord) {
+	for i := 1; i < len(recs); i++ {
+		for j := i; j > 0 && recs[j].ID < recs[j-1].ID; j-- {
+			recs[j], recs[j-1] = recs[j-1], recs[j]
+		}
+	}
+}
+
+// Size returns the cardinality of INTERVALS and the total remaining length
+// (§4.3: cardinality ≈ number of B&B processes; size = not-yet-explored
+// solutions, monotonically decreasing).
+func (f *Farmer) Size() (cardinality int, totalLen *big.Int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	total := new(big.Int)
+	for _, t := range f.intervals {
+		total.Add(total, t.iv.Len())
+	}
+	return len(f.intervals), total
+}
+
+// Checkpoint persists INTERVALS and SOLUTION through the attached store
+// (§4.1). It errors if no store is attached.
+func (f *Farmer) Checkpoint() error {
+	f.mu.Lock()
+	if f.store == nil {
+		f.mu.Unlock()
+		return fmt.Errorf("farmer: no checkpoint store attached")
+	}
+	snap := checkpoint.Snapshot{NextID: f.nextID, BestCost: f.bestCost}
+	if f.bestPath != nil {
+		snap.BestPath = append([]int(nil), f.bestPath...)
+	}
+	for _, t := range f.intervals {
+		if t.iv.IsEmpty() {
+			continue
+		}
+		snap.Intervals = append(snap.Intervals, checkpoint.IntervalRecord{ID: t.id, Interval: t.iv.Clone()})
+	}
+	sortRecords(snap.Intervals)
+	store := f.store
+	f.counters.FarmerCheckpoints++
+	f.mu.Unlock()
+	// The file write happens outside the lock: a slow disk must not
+	// block the workers — the farmer's low exploitation rate is the
+	// scalability claim.
+	return store.Save(snap)
+}
+
+// ExpireNow forces a lease sweep with the current clock; tests and the
+// simulator use it to make failure handling deterministic.
+func (f *Farmer) ExpireNow() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.expireLocked(f.clock())
+}
+
+var _ transport.Coordinator = (*Farmer)(nil)

@@ -1,0 +1,308 @@
+package flowshop
+
+import "sort"
+
+// BoundKind selects the lower-bound family used by the B&B bounding
+// operator. The paper does not spell out its bound; the DOLPHIN team's
+// flowshop B&B traditionally combines the one-machine bound with the
+// two-machine (Johnson) bound of Lageweg et al., both implemented here.
+type BoundKind int
+
+const (
+	// BoundOneMachine is the classical single-machine relaxation: for
+	// every machine m, every remaining job must run on m after the
+	// prefix's completion time, and the last one still needs its minimal
+	// tail to exit the shop. Cheap (O(N·M) per node) and reasonably
+	// tight.
+	BoundOneMachine BoundKind = iota
+	// BoundTwoMachine is the two-machine relaxation with time lags:
+	// for machine pairs (u,v) the remaining jobs form an F2|l_j|Cmax
+	// instance solved exactly by Johnson's rule (with Mitten's lag
+	// extension); orders are precomputed per pair so evaluation is
+	// O(pairs·N) per node. Dominates the one-machine bound on the pairs
+	// it inspects, at a higher per-node cost.
+	BoundTwoMachine
+	// BoundCombined takes the max of both families.
+	BoundCombined
+)
+
+// PairStrategy selects which machine pairs the two-machine bound inspects.
+type PairStrategy int
+
+const (
+	// PairsAll inspects all M(M-1)/2 ordered pairs: the tightest and the
+	// most expensive.
+	PairsAll PairStrategy = iota
+	// PairsAdjacent inspects only (m, m+1): M-1 pairs.
+	PairsAdjacent
+	// PairsFirstLast inspects (0, m) and (m, M-1): about 2M pairs,
+	// a common compromise.
+	PairsFirstLast
+)
+
+// Bounder computes lower bounds for partial flowshop schedules. It owns all
+// precomputed tables and scratch space; it is not safe for concurrent use
+// (each worker builds its own, mirroring one B&B process per processor in
+// the paper).
+type Bounder struct {
+	ins  *Instance
+	kind BoundKind
+
+	// tails[j][m] = sum of p[j][k] for k > m: time job j still needs
+	// after finishing machine m.
+	tails [][]int64
+	// cum[j][m] = sum of p[j][k] for k < m: time job j needs before
+	// reaching machine m.
+	cum [][]int64
+
+	pairs []johnsonPair
+
+	// Scratch, reused across Bound calls.
+	minTail []int64
+	minCum  []int64
+}
+
+// johnsonPair holds the precomputed Johnson order for the two-machine
+// relaxation on machines (u, v), u < v, with lags l_j = sum of p[j][k] for
+// u < k < v.
+type johnsonPair struct {
+	u, v  int
+	order []int // all jobs, Johnson-sorted; evaluation skips scheduled ones
+}
+
+// NewBounder builds a bounder of the given kind. The pair strategy is only
+// consulted for the two-machine kinds.
+func NewBounder(ins *Instance, kind BoundKind, ps PairStrategy) *Bounder {
+	b := &Bounder{
+		ins:     ins,
+		kind:    kind,
+		tails:   make([][]int64, ins.Jobs),
+		cum:     make([][]int64, ins.Jobs),
+		minTail: make([]int64, ins.Machines),
+		minCum:  make([]int64, ins.Machines),
+	}
+	for j := 0; j < ins.Jobs; j++ {
+		b.tails[j] = make([]int64, ins.Machines)
+		b.cum[j] = make([]int64, ins.Machines)
+		var t int64
+		for m := ins.Machines - 2; m >= 0; m-- {
+			t += ins.Proc[j][m+1]
+			b.tails[j][m] = t
+		}
+		var c int64
+		for m := 1; m < ins.Machines; m++ {
+			c += ins.Proc[j][m-1]
+			b.cum[j][m] = c
+		}
+	}
+	if kind == BoundTwoMachine || kind == BoundCombined {
+		b.buildPairs(ps)
+	}
+	return b
+}
+
+func (b *Bounder) buildPairs(ps PairStrategy) {
+	M := b.ins.Machines
+	add := func(u, v int) {
+		if u < 0 || v >= M || u >= v {
+			return
+		}
+		b.pairs = append(b.pairs, b.makePair(u, v))
+	}
+	switch ps {
+	case PairsAll:
+		for u := 0; u < M; u++ {
+			for v := u + 1; v < M; v++ {
+				add(u, v)
+			}
+		}
+	case PairsAdjacent:
+		for u := 0; u+1 < M; u++ {
+			add(u, u+1)
+		}
+	case PairsFirstLast:
+		for v := 1; v < M; v++ {
+			add(0, v)
+		}
+		for u := 1; u < M-1; u++ {
+			add(u, M-1)
+		}
+	}
+}
+
+// lag returns the Mitten time lag of job j between machines u and v.
+func (b *Bounder) lag(j, u, v int) int64 {
+	return b.cum[j][v] - b.cum[j][u+1]
+}
+
+func (b *Bounder) makePair(u, v int) johnsonPair {
+	ins := b.ins
+	order := make([]int, ins.Jobs)
+	for j := range order {
+		order[j] = j
+	}
+	// Johnson's rule on the modified times a = p_u + lag, b = lag + p_v
+	// (Mitten): group A = {a <= b} by ascending a, then group B by
+	// descending b. Ties broken by job index for determinism.
+	type key struct {
+		groupB bool
+		k      int64
+		j      int
+	}
+	keys := make([]key, ins.Jobs)
+	for j := 0; j < ins.Jobs; j++ {
+		l := b.lag(j, u, v)
+		a := ins.Proc[j][u] + l
+		bb := l + ins.Proc[j][v]
+		if a <= bb {
+			keys[j] = key{groupB: false, k: a, j: j}
+		} else {
+			keys[j] = key{groupB: true, k: -bb, j: j}
+		}
+	}
+	sort.Slice(order, func(x, y int) bool {
+		kx, ky := keys[order[x]], keys[order[y]]
+		if kx.groupB != ky.groupB {
+			return !kx.groupB
+		}
+		if kx.k != ky.k {
+			return kx.k < ky.k
+		}
+		return kx.j < ky.j
+	})
+	return johnsonPair{u: u, v: v, order: order}
+}
+
+// Bound returns a lower bound on the makespan of every completion of the
+// partial schedule described by:
+//
+//   - heads: completion time of the prefix on each machine;
+//   - remaining: the unscheduled jobs (any order);
+//   - inRemaining: membership mask over job ids (len = Jobs);
+//   - sumRem: per-machine total processing time of the remaining jobs.
+//
+// The caller maintains those incrementally (see problem.go). When no job
+// remains the bound is exactly the prefix makespan.
+func (b *Bounder) Bound(heads []int64, remaining []int, inRemaining []bool, sumRem []int64) int64 {
+	M := b.ins.Machines
+	if len(remaining) == 0 {
+		return heads[M-1]
+	}
+	// One pass over remaining jobs fills the per-machine minima used by
+	// both bound families.
+	for m := 0; m < M; m++ {
+		b.minTail[m] = int64(1) << 62
+		b.minCum[m] = int64(1) << 62
+	}
+	for _, j := range remaining {
+		tj, cj := b.tails[j], b.cum[j]
+		for m := 0; m < M; m++ {
+			if tj[m] < b.minTail[m] {
+				b.minTail[m] = tj[m]
+			}
+			if cj[m] < b.minCum[m] {
+				b.minCum[m] = cj[m]
+			}
+		}
+	}
+	var lb int64
+	if b.kind == BoundOneMachine || b.kind == BoundCombined {
+		lb = b.oneMachine(heads, sumRem)
+	}
+	if b.kind == BoundTwoMachine || b.kind == BoundCombined {
+		if v := b.twoMachine(heads, inRemaining); v > lb {
+			lb = v
+		}
+	}
+	return lb
+}
+
+// oneMachine: LB = max over machines m of
+//
+//	release(m) + sumRem[m] + minTail[m]
+//
+// where release(m) = max(heads[m], heads[0] + minCum[m]): machine m is busy
+// until heads[m], and no remaining job can even reach machine m before
+// passing machines 0..m-1, which cannot start before heads[0].
+func (b *Bounder) oneMachine(heads []int64, sumRem []int64) int64 {
+	var lb int64
+	for m := 0; m < b.ins.Machines; m++ {
+		rel := heads[m]
+		if r := heads[0] + b.minCum[m]; r > rel {
+			rel = r
+		}
+		v := rel + sumRem[m] + b.minTail[m]
+		if v > lb {
+			lb = v
+		}
+	}
+	return lb
+}
+
+// twoMachine: LB = max over precomputed pairs (u,v) of
+//
+//	Johnson makespan of the remaining jobs on (u,v) with lags,
+//	started at the machines' release times, plus the minimal tail
+//	after v.
+func (b *Bounder) twoMachine(heads []int64, inRemaining []bool) int64 {
+	var lb int64
+	for i := range b.pairs {
+		p := &b.pairs[i]
+		relU := heads[p.u]
+		if r := heads[0] + b.minCum[p.u]; r > relU {
+			relU = r
+		}
+		relV := heads[p.v]
+		c1, c2 := relU, relV
+		for _, j := range p.order {
+			if !inRemaining[j] {
+				continue
+			}
+			c1 += b.ins.Proc[j][p.u]
+			t := c1 + b.lag(j, p.u, p.v)
+			if c2 < t {
+				c2 = t
+			}
+			c2 += b.ins.Proc[j][p.v]
+		}
+		v := c2 + b.minTail[p.v]
+		if v > lb {
+			lb = v
+		}
+	}
+	return lb
+}
+
+// Johnson returns an optimal permutation and its makespan for a two-machine
+// instance (Johnson 1954). It errors via panic if the instance has a
+// different machine count, which is a programming error. It doubles as an
+// independent oracle for two-machine B&B tests.
+func Johnson(ins *Instance) ([]int, int64) {
+	if ins.Machines != 2 {
+		panic("flowshop: Johnson requires exactly 2 machines")
+	}
+	perm := make([]int, ins.Jobs)
+	for j := range perm {
+		perm[j] = j
+	}
+	sort.Slice(perm, func(x, y int) bool {
+		jx, jy := perm[x], perm[y]
+		ax, bx := ins.Proc[jx][0], ins.Proc[jx][1]
+		ay, by := ins.Proc[jy][0], ins.Proc[jy][1]
+		gx, gy := ax > bx, ay > by // false = group A (a<=b)
+		if gx != gy {
+			return !gx
+		}
+		if !gx {
+			if ax != ay {
+				return ax < ay
+			}
+			return jx < jy
+		}
+		if bx != by {
+			return bx > by
+		}
+		return jx < jy
+	})
+	return perm, ins.Makespan(perm)
+}

@@ -1,0 +1,241 @@
+package flowshop
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// NEH runs the Nawaz–Enscore–Ham constructive heuristic: jobs sorted by
+// decreasing total processing time are inserted one by one at the best
+// position of the partial sequence. It returns the schedule and its
+// makespan. NEH is the standard initial upper bound for flowshop B&B and
+// the seed of the iterated-greedy metaheuristic below.
+//
+// Insertion positions are evaluated with Taillard's acceleration: for a
+// partial sequence of length k all k+1 insertions of one job cost O(k·M)
+// total instead of O(k²·M).
+func NEH(ins *Instance) ([]int, int64) {
+	order := make([]int, ins.Jobs)
+	for j := range order {
+		order[j] = j
+	}
+	totals := make([]int64, ins.Jobs)
+	for j := 0; j < ins.Jobs; j++ {
+		var s int64
+		for m := 0; m < ins.Machines; m++ {
+			s += ins.Proc[j][m]
+		}
+		totals[j] = s
+	}
+	sort.Slice(order, func(x, y int) bool {
+		if totals[order[x]] != totals[order[y]] {
+			return totals[order[x]] > totals[order[y]]
+		}
+		return order[x] < order[y]
+	})
+	seq := make([]int, 0, ins.Jobs)
+	for _, j := range order {
+		seq = insertBest(ins, seq, j)
+	}
+	return seq, ins.Makespan(seq)
+}
+
+// insertBest returns seq with job inserted at a makespan-minimizing
+// position (ties to the earliest position, Taillard's convention).
+func insertBest(ins *Instance, seq []int, job int) []int {
+	k := len(seq)
+	M := ins.Machines
+	if k == 0 {
+		return append(seq, job)
+	}
+	// Taillard acceleration. e[i][m]: completion of seq[:i] (earliest
+	// heads); q[i][m]: tail — time from start of seq[i:] on machine m to
+	// the end of the schedule; f[i][m]: completion of job inserted at
+	// position i on machine m.
+	e := make([][]int64, k+1)
+	q := make([][]int64, k+1)
+	f := make([][]int64, k+1)
+	for i := range e {
+		e[i] = make([]int64, M)
+		q[i] = make([]int64, M)
+		f[i] = make([]int64, M)
+	}
+	for i := 1; i <= k; i++ {
+		row := ins.Proc[seq[i-1]]
+		c := e[i-1][0] + row[0]
+		e[i][0] = c
+		for m := 1; m < M; m++ {
+			if c < e[i-1][m] {
+				c = e[i-1][m]
+			}
+			c += row[m]
+			e[i][m] = c
+		}
+	}
+	for i := k - 1; i >= 0; i-- {
+		row := ins.Proc[seq[i]]
+		c := q[i+1][M-1] + row[M-1]
+		q[i][M-1] = c
+		for m := M - 2; m >= 0; m-- {
+			if c < q[i+1][m] {
+				c = q[i+1][m]
+			}
+			c += row[m]
+			q[i][m] = c
+		}
+	}
+	row := ins.Proc[job]
+	bestPos, bestC := 0, int64(1)<<62
+	for i := 0; i <= k; i++ {
+		c := e[i][0] + row[0]
+		f[i][0] = c
+		for m := 1; m < M; m++ {
+			if c < e[i][m] {
+				c = e[i][m]
+			}
+			c += row[m]
+			f[i][m] = c
+		}
+		var cmax int64
+		for m := 0; m < M; m++ {
+			v := f[i][m] + q[i][m]
+			if v > cmax {
+				cmax = v
+			}
+		}
+		if cmax < bestC {
+			bestC, bestPos = cmax, i
+		}
+	}
+	seq = append(seq, 0)
+	copy(seq[bestPos+1:], seq[bestPos:])
+	seq[bestPos] = job
+	return seq
+}
+
+// IGOptions parameterizes the iterated-greedy metaheuristic.
+type IGOptions struct {
+	// Iterations is the number of destruction–construction cycles.
+	Iterations int
+	// DestructSize is the number of jobs removed per cycle (Ruiz and
+	// Stützle recommend 4).
+	DestructSize int
+	// TemperatureFactor scales the constant acceptance temperature
+	// T = factor · ΣΣ p / (N·M·10); 0.4 in the original paper.
+	TemperatureFactor float64
+	// LocalSearch enables the iterative-improvement insertion phase
+	// after each construction — the full IG_RS variant of Ruiz and
+	// Stützle, markedly stronger and proportionally slower.
+	LocalSearch bool
+	// Seed makes the run deterministic.
+	Seed int64
+}
+
+// DefaultIGOptions returns the parameterization of Ruiz and Stützle (2004),
+// the metaheuristic that held the previous best known solution of Ta056
+// (cost 3681, paper §5.1).
+func DefaultIGOptions() IGOptions {
+	return IGOptions{Iterations: 2000, DestructSize: 4, TemperatureFactor: 0.4, LocalSearch: true, Seed: 1}
+}
+
+// localSearchInsertion runs the iterative-improvement insertion
+// neighborhood of IG_RS: repeatedly remove a random-order job and reinsert
+// it at its best position, until a full pass yields no improvement. seq is
+// improved in place and its final makespan returned.
+func localSearchInsertion(ins *Instance, seq []int, rng *rand.Rand) int64 {
+	cur := ins.Makespan(seq)
+	improved := true
+	order := make([]int, len(seq))
+	tmp := make([]int, 0, len(seq))
+	for improved {
+		improved = false
+		for i := range order {
+			order[i] = i
+		}
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		for _, pick := range order {
+			// Find the picked job's current position (it moves as
+			// the pass progresses).
+			job := seq[pick%len(seq)]
+			pos := -1
+			for i, j := range seq {
+				if j == job {
+					pos = i
+					break
+				}
+			}
+			tmp = append(tmp[:0], seq[:pos]...)
+			tmp = append(tmp, seq[pos+1:]...)
+			cand := insertBest(ins, tmp, job)
+			if c := ins.Makespan(cand); c < cur {
+				copy(seq, cand)
+				cur = c
+				improved = true
+			}
+		}
+	}
+	return cur
+}
+
+// IteratedGreedy runs the IG_RS metaheuristic of Ruiz and Stützle: NEH
+// seed, then repeated destruction (random job removal) and construction
+// (greedy best-position reinsertion) with a simulated-annealing-like
+// constant-temperature acceptance criterion. It returns the best schedule
+// found and its makespan. It is this repository's upper-bound provider,
+// standing in for the paper's initialization of the grid runs with the best
+// known solutions (3681, then 3680).
+func IteratedGreedy(ins *Instance, opt IGOptions) ([]int, int64) {
+	if opt.Iterations <= 0 {
+		opt = DefaultIGOptions()
+	}
+	if opt.DestructSize <= 0 {
+		opt.DestructSize = 4
+	}
+	if opt.DestructSize > ins.Jobs {
+		opt.DestructSize = ins.Jobs
+	}
+	rng := rand.New(rand.NewSource(opt.Seed))
+	cur, curC := NEH(ins)
+	if opt.LocalSearch {
+		curC = localSearchInsertion(ins, cur, rng)
+	}
+	best := append([]int(nil), cur...)
+	bestC := curC
+	temp := opt.TemperatureFactor * float64(ins.TotalWork()) / float64(ins.Jobs*ins.Machines*10)
+	work := make([]int, ins.Jobs)
+	removed := make([]int, 0, opt.DestructSize)
+	for it := 0; it < opt.Iterations; it++ {
+		// Destruction: remove DestructSize distinct random positions.
+		work = work[:0]
+		work = append(work, cur...)
+		removed = removed[:0]
+		for d := 0; d < opt.DestructSize; d++ {
+			pos := rng.Intn(len(work))
+			removed = append(removed, work[pos])
+			work = append(work[:pos], work[pos+1:]...)
+		}
+		// Construction: greedy reinsertion in removal order.
+		for _, j := range removed {
+			work = insertBest(ins, work, j)
+		}
+		cand := work
+		candC := ins.Makespan(cand)
+		if opt.LocalSearch {
+			candC = localSearchInsertion(ins, cand, rng)
+		}
+		accept := candC <= curC
+		if !accept && temp > 0 {
+			accept = rng.Float64() < math.Exp(-float64(candC-curC)/temp)
+		}
+		if accept {
+			cur = append(cur[:0], cand...)
+			curC = candC
+			if curC < bestC {
+				bestC = curC
+				best = append(best[:0], cur...)
+			}
+		}
+	}
+	return best, bestC
+}

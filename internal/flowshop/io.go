@@ -1,0 +1,103 @@
+package flowshop
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Parse reads an instance in the conventional benchmark text layout
+// produced by Format: a header line "jobs machines" followed by the
+// machine-major processing-time matrix (machine per line, one column per
+// job). Blank lines and lines starting with '#' are ignored, so files can
+// carry provenance comments.
+func Parse(r io.Reader, name string) (*Instance, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<24)
+	var fields []string
+	next := func() ([]string, error) {
+		for sc.Scan() {
+			line := strings.TrimSpace(sc.Text())
+			if line == "" || strings.HasPrefix(line, "#") {
+				continue
+			}
+			return strings.Fields(line), nil
+		}
+		if err := sc.Err(); err != nil {
+			return nil, err
+		}
+		return nil, io.EOF
+	}
+	fields, err := next()
+	if err != nil {
+		return nil, fmt.Errorf("flowshop: parse %s: missing header: %w", name, err)
+	}
+	if len(fields) < 2 {
+		return nil, fmt.Errorf("flowshop: parse %s: header %q needs jobs and machines", name, fields)
+	}
+	jobs, err := strconv.Atoi(fields[0])
+	if err != nil {
+		return nil, fmt.Errorf("flowshop: parse %s: bad job count %q", name, fields[0])
+	}
+	machines, err := strconv.Atoi(fields[1])
+	if err != nil {
+		return nil, fmt.Errorf("flowshop: parse %s: bad machine count %q", name, fields[1])
+	}
+	if jobs <= 0 || machines <= 0 {
+		return nil, fmt.Errorf("flowshop: parse %s: non-positive dimensions %dx%d", name, jobs, machines)
+	}
+	proc := make([][]int64, jobs)
+	for j := range proc {
+		proc[j] = make([]int64, machines)
+	}
+	for m := 0; m < machines; m++ {
+		fields, err = next()
+		if err != nil {
+			return nil, fmt.Errorf("flowshop: parse %s: machine %d row missing: %w", name, m, err)
+		}
+		if len(fields) != jobs {
+			return nil, fmt.Errorf("flowshop: parse %s: machine %d row has %d entries, want %d", name, m, len(fields), jobs)
+		}
+		for j, f := range fields {
+			v, err := strconv.ParseInt(f, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("flowshop: parse %s: bad time %q at machine %d job %d", name, f, m, j)
+			}
+			proc[j][m] = v
+		}
+	}
+	if extra, err := next(); err == nil {
+		return nil, fmt.Errorf("flowshop: parse %s: trailing data %q after the matrix", name, extra)
+	}
+	return NewInstance(name, proc)
+}
+
+// ParseFile reads an instance file (see Parse); the file's base name
+// becomes the instance name.
+func ParseFile(path string) (*Instance, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("flowshop: %w", err)
+	}
+	defer f.Close()
+	name := path
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		name = path[i+1:]
+	}
+	return Parse(f, name)
+}
+
+// WriteFile saves the instance in the Format layout with a provenance
+// comment header.
+func (ins *Instance) WriteFile(path string) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %s\n", ins)
+	b.WriteString(ins.Format())
+	if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+		return fmt.Errorf("flowshop: %w", err)
+	}
+	return nil
+}

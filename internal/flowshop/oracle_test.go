@@ -1,0 +1,20 @@
+package flowshop
+
+import (
+	"testing"
+
+	"repro/internal/bb"
+)
+
+// TestReducedOptimumOracle pins the optimum of the 11x6 reduction used by
+// the multi-process integration test (cmd/farmer).
+func TestReducedOptimumOracle(t *testing.T) {
+	red, err := Ta056().Reduced(11, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, _ := bb.Solve(NewProblem(red, BoundOneMachine, PairsAll), bb.Infinity)
+	if sol.Cost != 842 {
+		t.Fatalf("ta056 reduced 11x6 optimum = %d, want 842 (pinned for cmd/farmer's integration test)", sol.Cost)
+	}
+}

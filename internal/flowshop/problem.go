@@ -1,0 +1,188 @@
+package flowshop
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/tree"
+)
+
+// Problem adapts a flowshop instance to the generic bb.Problem interface:
+// the search tree is the permutation tree of the instance's jobs (paper
+// §3.1), a node at depth d fixes the first d jobs of the schedule, and the
+// canonical child order — hence the node numbering shared by every process —
+// is ascending job index among unscheduled jobs.
+//
+// The state is maintained incrementally: Descend costs O(M + N) (one new
+// machine-completion row plus a remaining-list deletion) and Ascend is O(N).
+// A Problem is not safe for concurrent use; create one per worker.
+type Problem struct {
+	ins     *Instance
+	bounder *Bounder
+
+	depth      int
+	heads      [][]int64 // heads[d]: machine completion times after d jobs
+	remaining  []int     // unscheduled jobs, ascending
+	inRem      []bool    // membership mask over job ids
+	sumRem     []int64   // per-machine remaining processing time
+	chosenJob  []int     // job scheduled at each depth
+	chosenRank []int     // its rank at Descend time, for Ascend
+	perm       []int     // scheduled prefix
+}
+
+// NewProblem builds the B&B adapter with the given bound configuration.
+func NewProblem(ins *Instance, kind BoundKind, ps PairStrategy) *Problem {
+	p := &Problem{
+		ins:        ins,
+		bounder:    NewBounder(ins, kind, ps),
+		heads:      make([][]int64, ins.Jobs+1),
+		remaining:  make([]int, 0, ins.Jobs),
+		inRem:      make([]bool, ins.Jobs),
+		sumRem:     make([]int64, ins.Machines),
+		chosenJob:  make([]int, ins.Jobs),
+		chosenRank: make([]int, ins.Jobs),
+		perm:       make([]int, 0, ins.Jobs),
+	}
+	for d := range p.heads {
+		p.heads[d] = make([]int64, ins.Machines)
+	}
+	p.Reset()
+	return p
+}
+
+// Instance returns the instance being solved.
+func (p *Problem) Instance() *Instance { return p.ins }
+
+// Shape implements bb.Problem: the permutation tree over the jobs.
+func (p *Problem) Shape() tree.Shape { return tree.Permutation{N: p.ins.Jobs} }
+
+// Reset implements bb.Problem.
+func (p *Problem) Reset() {
+	p.depth = 0
+	p.perm = p.perm[:0]
+	p.remaining = p.remaining[:0]
+	for j := 0; j < p.ins.Jobs; j++ {
+		p.remaining = append(p.remaining, j)
+		p.inRem[j] = true
+	}
+	for m := 0; m < p.ins.Machines; m++ {
+		p.heads[0][m] = 0
+		var s int64
+		for j := 0; j < p.ins.Jobs; j++ {
+			s += p.ins.Proc[j][m]
+		}
+		p.sumRem[m] = s
+	}
+}
+
+// Descend implements bb.Problem: schedule the rank-th smallest unscheduled
+// job next.
+func (p *Problem) Descend(rank int) {
+	job := p.remaining[rank]
+	copy(p.remaining[rank:], p.remaining[rank+1:])
+	p.remaining = p.remaining[:len(p.remaining)-1]
+	p.inRem[job] = false
+	row := p.ins.Proc[job]
+	prev, next := p.heads[p.depth], p.heads[p.depth+1]
+	c := prev[0] + row[0]
+	next[0] = c
+	p.sumRem[0] -= row[0]
+	for m := 1; m < p.ins.Machines; m++ {
+		if c < prev[m] {
+			c = prev[m]
+		}
+		c += row[m]
+		next[m] = c
+		p.sumRem[m] -= row[m]
+	}
+	p.chosenJob[p.depth] = job
+	p.chosenRank[p.depth] = rank
+	p.perm = append(p.perm, job)
+	p.depth++
+}
+
+// Ascend implements bb.Problem.
+func (p *Problem) Ascend() {
+	p.depth--
+	job := p.chosenJob[p.depth]
+	rank := p.chosenRank[p.depth]
+	p.remaining = p.remaining[:len(p.remaining)+1]
+	copy(p.remaining[rank+1:], p.remaining[rank:])
+	p.remaining[rank] = job
+	p.inRem[job] = true
+	row := p.ins.Proc[job]
+	for m := 0; m < p.ins.Machines; m++ {
+		p.sumRem[m] += row[m]
+	}
+	p.perm = p.perm[:len(p.perm)-1]
+}
+
+// Bound implements bb.Problem.
+func (p *Problem) Bound() int64 {
+	return p.bounder.Bound(p.heads[p.depth], p.remaining, p.inRem, p.sumRem)
+}
+
+// Cost implements bb.Problem: the makespan of the complete schedule.
+func (p *Problem) Cost() int64 {
+	return p.heads[p.depth][p.ins.Machines-1]
+}
+
+// Prefix returns a copy of the currently scheduled job prefix, mostly for
+// debugging and examples.
+func (p *Problem) Prefix() []int { return append([]int(nil), p.perm...) }
+
+// DecodePath implements bb.Decoder: it renders the job permutation selected
+// by a rank path.
+func (p *Problem) DecodePath(ranks []int) string {
+	perm, err := PermutationOfPath(p.ins.Jobs, ranks)
+	if err != nil {
+		return fmt.Sprintf("<invalid path: %v>", err)
+	}
+	return fmt.Sprint(perm)
+}
+
+// PermutationOfPath converts a rank path of the permutation tree into the
+// job permutation it denotes: rank r at depth d picks the r-th smallest of
+// the jobs not yet chosen.
+func PermutationOfPath(jobs int, ranks []int) ([]int, error) {
+	if len(ranks) > jobs {
+		return nil, fmt.Errorf("flowshop: path of length %d for %d jobs", len(ranks), jobs)
+	}
+	remaining := make([]int, jobs)
+	for j := range remaining {
+		remaining[j] = j
+	}
+	perm := make([]int, 0, len(ranks))
+	for d, r := range ranks {
+		if r < 0 || r >= len(remaining) {
+			return nil, fmt.Errorf("flowshop: rank %d out of range at depth %d", r, d)
+		}
+		perm = append(perm, remaining[r])
+		remaining = append(remaining[:r], remaining[r+1:]...)
+	}
+	return perm, nil
+}
+
+// PathOfPermutation is the inverse of PermutationOfPath: it computes the
+// rank path of a (possibly partial) job permutation. It is how externally
+// found solutions (heuristics, the paper's published schedule) are injected
+// into the rank-path world of the engines.
+func PathOfPermutation(jobs int, perm []int) ([]int, error) {
+	if len(perm) > jobs {
+		return nil, fmt.Errorf("flowshop: permutation of length %d for %d jobs", len(perm), jobs)
+	}
+	remaining := make([]int, jobs)
+	for j := range remaining {
+		remaining[j] = j
+	}
+	ranks := make([]int, 0, len(perm))
+	for _, job := range perm {
+		r := sort.SearchInts(remaining, job)
+		if r == len(remaining) || remaining[r] != job {
+			return nil, fmt.Errorf("flowshop: job %d repeated or out of range", job)
+		}
+		ranks = append(ranks, r)
+		remaining = append(remaining[:r], remaining[r+1:]...)
+	}
+	return ranks, nil
+}

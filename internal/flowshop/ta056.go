@@ -1,0 +1,46 @@
+package flowshop
+
+// This file records the published facts about the paper's headline
+// experiment: the exact resolution of Taillard instance Ta056 (§5.3).
+
+// Ta056TimeSeed is the Taillard time seed of instance Ta056 (the sixth
+// 50x20 instance).
+const Ta056TimeSeed int64 = 1923497586
+
+// Ta056Optimum is the optimal makespan of Ta056, found with proof of
+// optimality for the first time by the paper's grid B&B (§5.3). It agrees
+// with Taillard's published best-known table.
+const Ta056Optimum int64 = 3679
+
+// Ta056PreviousBest is the previously best known makespan, found by the
+// iterated-greedy metaheuristic of Ruiz and Stützle (paper ref. [9]) and
+// used to initialize the paper's first run (§5.3).
+const Ta056PreviousBest int64 = 3681
+
+// Ta056PaperPermutation is the optimal schedule printed in §5.3, converted
+// from the paper's 1-based job numbers to 0-based indices.
+//
+// On the canonical Ta056 instance — regenerated bit-exactly here (our ta001
+// matrix matches the published benchmark data byte for byte) — this printed
+// sequence evaluates to 3680, one unit above the claimed optimum 3679, and
+// no single swap or single-job move of it reaches 3679. The printed schedule
+// therefore carries a small transcription artifact; we record it verbatim
+// together with its measured makespan. See EXPERIMENTS.md.
+var Ta056PaperPermutation = []int{
+	13, 36, 2, 17, 7, 32, 10, 20, 41, 4,
+	12, 48, 49, 19, 27, 44, 42, 40, 45, 14,
+	23, 43, 39, 35, 38, 3, 15, 46, 16, 26,
+	0, 25, 9, 18, 31, 24, 29, 6, 1, 30,
+	22, 5, 47, 21, 28, 33, 8, 34, 37, 11,
+}
+
+// Ta056PaperPermutationMakespan is the measured makespan of the printed
+// schedule on the canonical instance.
+const Ta056PaperPermutationMakespan int64 = 3680
+
+// Ta056 regenerates the paper's instance from its published seed.
+func Ta056() *Instance {
+	ins := Taillard(50, 20, Ta056TimeSeed)
+	ins.Name = "ta056"
+	return ins
+}

@@ -1,0 +1,53 @@
+package flowshop
+
+import "testing"
+
+// TestTa056PaperScheduleMakespan is the end-to-end cross-check of the
+// instance generator and the makespan evaluator against the paper: the
+// printed optimal schedule of §5.3 must evaluate on the regenerated Ta056
+// instance to within one unit of the claimed optimum. (It lands exactly at
+// 3680: the printed sequence carries a one-unit transcription artifact —
+// see the Ta056PaperPermutation doc comment. A wrong generator or evaluator
+// would be off by hundreds, not one.)
+func TestTa056PaperScheduleMakespan(t *testing.T) {
+	ins := Ta056()
+	if ins.Jobs != 50 || ins.Machines != 20 {
+		t.Fatalf("Ta056 dimensions = %dx%d, want 50x20", ins.Jobs, ins.Machines)
+	}
+	got := ins.Makespan(Ta056PaperPermutation)
+	if got != Ta056PaperPermutationMakespan {
+		t.Fatalf("makespan of the paper's printed schedule = %d, want %d", got, Ta056PaperPermutationMakespan)
+	}
+	if diff := got - Ta056Optimum; diff < 0 || diff > 1 {
+		t.Fatalf("printed schedule at %d is not within one unit above the optimum %d", got, Ta056Optimum)
+	}
+}
+
+// TestTa001GeneratorExactness pins the generator to the published benchmark
+// data: the first machine row of ta001 is reproduced in dozens of
+// independent codebases and acts as a golden value for the LCG, the seed
+// table and the machine-major drawing order.
+func TestTa001GeneratorExactness(t *testing.T) {
+	ins, err := TaillardNamed("ta001")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantM0 := []int64{54, 83, 15, 71, 77, 36, 53, 38, 27, 87, 76, 91, 14, 29, 12, 77, 32, 87, 68, 94}
+	wantM1 := []int64{79, 3, 11, 99, 56, 70, 99, 60, 5, 56, 3, 61, 73, 75, 47, 14, 21, 86, 5, 77}
+	for j := 0; j < ins.Jobs; j++ {
+		if ins.Proc[j][0] != wantM0[j] {
+			t.Fatalf("ta001 machine 0 job %d = %d, want %d", j, ins.Proc[j][0], wantM0[j])
+		}
+		if ins.Proc[j][1] != wantM1[j] {
+			t.Fatalf("ta001 machine 1 job %d = %d, want %d", j, ins.Proc[j][1], wantM1[j])
+		}
+	}
+}
+
+// TestTa056PreviousBestIsWorse sanity-checks the paper's narrative: the
+// pre-existing best known cost was 3681 > 3679.
+func TestTa056PreviousBestIsWorse(t *testing.T) {
+	if Ta056PreviousBest <= Ta056Optimum {
+		t.Fatalf("previous best %d should exceed the optimum %d", Ta056PreviousBest, Ta056Optimum)
+	}
+}

@@ -1,0 +1,203 @@
+package gridsim
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table2 is the execution-statistics block of the paper's Table 2. Fields
+// are in base units (seconds, counts, rates in [0,1]).
+type Table2 struct {
+	// WallClockSeconds is the virtual duration of the resolution
+	// ("Running wall clock time: 25 days").
+	WallClockSeconds float64
+	// TotalCPUSeconds is the cumulative presence time of all workers
+	// ("Total cpu time: 22 years").
+	TotalCPUSeconds float64
+	// AvgWorkers and MaxWorkers describe participation ("Average number
+	// of workers: 328", "Maximum number of workers: 1,195").
+	AvgWorkers float64
+	MaxWorkers int
+	// WorkerExploitation is exploration time over presence time
+	// ("Worker CPU exploitation: 97%").
+	WorkerExploitation float64
+	// FarmerExploitation is farmer busy time over wall clock
+	// ("Coordinator CPU exploitation: 1.7%").
+	FarmerExploitation float64
+	// CheckpointOps counts worker updates plus farmer snapshots
+	// ("Checkpoint operations: 4,094,176").
+	CheckpointOps int64
+	// WorkAllocations counts assignments ("Work allocations: 129,958").
+	WorkAllocations int64
+	// ExploredNodes is the total node count ("Explored nodes: 6.5e12").
+	ExploredNodes int64
+	// RedundantRate is the share of duplicated work
+	// ("Redundant nodes: 0.39%").
+	RedundantRate float64
+}
+
+// PaperTable2 holds the values published in the paper for side-by-side
+// comparison. Times are converted to seconds (25 days; 22 years).
+var PaperTable2 = Table2{
+	WallClockSeconds:   25 * 86400,
+	TotalCPUSeconds:    22 * 365.25 * 86400,
+	AvgWorkers:         328,
+	MaxWorkers:         1195,
+	WorkerExploitation: 0.97,
+	FarmerExploitation: 0.017,
+	CheckpointOps:      4_094_176,
+	WorkAllocations:    129_958,
+	ExploredNodes:      6_508_740_000_000, // "6,50874 e+12"
+	RedundantRate:      0.0039,
+}
+
+// humanDuration renders seconds at the paper's granularity (years / days /
+// hours / minutes).
+func humanDuration(secs float64) string {
+	switch {
+	case secs >= 2*365.25*86400:
+		return fmt.Sprintf("%.1f years", secs/(365.25*86400))
+	case secs >= 2*86400:
+		return fmt.Sprintf("%.1f days", secs/86400)
+	case secs >= 2*3600:
+		return fmt.Sprintf("%.1f hours", secs/3600)
+	case secs >= 120:
+		return fmt.Sprintf("%.1f minutes", secs/60)
+	default:
+		return fmt.Sprintf("%.1f seconds", secs)
+	}
+}
+
+// rows returns the ten Table 2 rows as label/value pairs.
+func (t Table2) rows() [][2]string {
+	return [][2]string{
+		{"Running wall clock time", humanDuration(t.WallClockSeconds)},
+		{"Total cpu time", humanDuration(t.TotalCPUSeconds)},
+		{"Average number of workers", fmt.Sprintf("%.0f", t.AvgWorkers)},
+		{"Maximum number of workers", fmt.Sprintf("%d", t.MaxWorkers)},
+		{"Worker CPU exploitation", fmt.Sprintf("%.1f%%", 100*t.WorkerExploitation)},
+		{"Coordinator CPU exploitation", fmt.Sprintf("%.2f%%", 100*t.FarmerExploitation)},
+		{"Checkpoint operations", fmt.Sprintf("%d", t.CheckpointOps)},
+		{"Work allocations", fmt.Sprintf("%d", t.WorkAllocations)},
+		{"Explored nodes", fmt.Sprintf("%d", t.ExploredNodes)},
+		{"Redundant nodes", fmt.Sprintf("%.2f%%", 100*t.RedundantRate)},
+	}
+}
+
+// Render prints the block in the paper's Table 2 layout.
+func (t Table2) Render() string {
+	var b strings.Builder
+	for _, row := range t.rows() {
+		fmt.Fprintf(&b, "%-30s %s\n", row[0], row[1])
+	}
+	return b.String()
+}
+
+// RenderComparison prints measured values side by side with the paper's.
+func (t Table2) RenderComparison() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-30s %-18s %s\n", "Statistic", "Measured (sim)", "Paper (Ta056 run 2)")
+	mine := t.rows()
+	paper := PaperTable2.rows()
+	for i := range mine {
+		fmt.Fprintf(&b, "%-30s %-18s %s\n", mine[i][0], mine[i][1], paper[i][1])
+	}
+	return b.String()
+}
+
+// Table3Row is one line of the paper's Table 3, the ranking of famous exact
+// resolutions by computational power.
+type Table3Row struct {
+	Order       int
+	Problem     string
+	Instance    string
+	Description string
+	Power       string
+}
+
+// Table3 returns the paper's ranking with our measured cumulative CPU time
+// substituted into the Ta056 row (the paper reports 22 years there). Pass a
+// negative value to keep the paper's figure.
+func Table3(measuredCPUSeconds float64) []Table3Row {
+	ta056Power := "22 years"
+	if measuredCPUSeconds >= 0 {
+		ta056Power = humanDuration(measuredCPUSeconds) + " (simulated)"
+	}
+	return []Table3Row{
+		{1, "TSP", "Sw24978", "24,978 towns of Sweden", "84 years/Intel Xeon 2.8 GHz"},
+		{2, "Flow-Shop", "Ta056", "50 jobs on 20 machines", ta056Power},
+		{3, "TSP", "D15112", "15,112 towns of Germany", "22 years/Compaq Alpha 500 MHz"},
+		{4, "QAP", "Nug30", "", "7 years/HP-C3000 400MHz"},
+		{5, "TSP", "Usa13509", "13,509 towns of USA", "4 years"},
+	}
+}
+
+// RenderTable3 prints the ranking in the paper's layout.
+func RenderTable3(rows []Table3Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-5s %-10s %-10s %-26s %s\n", "Order", "Problem", "Instance", "Description", "Computation power")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-5d %-10s %-10s %-26s %s\n", r.Order, r.Problem, r.Instance, r.Description, r.Power)
+	}
+	return b.String()
+}
+
+// RenderTrace prints a Figure 7-style ASCII chart of the availability
+// series: time on the horizontal axis, active processors on the vertical
+// axis, downsampled to at most width columns.
+func RenderTrace(trace []TracePoint, width, height int) string {
+	if len(trace) == 0 || width <= 0 || height <= 0 {
+		return "(empty trace)\n"
+	}
+	if width > len(trace) {
+		width = len(trace)
+	}
+	// Downsample by max within each bucket (peaks matter in Figure 7).
+	buckets := make([]int, width)
+	for i, p := range trace {
+		b := i * width / len(trace)
+		if p.Active > buckets[b] {
+			buckets[b] = p.Active
+		}
+	}
+	peak := 0
+	for _, v := range buckets {
+		if v > peak {
+			peak = v
+		}
+	}
+	if peak == 0 {
+		peak = 1
+	}
+	var b strings.Builder
+	for row := height; row >= 1; row-- {
+		lo := peak * (row - 1) / height
+		fmt.Fprintf(&b, "%6d |", peak*row/height)
+		for _, v := range buckets {
+			if v > lo {
+				b.WriteByte('#')
+			} else {
+				b.WriteByte(' ')
+			}
+		}
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "%6s +%s\n", "", strings.Repeat("-", width))
+	fmt.Fprintf(&b, "%6s  0%*s\n", "", width-1, humanDuration(trace[len(trace)-1].TimeSeconds))
+	return b.String()
+}
+
+// TraceStats summarizes a Figure 7 series.
+func TraceStats(trace []TracePoint) (avg float64, max int) {
+	if len(trace) == 0 {
+		return 0, 0
+	}
+	var sum int64
+	for _, p := range trace {
+		sum += int64(p.Active)
+		if p.Active > max {
+			max = p.Active
+		}
+	}
+	return float64(sum) / float64(len(trace)), max
+}

@@ -1,0 +1,45 @@
+package gridsim
+
+// Scenario presets. The same two configurations are used by cmd/gridsim,
+// cmd/experiments and the examples; keeping them here makes the replay
+// parameters part of the library's contract rather than copy-pasted
+// literals.
+
+// PaperScenario returns the configuration replaying the paper's experiment:
+// the Table 1 pool under the Figure 7 availability model, with the
+// exploration rate calibrated so a workload of expectedNodes spans
+// wallDays virtual days. Runs take a few real minutes; the statistics land
+// on the paper's Table 2 (see EXPERIMENTS.md).
+func PaperScenario(seed int64, expectedNodes int64, wallDays float64) Config {
+	m := DefaultAvailability()
+	return Config{
+		Pool:                 Table1Pool(),
+		Availability:         m,
+		Seed:                 seed,
+		TickSeconds:          60,
+		NodesPerGHzPerSecond: CalibrateRate(Table1Pool(), m, expectedNodes, wallDays*86400),
+	}
+}
+
+// FastScenario returns a compressed configuration — a 60-processor pool,
+// 20-minute "days", 1-second ticks — that reproduces the qualitative
+// Table 2 / Figure 7 shape in a few real seconds. expectedNodes calibrates
+// the rate so the run spans roughly wallDays compressed days (each 1200
+// virtual seconds).
+func FastScenario(seed int64, expectedNodes int64, wallDays float64) Config {
+	m := AvailabilityModel{
+		BaseFraction: 0.2, Amplitude: 0.6, NoiseFraction: 0.08,
+		NoisePeriodSeconds: 60, DaySeconds: 1200, CrashShare: 0.25,
+		RampSeconds: 60, PhaseJitterRadians: 0.3, HostLoadFraction: 0.025,
+	}
+	pool := SmallPool(60)
+	return Config{
+		Pool:                 pool,
+		Availability:         m,
+		Seed:                 seed,
+		TickSeconds:          1,
+		UpdatePeriodSeconds:  10,
+		LeaseTTLSeconds:      60,
+		NodesPerGHzPerSecond: CalibrateRate(pool, m, expectedNodes, wallDays*1200),
+	}
+}

@@ -1,0 +1,564 @@
+package gridsim
+
+import (
+	"fmt"
+	"math"
+	"math/big"
+	"math/rand"
+	"time"
+
+	"repro/internal/bb"
+	"repro/internal/checkpoint"
+	"repro/internal/core"
+	"repro/internal/farmer"
+	"repro/internal/transport"
+	"repro/internal/worker"
+)
+
+// Config parameterizes a simulated resolution.
+type Config struct {
+	// Pool is the processor inventory (Table1Pool for the paper's grid).
+	Pool []CPUSpec
+	// Availability drives joins/leaves/crashes.
+	Availability AvailabilityModel
+	// Seed makes the whole simulation deterministic.
+	Seed int64
+	// TickSeconds is the virtual duration of one simulation step.
+	// Default 60.
+	TickSeconds float64
+	// NodesPerGHzPerSecond calibrates exploration speed. The default
+	// (see CalibrateRate) scales the instance so the resolution spans
+	// roughly the paper's 25 days on the paper's pool.
+	NodesPerGHzPerSecond float64
+	// UpdatePeriodSeconds is the worker checkpoint cadence. The paper's
+	// workers averaged one checkpoint every ~3 minutes
+	// (4,094,176 ops / 25 days / 328 workers). Default 180.
+	UpdatePeriodSeconds float64
+	// FarmerCheckpointSeconds is the coordinator snapshot period; the
+	// paper's coordinator saves every 30 minutes. Default 1800.
+	FarmerCheckpointSeconds float64
+	// LeaseTTLSeconds is how long a silent worker keeps its interval.
+	// Default 3600.
+	LeaseTTLSeconds float64
+	// FarmerCostPerMessageSeconds is the farmer CPU time charged per
+	// processed message (the numerator of its exploitation rate).
+	// Default 0.008.
+	FarmerCostPerMessageSeconds float64
+	// WorkerRTTSeconds stalls a worker per protocol exchange (pull-model
+	// synchronous round trip across the WAN). Default 0.5.
+	WorkerRTTSeconds float64
+	// Threshold is an absolute duplication threshold in leaf units.
+	// When zero, ThresholdFraction applies instead.
+	Threshold int64
+	// ThresholdFraction expresses the duplication threshold as a
+	// fraction of the root interval's length — the natural scale, since
+	// interval lengths count leaves of a factorially large tree, not
+	// remaining work. Default 1e-6.
+	ThresholdFraction float64
+	// InitialUpper primes SOLUTION (0 means unknown/Infinity).
+	InitialUpper int64
+	// MaxTicks aborts a runaway simulation. Default 200_000.
+	MaxTicks int
+	// CheckpointDir, when set, makes the farmer write real two-file
+	// snapshots on its cadence.
+	CheckpointDir string
+	// EqualSplit disables power-proportional partitioning (ablation).
+	EqualSplit bool
+}
+
+func (c *Config) fillDefaults() {
+	if len(c.Pool) == 0 {
+		c.Pool = Table1Pool()
+	}
+	if c.Availability == (AvailabilityModel{}) {
+		c.Availability = DefaultAvailability()
+	}
+	if c.TickSeconds <= 0 {
+		c.TickSeconds = 60
+	}
+	if c.UpdatePeriodSeconds <= 0 {
+		c.UpdatePeriodSeconds = 180
+	}
+	if c.FarmerCheckpointSeconds <= 0 {
+		c.FarmerCheckpointSeconds = 1800
+	}
+	if c.LeaseTTLSeconds <= 0 {
+		c.LeaseTTLSeconds = 3600
+	}
+	if c.FarmerCostPerMessageSeconds <= 0 {
+		c.FarmerCostPerMessageSeconds = 0.008
+	}
+	if c.WorkerRTTSeconds <= 0 {
+		c.WorkerRTTSeconds = 0.5
+	}
+	if c.Threshold <= 0 && c.ThresholdFraction <= 0 {
+		c.ThresholdFraction = 1e-6
+	}
+	if c.InitialUpper <= 0 {
+		c.InitialUpper = bb.Infinity
+	}
+	if c.MaxTicks <= 0 {
+		c.MaxTicks = 200_000
+	}
+}
+
+// CalibrateRate returns the NodesPerGHzPerSecond that makes a workload of
+// expectedNodes take wantWallSeconds on the given pool under the given
+// availability model (using its mean participation). It is how a reduced
+// instance plays Ta056 at the 25-day scale.
+func CalibrateRate(pool []CPUSpec, m AvailabilityModel, expectedNodes int64, wantWallSeconds float64) float64 {
+	var ghzTotal float64
+	for _, s := range pool {
+		ghzTotal += s.GHz * float64(s.Count)
+	}
+	// Mean of the half-wave rectified sin² availability profile is
+	// Base + Amplitude/4.
+	meanFrac := m.BaseFraction + m.Amplitude/4
+	activeGHz := ghzTotal * meanFrac
+	if activeGHz <= 0 || wantWallSeconds <= 0 {
+		return 1
+	}
+	return float64(expectedNodes) / (activeGHz * wantWallSeconds)
+}
+
+// TracePoint is one Figure 7 sample.
+type TracePoint struct {
+	// TimeSeconds is the virtual timestamp.
+	TimeSeconds float64
+	// Active is the number of participating processors.
+	Active int
+}
+
+// Result summarizes a simulated resolution.
+type Result struct {
+	// Best is the proven optimum.
+	Best bb.Solution
+	// Table2 is the paper-style statistics block.
+	Table2 Table2
+	// Trace is the Figure 7 availability series (one point per tick).
+	Trace []TracePoint
+	// Counters are the raw farmer counters.
+	Counters farmer.Counters
+	// Redundancy is the duplicated-work accounting.
+	Redundancy farmer.RedundancyStats
+	// Ticks is the number of simulation steps executed.
+	Ticks int
+	// Finished reports whether the resolution completed (false: MaxTicks
+	// hit first).
+	Finished bool
+	// Joins and Leaves and Crashes count churn events.
+	Joins, Leaves, Crashes int64
+}
+
+// simWorker is one active processor hosting a B&B process.
+type simWorker struct {
+	id      transport.WorkerID
+	session *worker.Session
+	rate    float64 // nodes per virtual second
+
+	presentSecs float64
+	exploreSecs float64
+	commSecs    float64
+	pendingComm float64 // stall carried into the next tick
+	credit      float64 // fractional node budget
+
+	lastMsgs        int64
+	lastUpdateCount int64   // session updates seen so far
+	lastUpdateSecs  float64 // virtual time of the last update
+}
+
+func (w *simWorker) msgs() int64 {
+	return w.session.Messages.Requests + w.session.Messages.Updates + w.session.Messages.Reports
+}
+
+// domainState groups the slots of one administrative domain.
+type domainState struct {
+	name      string
+	slots     []int
+	phase     float64
+	noise     float64 // slowly varying availability offset
+	nextNoise float64 // when to redraw it
+}
+
+// Sim runs one simulated resolution. Create with New, drive with Run.
+type Sim struct {
+	cfg     Config
+	factory func() bb.Problem
+	rng     *rand.Rand
+
+	farmer  *farmer.Farmer
+	slots   []float64 // GHz per processor slot
+	domains []domainState
+	active  []*simWorker // per slot, nil = idle host
+
+	nowSecs   float64
+	nextID    int64 // worker id sequence
+	retired   []*simWorker
+	lostNodes int64 // explored but never reported before a crash
+	result    Result
+}
+
+// New builds a simulation. factory must return a fresh Problem per call
+// (every simulated processor hosts its own B&B process, like the paper's
+// one-process-per-processor deployment).
+func New(cfg Config, factory func() bb.Problem) *Sim {
+	cfg.fillDefaults()
+	s := &Sim{cfg: cfg, factory: factory, rng: rand.New(rand.NewSource(cfg.Seed))}
+	// Slot and domain layout.
+	domIdx := make(map[string]int)
+	for _, spec := range cfg.Pool {
+		di, ok := domIdx[spec.Domain]
+		if !ok {
+			di = len(s.domains)
+			domIdx[spec.Domain] = di
+			jitter := cfg.Availability.PhaseJitterRadians
+			s.domains = append(s.domains, domainState{
+				name:  spec.Domain,
+				phase: (s.rng.Float64()*2 - 1) * jitter,
+			})
+		}
+		for i := 0; i < spec.Count; i++ {
+			s.domains[di].slots = append(s.domains[di].slots, len(s.slots))
+			s.slots = append(s.slots, spec.GHz)
+		}
+	}
+	s.active = make([]*simWorker, len(s.slots))
+
+	nb := core.NewNumbering(factory().Shape())
+	thr := big.NewInt(cfg.Threshold)
+	if cfg.Threshold <= 0 {
+		f := new(big.Float).SetInt(nb.RootRange().Len())
+		f.Mul(f, big.NewFloat(cfg.ThresholdFraction))
+		thr, _ = f.Int(nil)
+		if thr.Sign() <= 0 {
+			thr = big.NewInt(2)
+		}
+	}
+	fopts := []farmer.Option{
+		farmer.WithClock(func() int64 { return int64(s.nowSecs * 1e9) }),
+		farmer.WithLeaseTTL(time.Duration(cfg.LeaseTTLSeconds * 1e9)),
+		farmer.WithThreshold(thr),
+		farmer.WithInitialBest(cfg.InitialUpper, nil),
+		farmer.WithEqualSplit(cfg.EqualSplit),
+	}
+	if cfg.CheckpointDir != "" {
+		if store, err := checkpoint.NewStore(cfg.CheckpointDir); err == nil {
+			fopts = append(fopts, farmer.WithCheckpointStore(store))
+		}
+	}
+	s.farmer = farmer.New(nb.RootRange(), fopts...)
+	return s
+}
+
+// Farmer exposes the coordinator (e.g. for mid-run inspection in tests).
+func (s *Sim) Farmer() *farmer.Farmer { return s.farmer }
+
+// Run executes the simulation to termination (or MaxTicks) and returns the
+// result. The default rate, when the config left NodesPerGHzPerSecond at
+// zero, targets a 25-day wall clock using a rough sequential node estimate;
+// prefer setting it explicitly via CalibrateRate with a measured node count.
+func (s *Sim) Run() (Result, error) {
+	cfg := &s.cfg
+	if cfg.NodesPerGHzPerSecond <= 0 {
+		return Result{}, fmt.Errorf("gridsim: NodesPerGHzPerSecond must be set (use CalibrateRate)")
+	}
+	dt := cfg.TickSeconds
+	nextFarmerCkpt := cfg.FarmerCheckpointSeconds
+	var sumActive int64
+	for tick := 0; tick < cfg.MaxTicks; tick++ {
+		s.nowSecs = float64(tick) * dt
+		s.adjustAvailability()
+
+		activeCount := 0
+		finished := false
+		for _, w := range s.active {
+			if w == nil {
+				continue
+			}
+			activeCount++
+			w.presentSecs += dt
+			explTime := dt
+			if w.pendingComm > 0 {
+				if w.pendingComm >= explTime {
+					w.pendingComm -= explTime
+					w.commSecs += explTime
+					continue
+				}
+				explTime -= w.pendingComm
+				w.commSecs += w.pendingComm
+				w.pendingComm = 0
+			}
+			ourShare := 1 - cfg.Availability.HostLoadFraction
+			w.credit += w.rate * explTime
+			budget := int64(w.credit)
+			if budget <= 0 {
+				// Not enough credit for a whole node yet. Still
+				// acquire work if idle (a request costs no
+				// exploration budget), keep the periodic
+				// time-based checkpoint alive, and count banked
+				// mid-node crunching as busy time.
+				if !w.session.HasWork() {
+					if _, done, err := w.session.Advance(0); err != nil {
+						return s.result, fmt.Errorf("gridsim: worker %s: %w", w.id, err)
+					} else if done {
+						finished = true
+					}
+				}
+				if w.session.HasWork() {
+					w.exploreSecs += explTime * ourShare
+					if err := s.maybeCheckpoint(w); err != nil {
+						return s.result, err
+					}
+				}
+				msgs := w.msgs()
+				w.pendingComm += float64(msgs-w.lastMsgs) * cfg.WorkerRTTSeconds
+				w.lastMsgs = msgs
+				continue
+			}
+			n, done, err := w.session.Advance(budget)
+			if err != nil {
+				return s.result, fmt.Errorf("gridsim: worker %s: %w", w.id, err)
+			}
+			w.credit -= float64(n)
+			if done {
+				finished = true
+			}
+			if n == budget || w.session.HasWork() {
+				// The whole slice went into exploration (possibly
+				// mid-node on the leftover credit).
+				w.exploreSecs += explTime * ourShare
+			} else {
+				// Starved partway through the slice: only the
+				// explored nodes were real work; drop the rest.
+				w.exploreSecs += float64(n) / w.rate * ourShare
+				w.credit = 0
+			}
+			if w.session.HasWork() {
+				if err := s.maybeCheckpoint(w); err != nil {
+					return s.result, err
+				}
+			}
+			msgs := w.msgs()
+			w.pendingComm += float64(msgs-w.lastMsgs) * cfg.WorkerRTTSeconds
+			w.lastMsgs = msgs
+		}
+		s.result.Trace = append(s.result.Trace, TracePoint{TimeSeconds: s.nowSecs, Active: activeCount})
+		sumActive += int64(activeCount)
+		if activeCount > s.result.Table2.MaxWorkers {
+			s.result.Table2.MaxWorkers = activeCount
+		}
+		if cfg.CheckpointDir != "" && s.nowSecs >= nextFarmerCkpt {
+			if err := s.farmer.Checkpoint(); err != nil {
+				return s.result, err
+			}
+			nextFarmerCkpt += cfg.FarmerCheckpointSeconds
+		}
+		s.result.Ticks = tick + 1
+		if finished || s.farmer.Done() {
+			s.result.Finished = true
+			break
+		}
+	}
+	s.finalize(sumActive)
+	return s.result, nil
+}
+
+// adjustAvailability moves each domain toward its availability target,
+// creating and retiring workers. The random component of the target is
+// redrawn only every NoisePeriodSeconds — hosts are claimed and released by
+// their owners on the scale of tens of minutes, not per scheduler tick —
+// and a small deadband avoids churning workers over one-host wobbles.
+func (s *Sim) adjustAvailability() {
+	m := &s.cfg.Availability
+	for di := range s.domains {
+		d := &s.domains[di]
+		if s.nowSecs >= d.nextNoise {
+			d.noise = (s.rng.Float64()*2 - 1) * m.NoiseFraction
+			period := m.NoisePeriodSeconds
+			if period <= 0 {
+				period = 1800
+			}
+			d.nextNoise = s.nowSecs + period
+		}
+		frac := m.Fraction(d.phase, s.nowSecs) + d.noise
+		if frac < 0 {
+			frac = 0
+		}
+		if frac > 1 {
+			frac = 1
+		}
+		target := int(frac * float64(len(d.slots)))
+		active := 0
+		for _, slot := range d.slots {
+			if s.active[slot] != nil {
+				active++
+			}
+		}
+		deadband := len(d.slots) / 100
+		if diff := active - target; diff >= -deadband && diff <= deadband {
+			continue
+		}
+		maxDelta := len(d.slots)
+		if m.RampSeconds > 0 {
+			maxDelta = int(math.Ceil(float64(len(d.slots)) * s.cfg.TickSeconds / m.RampSeconds))
+			if maxDelta < 1 {
+				maxDelta = 1
+			}
+		}
+		switch {
+		case active < target:
+			need := target - active
+			if need > maxDelta {
+				need = maxDelta
+			}
+			for _, slot := range d.slots {
+				if need == 0 {
+					break
+				}
+				if s.active[slot] == nil {
+					s.join(slot)
+					need--
+				}
+			}
+		case active > target:
+			drop := active - target
+			if drop > maxDelta {
+				drop = maxDelta
+			}
+			for _, slot := range d.slots {
+				if drop == 0 {
+					break
+				}
+				if s.active[slot] != nil {
+					s.leave(slot)
+					drop--
+				}
+			}
+		}
+	}
+}
+
+// join starts a fresh B&B process on the slot.
+func (s *Sim) join(slot int) {
+	s.nextID++
+	id := transport.WorkerID(fmt.Sprintf("sim-%d-s%d", s.nextID, slot))
+	rate := s.slots[slot] * s.cfg.NodesPerGHzPerSecond * (1 - s.cfg.Availability.HostLoadFraction)
+	power := int64(rate * 1000) // fixed-point so slow hosts stay > 0
+	if power < 1 {
+		power = 1
+	}
+	updateNodes := int64(rate * s.cfg.UpdatePeriodSeconds)
+	if updateNodes < 1 {
+		updateNodes = 1
+	}
+	sess := worker.NewSession(worker.Config{
+		ID:                id,
+		Power:             power,
+		UpdatePeriodNodes: updateNodes,
+	}, s.farmer, s.factory())
+	s.active[slot] = &simWorker{id: id, session: sess, rate: rate, lastUpdateSecs: s.nowSecs}
+	s.result.Joins++
+}
+
+// leave retires the slot's worker: gracefully (a final checkpoint — the
+// cycle-stealing owner reclaimed the host and the process saved its state)
+// or by crash (no checkpoint; the lease mechanism will orphan its interval).
+func (s *Sim) leave(slot int) {
+	w := s.active[slot]
+	if w == nil {
+		return
+	}
+	if s.rng.Float64() < s.cfg.Availability.CrashShare {
+		// The work since the last checkpoint dies with the host and
+		// will be re-explored by whoever inherits the interval: it is
+		// redundant by construction (the paper's "redundant nodes").
+		s.lostNodes += w.session.Stats().Explored - w.session.Reported().Explored
+		s.result.Crashes++
+	} else {
+		// Best-effort final checkpoint; a failing farmer here would
+		// just look like a crash.
+		if err := w.session.Checkpoint(); err == nil {
+			s.result.Leaves++
+		} else {
+			s.result.Crashes++
+		}
+	}
+	s.active[slot] = nil
+	s.retired = append(s.retired, w)
+}
+
+// maybeCheckpoint triggers the worker's periodic time-based interval
+// update: even a host too slow to finish a node within a period must
+// re-register its fold — it keeps the lease alive and bounds the work lost
+// to a crash (§4.1).
+func (s *Sim) maybeCheckpoint(w *simWorker) error {
+	if u := w.session.Messages.Updates; u > w.lastUpdateCount {
+		// The session updated on its own (node-count cadence).
+		w.lastUpdateCount = u
+		w.lastUpdateSecs = s.nowSecs
+		return nil
+	}
+	if s.nowSecs-w.lastUpdateSecs < s.cfg.UpdatePeriodSeconds {
+		return nil
+	}
+	if err := w.session.Checkpoint(); err != nil {
+		return fmt.Errorf("gridsim: worker %s checkpoint: %w", w.id, err)
+	}
+	w.lastUpdateCount = w.session.Messages.Updates
+	w.lastUpdateSecs = s.nowSecs
+	return nil
+}
+
+// finalize assembles the Table 2 block.
+func (s *Sim) finalize(sumActive int64) {
+	cfg := &s.cfg
+	t2 := &s.result.Table2
+	t2.WallClockSeconds = float64(s.result.Ticks) * cfg.TickSeconds
+	var present, explore float64
+	consider := func(w *simWorker) {
+		present += w.presentSecs
+		explore += w.exploreSecs
+	}
+	for _, w := range s.retired {
+		consider(w)
+	}
+	for _, w := range s.active {
+		if w != nil {
+			consider(w)
+		}
+	}
+	t2.TotalCPUSeconds = present
+	if s.result.Ticks > 0 {
+		t2.AvgWorkers = float64(sumActive) / float64(s.result.Ticks)
+	}
+	if present > 0 {
+		t2.WorkerExploitation = explore / present
+	}
+	c := s.farmer.Counters()
+	s.result.Counters = c
+	s.result.Redundancy = s.farmer.Redundancy()
+	totalMsgs := c.WorkRequests + c.WorkerCheckpoints + c.SolutionReports
+	if t2.WallClockSeconds > 0 {
+		t2.FarmerExploitation = float64(totalMsgs) * cfg.FarmerCostPerMessageSeconds / t2.WallClockSeconds
+	}
+	t2.CheckpointOps = c.WorkerCheckpoints + c.FarmerCheckpoints
+	t2.WorkAllocations = c.WorkAllocations
+	// Ground-truth node count: every session's engine counter, including
+	// work that died unreported in a crash. The redundant rate combines
+	// crash re-exploration (node units) with duplicated-interval overlap
+	// (leaf units, a rate over the same total work).
+	var gt int64
+	for _, w := range s.retired {
+		gt += w.session.Stats().Explored
+	}
+	for _, w := range s.active {
+		if w != nil {
+			gt += w.session.Stats().Explored
+		}
+	}
+	t2.ExploredNodes = gt
+	if gt > 0 {
+		t2.RedundantRate = float64(s.lostNodes)/float64(gt) + s.result.Redundancy.Rate()
+	}
+	s.result.Best = s.farmer.Best()
+}

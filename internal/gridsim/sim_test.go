@@ -1,0 +1,225 @@
+package gridsim
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/bb"
+	"repro/internal/flowshop"
+)
+
+// fastConfig returns a small deterministic scenario completing in a few
+// hundred ticks.
+func fastConfig(seed int64) (Config, func() bb.Problem, bb.Solution) {
+	ins := flowshop.Taillard(12, 10, 5) // ~130k nodes sequentially
+	factory := func() bb.Problem {
+		return flowshop.NewProblem(ins, flowshop.BoundOneMachine, flowshop.PairsAll)
+	}
+	want, _ := bb.Solve(factory(), bb.Infinity)
+	cfg := Config{
+		Pool: SmallPool(30),
+		Availability: AvailabilityModel{
+			BaseFraction: 0.3, Amplitude: 0.5, NoiseFraction: 0.1,
+			NoisePeriodSeconds: 20, DaySeconds: 600, CrashShare: 0.3,
+			RampSeconds: 30, PhaseJitterRadians: 0.3, HostLoadFraction: 0.02,
+		},
+		Seed:                 seed,
+		TickSeconds:          1,
+		NodesPerGHzPerSecond: 20,
+		UpdatePeriodSeconds:  5,
+		LeaseTTLSeconds:      30,
+		WorkerRTTSeconds:     0.05,
+		MaxTicks:             20_000,
+	}
+	return cfg, factory, want
+}
+
+// TestSimulationSolvesToOptimum: the simulated grid — heterogeneous speeds,
+// churn, crashes — still proves the sequential optimum. This is the
+// strongest end-to-end check of the fault-tolerance design: whatever the
+// availability trace does, no part of the tree is lost.
+func TestSimulationSolvesToOptimum(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3} {
+		cfg, factory, want := fastConfig(seed)
+		res, err := New(cfg, factory).Run()
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !res.Finished {
+			t.Fatalf("seed %d: simulation hit MaxTicks (%d ticks, %d nodes explored)",
+				seed, res.Ticks, res.Counters.ExploredNodes)
+		}
+		if res.Best.Cost != want.Cost {
+			t.Fatalf("seed %d: simulated best %d, want %d", seed, res.Best.Cost, want.Cost)
+		}
+	}
+}
+
+// TestSimulationDeterminism: identical seeds give identical runs.
+func TestSimulationDeterminism(t *testing.T) {
+	cfg, factory, _ := fastConfig(7)
+	r1, err := New(cfg, factory).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := New(cfg, factory).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Ticks != r2.Ticks || r1.Counters != r2.Counters || r1.Joins != r2.Joins ||
+		r1.Crashes != r2.Crashes || r1.Best.Cost != r2.Best.Cost {
+		t.Fatalf("non-deterministic simulation:\n%+v\nvs\n%+v", r1.Counters, r2.Counters)
+	}
+}
+
+// TestSimulationStatisticsShape: the Table 2 block has the paper's
+// qualitative shape — workers busy most of the time, farmer nearly idle,
+// bounded redundancy, real churn.
+func TestSimulationStatisticsShape(t *testing.T) {
+	cfg, factory, _ := fastConfig(11)
+	res, err := New(cfg, factory).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2 := res.Table2
+	if t2.WorkerExploitation <= 0.5 || t2.WorkerExploitation > 1.0001 {
+		t.Errorf("worker exploitation = %.3f, want in (0.5, 1]", t2.WorkerExploitation)
+	}
+	if t2.FarmerExploitation >= 0.5 {
+		t.Errorf("farmer exploitation = %.3f, want well below worker level", t2.FarmerExploitation)
+	}
+	if t2.AvgWorkers <= 0 || t2.MaxWorkers > PoolSize(cfg.Pool) {
+		t.Errorf("participation avg %.1f max %d out of range (pool %d)", t2.AvgWorkers, t2.MaxWorkers, PoolSize(cfg.Pool))
+	}
+	if t2.ExploredNodes <= 0 {
+		t.Error("no nodes explored")
+	}
+	if t2.RedundantRate < 0 || t2.RedundantRate > 0.5 {
+		t.Errorf("redundant rate = %.4f, want small", t2.RedundantRate)
+	}
+	if res.Joins == 0 || res.Crashes == 0 {
+		t.Errorf("expected churn: joins=%d crashes=%d", res.Joins, res.Crashes)
+	}
+	if t2.WorkAllocations <= 1 {
+		t.Errorf("allocations = %d: no load balancing happened", t2.WorkAllocations)
+	}
+	if t2.CheckpointOps == 0 {
+		t.Error("no checkpoint operations recorded")
+	}
+	// Total CPU time must exceed wall clock with >1 avg workers.
+	if t2.AvgWorkers > 1 && t2.TotalCPUSeconds <= t2.WallClockSeconds {
+		t.Errorf("total CPU %.0fs <= wall %.0fs despite %.1f avg workers",
+			t2.TotalCPUSeconds, t2.WallClockSeconds, t2.AvgWorkers)
+	}
+}
+
+// TestSimulationWithInitialUpper: priming SOLUTION with the optimum (the
+// paper's run 2 protocol) completes faster and still reports it.
+func TestSimulationWithInitialUpper(t *testing.T) {
+	cfg, factory, want := fastConfig(5)
+	cold, err := New(cfg, factory).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.InitialUpper = want.Cost + 1 // like run 2: one above the optimum
+	primed, err := New(cfg, factory).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if primed.Best.Cost != want.Cost {
+		t.Fatalf("primed best %d, want %d", primed.Best.Cost, want.Cost)
+	}
+	if primed.Counters.ExploredNodes > cold.Counters.ExploredNodes {
+		t.Fatalf("primed run explored %d > cold %d", primed.Counters.ExploredNodes, cold.Counters.ExploredNodes)
+	}
+}
+
+// TestFigure7TraceShape: the availability series oscillates between a quiet
+// floor and busy peaks like the paper's Figure 7.
+func TestFigure7TraceShape(t *testing.T) {
+	cfg, factory, _ := fastConfig(13)
+	res, err := New(cfg, factory).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Trace) != res.Ticks {
+		t.Fatalf("trace has %d points for %d ticks", len(res.Trace), res.Ticks)
+	}
+	avg, max := TraceStats(res.Trace)
+	if max <= int(avg) {
+		t.Fatalf("flat trace: avg %.1f max %d", avg, max)
+	}
+	if max > PoolSize(cfg.Pool) {
+		t.Fatalf("max %d exceeds pool %d", max, PoolSize(cfg.Pool))
+	}
+	chart := RenderTrace(res.Trace, 60, 8)
+	if !strings.Contains(chart, "#") {
+		t.Fatal("trace chart is empty")
+	}
+}
+
+// TestTable1PoolMatchesPaper: the encoded pool is the paper's, 1889
+// processors in 9 administrative domains.
+func TestTable1PoolMatchesPaper(t *testing.T) {
+	pool := Table1Pool()
+	if got := PoolSize(pool); got != Table1Total {
+		t.Fatalf("pool size = %d, want %d", got, Table1Total)
+	}
+	if got := len(PoolDomains(pool)); got != 9 {
+		t.Fatalf("domains = %d, want 9", got)
+	}
+	if len(pool) != 24 {
+		t.Fatalf("specs = %d, want 24 rows", len(pool))
+	}
+	for _, s := range pool {
+		if s.GHz <= 0 || s.Count <= 0 {
+			t.Fatalf("bad spec %+v", s)
+		}
+	}
+}
+
+// TestTable2Render covers both layouts.
+func TestTable2Render(t *testing.T) {
+	out := PaperTable2.Render()
+	for _, want := range []string{"25.0 days", "22.0 years", "328", "1195", "97.0%", "1.70%", "4094176", "129958", "0.39%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Render() missing %q in:\n%s", want, out)
+		}
+	}
+	cmp := PaperTable2.RenderComparison()
+	if !strings.Contains(cmp, "Paper (Ta056 run 2)") {
+		t.Error("comparison header missing")
+	}
+}
+
+// TestTable3Rendering: Ta056 ranks second; the measured figure lands in its
+// row.
+func TestTable3Rendering(t *testing.T) {
+	rows := Table3(3600 * 24 * 400)
+	if rows[1].Instance != "Ta056" || rows[1].Order != 2 {
+		t.Fatalf("Ta056 row = %+v", rows[1])
+	}
+	out := RenderTable3(rows)
+	if !strings.Contains(out, "Sw24978") || !strings.Contains(out, "simulated") {
+		t.Fatalf("table 3 rendering:\n%s", out)
+	}
+	if got := Table3(-1)[1].Power; got != "22 years" {
+		t.Fatalf("paper figure row = %q", got)
+	}
+}
+
+// TestCalibrateRate: the calibrated rate reproduces the requested wall
+// clock within the model's accuracy on its own assumptions.
+func TestCalibrateRate(t *testing.T) {
+	pool := Table1Pool()
+	m := DefaultAvailability()
+	rate := CalibrateRate(pool, m, 1_000_000, 86400)
+	if rate <= 0 {
+		t.Fatalf("rate = %f", rate)
+	}
+	// Doubling the workload doubles the rate needed for the same wall.
+	rate2 := CalibrateRate(pool, m, 2_000_000, 86400)
+	if rate2 <= rate {
+		t.Fatalf("rate not monotonic in workload: %f vs %f", rate, rate2)
+	}
+}

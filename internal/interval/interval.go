@@ -1,0 +1,265 @@
+// Package interval implements the work-unit algebra of the paper
+// (Mezmaz, Melab, Talbi; INRIA RR-5945, §3–4): half-open intervals of node
+// numbers [A, B) over arbitrary-precision integers, the intersection
+// operator used by the fault-tolerance mechanism (eq. 14), and the
+// partitioning operator used by the load-balancing mechanism (§4.2).
+//
+// Node numbers grow factorially with problem size (50 jobs means numbers up
+// to 50! ≈ 3·10^64), so all arithmetic uses math/big. Intervals are the only
+// representation that crosses process boundaries; the exponentially larger
+// active-node lists they encode never leave a worker (paper §3).
+package interval
+
+import (
+	"fmt"
+	"math/big"
+	"strings"
+)
+
+// Interval is a half-open interval [A, B) of node numbers. The zero value is
+// the empty interval [0, 0). Interval values own their big.Int fields:
+// constructors copy their arguments and accessors return copies, so callers
+// can never alias internal state.
+type Interval struct {
+	a, b *big.Int
+}
+
+// New returns the interval [a, b). The arguments are copied.
+func New(a, b *big.Int) Interval {
+	return Interval{a: cloneOrZero(a), b: cloneOrZero(b)}
+}
+
+// FromInt64 returns the interval [a, b) from machine integers, a convenience
+// for tests and small trees.
+func FromInt64(a, b int64) Interval {
+	return Interval{a: big.NewInt(a), b: big.NewInt(b)}
+}
+
+func cloneOrZero(x *big.Int) *big.Int {
+	if x == nil {
+		return new(big.Int)
+	}
+	return new(big.Int).Set(x)
+}
+
+// A returns a copy of the interval's beginning.
+func (iv Interval) A() *big.Int { return cloneOrZero(iv.a) }
+
+// B returns a copy of the interval's end.
+func (iv Interval) B() *big.Int { return cloneOrZero(iv.b) }
+
+// Clone returns a deep copy of the interval.
+func (iv Interval) Clone() Interval { return Interval{a: iv.A(), b: iv.B()} }
+
+// IsEmpty reports whether the interval contains no numbers, i.e. A >= B.
+// The paper removes such intervals from INTERVALS automatically (§4.3).
+func (iv Interval) IsEmpty() bool {
+	if iv.a == nil || iv.b == nil {
+		return true
+	}
+	return iv.a.Cmp(iv.b) >= 0
+}
+
+// Len returns B-A if positive and zero otherwise: the number of not-yet
+// explored leaf numbers the interval represents (the paper's interval
+// "length", §4.2).
+func (iv Interval) Len() *big.Int {
+	if iv.IsEmpty() {
+		return new(big.Int)
+	}
+	return new(big.Int).Sub(iv.b, iv.a)
+}
+
+// Contains reports whether the number x lies in [A, B).
+func (iv Interval) Contains(x *big.Int) bool {
+	if iv.IsEmpty() {
+		return false
+	}
+	return iv.a.Cmp(x) <= 0 && x.Cmp(iv.b) < 0
+}
+
+// ContainsInterval reports whether other ⊆ iv. The empty interval is
+// contained in every interval, matching the set-theoretic convention the
+// unfold elimination rule relies on (eq. 12).
+func (iv Interval) ContainsInterval(other Interval) bool {
+	if other.IsEmpty() {
+		return true
+	}
+	if iv.IsEmpty() {
+		return false
+	}
+	return iv.a.Cmp(other.a) <= 0 && other.b.Cmp(iv.b) <= 0
+}
+
+// Overlaps reports whether iv and other share at least one number.
+func (iv Interval) Overlaps(other Interval) bool {
+	if iv.IsEmpty() || other.IsEmpty() {
+		return false
+	}
+	return iv.a.Cmp(other.b) < 0 && other.a.Cmp(iv.b) < 0
+}
+
+// Intersect implements the paper's intersection operator (eq. 14):
+//
+//	[A, B) ∩ [A', B') = [max(A, A'), min(B, B'))
+//
+// It is how a B&B process reconciles its locally explored interval with the
+// coordinator's copy after load balancing shrank one of them (§4.1).
+func (iv Interval) Intersect(other Interval) Interval {
+	a := maxBig(iv.a, other.a)
+	b := minBig(iv.b, other.b)
+	return Interval{a: cloneOrZero(a), b: cloneOrZero(b)}
+}
+
+func maxBig(x, y *big.Int) *big.Int {
+	if x == nil {
+		return y
+	}
+	if y == nil {
+		return x
+	}
+	if x.Cmp(y) >= 0 {
+		return x
+	}
+	return y
+}
+
+func minBig(x, y *big.Int) *big.Int {
+	if x == nil {
+		return y
+	}
+	if y == nil {
+		return x
+	}
+	if x.Cmp(y) <= 0 {
+		return x
+	}
+	return y
+}
+
+// SplitAt implements the partitioning operator (§4.2): it divides [A, B)
+// into the holder part [A, C) and the donated part [C, B). The point c is
+// clamped into [A, B] so the two parts always tile the original interval.
+func (iv Interval) SplitAt(c *big.Int) (holder, donated Interval) {
+	cc := cloneOrZero(c)
+	if iv.IsEmpty() {
+		return Interval{a: iv.A(), b: iv.A()}, Interval{a: iv.A(), b: iv.A()}
+	}
+	if cc.Cmp(iv.a) < 0 {
+		cc.Set(iv.a)
+	}
+	if cc.Cmp(iv.b) > 0 {
+		cc.Set(iv.b)
+	}
+	return Interval{a: iv.A(), b: new(big.Int).Set(cc)},
+		Interval{a: cc, b: iv.B()}
+}
+
+// SplitProportional splits the interval so that the holder keeps a share of
+// holderPower/(holderPower+requesterPower) of its length, the paper's rule
+// for heterogeneous, non-dedicated hosts (§4.2): "the lengths of the two
+// intervals must be proportional to the participation of each one in the
+// calculation". A holder power of zero models the virtual null-power process
+// that owns orphaned intervals, so the requester receives everything.
+// Negative powers are treated as zero. If both powers are zero the split is
+// at A (the whole interval is donated), matching the orphan rule.
+func (iv Interval) SplitProportional(holderPower, requesterPower int64) (holder, donated Interval) {
+	if holderPower < 0 {
+		holderPower = 0
+	}
+	if requesterPower < 0 {
+		requesterPower = 0
+	}
+	total := holderPower + requesterPower
+	if total == 0 {
+		return iv.SplitAt(iv.a)
+	}
+	// C = A + len * holderPower/total, rounded down so ties favour the
+	// requester (the process known to be alive and asking for work).
+	c := iv.Len()
+	c.Mul(c, big.NewInt(holderPower))
+	c.Quo(c, big.NewInt(total))
+	c.Add(c, iv.a)
+	return iv.SplitAt(c)
+}
+
+// Equal reports whether the two intervals denote the same set of numbers.
+// All empty intervals are equal regardless of their bounds.
+func (iv Interval) Equal(other Interval) bool {
+	if iv.IsEmpty() && other.IsEmpty() {
+		return true
+	}
+	if iv.IsEmpty() != other.IsEmpty() {
+		return false
+	}
+	return iv.a.Cmp(other.a) == 0 && iv.b.Cmp(other.b) == 0
+}
+
+// Cmp orders intervals by beginning, then by end; empty intervals order by
+// their raw bounds. It gives the canonical ascending order of work units.
+func (iv Interval) Cmp(other Interval) int {
+	if c := cloneOrZero(iv.a).Cmp(cloneOrZero(other.a)); c != 0 {
+		return c
+	}
+	return cloneOrZero(iv.b).Cmp(cloneOrZero(other.b))
+}
+
+// String renders the interval as "[A,B)".
+func (iv Interval) String() string {
+	return fmt.Sprintf("[%s,%s)", cloneOrZero(iv.a), cloneOrZero(iv.b))
+}
+
+// MarshalText encodes the interval as "A B" in base 10; it is the wire and
+// checkpoint representation, deliberately tiny compared to the active-node
+// lists it stands for (paper abstract: "a special coding of the work units
+// ... allows to optimize the involved communications").
+func (iv Interval) MarshalText() ([]byte, error) {
+	return []byte(cloneOrZero(iv.a).Text(10) + " " + cloneOrZero(iv.b).Text(10)), nil
+}
+
+// UnmarshalText decodes the "A B" form produced by MarshalText.
+func (iv *Interval) UnmarshalText(text []byte) error {
+	fields := strings.Fields(string(text))
+	if len(fields) != 2 {
+		return fmt.Errorf("interval: expected \"A B\", got %q", string(text))
+	}
+	a, ok := new(big.Int).SetString(fields[0], 10)
+	if !ok {
+		return fmt.Errorf("interval: bad beginning %q", fields[0])
+	}
+	b, ok := new(big.Int).SetString(fields[1], 10)
+	if !ok {
+		return fmt.Errorf("interval: bad end %q", fields[1])
+	}
+	iv.a, iv.b = a, b
+	return nil
+}
+
+// GobEncode implements gob.GobEncoder via the text form, so intervals can
+// cross process boundaries in RPC messages and checkpoint files.
+func (iv Interval) GobEncode() ([]byte, error) { return iv.MarshalText() }
+
+// GobDecode implements gob.GobDecoder.
+func (iv *Interval) GobDecode(data []byte) error { return iv.UnmarshalText(data) }
+
+// Union returns the smallest interval containing both operands. It is only
+// meaningful for adjacent or overlapping intervals, which is exactly the
+// situation of a depth-first active list (eq. 9: consecutive ranges abut);
+// ok is false when the operands leave a gap, in which case the hull is still
+// returned for diagnostic purposes.
+func Union(x, y Interval) (hull Interval, ok bool) {
+	if x.IsEmpty() {
+		return y.Clone(), true
+	}
+	if y.IsEmpty() {
+		return x.Clone(), true
+	}
+	a := minBig(x.a, y.a)
+	b := maxBig(x.b, y.b)
+	hull = Interval{a: cloneOrZero(a), b: cloneOrZero(b)}
+	// A gap exists when one interval ends strictly before the other begins.
+	if x.b.Cmp(y.a) < 0 || y.b.Cmp(x.a) < 0 {
+		return hull, false
+	}
+	return hull, true
+}

@@ -1,0 +1,216 @@
+package knapsack
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bb"
+	"repro/internal/core"
+	"repro/internal/tree"
+)
+
+// bruteBest enumerates all subsets; the ground truth for small instances.
+func bruteBest(values, weights []int64, capacity int64) int64 {
+	n := len(values)
+	var best int64
+	for mask := 0; mask < 1<<n; mask++ {
+		var v, w int64
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				v += values[i]
+				w += weights[i]
+			}
+		}
+		if w <= capacity && v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+// TestSolveMatchesBruteForce on random instances (both the sequential
+// engine and the interval explorer).
+func TestSolveMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 20; trial++ {
+		n := 4 + rng.Intn(10)
+		values := make([]int64, n)
+		weights := make([]int64, n)
+		var total int64
+		for i := range values {
+			weights[i] = 1 + rng.Int63n(30)
+			values[i] = 1 + rng.Int63n(50)
+			total += weights[i]
+		}
+		capacity := rng.Int63n(total + 1)
+		want := bruteBest(values, weights, capacity)
+		ins, err := NewInstance("t", capacity, values, weights)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sol, _ := bb.Solve(NewProblem(ins), bb.Infinity)
+		if -sol.Cost != want {
+			t.Fatalf("trial %d: B&B value %d, brute force %d", trial, -sol.Cost, want)
+		}
+		nb := core.NewNumbering(tree.Binary{P: n})
+		e := core.NewExplorer(NewProblem(ins), nb, nb.RootRange(), bb.Infinity)
+		esol, _ := e.Run(1 << 12)
+		if -esol.Cost != want {
+			t.Fatalf("trial %d: explorer value %d, brute force %d", trial, -esol.Cost, want)
+		}
+	}
+}
+
+// TestBoundIsRelaxation: the negated bound never underestimates the best
+// achievable value below a node (property over random positions).
+func TestBoundIsRelaxation(t *testing.T) {
+	ins := Random(12, 9)
+	p := NewProblem(ins)
+	f := func(path uint16, depthSeed uint8) bool {
+		p.Reset()
+		depth := int(depthSeed) % 12
+		for d := 0; d < depth; d++ {
+			p.Descend(int(path>>d) & 1)
+		}
+		lb := p.Bound()
+		// Brute-force the best completion below this node.
+		best := bb.Infinity
+		var walk func(d int)
+		walk = func(d int) {
+			if d == 12 {
+				if c := p.Cost(); c < best {
+					best = c
+				}
+				return
+			}
+			for r := 0; r < 2; r++ {
+				p.Descend(r)
+				walk(d + 1)
+				p.Ascend()
+			}
+		}
+		walk(depth)
+		return lb <= best
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDensityOrdering: the internal item order is by non-increasing
+// value density.
+func TestDensityOrdering(t *testing.T) {
+	ins, err := NewInstance("d", 100,
+		[]int64{10, 30, 20}, []int64{10, 10, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Densities 1, 3, 2 → order positions must map to items 1, 2, 0.
+	want := []int{1, 2, 0}
+	for pos, item := range want {
+		if ins.Order[pos] != item {
+			t.Fatalf("order = %v, want %v", ins.Order, want)
+		}
+	}
+	for pos := 1; pos < len(ins.Values); pos++ {
+		if ins.Values[pos-1]*ins.Weights[pos] < ins.Values[pos]*ins.Weights[pos-1] {
+			t.Fatalf("density not non-increasing at %d", pos)
+		}
+	}
+}
+
+// TestInfeasibleBranchesPruned: over-capacity nodes bound to Infinity and
+// over-capacity leaves cost Infinity — the regular binary tree is kept
+// intact, infeasibility is expressed through the bound as the bb.Problem
+// contract requires.
+func TestInfeasibleBranchesPruned(t *testing.T) {
+	ins, err := NewInstance("tiny", 5, []int64{10, 10}, []int64{6, 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewProblem(ins)
+	p.Reset()
+	p.Descend(0) // take item of weight 6 > capacity 5
+	if p.Bound() != bb.Infinity {
+		t.Fatalf("bound of infeasible node = %d", p.Bound())
+	}
+	p.Descend(0)
+	if p.Cost() != bb.Infinity {
+		t.Fatalf("cost of infeasible leaf = %d", p.Cost())
+	}
+	p.Ascend()
+	p.Ascend()
+	// The whole instance still solves: the only feasible subsets are
+	// empty or nothing, value 0.
+	sol, _ := bb.Solve(NewProblem(ins), bb.Infinity)
+	if sol.Cost != 0 {
+		t.Fatalf("optimum = %d, want 0 (empty subset)", sol.Cost)
+	}
+}
+
+// TestValidation rejects malformed instances.
+func TestValidation(t *testing.T) {
+	if _, err := NewInstance("x", 10, []int64{1}, []int64{1, 2}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := NewInstance("x", 10, nil, nil); err == nil {
+		t.Error("empty instance accepted")
+	}
+	if _, err := NewInstance("x", -1, []int64{1}, []int64{1}); err == nil {
+		t.Error("negative capacity accepted")
+	}
+	if _, err := NewInstance("x", 10, []int64{1}, []int64{0}); err == nil {
+		t.Error("zero weight accepted")
+	}
+	if _, err := NewInstance("x", 10, []int64{-1}, []int64{1}); err == nil {
+		t.Error("negative value accepted")
+	}
+}
+
+// TestValueOfPath evaluates rank paths directly.
+func TestValueOfPath(t *testing.T) {
+	ins, err := NewInstance("v", 100, []int64{5, 7}, []int64{2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, w, err := ins.ValueOfPath([]int{0, 0})
+	if err != nil || v != 12 || w != 5 {
+		t.Fatalf("take-all = (%d,%d,%v)", v, w, err)
+	}
+	v, w, err = ins.ValueOfPath([]int{1, 1})
+	if err != nil || v != 0 || w != 0 {
+		t.Fatalf("take-none = (%d,%d,%v)", v, w, err)
+	}
+	if _, _, err := ins.ValueOfPath([]int{0}); err == nil {
+		t.Error("short path accepted")
+	}
+	if _, _, err := ins.ValueOfPath([]int{0, 2}); err == nil {
+		t.Error("bad rank accepted")
+	}
+}
+
+// TestDecodePath lists taken original indices.
+func TestDecodePath(t *testing.T) {
+	ins, err := NewInstance("d", 100, []int64{10, 30, 20}, []int64{10, 10, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewProblem(ins)
+	// Take positions 0 and 2 → original items 1 and 0.
+	out := p.DecodePath([]int{0, 1, 0})
+	if !strings.Contains(out, "1") || !strings.Contains(out, "0") {
+		t.Errorf("DecodePath = %q", out)
+	}
+}
+
+// TestRandomDeterministic per seed.
+func TestRandomDeterministic(t *testing.T) {
+	a, b := Random(10, 5), Random(10, 5)
+	for i := range a.Values {
+		if a.Values[i] != b.Values[i] || a.Weights[i] != b.Weights[i] {
+			t.Fatal("Random not deterministic")
+		}
+	}
+}

@@ -1,0 +1,361 @@
+// Package p2p implements the peer-to-peer paradigm the paper announces as
+// future work (§6: "It is also planned to use the approach with a peer to
+// peer paradigm. This paradigm makes it possible to push far the
+// scalability limits of the method.").
+//
+// The interval coding carries over unchanged: a work unit is still an
+// interval, but instead of a farmer partitioning a central INTERVALS set,
+// hungry peers steal directly from randomly chosen victims — the victim
+// folds its remaining work, splits it in half, restricts its own explorer
+// to the left part and hands the right part over. No central copy of the
+// work exists, so the farmer bottleneck disappears; what must be rebuilt is
+// termination detection, which the farmer got for free (§4.3). This
+// package uses the Dijkstra–Feijen–van Gasteren ring-token algorithm with
+// conservative blackening: any peer that donated work since the last token
+// pass taints the token, forcing another round.
+//
+// Solution sharing degenerates to a shared incumbent cell: peers publish
+// improvements immediately and adopt the global cost between steps —
+// rules (2) and (3) of §4.4 without the coordinator in the middle.
+package p2p
+
+import (
+	"fmt"
+	"math/big"
+	"math/rand"
+	"sync"
+
+	"repro/internal/bb"
+	"repro/internal/core"
+	"repro/internal/interval"
+)
+
+// Options parameterizes a peer-to-peer resolution.
+type Options struct {
+	// Peers is the number of concurrent B&B processes. Default 4.
+	Peers int
+	// InitialUpper primes the shared incumbent (0 → Infinity).
+	InitialUpper int64
+	// StepBudget is the engine slice between protocol interactions.
+	// Default 4096.
+	StepBudget int64
+	// Seed drives victim selection. Runs are concurrent, so equal seeds
+	// do not make runs identical; the seed only pins the victim
+	// sequence per peer.
+	Seed int64
+}
+
+// Result summarizes a resolution.
+type Result struct {
+	// Best is the proven optimum.
+	Best bb.Solution
+	// Stats aggregates all peers' engine counters.
+	Stats bb.Stats
+	// Steals counts successful work transfers; StealAttempts all tries.
+	Steals, StealAttempts int64
+	// TokenRounds counts full circulations of the termination token.
+	TokenRounds int64
+	// PerPeer are the per-peer explored-node counts.
+	PerPeer []int64
+}
+
+// sharedBest is the decentralized SOLUTION: an incumbent cell all peers
+// read and write. A mutex (not atomics) keeps cost and path consistent;
+// contention is negligible next to exploration.
+type sharedBest struct {
+	mu   sync.Mutex
+	cost int64
+	path []int
+}
+
+func (b *sharedBest) get() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.cost
+}
+
+func (b *sharedBest) offer(sol bb.Solution) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if sol.Cost < b.cost {
+		b.cost = sol.Cost
+		b.path = append(b.path[:0], sol.Path...)
+	}
+}
+
+func (b *sharedBest) solution() bb.Solution {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.path == nil {
+		return bb.Solution{Cost: b.cost}
+	}
+	return bb.Solution{Cost: b.cost, Path: append([]int(nil), b.path...)}
+}
+
+// stealRequest asks a victim for work; the reply is an interval (empty =
+// nothing to give).
+type stealRequest struct {
+	reply chan interval.Interval
+}
+
+// token is the termination-detection message.
+type token struct {
+	black  bool
+	rounds int64
+}
+
+// peer is one B&B process.
+type peer struct {
+	idx   int
+	ex    *core.Explorer
+	rng   *rand.Rand
+	best  *sharedBest
+	group *group
+
+	steals chan stealRequest
+	tokens chan token
+
+	// dirty marks "donated work since last token pass" (conservative
+	// blackening).
+	dirty bool
+
+	stats struct {
+		steals, attempts int64
+	}
+}
+
+// group is the shared wiring of a resolution.
+type group struct {
+	peers []*peer
+	done  chan struct{} // closed on termination
+	once  sync.Once
+
+	mu          sync.Mutex
+	tokenRounds int64
+}
+
+func (g *group) terminate(rounds int64) {
+	g.once.Do(func() {
+		g.mu.Lock()
+		g.tokenRounds = rounds
+		g.mu.Unlock()
+		close(g.done)
+	})
+}
+
+// Solve runs the peer-to-peer resolution to completion and returns the
+// proven optimum. factory must return a fresh Problem per call.
+func Solve(factory func() bb.Problem, opt Options) (Result, error) {
+	if opt.Peers <= 0 {
+		opt.Peers = 4
+	}
+	if opt.StepBudget <= 0 {
+		opt.StepBudget = 4096
+	}
+	upper := opt.InitialUpper
+	if upper <= 0 {
+		upper = bb.Infinity
+	}
+
+	nb := core.NewNumbering(factory().Shape())
+	best := &sharedBest{cost: upper}
+	g := &group{done: make(chan struct{})}
+	for i := 0; i < opt.Peers; i++ {
+		p := &peer{
+			idx:    i,
+			rng:    rand.New(rand.NewSource(opt.Seed + int64(i)*7919)),
+			best:   best,
+			group:  g,
+			steals: make(chan stealRequest, opt.Peers),
+			tokens: make(chan token, 1),
+		}
+		// Peer 0 starts with the whole tree; the others start empty
+		// and steal their first interval — exactly how grid workers
+		// join an ongoing computation.
+		iv := interval.Interval{}
+		if i == 0 {
+			iv = nb.RootRange()
+		}
+		p.ex = core.NewExplorer(factory(), nb, iv, upper)
+		p.ex.OnImprove = func(sol bb.Solution) { best.offer(sol) }
+		g.peers = append(g.peers, p)
+	}
+
+	var wg sync.WaitGroup
+	for _, p := range g.peers {
+		wg.Add(1)
+		go func(p *peer) {
+			defer wg.Done()
+			p.run(opt.StepBudget)
+		}(p)
+	}
+	// Peer 0 initiates the termination token once; it circulates
+	// forever, held by busy peers, until a white round completes.
+	g.peers[0].tokens <- token{}
+	wg.Wait()
+
+	res := Result{Best: best.solution(), PerPeer: make([]int64, opt.Peers)}
+	for i, p := range g.peers {
+		st := p.ex.Stats()
+		res.Stats.Add(st)
+		res.PerPeer[i] = st.Explored
+		res.Steals += p.stats.steals
+		res.StealAttempts += p.stats.attempts
+	}
+	g.mu.Lock()
+	res.TokenRounds = g.tokenRounds
+	g.mu.Unlock()
+	if res.Best.Cost < upper && !res.Best.Valid() {
+		return res, fmt.Errorf("p2p: inconsistent incumbent (cost %d without a path)", res.Best.Cost)
+	}
+	return res, nil
+}
+
+// run is the peer's main loop.
+func (p *peer) run(stepBudget int64) {
+	for {
+		select {
+		case <-p.group.done:
+			return
+		default:
+		}
+		p.serveSteals()
+		p.serveToken()
+		if p.ex.Done() {
+			if !p.trySteal() {
+				// Idle: wait for work, the token, or the end.
+				if !p.idleWait() {
+					return
+				}
+			}
+			continue
+		}
+		p.ex.AdoptBest(p.best.get())
+		p.ex.Step(stepBudget)
+	}
+}
+
+// serveSteals answers pending steal requests without blocking. A victim
+// with work folds its remainder (eq. 10), splits at the midpoint, restricts
+// itself to the left half (the part it is already exploring, §4.2) and
+// donates the right half.
+func (p *peer) serveSteals() {
+	for {
+		select {
+		case req := <-p.steals:
+			req.reply <- p.donate()
+		default:
+			return
+		}
+	}
+}
+
+// donate carves off half of the remaining interval, or returns an empty
+// interval when there is nothing worth giving.
+func (p *peer) donate() interval.Interval {
+	if p.ex.Done() {
+		return interval.Interval{}
+	}
+	rem := p.ex.Remaining()
+	if rem.Len().Cmp(big.NewInt(2)) < 0 {
+		return interval.Interval{}
+	}
+	mid := new(big.Int).Add(rem.A(), rem.B())
+	mid.Rsh(mid, 1)
+	keep, give := rem.SplitAt(mid)
+	p.ex.Restrict(keep)
+	p.dirty = true
+	return give
+}
+
+// serveToken forwards the termination token if this peer is idle; busy
+// peers hold it (they are living proof the computation is not over).
+func (p *peer) serveToken() {
+	if !p.ex.Done() {
+		return
+	}
+	select {
+	case t := <-p.tokens:
+		p.forwardToken(t)
+	default:
+	}
+}
+
+// forwardToken applies the Dijkstra–Feijen–van Gasteren rules.
+func (p *peer) forwardToken(t token) {
+	if p.dirty {
+		t.black = true
+		p.dirty = false
+	}
+	n := len(p.group.peers)
+	if p.idx == 0 {
+		t.rounds++
+		if !t.black && t.rounds > 1 {
+			// A full circulation of a white token over idle
+			// peers: no work anywhere, nothing in flight.
+			p.group.terminate(t.rounds)
+			return
+		}
+		t.black = false // start a fresh round
+	}
+	next := p.group.peers[(p.idx+1)%n]
+	select {
+	case next.tokens <- t:
+	case <-p.group.done:
+	}
+}
+
+// trySteal asks one random other peer for work. While waiting for the
+// reply it keeps serving its own steal queue, so two peers stealing from
+// each other cannot deadlock.
+func (p *peer) trySteal() bool {
+	n := len(p.group.peers)
+	if n == 1 {
+		return false
+	}
+	victimIdx := p.rng.Intn(n - 1)
+	if victimIdx >= p.idx {
+		victimIdx++
+	}
+	victim := p.group.peers[victimIdx]
+	p.stats.attempts++
+	req := stealRequest{reply: make(chan interval.Interval, 1)}
+	select {
+	case victim.steals <- req:
+	case <-p.group.done:
+		return false
+	}
+	for {
+		select {
+		case iv := <-req.reply:
+			if iv.IsEmpty() {
+				return false
+			}
+			p.ex.Reassign(iv)
+			p.ex.AdoptBest(p.best.get())
+			p.stats.steals++
+			return true
+		case other := <-p.steals:
+			other.reply <- interval.Interval{} // nothing to give while hungry
+		case t := <-p.tokens:
+			p.forwardToken(t)
+		case <-p.group.done:
+			return false
+		}
+	}
+}
+
+// idleWait blocks until a steal request, the token or termination arrives.
+// It returns false when the resolution is over.
+func (p *peer) idleWait() bool {
+	select {
+	case req := <-p.steals:
+		req.reply <- interval.Interval{}
+		return true
+	case t := <-p.tokens:
+		p.forwardToken(t)
+		return true
+	case <-p.group.done:
+		return false
+	}
+}

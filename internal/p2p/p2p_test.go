@@ -1,0 +1,131 @@
+package p2p
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/bb"
+	"repro/internal/flowshop"
+	"repro/internal/knapsack"
+	"repro/internal/tsp"
+)
+
+// TestP2PSolvesFlowshop: the decentralized runtime proves the sequential
+// optimum across several concurrency levels and seeds.
+func TestP2PSolvesFlowshop(t *testing.T) {
+	ins := flowshop.Taillard(12, 10, 5)
+	factory := func() bb.Problem {
+		return flowshop.NewProblem(ins, flowshop.BoundOneMachine, flowshop.PairsAll)
+	}
+	want, _ := bb.Solve(factory(), bb.Infinity)
+	for _, peers := range []int{1, 2, 4, 8} {
+		for seed := int64(1); seed <= 2; seed++ {
+			res, err := Solve(factory, Options{Peers: peers, Seed: seed, StepBudget: 500})
+			if err != nil {
+				t.Fatalf("peers=%d seed=%d: %v", peers, seed, err)
+			}
+			if res.Best.Cost != want.Cost {
+				t.Fatalf("peers=%d seed=%d: best %d, want %d", peers, seed, res.Best.Cost, want.Cost)
+			}
+			if peers > 1 && res.Steals == 0 {
+				t.Errorf("peers=%d seed=%d: no steals happened", peers, seed)
+			}
+			if res.TokenRounds == 0 {
+				t.Errorf("peers=%d seed=%d: termination without token rounds", peers, seed)
+			}
+		}
+	}
+}
+
+// TestP2PSinglePeer degenerates to sequential exploration.
+func TestP2PSinglePeer(t *testing.T) {
+	ins := knapsack.Random(14, 3)
+	factory := func() bb.Problem { return knapsack.NewProblem(ins) }
+	want, wantStats := bb.Solve(factory(), bb.Infinity)
+	res, err := Solve(factory, Options{Peers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best.Cost != want.Cost {
+		t.Fatalf("best %d, want %d", res.Best.Cost, want.Cost)
+	}
+	if res.Stats.Explored != wantStats.Explored {
+		t.Fatalf("explored %d, sequential %d", res.Stats.Explored, wantStats.Explored)
+	}
+	if res.Steals != 0 || res.StealAttempts != 0 {
+		t.Fatalf("single peer stole: %d/%d", res.Steals, res.StealAttempts)
+	}
+}
+
+// TestP2PTSP: problem independence.
+func TestP2PTSP(t *testing.T) {
+	ins := tsp.RandomEuclidean(10, 200, 8)
+	factory := func() bb.Problem { return tsp.NewProblem(ins) }
+	want, _ := bb.Solve(factory(), bb.Infinity)
+	res, err := Solve(factory, Options{Peers: 4, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best.Cost != want.Cost {
+		t.Fatalf("best %d, want %d", res.Best.Cost, want.Cost)
+	}
+}
+
+// TestP2PWithInitialUpper: priming at the optimum leaves no improving leaf;
+// priming above recovers the solution.
+func TestP2PWithInitialUpper(t *testing.T) {
+	ins := flowshop.Taillard(10, 6, 21)
+	factory := func() bb.Problem {
+		return flowshop.NewProblem(ins, flowshop.BoundOneMachine, flowshop.PairsAll)
+	}
+	want, _ := bb.Solve(factory(), bb.Infinity)
+	res, err := Solve(factory, Options{Peers: 4, InitialUpper: want.Cost + 1, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best.Cost != want.Cost {
+		t.Fatalf("primed best %d, want %d", res.Best.Cost, want.Cost)
+	}
+}
+
+// TestP2PWorkDistribution: with enough peers and a real workload, more
+// than one peer ends up exploring (the steal mechanism spreads work).
+func TestP2PWorkDistribution(t *testing.T) {
+	ins := flowshop.Taillard(12, 10, 5)
+	factory := func() bb.Problem {
+		return flowshop.NewProblem(ins, flowshop.BoundOneMachine, flowshop.PairsAll)
+	}
+	res, err := Solve(factory, Options{Peers: 4, Seed: 11, StepBudget: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	working := 0
+	for _, n := range res.PerPeer {
+		if n > 0 {
+			working++
+		}
+	}
+	if working < 2 {
+		t.Fatalf("only %d peers explored anything: %v", working, res.PerPeer)
+	}
+}
+
+// TestP2PTerminatesPromptly guards against termination-protocol hangs.
+func TestP2PTerminatesPromptly(t *testing.T) {
+	ins := flowshop.Taillard(9, 5, 2)
+	factory := func() bb.Problem {
+		return flowshop.NewProblem(ins, flowshop.BoundOneMachine, flowshop.PairsAll)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if _, err := Solve(factory, Options{Peers: 6, Seed: 5}); err != nil {
+			t.Error(err)
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("p2p resolution hung")
+	}
+}

@@ -1,0 +1,196 @@
+package qap
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bb"
+	"repro/internal/core"
+)
+
+// bruteBest enumerates all assignments.
+func bruteBest(ins *Instance) int64 {
+	loc := make([]int, ins.N)
+	for i := range loc {
+		loc[i] = i
+	}
+	best := int64(1) << 62
+	var walk func(k int)
+	walk = func(k int) {
+		if k == ins.N {
+			if c := ins.Cost(loc); c < best {
+				best = c
+			}
+			return
+		}
+		for i := k; i < ins.N; i++ {
+			loc[k], loc[i] = loc[i], loc[k]
+			walk(k + 1)
+			loc[k], loc[i] = loc[i], loc[k]
+		}
+	}
+	walk(0)
+	return best
+}
+
+// TestSolveMatchesBruteForce on random instances, via both engines.
+func TestSolveMatchesBruteForce(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		ins := Random(7, 20, seed)
+		want := bruteBest(ins)
+		sol, _ := bb.Solve(NewProblem(ins), bb.Infinity)
+		if sol.Cost != want {
+			t.Fatalf("seed %d: B&B %d, brute force %d", seed, sol.Cost, want)
+		}
+		nb := core.NewNumbering(NewProblem(ins).Shape())
+		e := core.NewExplorer(NewProblem(ins), nb, nb.RootRange(), bb.Infinity)
+		esol, _ := e.Run(1 << 12)
+		if esol.Cost != want {
+			t.Fatalf("seed %d: explorer %d, brute force %d", seed, esol.Cost, want)
+		}
+		loc, err := AssignmentOfPath(ins.N, sol.Path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ins.Cost(loc) != want {
+			t.Fatalf("seed %d: decoded assignment costs %d, want %d", seed, ins.Cost(loc), want)
+		}
+	}
+}
+
+// TestCostByHand verifies the objective on a tiny hand-checked case.
+func TestCostByHand(t *testing.T) {
+	// Two facilities, flow 0-1 = 3 (symmetric); locations 5 apart.
+	flow := [][]int64{{0, 3}, {3, 0}}
+	dist := [][]int64{{0, 5}, {5, 0}}
+	ins, err := NewInstance("hand", flow, dist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Either assignment costs 3·5 + 3·5 = 30.
+	if got := ins.Cost([]int{0, 1}); got != 30 {
+		t.Fatalf("cost(0,1) = %d, want 30", got)
+	}
+	if got := ins.Cost([]int{1, 0}); got != 30 {
+		t.Fatalf("cost(1,0) = %d, want 30", got)
+	}
+}
+
+// TestBoundAdmissible: the Gilmore–Lawler-style bound never exceeds the
+// best completion (property over random partial assignments).
+func TestBoundAdmissible(t *testing.T) {
+	ins := Random(7, 15, 11)
+	p := NewProblem(ins)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p.Reset()
+		depth := rng.Intn(ins.N)
+		for d := 0; d < depth; d++ {
+			p.Descend(rng.Intn(ins.N - d))
+		}
+		lb := p.Bound()
+		best := bb.Infinity
+		var walk func(d int)
+		walk = func(d int) {
+			if d == ins.N {
+				if c := p.Cost(); c < best {
+					best = c
+				}
+				return
+			}
+			for r := 0; r < ins.N-d; r++ {
+				p.Descend(r)
+				walk(d + 1)
+				p.Ascend()
+			}
+		}
+		walk(depth)
+		return lb <= best
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDescendAscendInverse: the state machine restores exactly.
+func TestDescendAscendInverse(t *testing.T) {
+	ins := Random(6, 10, 3)
+	p := NewProblem(ins)
+	p.Descend(2)
+	p.Descend(0)
+	b1 := p.Bound()
+	p.Descend(1)
+	p.Ascend()
+	if got := p.Bound(); got != b1 {
+		t.Fatalf("bound after descend+ascend = %d, want %d", got, b1)
+	}
+	p.Ascend()
+	p.Ascend()
+	p.Descend(2)
+	p.Descend(0)
+	if got := p.Bound(); got != b1 {
+		t.Fatalf("bound after full rewind = %d, want %d", got, b1)
+	}
+}
+
+// TestValidation rejects malformed matrices.
+func TestValidation(t *testing.T) {
+	ok := [][]int64{{0, 1}, {1, 0}}
+	if _, err := NewInstance("x", ok, ok); err != nil {
+		t.Fatalf("valid instance rejected: %v", err)
+	}
+	if _, err := NewInstance("x", [][]int64{{0}}, [][]int64{{0}}); err == nil {
+		t.Error("1-facility instance accepted")
+	}
+	if _, err := NewInstance("x", ok, [][]int64{{0, 1}}); err == nil {
+		t.Error("dimension mismatch accepted")
+	}
+	if _, err := NewInstance("x", [][]int64{{0, -1}, {1, 0}}, ok); err == nil {
+		t.Error("negative flow accepted")
+	}
+}
+
+// TestAssignmentOfPath rejects malformed paths.
+func TestAssignmentOfPath(t *testing.T) {
+	loc, err := AssignmentOfPath(4, []int{3, 0, 0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{3, 0, 1, 2}
+	for i := range want {
+		if loc[i] != want[i] {
+			t.Fatalf("assignment = %v, want %v", loc, want)
+		}
+	}
+	if _, err := AssignmentOfPath(3, []int{0, 0, 0, 0}); err == nil {
+		t.Error("overlong path accepted")
+	}
+	if _, err := AssignmentOfPath(3, []int{7}); err == nil {
+		t.Error("bad rank accepted")
+	}
+}
+
+// TestDecodePath covers the bb.Decoder implementation.
+func TestDecodePath(t *testing.T) {
+	ins := Random(4, 9, 1)
+	p := NewProblem(ins)
+	if out := p.DecodePath([]int{1, 0, 0, 0}); !strings.Contains(out, "[1 0 2 3]") {
+		t.Errorf("DecodePath = %q", out)
+	}
+	if !strings.Contains(p.DecodePath([]int{9}), "invalid") {
+		t.Error("bad path not flagged")
+	}
+}
+
+// TestCostPanicsOnBadAssignment guards the evaluator.
+func TestCostPanicsOnBadAssignment(t *testing.T) {
+	ins := Random(4, 9, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	ins.Cost([]int{0, 1})
+}

@@ -1,0 +1,147 @@
+package transport
+
+import (
+	"fmt"
+	"net"
+	"net/rpc"
+	"sync"
+)
+
+// RPCService adapts a Coordinator to the net/rpc calling convention so a
+// farmer can serve workers across machines. All methods are goroutine-safe
+// if the underlying Coordinator is.
+type RPCService struct {
+	coord Coordinator
+}
+
+// NewRPCService wraps a coordinator.
+func NewRPCService(coord Coordinator) *RPCService { return &RPCService{coord: coord} }
+
+// RequestWork is the RPC wrapper of Coordinator.RequestWork.
+func (s *RPCService) RequestWork(req *WorkRequest, reply *WorkReply) error {
+	r, err := s.coord.RequestWork(*req)
+	if err != nil {
+		return err
+	}
+	*reply = r
+	return nil
+}
+
+// UpdateInterval is the RPC wrapper of Coordinator.UpdateInterval.
+func (s *RPCService) UpdateInterval(req *UpdateRequest, reply *UpdateReply) error {
+	r, err := s.coord.UpdateInterval(*req)
+	if err != nil {
+		return err
+	}
+	*reply = r
+	return nil
+}
+
+// ReportSolution is the RPC wrapper of Coordinator.ReportSolution.
+func (s *RPCService) ReportSolution(req *SolutionReport, reply *SolutionAck) error {
+	r, err := s.coord.ReportSolution(*req)
+	if err != nil {
+		return err
+	}
+	*reply = r
+	return nil
+}
+
+// serviceName is the rpc-registered name of the farmer service.
+const serviceName = "GridBB"
+
+// Server serves a Coordinator over TCP.
+type Server struct {
+	listener net.Listener
+	rpcSrv   *rpc.Server
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// Serve registers the coordinator and starts accepting connections on addr
+// (e.g. ":4321"). It returns immediately; connections are handled on
+// background goroutines until Close.
+func Serve(coord Coordinator, addr string) (*Server, error) {
+	srv := rpc.NewServer()
+	if err := srv.RegisterName(serviceName, NewRPCService(coord)); err != nil {
+		return nil, fmt.Errorf("transport: register: %w", err)
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
+	}
+	s := &Server{listener: ln, rpcSrv: srv}
+	go s.acceptLoop()
+	return s, nil
+}
+
+func (s *Server) acceptLoop() {
+	for {
+		conn, err := s.listener.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return
+			}
+			// Transient accept errors: keep serving.
+			continue
+		}
+		go s.rpcSrv.ServeConn(conn)
+	}
+}
+
+// Addr returns the bound address, useful when addr was ":0".
+func (s *Server) Addr() string { return s.listener.Addr().String() }
+
+// Close stops accepting connections. In-flight calls finish on their own.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	return s.listener.Close()
+}
+
+// Client is a Coordinator implementation that forwards calls to a remote
+// farmer over TCP. Calls are synchronous, matching the pull model: the
+// worker blocks on its own outbound request, never the reverse.
+type Client struct {
+	rc *rpc.Client
+}
+
+// Dial connects to a farmer served by Serve.
+func Dial(addr string) (*Client, error) {
+	rc, err := rpc.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
+	}
+	return &Client{rc: rc}, nil
+}
+
+// RequestWork implements Coordinator.
+func (c *Client) RequestWork(req WorkRequest) (WorkReply, error) {
+	var reply WorkReply
+	err := c.rc.Call(serviceName+".RequestWork", &req, &reply)
+	return reply, err
+}
+
+// UpdateInterval implements Coordinator.
+func (c *Client) UpdateInterval(req UpdateRequest) (UpdateReply, error) {
+	var reply UpdateReply
+	err := c.rc.Call(serviceName+".UpdateInterval", &req, &reply)
+	return reply, err
+}
+
+// ReportSolution implements Coordinator.
+func (c *Client) ReportSolution(req SolutionReport) (SolutionAck, error) {
+	var reply SolutionAck
+	err := c.rc.Call(serviceName+".ReportSolution", &req, &reply)
+	return reply, err
+}
+
+// Close tears down the connection.
+func (c *Client) Close() error { return c.rc.Close() }
+
+var _ Coordinator = (*Client)(nil)

@@ -1,0 +1,143 @@
+// Package transport defines the farmer–worker protocol of the paper's
+// architecture (§4) and its two carriers: direct in-process calls and a TCP
+// net/rpc transport for multi-process deployments.
+//
+// The protocol is strictly pull-model: workers initiate every exchange and
+// the farmer never contacts a worker, because workers "can be behind
+// fire-walls" (§4). There are exactly three worker-initiated operations:
+//
+//   - RequestWork — ask for an interval (on joining and on finishing one);
+//   - UpdateInterval — periodically re-register the folded remaining
+//     interval (the worker-side checkpoint of §4.1) and learn of any
+//     shrink decided by load balancing, plus the current global best;
+//   - ReportSolution — push an improving solution immediately (§4.4).
+//
+// Every message carries intervals, never node lists: that size asymmetry is
+// the paper's central optimization, quantified by BenchmarkAblationWorkUnitEncoding.
+package transport
+
+import (
+	"repro/internal/interval"
+)
+
+// WorkerID identifies a B&B process. IDs are chosen by workers (hostname,
+// pid, index...) and only need to be unique within one resolution.
+type WorkerID string
+
+// WorkStatus is the coordinator's verdict on a work request.
+type WorkStatus int
+
+const (
+	// WorkAssigned: the reply carries an interval to explore.
+	WorkAssigned WorkStatus = iota
+	// WorkWait: nothing to assign right now; retry later. Rare — it only
+	// happens transiently while the coordinator restores a checkpoint.
+	WorkWait
+	// WorkFinished: INTERVALS is empty, the resolution is over; the
+	// worker must stop (§4.3: the process "is informed by the
+	// coordinator that it must resume").
+	WorkFinished
+)
+
+// String renders the status for logs.
+func (s WorkStatus) String() string {
+	switch s {
+	case WorkAssigned:
+		return "assigned"
+	case WorkWait:
+		return "wait"
+	case WorkFinished:
+		return "finished"
+	default:
+		return "unknown"
+	}
+}
+
+// WorkRequest asks the coordinator for an interval.
+type WorkRequest struct {
+	// Worker identifies the requesting process.
+	Worker WorkerID
+	// Power is the requester's self-estimated exploration speed (nodes
+	// per second); the partitioning operator splits proportionally to
+	// the holder's and requester's powers (§4.2).
+	Power int64
+}
+
+// WorkReply carries the assignment.
+type WorkReply struct {
+	// Status qualifies the reply; the other fields are only meaningful
+	// for WorkAssigned.
+	Status WorkStatus
+	// IntervalID names the coordinator-side copy; the worker echoes it
+	// in updates.
+	IntervalID int64
+	// Interval is the assigned work unit.
+	Interval interval.Interval
+	// BestCost is the current global best (rule 1 of solution sharing:
+	// the worker initializes its local best from SOLUTION, §4.4).
+	BestCost int64
+	// Duplicated tells the worker its interval is shared with other
+	// processes (informational; behaviour is identical).
+	Duplicated bool
+}
+
+// UpdateRequest re-registers a worker's remaining interval.
+type UpdateRequest struct {
+	// Worker identifies the process.
+	Worker WorkerID
+	// IntervalID names the coordinator-side copy being updated.
+	IntervalID int64
+	// Remaining is the fold of the worker's active-node list.
+	Remaining interval.Interval
+	// Power refreshes the worker's speed estimate.
+	Power int64
+	// ExploredDelta, PrunedDelta, LeavesDelta report exploration
+	// progress since the previous message, for the Table 2 statistics.
+	ExploredDelta, PrunedDelta, LeavesDelta int64
+}
+
+// UpdateReply carries the reconciled interval.
+type UpdateReply struct {
+	// Finished is true when the whole resolution is over.
+	Finished bool
+	// Known is false when the coordinator no longer tracks the interval
+	// (it was completed, or reassigned after the worker was presumed
+	// dead); the worker should drop it and request fresh work.
+	Known bool
+	// Interval is the authoritative copy after intersection (eq. 14);
+	// the worker must restrict itself to it.
+	Interval interval.Interval
+	// BestCost is the current global best (rule 3 of solution sharing).
+	BestCost int64
+}
+
+// SolutionReport pushes an improving solution (rule 2 of solution sharing).
+type SolutionReport struct {
+	// Worker identifies the discoverer.
+	Worker WorkerID
+	// Cost is the solution's objective value.
+	Cost int64
+	// Path is the rank path of the leaf (problem-independent form).
+	Path []int
+}
+
+// SolutionAck acknowledges a report.
+type SolutionAck struct {
+	// BestCost is the global best after processing the report — it may
+	// be better than the reported cost if another worker beat this one.
+	BestCost int64
+	// Accepted is true when the report improved SOLUTION.
+	Accepted bool
+}
+
+// Coordinator is the farmer-side API workers pull on. Implementations must
+// be safe for concurrent use by many workers.
+type Coordinator interface {
+	// RequestWork implements the load-balancing entry point (§4.2).
+	RequestWork(req WorkRequest) (WorkReply, error)
+	// UpdateInterval implements the worker-side checkpoint (§4.1) and
+	// the lazy propagation of partitioning decisions.
+	UpdateInterval(req UpdateRequest) (UpdateReply, error)
+	// ReportSolution implements immediate solution sharing (§4.4).
+	ReportSolution(req SolutionReport) (SolutionAck, error)
+}

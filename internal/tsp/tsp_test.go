@@ -1,0 +1,196 @@
+package tsp
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bb"
+	"repro/internal/core"
+)
+
+// bruteBest enumerates all tours.
+func bruteBest(ins *Instance) int64 {
+	cities := make([]int, 0, ins.N-1)
+	for c := 1; c < ins.N; c++ {
+		cities = append(cities, c)
+	}
+	best := int64(1) << 62
+	var walk func(k int)
+	walk = func(k int) {
+		if k == len(cities) {
+			if l := ins.TourLength(cities); l < best {
+				best = l
+			}
+			return
+		}
+		for i := k; i < len(cities); i++ {
+			cities[k], cities[i] = cities[i], cities[k]
+			walk(k + 1)
+			cities[k], cities[i] = cities[i], cities[k]
+		}
+	}
+	walk(0)
+	return best
+}
+
+// TestSolveMatchesBruteForce on random Euclidean instances.
+func TestSolveMatchesBruteForce(t *testing.T) {
+	for seed := int64(1); seed <= 6; seed++ {
+		ins := RandomEuclidean(8, 100, seed)
+		want := bruteBest(ins)
+		sol, _ := bb.Solve(NewProblem(ins), bb.Infinity)
+		if sol.Cost != want {
+			t.Fatalf("seed %d: B&B %d, brute force %d", seed, sol.Cost, want)
+		}
+		nb := core.NewNumbering(NewProblem(ins).Shape())
+		e := core.NewExplorer(NewProblem(ins), nb, nb.RootRange(), bb.Infinity)
+		esol, _ := e.Run(1 << 12)
+		if esol.Cost != want {
+			t.Fatalf("seed %d: explorer %d, brute force %d", seed, esol.Cost, want)
+		}
+	}
+}
+
+// TestTourLengthByHand on a unit square: the optimal cycle is the
+// perimeter.
+func TestTourLengthByHand(t *testing.T) {
+	// Cities at square corners, side 10: distances 10 (sides) and 14
+	// (diagonals, rounded).
+	dist := [][]int64{
+		{0, 10, 14, 10},
+		{10, 0, 10, 14},
+		{14, 10, 0, 10},
+		{10, 14, 10, 0},
+	}
+	ins, err := NewInstance("square", dist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ins.TourLength([]int{1, 2, 3}); got != 40 {
+		t.Fatalf("perimeter tour = %d, want 40", got)
+	}
+	if got := ins.TourLength([]int{2, 1, 3}); got != 48 {
+		t.Fatalf("crossing tour = %d, want 48", got)
+	}
+	sol, _ := bb.Solve(NewProblem(ins), bb.Infinity)
+	if sol.Cost != 40 {
+		t.Fatalf("optimum = %d, want the perimeter 40", sol.Cost)
+	}
+}
+
+// TestBoundAdmissible: the bound never exceeds the best completion
+// (property over random partial tours).
+func TestBoundAdmissible(t *testing.T) {
+	ins := RandomEuclidean(8, 100, 3)
+	p := NewProblem(ins)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p.Reset()
+		depth := rng.Intn(ins.N - 1)
+		for d := 0; d < depth; d++ {
+			p.Descend(rng.Intn(ins.N - 1 - d))
+		}
+		lb := p.Bound()
+		best := bb.Infinity
+		var walk func(d int)
+		walk = func(d int) {
+			if d == ins.N-1 {
+				if c := p.Cost(); c < best {
+					best = c
+				}
+				return
+			}
+			for r := 0; r < ins.N-1-d; r++ {
+				p.Descend(r)
+				walk(d + 1)
+				p.Ascend()
+			}
+		}
+		walk(depth)
+		return lb <= best
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestValidation rejects malformed matrices.
+func TestValidation(t *testing.T) {
+	if _, err := NewInstance("x", [][]int64{{0, 1}, {1, 0}}); err == nil {
+		t.Error("2-city instance accepted")
+	}
+	if _, err := NewInstance("x", [][]int64{{0, 1, 2}, {1, 0, 3}}); err == nil {
+		t.Error("ragged matrix accepted")
+	}
+	if _, err := NewInstance("x", [][]int64{{0, 1, 2}, {1, 0, 3}, {2, 9, 0}}); err == nil {
+		t.Error("asymmetric matrix accepted")
+	}
+	if _, err := NewInstance("x", [][]int64{{1, 1, 2}, {1, 0, 3}, {2, 3, 0}}); err == nil {
+		t.Error("nonzero diagonal accepted")
+	}
+	if _, err := NewInstance("x", [][]int64{{0, -1, 2}, {-1, 0, 3}, {2, 3, 0}}); err == nil {
+		t.Error("negative distance accepted")
+	}
+}
+
+// TestTourLengthPanicsOnBadTour guards the evaluator.
+func TestTourLengthPanicsOnBadTour(t *testing.T) {
+	ins := RandomEuclidean(5, 50, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on short tour")
+		}
+	}()
+	ins.TourLength([]int{1, 2})
+}
+
+// TestTourOfPath decodes rank paths, rejecting malformed ones.
+func TestTourOfPath(t *testing.T) {
+	tour, err := TourOfPath(5, []int{0, 0, 0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{1, 2, 3, 4}
+	for i := range want {
+		if tour[i] != want[i] {
+			t.Fatalf("tour = %v, want %v", tour, want)
+		}
+	}
+	if _, err := TourOfPath(5, []int{9}); err == nil {
+		t.Error("bad rank accepted")
+	}
+	if _, err := TourOfPath(3, []int{0, 0, 0}); err == nil {
+		t.Error("overlong path accepted")
+	}
+}
+
+// TestDecodePath covers the bb.Decoder implementation.
+func TestDecodePath(t *testing.T) {
+	ins := RandomEuclidean(5, 50, 2)
+	p := NewProblem(ins)
+	out := p.DecodePath([]int{3, 0, 0, 0})
+	if !strings.Contains(out, "[0 4 1 2 3]") {
+		t.Errorf("DecodePath = %q", out)
+	}
+	if !strings.Contains(p.DecodePath([]int{9}), "invalid") {
+		t.Error("bad path not flagged")
+	}
+}
+
+// TestRandomEuclideanSymmetric: generated instances satisfy the symmetric
+// TSP contract by construction.
+func TestRandomEuclideanSymmetric(t *testing.T) {
+	ins := RandomEuclidean(12, 1000, 9)
+	for i := 0; i < ins.N; i++ {
+		if ins.Dist[i][i] != 0 {
+			t.Fatalf("nonzero diagonal at %d", i)
+		}
+		for j := 0; j < ins.N; j++ {
+			if ins.Dist[i][j] != ins.Dist[j][i] {
+				t.Fatalf("asymmetry at (%d,%d)", i, j)
+			}
+		}
+	}
+}

@@ -1,0 +1,204 @@
+package worker
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/flowshop"
+	"repro/internal/interval"
+	"repro/internal/transport"
+)
+
+// scriptedCoordinator replays canned replies and can inject failures, to
+// exercise the worker paths a healthy farmer never triggers.
+type scriptedCoordinator struct {
+	workReplies []transport.WorkReply
+	workErrs    []error
+	updateErr   error
+	reportErr   error
+	updates     int64
+}
+
+func (s *scriptedCoordinator) RequestWork(transport.WorkRequest) (transport.WorkReply, error) {
+	if len(s.workErrs) > 0 {
+		err := s.workErrs[0]
+		s.workErrs = s.workErrs[1:]
+		if err != nil {
+			return transport.WorkReply{}, err
+		}
+	}
+	if len(s.workReplies) == 0 {
+		return transport.WorkReply{Status: transport.WorkFinished}, nil
+	}
+	r := s.workReplies[0]
+	s.workReplies = s.workReplies[1:]
+	return r, nil
+}
+
+func (s *scriptedCoordinator) UpdateInterval(req transport.UpdateRequest) (transport.UpdateReply, error) {
+	s.updates++
+	if s.updateErr != nil {
+		return transport.UpdateReply{}, s.updateErr
+	}
+	return transport.UpdateReply{Known: true, Interval: req.Remaining, BestCost: 1 << 62}, nil
+}
+
+func (s *scriptedCoordinator) ReportSolution(transport.SolutionReport) (transport.SolutionAck, error) {
+	if s.reportErr != nil {
+		return transport.SolutionAck{}, s.reportErr
+	}
+	return transport.SolutionAck{BestCost: 1 << 62}, nil
+}
+
+func sessionProblem() *flowshop.Problem {
+	return flowshop.NewProblem(flowshop.Taillard(7, 4, 3), flowshop.BoundOneMachine, flowshop.PairsAll)
+}
+
+// TestSessionWaitReply: a Wait reply surfaces as (0, false, nil) so the
+// caller can back off — the paper's cycle-stealing worker keeps polling.
+func TestSessionWaitReply(t *testing.T) {
+	p := sessionProblem()
+	nb := core.NewNumbering(p.Shape())
+	coord := &scriptedCoordinator{workReplies: []transport.WorkReply{
+		{Status: transport.WorkWait},
+		{Status: transport.WorkAssigned, IntervalID: 1, Interval: nb.RootRange(), BestCost: 1 << 62},
+	}}
+	s := NewSession(Config{ID: "w", Power: 1, UpdatePeriodNodes: 1000}, coord, p)
+	n, finished, err := s.Advance(100)
+	if err != nil || finished || n != 0 {
+		t.Fatalf("wait reply: n=%d finished=%v err=%v", n, finished, err)
+	}
+	if s.HasWork() {
+		t.Fatal("session claims work after Wait")
+	}
+	n, _, err = s.Advance(100)
+	if err != nil || n == 0 {
+		t.Fatalf("post-wait assignment: n=%d err=%v", n, err)
+	}
+}
+
+// TestSessionRequestError propagates coordinator failures with context.
+func TestSessionRequestError(t *testing.T) {
+	coord := &scriptedCoordinator{workErrs: []error{errors.New("network down")}}
+	s := NewSession(Config{ID: "w", Power: 1}, coord, sessionProblem())
+	if _, _, err := s.Advance(10); err == nil {
+		t.Fatal("request error swallowed")
+	}
+}
+
+// TestSessionUpdateError propagates checkpoint failures.
+func TestSessionUpdateError(t *testing.T) {
+	p := sessionProblem()
+	nb := core.NewNumbering(p.Shape())
+	coord := &scriptedCoordinator{
+		workReplies: []transport.WorkReply{
+			{Status: transport.WorkAssigned, IntervalID: 1, Interval: nb.RootRange(), BestCost: 1 << 62},
+		},
+		updateErr: errors.New("farmer rebooting"),
+	}
+	s := NewSession(Config{ID: "w", Power: 1, UpdatePeriodNodes: 10}, coord, p)
+	_, _, err := s.Advance(1000)
+	if err == nil {
+		t.Fatal("update error swallowed")
+	}
+}
+
+// TestSessionReportError: a failing solution push surfaces on the next
+// Advance return (the hook runs inside the engine step).
+func TestSessionReportError(t *testing.T) {
+	p := sessionProblem()
+	nb := core.NewNumbering(p.Shape())
+	coord := &scriptedCoordinator{
+		workReplies: []transport.WorkReply{
+			// Infinity best so the first leaf triggers a report.
+			{Status: transport.WorkAssigned, IntervalID: 1, Interval: nb.RootRange(), BestCost: 1 << 62},
+		},
+		reportErr: errors.New("push refused"),
+	}
+	s := NewSession(Config{ID: "w", Power: 1, UpdatePeriodNodes: 1 << 20}, coord, p)
+	var sawErr bool
+	for i := 0; i < 100; i++ {
+		if _, _, err := s.Advance(100); err != nil {
+			sawErr = true
+			break
+		}
+	}
+	if !sawErr {
+		t.Fatal("report error never surfaced")
+	}
+}
+
+// TestRunBacksOffOnWait: Run sleeps between Wait replies instead of
+// hammering the coordinator, then finishes cleanly.
+func TestRunBacksOffOnWait(t *testing.T) {
+	coord := &scriptedCoordinator{workReplies: []transport.WorkReply{
+		{Status: transport.WorkWait},
+		{Status: transport.WorkWait},
+		{Status: transport.WorkFinished},
+	}}
+	start := time.Now()
+	_, err := Run(context.Background(), Config{ID: "w", Power: 1}, coord, sessionProblem())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 20*time.Millisecond {
+		t.Fatalf("no backoff: finished in %s", elapsed)
+	}
+}
+
+// TestSessionUnknownStatus: a corrupted reply is an error, not a silent
+// retry loop.
+func TestSessionUnknownStatus(t *testing.T) {
+	coord := &scriptedCoordinator{workReplies: []transport.WorkReply{
+		{Status: transport.WorkStatus(99)},
+	}}
+	s := NewSession(Config{ID: "w", Power: 1}, coord, sessionProblem())
+	if _, _, err := s.Advance(10); err == nil {
+		t.Fatal("unknown status accepted")
+	}
+}
+
+// TestSessionDroppedInterval: Known=false makes the session drop its work
+// and re-request; interval.Interval{} is accepted by Reassign.
+func TestSessionDroppedInterval(t *testing.T) {
+	p := sessionProblem()
+	nb := core.NewNumbering(p.Shape())
+	dropping := &droppingCoordinator{root: nb.RootRange()}
+	s := NewSession(Config{ID: "w", Power: 1, UpdatePeriodNodes: 5}, dropping, p)
+	for i := 0; i < 50 && !s.Finished(); i++ {
+		if _, _, err := s.Advance(100); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if dropping.drops == 0 {
+		t.Fatal("the drop path never ran")
+	}
+}
+
+// droppingCoordinator declares the first update's interval unknown, then
+// behaves normally and finishes.
+type droppingCoordinator struct {
+	root    interval.Interval
+	granted bool
+	drops   int
+}
+
+func (d *droppingCoordinator) RequestWork(transport.WorkRequest) (transport.WorkReply, error) {
+	if d.granted {
+		return transport.WorkReply{Status: transport.WorkFinished}, nil
+	}
+	d.granted = true
+	return transport.WorkReply{Status: transport.WorkAssigned, IntervalID: 7, Interval: d.root, BestCost: 1 << 62}, nil
+}
+
+func (d *droppingCoordinator) UpdateInterval(transport.UpdateRequest) (transport.UpdateReply, error) {
+	d.drops++
+	return transport.UpdateReply{Known: false}, nil
+}
+
+func (d *droppingCoordinator) ReportSolution(transport.SolutionReport) (transport.SolutionAck, error) {
+	return transport.SolutionAck{BestCost: 1 << 62}, nil
+}
