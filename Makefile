@@ -1,0 +1,29 @@
+# Developer entry points. CI (.github/workflows/ci.yml) runs the same
+# targets; `make bench` emits the -benchmem record as JSON so every PR can
+# append to the perf trajectory (see DESIGN.md §3).
+
+GO      ?= go
+BENCH_OUT ?= bench.json
+
+.PHONY: all build vet test bench bench-hot
+
+all: vet build test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Full benchmark sweep as a JSON event stream (one test2json object per
+# line; the BenchmarkResult lines carry ns/op, B/op and allocs/op).
+bench:
+	$(GO) test -json -run '^$$' -bench . -benchmem -benchtime 1s . > $(BENCH_OUT)
+	@echo "benchmark record written to $(BENCH_OUT)"
+
+# The two hot-loop benchmarks the perf acceptance gates watch.
+bench-hot:
+	$(GO) test -run '^$$' -bench 'BenchmarkTable1EngineThroughput|BenchmarkExplorerInteriorStep' -benchmem -benchtime 2s -count 3 .

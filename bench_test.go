@@ -14,6 +14,7 @@
 //	Fig 6  BenchmarkTable1PoolBuild         pool construction/validation
 //	Fig 7  BenchmarkFig7AvailabilityTrace   trace generation
 //	Tab 1  BenchmarkTable1EngineThroughput  engine speed defining "power"
+//	—      BenchmarkExplorerInteriorStep    interior-mode hot loop, 0 allocs
 //	Tab 2  BenchmarkTable2Resolution        full simulated grid resolution
 //	Tab 3  BenchmarkTable3Domains           flowshop vs TSP vs knapsack
 //
@@ -203,6 +204,42 @@ func BenchmarkTable1EngineThroughput(b *testing.B) {
 		total += n
 		if done {
 			e.Reassign(nb.RootRange()) // loop the workload
+		}
+	}
+}
+
+// BenchmarkExplorerInteriorStep isolates the engine's interior-mode hot
+// loop: the interval lies strictly inside the root range, so after the
+// boundary descent the walk runs the boundary-free int-cursor DFS. The
+// incumbent is pre-adopted so the improvement path never fires; the loop
+// must report 0 allocs/op (the acceptance bar of the hot-path overhaul —
+// see DESIGN.md §1).
+func BenchmarkExplorerInteriorStep(b *testing.B) {
+	ins, err := flowshop.Ta056().Reduced(14, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := flowshop.NewProblem(ins, flowshop.BoundOneMachine, flowshop.PairsAll)
+	nb := core.NewNumbering(p.Shape())
+	total := nb.LeafCount()
+	a := new(big.Int).Quo(total, big.NewInt(4))
+	end := new(big.Int).Sub(total, a)
+	inner := interval.New(a, end)
+	seed, _ := bb.Solve(flowshop.NewProblem(ins, flowshop.BoundOneMachine, flowshop.PairsAll), bb.Infinity)
+
+	e := core.NewExplorer(p, nb, inner, bb.Infinity)
+	e.AdoptBest(seed.Cost) // equal costs never improve: no Path allocations
+	b.ReportAllocs()
+	b.ResetTimer()
+	var total64 int64
+	for total64 < int64(b.N) {
+		n, done := e.Step(int64(b.N) - total64)
+		total64 += n
+		if done {
+			b.StopTimer()
+			e.Reassign(inner)
+			e.AdoptBest(seed.Cost)
+			b.StartTimer()
 		}
 	}
 }

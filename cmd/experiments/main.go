@@ -218,7 +218,7 @@ func headlineTa056() {
 
 	p := flowshop.NewProblem(ins, flowshop.BoundCombined, flowshop.PairsFirstLast)
 	p.Reset()
-	fmt.Printf("root lower bound (combined 1-machine + Johnson 2-machine): %d\n", p.Bound())
+	fmt.Printf("root lower bound (combined 1-machine + Johnson 2-machine): %d\n", p.Bound(bb.Infinity))
 
 	red, err := ins.Reduced(12, 8)
 	if err != nil {

@@ -55,7 +55,20 @@ type Problem interface {
 	// Bound returns a lower bound on the cost of every leaf below the
 	// current path node. Tighter is better; Infinity prunes
 	// unconditionally. Bound is never called on a leaf.
-	Bound() int64
+	//
+	// The cutoff is the engine's pruning threshold (the incumbent cost):
+	// the engine eliminates the subtree exactly when the returned value is
+	// >= cutoff. Implementations may stop computing and return early as
+	// soon as a partial evaluation already proves the bound >= cutoff; the
+	// returned value must itself remain an admissible lower bound, so
+	//
+	//	Bound(cutoff) >= cutoff  ⟺  the full bound >= cutoff
+	//
+	// and with an unreachable cutoff (bb.Infinity) the result is the full,
+	// exact bound. This cutoff-aware contract is what keeps deep, hopeless
+	// nodes cheap: most are eliminated by a fraction of the full bound
+	// computation (see DESIGN.md §2).
+	Bound(cutoff int64) int64
 	// Cost returns the objective value of the current leaf. It is only
 	// called when the path has reached depth Shape().Depth().
 	Cost() int64
@@ -139,12 +152,15 @@ func (e *engine) run() {
 		return
 	}
 	// cursor[d] is the rank of the next child to try at depth d; the
-	// current path is defined by cursor[d]-1 for d < depth.
+	// current path is defined by cursor[d]-1 for d < depth. Branching
+	// factors are cached up front: one slice load per node instead of an
+	// interface call.
 	cursor := make([]int, depthMax)
 	path := make([]int, depthMax)
+	branch := Branchings(shape)
 	depth := 0
 	for {
-		if cursor[depth] >= shape.Branching(depth) {
+		if cursor[depth] >= branch[depth] {
 			// Level exhausted: backtrack.
 			cursor[depth] = 0
 			if depth == 0 {
@@ -170,13 +186,24 @@ func (e *engine) run() {
 			p.Ascend()
 			continue
 		}
-		if b := p.Bound(); b >= e.best.Cost {
+		if b := p.Bound(e.best.Cost); b >= e.best.Cost {
 			e.stats.Pruned++
 			p.Ascend()
 			continue
 		}
 		depth++
 	}
+}
+
+// Branchings caches the branching factor of every internal depth in a slice,
+// trading one interface dispatch per visited node for a slice load in the
+// engines' hot loops.
+func Branchings(s tree.Shape) []int {
+	b := make([]int, s.Depth())
+	for d := range b {
+		b[d] = s.Branching(d)
+	}
+	return b
 }
 
 // Enumerate visits every leaf of the problem tree without any bounding and

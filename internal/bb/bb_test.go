@@ -38,7 +38,7 @@ func (t *toyProblem) costOf(path []int) int64 {
 
 func (t *toyProblem) Cost() int64 { return t.costOf(t.path) }
 
-func (t *toyProblem) Bound() int64 {
+func (t *toyProblem) Bound(int64) int64 {
 	if !t.exactBound {
 		return 0
 	}

@@ -15,10 +15,20 @@ import (
 // used for communications and check-pointing, while the list of active nodes
 // is used for exploration").
 //
-// The exploration hot loop performs a constant number of big.Int operations
-// per visited node on reused buffers and allocates nothing; numbers are
-// tracked incrementally along the path (number(child) = number(parent) +
-// rank·weight(child), a direct consequence of eq. 6).
+// The walk runs in two modes (DESIGN.md §1). In boundary mode — while the
+// current subtree straddles an end of [A, B) — each child's number and range
+// are computed incrementally (number(child) = number(parent) + rank·weight,
+// eq. 6) on reused big.Int buffers and compared against the bounds. The
+// moment a child's whole range is known to lie inside the interval, the walk
+// switches to interior mode: every node of that subtree belongs to this
+// explorer by construction, so the descent is a pure machine-integer cursor
+// DFS — identical to the sequential engine in internal/bb — performing zero
+// big.Int work and zero allocations until it ascends back to the depth where
+// it entered. Node numbers below the entry depth are not maintained; they
+// are reconstructed from the rank path on demand (Remaining, Restrict),
+// which happens once per checkpoint rather than once per node. Since a DFS
+// spends almost all of its time deep inside the interval, the per-node cost
+// of the interval coding drops to that of a plain B&B.
 //
 // An Explorer is not safe for concurrent use; workers own one each and
 // serialize external updates (interval restriction, incumbent sharing)
@@ -27,17 +37,27 @@ type Explorer struct {
 	p  bb.Problem
 	nb *Numbering
 
-	lo, hi *big.Int // assigned interval [lo, hi)
+	lo, hi *big.Int // assigned interval [lo, hi); owned by the explorer
 
 	// Depth-first walk state. cursor[d] is the rank of the next child to
 	// try at depth d; the current path is cursor[d]-1 for d < depth.
 	cursor []int
+	branch []int // cached branching factor per depth (one slice load per node)
 	depth  int
 	num    []*big.Int // num[d] = number of the current path node at depth d
-	path   []int      // rank path of the current position (path[d] valid for d <= depth)
+	path   []int      // rank path of the current position (path[d] valid for d < depth)
+
+	// interior is the depth at which the walk entered a subtree fully
+	// contained in [lo, hi), or -1 while the walk straddles a boundary.
+	// While depth >= interior the hot loop does no big.Int work, and
+	// num[d] is only valid for d <= interior (deeper numbers are folded
+	// from the rank path on demand).
+	interior int
 
 	childNum *big.Int // scratch: number of the child being examined
 	childEnd *big.Int // scratch: end of the child's range
+	nextNum  *big.Int // scratch: result buffer of nextNumber
+	tmp      *big.Int // scratch: rank·weight terms in lazy materialization
 
 	best  bb.Solution
 	stats bb.Stats
@@ -59,15 +79,22 @@ func NewExplorer(p bb.Problem, nb *Numbering, iv interval.Interval, initialUpper
 		p:        p,
 		nb:       nb,
 		cursor:   make([]int, nb.Depth()+1),
+		branch:   make([]int, nb.Depth()+1),
 		num:      make([]*big.Int, nb.Depth()+1),
 		path:     make([]int, nb.Depth()+1),
+		interior: -1,
 		childNum: new(big.Int),
 		childEnd: new(big.Int),
+		nextNum:  new(big.Int),
+		tmp:      new(big.Int),
 		best:     bb.Solution{Cost: initialUpper},
 	}
 	for d := range e.num {
 		e.num[d] = new(big.Int)
 	}
+	// branch has one extra entry (the leaf depth, zero) so the walk can
+	// index it at any current depth without a bound check.
+	copy(e.branch, bb.Branchings(nb.shape))
 	clamped := iv.Intersect(nb.RootRange())
 	e.lo, e.hi = clamped.A(), clamped.B()
 	e.done = clamped.IsEmpty()
@@ -103,34 +130,84 @@ func (e *Explorer) AdoptBest(cost int64) {
 // holder "is informed to limit its exploration to [A,C) instead of [A,B)",
 // §4.2); advancing the beginning happens when a duplicated interval was
 // partly explored by another process. Both take effect lazily: the walk
-// skips numbers that fall outside on its way.
+// skips numbers that fall outside on its way. Restrict mutates the
+// explorer's own bounds in place through the interval's borrow accessors,
+// so steady-state coordination rounds allocate nothing here.
 func (e *Explorer) Restrict(iv interval.Interval) {
-	if a := iv.A(); a.Cmp(e.lo) > 0 {
-		e.lo = a
+	changed := false
+	if iv.CmpA(e.lo) > 0 {
+		iv.AInto(e.lo)
+		changed = true
 	}
-	if b := iv.B(); b.Cmp(e.hi) < 0 {
-		e.hi = b
+	if iv.CmpB(e.hi) < 0 {
+		iv.BInto(e.hi)
+		changed = true
+	}
+	if !changed {
+		// The steady-state checkpoint reply: the coordinator's copy
+		// equals ours, nothing to re-check — in particular the interior
+		// fast loop keeps running.
+		return
 	}
 	if e.lo.Cmp(e.hi) >= 0 {
 		e.done = true
 	}
+	// A subtree that was interior to the old interval may straddle the
+	// new, smaller one: materialize the lazily skipped numbers along the
+	// current path and fall back to boundary mode, which re-checks every
+	// child against the updated bounds as the walk proceeds.
+	e.materializeNums()
 }
 
-// nextNumber returns the number of the next node the walk will visit, or nil
-// if the walk is exhausted. The next node is at the deepest level that still
-// has untried children (remaining children of deeper levels come first in
-// depth-first order and carry the smallest numbers).
+// materializeNums computes num[d] for the path depths below the interior
+// entry point (which the fast loop deliberately leaves stale) and leaves
+// interior mode. O(depth) big.Int work; called on the rare external events,
+// never per node.
+func (e *Explorer) materializeNums() {
+	if e.interior < 0 {
+		return
+	}
+	for d := e.interior; d < e.depth; d++ {
+		// number(child) = number(parent) + rank·weight(child) (eq. 6).
+		e.tmp.SetInt64(int64(e.path[d]))
+		e.tmp.Mul(e.tmp, e.nb.weights[d+1])
+		e.num[d+1].Add(e.num[d], e.tmp)
+	}
+	e.interior = -1
+}
+
+// nextNumber returns the number of the next node the walk will visit (into
+// the reused nextNum buffer), or nil if the walk is exhausted. The next node
+// is at the deepest level that still has untried children (remaining
+// children of deeper levels come first in depth-first order and carry the
+// smallest numbers).
 func (e *Explorer) nextNumber() *big.Int {
 	if e.done {
 		return nil
 	}
 	for d := e.depth; d >= 0; d-- {
-		if e.cursor[d] < e.nb.shape.Branching(d) {
-			n := big.NewInt(int64(e.cursor[d]))
-			n.Mul(n, e.nb.weights[d+1])
-			n.Add(n, e.num[d])
-			return n
+		if e.cursor[d] >= e.branch[d] {
+			continue
 		}
+		n := e.nextNum
+		// Fold the number of the current path node at depth d. num[] is
+		// authoritative down to the interior entry depth; below it the
+		// fast loop maintains only the rank path, so the remaining terms
+		// of eq. 6 are summed here, once per checkpoint.
+		base := d
+		if e.interior >= 0 && base > e.interior {
+			base = e.interior
+		}
+		n.Set(e.num[base])
+		for k := base; k < d; k++ {
+			e.tmp.SetInt64(int64(e.path[k]))
+			e.tmp.Mul(e.tmp, e.nb.weights[k+1])
+			n.Add(n, e.tmp)
+		}
+		e.tmp.SetInt64(int64(e.cursor[d]))
+		e.tmp.Mul(e.tmp, e.nb.weights[d+1])
+		n.Add(n, e.tmp)
+		return n
 	}
 	return nil
 }
@@ -160,13 +237,59 @@ func (e *Explorer) Step(budget int64) (explored int64, done bool) {
 		return 0, true
 	}
 	p := e.p
-	shape := e.nb.shape
 	depthMax := e.nb.Depth()
 	for explored < budget {
-		if e.cursor[e.depth] >= shape.Branching(e.depth) {
+		if e.interior >= 0 {
+			// Interior mode: the subtree rooted at depth e.interior lies
+			// entirely inside [lo, hi), so ownership is settled for every
+			// node below — pure int-cursor DFS, no big.Int in sight.
+			cutoff := e.best.Cost
+			for explored < budget {
+				d := e.depth
+				if e.cursor[d] >= e.branch[d] {
+					// Level exhausted: backtrack.
+					e.cursor[d] = 0
+					e.depth--
+					p.Ascend()
+					if e.depth < e.interior {
+						e.interior = -1
+						break
+					}
+					continue
+				}
+				r := e.cursor[d]
+				e.cursor[d]++
+				explored++
+				e.stats.Explored++
+				e.path[d] = r
+				p.Descend(r)
+				if d+1 == depthMax {
+					e.stats.Leaves++
+					if c := p.Cost(); c < cutoff {
+						e.improve(c, d+1)
+						cutoff = e.best.Cost
+					}
+					p.Ascend()
+					continue
+				}
+				if b := p.Bound(cutoff); b >= cutoff {
+					// The elimination operator (see boundary mode below
+					// for why pruning stays valid across processes).
+					e.stats.Pruned++
+					p.Ascend()
+					continue
+				}
+				e.depth++
+			}
+			continue
+		}
+		// Boundary mode: the walk straddles an end of [lo, hi); each
+		// child's range is computed and compared before descending.
+		d := e.depth
+		if e.cursor[d] >= e.branch[d] {
 			// Level exhausted: backtrack.
-			e.cursor[e.depth] = 0
-			if e.depth == 0 {
+			e.cursor[d] = 0
+			if d == 0 {
 				e.done = true
 				break
 			}
@@ -174,13 +297,13 @@ func (e *Explorer) Step(budget int64) (explored int64, done bool) {
 			p.Ascend()
 			continue
 		}
-		r := e.cursor[e.depth]
-		e.cursor[e.depth]++
-		childDepth := e.depth + 1
+		r := e.cursor[d]
+		e.cursor[d]++
+		childDepth := d + 1
 		// number(child) = number(parent) + rank·weight(child) (eq. 6).
 		e.childNum.SetInt64(int64(r))
 		e.childNum.Mul(e.childNum, e.nb.weights[childDepth])
-		e.childNum.Add(e.childNum, e.num[e.depth])
+		e.childNum.Add(e.childNum, e.num[d])
 		if e.childNum.Cmp(e.hi) >= 0 {
 			// Depth-first order visits numbers in ascending order:
 			// once a child starts at or past hi, every remaining
@@ -198,22 +321,17 @@ func (e *Explorer) Step(budget int64) (explored int64, done bool) {
 		}
 		explored++
 		e.stats.Explored++
-		e.path[e.depth] = r
+		e.path[d] = r
 		p.Descend(r)
 		if childDepth == depthMax {
 			e.stats.Leaves++
 			if c := p.Cost(); c < e.best.Cost {
-				e.best.Cost = c
-				e.best.Path = append(e.best.Path[:0], e.path[:childDepth]...)
-				e.stats.Improved++
-				if e.OnImprove != nil {
-					e.OnImprove(e.best.Clone())
-				}
+				e.improve(c, childDepth)
 			}
 			p.Ascend()
 			continue
 		}
-		if b := p.Bound(); b >= e.best.Cost {
+		if b := p.Bound(e.best.Cost); b >= e.best.Cost {
 			// The elimination operator. Pruning is justified by the
 			// cost of a feasible solution, so it stays valid for any
 			// process that may re-explore this region later; skipped
@@ -225,10 +343,17 @@ func (e *Explorer) Step(budget int64) (explored int64, done bool) {
 		}
 		e.num[childDepth].Set(e.childNum)
 		e.depth++
+		if e.childNum.Cmp(e.lo) >= 0 && e.childEnd.Cmp(e.hi) <= 0 {
+			// [childNum, childEnd) ⊆ [lo, hi): everything below is
+			// ours. Drop into the boundary-free fast loop until the
+			// walk resurfaces at this depth.
+			e.interior = childDepth
+		}
 	}
 	if e.done {
 		// Rewind the problem state so the explorer can be reused with
 		// a fresh interval via Reassign.
+		e.interior = -1
 		for e.depth > 0 {
 			e.depth--
 			p.Ascend()
@@ -240,6 +365,17 @@ func (e *Explorer) Step(budget int64) (explored int64, done bool) {
 	return explored, e.done
 }
 
+// improve records a new incumbent found at the current leaf and fires the
+// sharing hook.
+func (e *Explorer) improve(cost int64, leafDepth int) {
+	e.best.Cost = cost
+	e.best.Path = append(e.best.Path[:0], e.path[:leafDepth]...)
+	e.stats.Improved++
+	if e.OnImprove != nil {
+		e.OnImprove(e.best.Clone())
+	}
+}
+
 // Reassign gives the explorer a new interval to explore, keeping the
 // incumbent and cumulative statistics. It is how a worker starts its next
 // work unit after finishing one (§4.2: "a B&B process requests an interval
@@ -249,6 +385,7 @@ func (e *Explorer) Reassign(iv interval.Interval) {
 	e.lo, e.hi = clamped.A(), clamped.B()
 	e.done = clamped.IsEmpty()
 	e.depth = 0
+	e.interior = -1
 	for d := range e.cursor {
 		e.cursor[d] = 0
 	}

@@ -133,7 +133,7 @@ func (c *countingProblem) Shape() tree.Shape { return c.shape }
 func (c *countingProblem) Reset()            { c.path = c.path[:0] }
 func (c *countingProblem) Descend(rank int)  { c.path = append(c.path, rank) }
 func (c *countingProblem) Ascend()           { c.path = c.path[:len(c.path)-1] }
-func (c *countingProblem) Bound() int64      { return 0 }
+func (c *countingProblem) Bound(int64) int64 { return 0 }
 func (c *countingProblem) Cost() int64 {
 	var n int64
 	for _, r := range c.path {

@@ -124,6 +124,11 @@ type Farmer struct {
 	// numerator of the farmer exploitation rate. The runtime measures it
 	// with the same clock it measures wall time with.
 	busyNanos int64
+
+	// Scratch big.Ints reused across protocol calls (guarded by mu), so
+	// the steady-state message loop — one UpdateInterval per worker
+	// checkpoint — does not allocate per call.
+	scrA, scrLen, scrMul *big.Int
 }
 
 // Option customizes a Farmer.
@@ -186,6 +191,9 @@ func New(root interval.Interval, opts ...Option) *Farmer {
 		threshold: big.NewInt(2),
 		clock:     func() int64 { return time.Now().UnixNano() },
 		leaseTTL:  int64(time.Minute),
+		scrA:      new(big.Int),
+		scrLen:    new(big.Int),
+		scrMul:    new(big.Int),
 	}
 	for _, opt := range opts {
 		opt(f)
@@ -296,9 +304,8 @@ func (f *Farmer) RequestWork(req transport.WorkRequest) (transport.WorkReply, er
 	// interval [C,B[").
 	var chosen *tracked
 	bestDonated := new(big.Int)
-	scratch := new(big.Int)
 	for _, t := range f.intervals {
-		donated := donatedLength(scratch, t.iv, t.holderPower(), req.Power)
+		donated := f.donatedLength(f.scrA, t.iv, t.holderPower(), req.Power)
 		if chosen == nil || donated.Cmp(bestDonated) > 0 ||
 			(donated.Cmp(bestDonated) == 0 && t.id < chosen.id) {
 			chosen = t
@@ -308,7 +315,7 @@ func (f *Farmer) RequestWork(req transport.WorkRequest) (transport.WorkReply, er
 
 	reply := transport.WorkReply{Status: transport.WorkAssigned, BestCost: f.bestCost}
 	holderPower := chosen.holderPower()
-	if chosen.iv.Len().Cmp(f.threshold) < 0 && holderPower > 0 {
+	if chosen.iv.LenInto(f.scrLen).Cmp(f.threshold) < 0 && holderPower > 0 {
 		// Partitioning operator, duplication rule: the interval is
 		// below the threshold and actively explored — share it rather
 		// than splitting crumbs. "The coordinator keeps only one copy
@@ -352,17 +359,18 @@ func (f *Farmer) RequestWork(req transport.WorkRequest) (transport.WorkReply, er
 }
 
 // donatedLength computes len([C,B)) for a hypothetical split of iv between
-// a holder of power hp and a requester of power rp, into dst.
-func donatedLength(dst *big.Int, iv interval.Interval, hp, rp int64) *big.Int {
-	l := iv.Len()
+// a holder of power hp and a requester of power rp, into dst. Only the
+// farmer's own scratch big.Ints are used; nothing is allocated.
+func (f *Farmer) donatedLength(dst *big.Int, iv interval.Interval, hp, rp int64) *big.Int {
+	l := iv.LenInto(f.scrLen)
 	if hp <= 0 {
 		return dst.Set(l)
 	}
 	if rp <= 0 {
 		return dst.SetInt64(0)
 	}
-	dst.Mul(l, big.NewInt(rp))
-	dst.Quo(dst, big.NewInt(hp+rp))
+	dst.Mul(l, f.scrMul.SetInt64(rp))
+	dst.Quo(dst, f.scrMul.SetInt64(hp+rp))
 	return dst
 }
 
@@ -404,28 +412,31 @@ func (f *Farmer) UpdateInterval(req transport.UpdateRequest) (transport.UpdateRe
 	}
 
 	// Redundancy accounting in leaf units: progress over a region some
-	// other owner had already reported is redundant.
-	reportedA := req.Remaining.A()
+	// other owner had already reported is redundant. All arithmetic runs
+	// on the farmer's scratch and the tracked entries' own big.Ints: a
+	// checkpoint round allocates nothing here.
+	reportedA := req.Remaining.AInto(f.scrA)
 	if reportedA.Cmp(o.lastA) > 0 {
-		consumed := new(big.Int).Sub(reportedA, o.lastA)
+		consumed := f.scrLen.Sub(reportedA, o.lastA)
 		f.redundancy.ConsumedUnits.Add(f.redundancy.ConsumedUnits, consumed)
 		if o.lastA.Cmp(t.coveredTo) < 0 {
 			overlapEnd := reportedA
 			if t.coveredTo.Cmp(overlapEnd) < 0 {
 				overlapEnd = t.coveredTo
 			}
-			redundant := new(big.Int).Sub(overlapEnd, o.lastA)
+			redundant := f.scrLen.Sub(overlapEnd, o.lastA)
 			f.redundancy.RedundantUnits.Add(f.redundancy.RedundantUnits, redundant)
 		}
 		if reportedA.Cmp(t.coveredTo) > 0 {
-			t.coveredTo = new(big.Int).Set(reportedA)
+			t.coveredTo.Set(reportedA)
 		}
-		o.lastA = new(big.Int).Set(reportedA)
+		o.lastA.Set(reportedA)
 	}
 
 	// Intersection operator (eq. 14): reconcile the worker's view with
-	// the coordinator's copy.
-	t.iv = t.iv.Intersect(req.Remaining)
+	// the coordinator's copy in place. Only the reply's interval is a
+	// fresh copy — it escapes to the worker.
+	t.iv.IntersectInPlace(req.Remaining)
 	reply := transport.UpdateReply{Known: true, BestCost: f.bestCost, Interval: t.iv.Clone()}
 	if t.iv.IsEmpty() {
 		delete(f.intervals, t.id)

@@ -378,3 +378,35 @@ func TestCheckpointWithoutStore(t *testing.T) {
 		t.Fatal("checkpoint without a store accepted")
 	}
 }
+
+// TestUpdateIntervalAllocationBudget guards the alloc-free checkpoint loop:
+// one full update round — request construction, the farmer's redundancy
+// accounting and in-place intersection, and the escaping reply copy — must
+// stay within a small constant allocation budget. Before the borrow-style
+// interval accessors the farmer alone allocated roughly a dozen big.Ints
+// per checkpoint; now the only per-round allocations left are the wire
+// values that genuinely escape (the request's Remaining and the reply's
+// intersected copy).
+func TestUpdateIntervalAllocationBudget(t *testing.T) {
+	root := interval.New(new(big.Int), big.NewInt(1<<40))
+	f := New(root)
+	reply, err := f.RequestWork(transport.WorkRequest{Worker: "w", Power: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur := reply.Interval
+	a := cur.A()
+	step := big.NewInt(1000)
+	allocs := testing.AllocsPerRun(200, func() {
+		a.Add(a, step)
+		rem := interval.New(a, cur.B())
+		if _, err := f.UpdateInterval(transport.UpdateRequest{
+			Worker: "w", IntervalID: reply.IntervalID, Remaining: rem, Power: 1, ExploredDelta: 100,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 10 {
+		t.Fatalf("allocations per checkpoint round = %v, want <= 10", allocs)
+	}
+}

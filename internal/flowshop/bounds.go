@@ -44,6 +44,23 @@ const (
 // precomputed tables and scratch space; it is not safe for concurrent use
 // (each worker builds its own, mirroring one B&B process per processor in
 // the paper).
+//
+// Bound is cutoff-aware (see bb.Problem): evaluation is staged from cheapest
+// to most expensive component and returns as soon as any stage proves the
+// bound >= cutoff, so the hopeless nodes that dominate a B&B run mostly pay
+// the scan-free first stage only.
+//
+// The per-machine minima over the remaining jobs (minTail, minCum) that both
+// bound families consume are not rescanned per node: the owner keeps the
+// Bounder synchronized with the search path through Push/Pop (counter
+// updates, nothing else), and the minima row for the current depth is
+// materialized lazily, only when a Bound call survives the scan-free first
+// stage. Materialization jumps from the nearest still-valid ancestor row
+// with argmin tracking — a machine's minimum carries over as long as its
+// argmin job is still unscheduled, so the expected cost is O(M) with only
+// the occasional O(remaining) single-machine rescan, instead of the O(N·M)
+// full scan a stateless bound pays on every surviving node. Nodes that
+// prune at stage one (the vast majority deep in the tree) touch none of it.
 type Bounder struct {
 	ins  *Instance
 	kind BoundKind
@@ -54,32 +71,64 @@ type Bounder struct {
 	// cum[j][m] = sum of p[j][k] for k < m: time job j needs before
 	// reaching machine m.
 	cum [][]int64
+	// tailsT and cumT are the transposed tables ([m][j]), so the
+	// single-machine rescans triggered by an argmin removal walk
+	// contiguous memory.
+	tailsT [][]int64
+	cumT   [][]int64
+	// gMinTail and gMinCum are the per-machine minima over ALL jobs:
+	// constant lower bounds of the remaining-set minima (which are minima
+	// over a subset), letting the scan-free first bound stage approximate
+	// the full one-machine bound without knowing which jobs remain.
+	gMinTail []int64
+	gMinCum  []int64
 
 	pairs []johnsonPair
 
-	// Scratch, reused across Bound calls.
-	minTail []int64
-	minCum  []int64
+	// Minima stack, one row per search depth; row sDepth describes the
+	// current remaining set when valid[sDepth] holds, and is rebuilt
+	// lazily otherwise. arg*S[d][m] is a remaining job achieving the
+	// minimum (-1 when no job remains).
+	sDepth   int
+	valid    []bool
+	minTailS [][]int64
+	minCumS  [][]int64
+	argTailS [][]int
+	argCumS  [][]int
 }
 
 // johnsonPair holds the precomputed Johnson order for the two-machine
 // relaxation on machines (u, v), u < v, with lags l_j = sum of p[j][k] for
-// u < k < v.
+// u < k < v. The per-job terms of the F2|l_j|Cmax recurrence are flattened
+// into slices aligned with the Johnson order, so the per-node evaluation
+// walks three flat arrays instead of chasing the 2-D processing and
+// cumulative tables.
 type johnsonPair struct {
 	u, v  int
-	order []int // all jobs, Johnson-sorted; evaluation skips scheduled ones
+	order []int   // all jobs, Johnson-sorted; evaluation skips scheduled ones
+	pu    []int64 // pu[i] = Proc[order[i]][u]
+	lag   []int64 // lag[i] = Mitten lag of order[i] between u and v
+	pv    []int64 // pv[i] = Proc[order[i]][v]
 }
 
 // NewBounder builds a bounder of the given kind. The pair strategy is only
 // consulted for the two-machine kinds.
 func NewBounder(ins *Instance, kind BoundKind, ps PairStrategy) *Bounder {
 	b := &Bounder{
-		ins:     ins,
-		kind:    kind,
-		tails:   make([][]int64, ins.Jobs),
-		cum:     make([][]int64, ins.Jobs),
-		minTail: make([]int64, ins.Machines),
-		minCum:  make([]int64, ins.Machines),
+		ins:      ins,
+		kind:     kind,
+		tails:    make([][]int64, ins.Jobs),
+		cum:      make([][]int64, ins.Jobs),
+		tailsT:   make([][]int64, ins.Machines),
+		cumT:     make([][]int64, ins.Machines),
+		minTailS: make([][]int64, ins.Jobs+1),
+		minCumS:  make([][]int64, ins.Jobs+1),
+		argTailS: make([][]int, ins.Jobs+1),
+		argCumS:  make([][]int, ins.Jobs+1),
+	}
+	for m := 0; m < ins.Machines; m++ {
+		b.tailsT[m] = make([]int64, ins.Jobs)
+		b.cumT[m] = make([]int64, ins.Jobs)
 	}
 	for j := 0; j < ins.Jobs; j++ {
 		b.tails[j] = make([]int64, ins.Machines)
@@ -94,11 +143,111 @@ func NewBounder(ins *Instance, kind BoundKind, ps PairStrategy) *Bounder {
 			c += ins.Proc[j][m-1]
 			b.cum[j][m] = c
 		}
+		for m := 0; m < ins.Machines; m++ {
+			b.tailsT[m][j] = b.tails[j][m]
+			b.cumT[m][j] = b.cum[j][m]
+		}
+	}
+	b.gMinTail = make([]int64, ins.Machines)
+	b.gMinCum = make([]int64, ins.Machines)
+	all := make([]int, ins.Jobs)
+	for j := range all {
+		all[j] = j
+	}
+	for m := 0; m < ins.Machines; m++ {
+		b.gMinTail[m], _ = scanMin(b.tailsT[m], all)
+		b.gMinCum[m], _ = scanMin(b.cumT[m], all)
+	}
+	b.valid = make([]bool, ins.Jobs+1)
+	for d := 0; d <= ins.Jobs; d++ {
+		b.minTailS[d] = make([]int64, ins.Machines)
+		b.minCumS[d] = make([]int64, ins.Machines)
+		b.argTailS[d] = make([]int, ins.Machines)
+		b.argCumS[d] = make([]int, ins.Machines)
 	}
 	if kind == BoundTwoMachine || kind == BoundCombined {
 		b.buildPairs(ps)
 	}
 	return b
+}
+
+// ResetStack (re)initializes the minima stack for the full remaining set.
+// The owner calls it whenever the search path returns to the root (see
+// Problem.Reset); remaining must list every job.
+func (b *Bounder) ResetStack(remaining []int) {
+	b.sDepth = 0
+	for d := range b.valid {
+		b.valid[d] = false
+	}
+	for m := 0; m < b.ins.Machines; m++ {
+		b.minTailS[0][m], b.argTailS[0][m] = scanMin(b.tailsT[m], remaining)
+		b.minCumS[0][m], b.argCumS[0][m] = scanMin(b.cumT[m], remaining)
+	}
+	b.valid[0] = true
+}
+
+// scanMin finds the minimum of table over the given jobs and a job
+// achieving it (-1 when jobs is empty).
+func scanMin(table []int64, jobs []int) (int64, int) {
+	min, arg := int64(1)<<62, -1
+	for _, j := range jobs {
+		if table[j] < min {
+			min, arg = table[j], j
+		}
+	}
+	return min, arg
+}
+
+// Push descends one level: one more job left the remaining set, so the row
+// for the new depth — whatever a previous visit left there — no longer
+// describes it. Deliberately O(1): nodes whose Bound call never gets past
+// the scan-free first stage (and leaves, whose Bound is never called) must
+// not pay for minima bookkeeping they do not use.
+func (b *Bounder) Push() {
+	b.sDepth++
+	b.valid[b.sDepth] = false
+}
+
+// Pop ascends one level, restoring the minima of the re-grown remaining set
+// (rows below the top are never clobbered, so this is a counter decrement;
+// an ancestor row stays valid until a Push overwrites its depth again).
+func (b *Bounder) Pop() {
+	b.sDepth--
+}
+
+// topMinima returns the minTail/minCum rows for the current depth,
+// materializing them if the walk moved since they were last built. The jump
+// starts from the nearest valid ancestor row: its minima are over a superset
+// of the current remaining set, so wherever the recorded argmin job is still
+// remaining the value is carried as-is, and only the machines whose argmin
+// has since been scheduled rescan their (contiguous, transposed) column.
+func (b *Bounder) topMinima(remaining []int, inRemaining []bool) (minTail, minCum []int64) {
+	d := b.sDepth
+	if !b.valid[d] {
+		v := d - 1
+		for !b.valid[v] {
+			v--
+		}
+		M := b.ins.Machines
+		st, sc := b.minTailS[v][:M], b.minCumS[v][:M]
+		sat, sac := b.argTailS[v][:M], b.argCumS[v][:M]
+		nt, nc := b.minTailS[d][:M], b.minCumS[d][:M]
+		nat, nac := b.argTailS[d][:M], b.argCumS[d][:M]
+		for m := 0; m < M; m++ {
+			if a := sat[m]; a >= 0 && inRemaining[a] {
+				nt[m], nat[m] = st[m], a
+			} else {
+				nt[m], nat[m] = scanMin(b.tailsT[m], remaining)
+			}
+			if a := sac[m]; a >= 0 && inRemaining[a] {
+				nc[m], nac[m] = sc[m], a
+			} else {
+				nc[m], nac[m] = scanMin(b.cumT[m], remaining)
+			}
+		}
+		b.valid[d] = true
+	}
+	return b.minTailS[d], b.minCumS[d]
 }
 
 func (b *Bounder) buildPairs(ps PairStrategy) {
@@ -170,7 +319,18 @@ func (b *Bounder) makePair(u, v int) johnsonPair {
 		}
 		return kx.j < ky.j
 	})
-	return johnsonPair{u: u, v: v, order: order}
+	p := johnsonPair{
+		u: u, v: v, order: order,
+		pu:  make([]int64, ins.Jobs),
+		lag: make([]int64, ins.Jobs),
+		pv:  make([]int64, ins.Jobs),
+	}
+	for i, j := range order {
+		p.pu[i] = ins.Proc[j][u]
+		p.lag[i] = b.lag(j, u, v)
+		p.pv[i] = ins.Proc[j][v]
+	}
+	return p
 }
 
 // Bound returns a lower bound on the makespan of every completion of the
@@ -183,56 +343,81 @@ func (b *Bounder) makePair(u, v int) johnsonPair {
 //
 // The caller maintains those incrementally (see problem.go). When no job
 // remains the bound is exactly the prefix makespan.
-func (b *Bounder) Bound(heads []int64, remaining []int, inRemaining []bool, sumRem []int64) int64 {
+//
+// Bound follows the cutoff contract of bb.Problem: the result is an
+// admissible lower bound, it is exact when below cutoff, and evaluation
+// stops at the first stage whose partial value reaches cutoff. Stages, in
+// order of cost:
+//
+//  1. machine-load bound max_m(heads[m] + sumRem[m]) — no scan at all, the
+//     incremental sums suffice (one-machine family only);
+//  2. the full one-machine bound, reading the incrementally maintained
+//     per-machine minTail/minCum minima (see Push) — O(M), no scan;
+//  3. the Johnson pairs, each evaluation abandoned the moment its running
+//     completion time plus the minimal tail reaches cutoff (the running
+//     value is itself admissible, so returning it early is sound).
+//
+// The caller must have kept the minima stack synchronized through
+// Push/Pop/ResetStack: sDepth must equal Jobs - len(remaining).
+func (b *Bounder) Bound(heads []int64, remaining []int, inRemaining []bool, sumRem []int64, cutoff int64) int64 {
 	M := b.ins.Machines
 	if len(remaining) == 0 {
 		return heads[M-1]
 	}
-	// One pass over remaining jobs fills the per-machine minima used by
-	// both bound families.
-	for m := 0; m < M; m++ {
-		b.minTail[m] = int64(1) << 62
-		b.minCum[m] = int64(1) << 62
-	}
-	for _, j := range remaining {
-		tj, cj := b.tails[j], b.cum[j]
-		for m := 0; m < M; m++ {
-			if tj[m] < b.minTail[m] {
-				b.minTail[m] = tj[m]
+	oneEnabled := b.kind == BoundOneMachine || b.kind == BoundCombined
+	var lb int64
+	if oneEnabled {
+		// Stage 1: the one-machine bound with the constant whole-instance
+		// minima standing in for the remaining-set ones. Every term is a
+		// lower bound of its stage-2 counterpart (gMin* <= min over any
+		// remaining subset), so the value is admissible and the early
+		// exit prunes only where the full bound would have — at the cost
+		// of one machine sweep over data that is already in registers or
+		// L1, with no per-remaining-job work at all. The sweep runs from
+		// the last machine down because the accumulated heads make late
+		// machines the usual bottleneck: pruned nodes — the common case
+		// deep in the tree — mostly exit within the first iterations.
+		h0 := heads[0]
+		gc, gt := b.gMinCum, b.gMinTail
+		for m := M - 1; m >= 0; m-- {
+			rel := heads[m]
+			if r := h0 + gc[m]; r > rel {
+				rel = r
 			}
-			if cj[m] < b.minCum[m] {
-				b.minCum[m] = cj[m]
+			if v := rel + sumRem[m] + gt[m]; v > lb {
+				if v >= cutoff {
+					return v
+				}
+				lb = v
 			}
 		}
 	}
-	var lb int64
-	if b.kind == BoundOneMachine || b.kind == BoundCombined {
-		lb = b.oneMachine(heads, sumRem)
+	minTail, minCum := b.topMinima(remaining, inRemaining)
+	if oneEnabled {
+		// Stage 2: the full one-machine bound — for each machine m,
+		// release(m) + sumRem[m] + minTail[m], where release(m) =
+		// max(heads[m], heads[0] + minCum[m]): machine m is busy until
+		// heads[m], no remaining job can reach it before passing
+		// machines 0..m-1 (which cannot start before heads[0]), and the
+		// last job still needs its minimal tail to exit the shop. Same
+		// bottleneck-first sweep and in-loop exit as stage 1.
+		h0 := heads[0]
+		for m := M - 1; m >= 0; m-- {
+			rel := heads[m]
+			if r := h0 + minCum[m]; r > rel {
+				rel = r
+			}
+			if v := rel + sumRem[m] + minTail[m]; v > lb {
+				if v >= cutoff {
+					return v
+				}
+				lb = v
+			}
+		}
 	}
 	if b.kind == BoundTwoMachine || b.kind == BoundCombined {
-		if v := b.twoMachine(heads, inRemaining); v > lb {
-			lb = v
-		}
-	}
-	return lb
-}
-
-// oneMachine: LB = max over machines m of
-//
-//	release(m) + sumRem[m] + minTail[m]
-//
-// where release(m) = max(heads[m], heads[0] + minCum[m]): machine m is busy
-// until heads[m], and no remaining job can even reach machine m before
-// passing machines 0..m-1, which cannot start before heads[0].
-func (b *Bounder) oneMachine(heads []int64, sumRem []int64) int64 {
-	var lb int64
-	for m := 0; m < b.ins.Machines; m++ {
-		rel := heads[m]
-		if r := heads[0] + b.minCum[m]; r > rel {
-			rel = r
-		}
-		v := rel + sumRem[m] + b.minTail[m]
-		if v > lb {
+		// Stage 3: the Johnson pairs.
+		if v := b.twoMachine(heads, inRemaining, cutoff, minTail, minCum); v > lb {
 			lb = v
 		}
 	}
@@ -244,29 +429,35 @@ func (b *Bounder) oneMachine(heads []int64, sumRem []int64) int64 {
 //	Johnson makespan of the remaining jobs on (u,v) with lags,
 //	started at the machines' release times, plus the minimal tail
 //	after v.
-func (b *Bounder) twoMachine(heads []int64, inRemaining []bool) int64 {
+//
+// The completion time c2 never decreases as jobs are appended, so the
+// moment c2 + minTail[v] reaches cutoff the pair — and the whole bound —
+// is already proved >= cutoff and the partial value is returned: it is a
+// lower bound on this pair's final value, hence admissible.
+func (b *Bounder) twoMachine(heads []int64, inRemaining []bool, cutoff int64, minTail, minCum []int64) int64 {
 	var lb int64
 	for i := range b.pairs {
 		p := &b.pairs[i]
 		relU := heads[p.u]
-		if r := heads[0] + b.minCum[p.u]; r > relU {
+		if r := heads[0] + minCum[p.u]; r > relU {
 			relU = r
 		}
-		relV := heads[p.v]
-		c1, c2 := relU, relV
-		for _, j := range p.order {
+		tail := minTail[p.v]
+		c1, c2 := relU, heads[p.v]
+		for k, j := range p.order {
 			if !inRemaining[j] {
 				continue
 			}
-			c1 += b.ins.Proc[j][p.u]
-			t := c1 + b.lag(j, p.u, p.v)
-			if c2 < t {
+			c1 += p.pu[k]
+			if t := c1 + p.lag[k]; c2 < t {
 				c2 = t
 			}
-			c2 += b.ins.Proc[j][p.v]
+			c2 += p.pv[k]
+			if c2+tail >= cutoff {
+				return c2 + tail
+			}
 		}
-		v := c2 + b.minTail[p.v]
-		if v > lb {
+		if v := c2 + tail; v > lb {
 			lb = v
 		}
 	}

@@ -1,0 +1,270 @@
+package flowshop
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/bb"
+)
+
+// This file pins the cutoff-aware Bound rework to the seed implementation:
+// referenceBounder is a faithful port of the original stateless bound (one
+// full minima pass per call, no cutoff, no early exits). The randomized
+// oracle asserts, over hundreds of instances × prefixes × cutoffs, that
+//
+//   - Bound(bb.Infinity) equals the reference exactly (the full bound);
+//   - Bound(cutoff) >= cutoff exactly when reference >= cutoff (identical
+//     pruning decisions, hence identical engine statistics);
+//   - Bound(cutoff) never exceeds the reference (every early return is
+//     itself an admissible lower bound).
+
+// referenceBounder is the seed bound implementation, retained verbatim in
+// spirit: precomputed tails/cum tables, per-call minima scan, full
+// one-machine and Johnson evaluations.
+type referenceBounder struct {
+	ins   *Instance
+	kind  BoundKind
+	tails [][]int64
+	cum   [][]int64
+	pairs []refPair
+}
+
+type refPair struct {
+	u, v  int
+	order []int
+}
+
+func newReferenceBounder(ins *Instance, kind BoundKind, ps PairStrategy) *referenceBounder {
+	b := &referenceBounder{
+		ins:   ins,
+		kind:  kind,
+		tails: make([][]int64, ins.Jobs),
+		cum:   make([][]int64, ins.Jobs),
+	}
+	for j := 0; j < ins.Jobs; j++ {
+		b.tails[j] = make([]int64, ins.Machines)
+		b.cum[j] = make([]int64, ins.Machines)
+		var t int64
+		for m := ins.Machines - 2; m >= 0; m-- {
+			t += ins.Proc[j][m+1]
+			b.tails[j][m] = t
+		}
+		var c int64
+		for m := 1; m < ins.Machines; m++ {
+			c += ins.Proc[j][m-1]
+			b.cum[j][m] = c
+		}
+	}
+	if kind == BoundTwoMachine || kind == BoundCombined {
+		b.buildPairs(ps)
+	}
+	return b
+}
+
+func (b *referenceBounder) lag(j, u, v int) int64 {
+	return b.cum[j][v] - b.cum[j][u+1]
+}
+
+func (b *referenceBounder) buildPairs(ps PairStrategy) {
+	M := b.ins.Machines
+	add := func(u, v int) {
+		if u < 0 || v >= M || u >= v {
+			return
+		}
+		b.pairs = append(b.pairs, b.makePair(u, v))
+	}
+	switch ps {
+	case PairsAll:
+		for u := 0; u < M; u++ {
+			for v := u + 1; v < M; v++ {
+				add(u, v)
+			}
+		}
+	case PairsAdjacent:
+		for u := 0; u+1 < M; u++ {
+			add(u, u+1)
+		}
+	case PairsFirstLast:
+		for v := 1; v < M; v++ {
+			add(0, v)
+		}
+		for u := 1; u < M-1; u++ {
+			add(u, M-1)
+		}
+	}
+}
+
+func (b *referenceBounder) makePair(u, v int) refPair {
+	ins := b.ins
+	order := make([]int, ins.Jobs)
+	for j := range order {
+		order[j] = j
+	}
+	type key struct {
+		groupB bool
+		k      int64
+		j      int
+	}
+	keys := make([]key, ins.Jobs)
+	for j := 0; j < ins.Jobs; j++ {
+		l := b.lag(j, u, v)
+		a := ins.Proc[j][u] + l
+		bb := l + ins.Proc[j][v]
+		if a <= bb {
+			keys[j] = key{groupB: false, k: a, j: j}
+		} else {
+			keys[j] = key{groupB: true, k: -bb, j: j}
+		}
+	}
+	sort.Slice(order, func(x, y int) bool {
+		kx, ky := keys[order[x]], keys[order[y]]
+		if kx.groupB != ky.groupB {
+			return !kx.groupB
+		}
+		if kx.k != ky.k {
+			return kx.k < ky.k
+		}
+		return kx.j < ky.j
+	})
+	return refPair{u: u, v: v, order: order}
+}
+
+// bound evaluates the seed bound for the partial schedule `prefix`.
+func (b *referenceBounder) bound(prefix []int) int64 {
+	ins := b.ins
+	M := ins.Machines
+	heads := make([]int64, M)
+	for _, j := range prefix {
+		c := heads[0] + ins.Proc[j][0]
+		heads[0] = c
+		for m := 1; m < M; m++ {
+			if c < heads[m] {
+				c = heads[m]
+			}
+			c += ins.Proc[j][m]
+			heads[m] = c
+		}
+	}
+	inRemaining := make([]bool, ins.Jobs)
+	for j := range inRemaining {
+		inRemaining[j] = true
+	}
+	for _, j := range prefix {
+		inRemaining[j] = false
+	}
+	var remaining []int
+	sumRem := make([]int64, M)
+	for j := 0; j < ins.Jobs; j++ {
+		if !inRemaining[j] {
+			continue
+		}
+		remaining = append(remaining, j)
+		for m := 0; m < M; m++ {
+			sumRem[m] += ins.Proc[j][m]
+		}
+	}
+	if len(remaining) == 0 {
+		return heads[M-1]
+	}
+	minTail := make([]int64, M)
+	minCum := make([]int64, M)
+	for m := 0; m < M; m++ {
+		minTail[m] = int64(1) << 62
+		minCum[m] = int64(1) << 62
+	}
+	for _, j := range remaining {
+		for m := 0; m < M; m++ {
+			if b.tails[j][m] < minTail[m] {
+				minTail[m] = b.tails[j][m]
+			}
+			if b.cum[j][m] < minCum[m] {
+				minCum[m] = b.cum[j][m]
+			}
+		}
+	}
+	var lb int64
+	if b.kind == BoundOneMachine || b.kind == BoundCombined {
+		for m := 0; m < M; m++ {
+			rel := heads[m]
+			if r := heads[0] + minCum[m]; r > rel {
+				rel = r
+			}
+			if v := rel + sumRem[m] + minTail[m]; v > lb {
+				lb = v
+			}
+		}
+	}
+	if b.kind == BoundTwoMachine || b.kind == BoundCombined {
+		for i := range b.pairs {
+			p := &b.pairs[i]
+			relU := heads[p.u]
+			if r := heads[0] + minCum[p.u]; r > relU {
+				relU = r
+			}
+			c1, c2 := relU, heads[p.v]
+			for _, j := range p.order {
+				if !inRemaining[j] {
+					continue
+				}
+				c1 += b.ins.Proc[j][p.u]
+				t := c1 + b.lag(j, p.u, p.v)
+				if c2 < t {
+					c2 = t
+				}
+				c2 += b.ins.Proc[j][p.v]
+			}
+			if v := c2 + minTail[p.v]; v > lb {
+				lb = v
+			}
+		}
+	}
+	return lb
+}
+
+// TestBoundCutoffOracle is the randomized equivalence oracle of the
+// cutoff-aware bound rework.
+func TestBoundCutoffOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260728))
+	kinds := []BoundKind{BoundOneMachine, BoundTwoMachine, BoundCombined}
+	strategies := []PairStrategy{PairsAll, PairsAdjacent, PairsFirstLast}
+	for trial := 0; trial < 200; trial++ {
+		jobs := 3 + rng.Intn(7)
+		machines := 2 + rng.Intn(5)
+		ins := Taillard(jobs, machines, int64(trial+1))
+		kind := kinds[trial%len(kinds)]
+		ps := strategies[rng.Intn(len(strategies))]
+		p := NewProblem(ins, kind, ps)
+		ref := newReferenceBounder(ins, kind, ps)
+		for probe := 0; probe < 8; probe++ {
+			prefixLen := rng.Intn(jobs) // Bound is never called on leaves
+			prefix := rng.Perm(jobs)[:prefixLen]
+			p.Reset()
+			ranks, err := PathOfPermutation(jobs, prefix)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, r := range ranks {
+				p.Descend(r)
+			}
+			want := ref.bound(prefix)
+			if got := p.Bound(bb.Infinity); got != want {
+				t.Fatalf("trial %d (%s, kind %d, ps %d) prefix %v: Bound(Infinity) = %d, reference = %d",
+					trial, ins.Name, kind, ps, prefix, got, want)
+			}
+			cutoffs := []int64{1, want - 7, want - 1, want, want + 1, want + 7,
+				want/2 + 1, 2*want + 1, want + rng.Int63n(50)}
+			for _, c := range cutoffs {
+				got := p.Bound(c)
+				if (got >= c) != (want >= c) {
+					t.Fatalf("trial %d (%s, kind %d, ps %d) prefix %v cutoff %d: Bound = %d prunes=%v, reference %d prunes=%v",
+						trial, ins.Name, kind, ps, prefix, c, got, got >= c, want, want >= c)
+				}
+				if got > want {
+					t.Fatalf("trial %d (%s, kind %d, ps %d) prefix %v cutoff %d: Bound = %d exceeds the exact bound %d (not admissible)",
+						trial, ins.Name, kind, ps, prefix, c, got, want)
+				}
+			}
+		}
+	}
+}

@@ -185,7 +185,7 @@ func boundOfPrefix(ins *Instance, kind BoundKind, prefix []int) int64 {
 	if len(prefix) == ins.Jobs {
 		return p.Cost()
 	}
-	return p.Bound()
+	return p.Bound(bb.Infinity)
 }
 
 // bestCompletion brute-forces the best makespan over all completions.
@@ -239,7 +239,7 @@ func boundWith(p *Problem, ins *Instance, prefix []int) int64 {
 	for _, r := range ranks {
 		p.Descend(r)
 	}
-	return p.Bound()
+	return p.Bound(bb.Infinity)
 }
 
 // TestJohnsonOptimal: Johnson's rule is optimal for 2 machines — B&B must
@@ -338,7 +338,7 @@ func TestProblemDescendAscendInverse(t *testing.T) {
 		if depth == ins.Jobs {
 			return p.Cost() == ref.Cost()
 		}
-		return p.Bound() == ref.Bound()
+		return p.Bound(bb.Infinity) == ref.Bound(bb.Infinity)
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
 		t.Fatal(err)

@@ -13,9 +13,11 @@ import (
 // canonical child order — hence the node numbering shared by every process —
 // is ascending job index among unscheduled jobs.
 //
-// The state is maintained incrementally: Descend costs O(M + N) (one new
-// machine-completion row plus a remaining-list deletion) and Ascend is O(N).
-// A Problem is not safe for concurrent use; create one per worker.
+// The state is maintained incrementally and per depth: Descend costs
+// O(M + N) (one new machine-completion row, one remaining-sum row, one
+// remaining-list deletion); Ascend only restores the remaining list, the
+// per-depth rows simply become dead when the depth counter drops. A Problem
+// is not safe for concurrent use; create one per worker.
 type Problem struct {
 	ins     *Instance
 	bounder *Bounder
@@ -24,10 +26,9 @@ type Problem struct {
 	heads      [][]int64 // heads[d]: machine completion times after d jobs
 	remaining  []int     // unscheduled jobs, ascending
 	inRem      []bool    // membership mask over job ids
-	sumRem     []int64   // per-machine remaining processing time
-	chosenJob  []int     // job scheduled at each depth
+	sumRem     [][]int64 // sumRem[d]: per-machine remaining processing time after d jobs
+	chosenJob  []int     // job scheduled at each depth; chosenJob[:depth] is the prefix
 	chosenRank []int     // its rank at Descend time, for Ascend
-	perm       []int     // scheduled prefix
 }
 
 // NewProblem builds the B&B adapter with the given bound configuration.
@@ -38,13 +39,18 @@ func NewProblem(ins *Instance, kind BoundKind, ps PairStrategy) *Problem {
 		heads:      make([][]int64, ins.Jobs+1),
 		remaining:  make([]int, 0, ins.Jobs),
 		inRem:      make([]bool, ins.Jobs),
-		sumRem:     make([]int64, ins.Machines),
+		sumRem:     make([][]int64, ins.Jobs+1),
 		chosenJob:  make([]int, ins.Jobs),
 		chosenRank: make([]int, ins.Jobs),
-		perm:       make([]int, 0, ins.Jobs),
 	}
+	// One contiguous backing array per table: the walk moves between
+	// adjacent depth rows every node, so keeping them back-to-back keeps
+	// the working set in the same few cache lines.
+	headsBack := make([]int64, (ins.Jobs+1)*ins.Machines)
+	sumBack := make([]int64, (ins.Jobs+1)*ins.Machines)
 	for d := range p.heads {
-		p.heads[d] = make([]int64, ins.Machines)
+		p.heads[d] = headsBack[d*ins.Machines : (d+1)*ins.Machines : (d+1)*ins.Machines]
+		p.sumRem[d] = sumBack[d*ins.Machines : (d+1)*ins.Machines : (d+1)*ins.Machines]
 	}
 	p.Reset()
 	return p
@@ -59,7 +65,6 @@ func (p *Problem) Shape() tree.Shape { return tree.Permutation{N: p.ins.Jobs} }
 // Reset implements bb.Problem.
 func (p *Problem) Reset() {
 	p.depth = 0
-	p.perm = p.perm[:0]
 	p.remaining = p.remaining[:0]
 	for j := 0; j < p.ins.Jobs; j++ {
 		p.remaining = append(p.remaining, j)
@@ -71,55 +76,68 @@ func (p *Problem) Reset() {
 		for j := 0; j < p.ins.Jobs; j++ {
 			s += p.ins.Proc[j][m]
 		}
-		p.sumRem[m] = s
+		p.sumRem[0][m] = s
 	}
+	p.bounder.ResetStack(p.remaining)
 }
 
 // Descend implements bb.Problem: schedule the rank-th smallest unscheduled
 // job next.
 func (p *Problem) Descend(rank int) {
 	job := p.remaining[rank]
-	copy(p.remaining[rank:], p.remaining[rank+1:])
-	p.remaining = p.remaining[:len(p.remaining)-1]
+	// Hand-rolled shift: the move is a handful of ints, below the size
+	// where memmove's call overhead pays for itself.
+	rem := p.remaining
+	for i := rank; i < len(rem)-1; i++ {
+		rem[i] = rem[i+1]
+	}
+	p.remaining = rem[:len(rem)-1]
 	p.inRem[job] = false
-	row := p.ins.Proc[job]
-	prev, next := p.heads[p.depth], p.heads[p.depth+1]
+	d := p.depth
+	M := p.ins.Machines
+	// Reslicing to [:M] lets the compiler prove every index below is in
+	// range and drop the per-access bounds checks in the hot loop.
+	row := p.ins.Proc[job][:M]
+	prev, next := p.heads[d][:M], p.heads[d+1][:M]
+	sumPrev, sumNext := p.sumRem[d][:M], p.sumRem[d+1][:M]
 	c := prev[0] + row[0]
 	next[0] = c
-	p.sumRem[0] -= row[0]
-	for m := 1; m < p.ins.Machines; m++ {
+	sumNext[0] = sumPrev[0] - row[0]
+	for m := 1; m < M; m++ {
 		if c < prev[m] {
 			c = prev[m]
 		}
 		c += row[m]
 		next[m] = c
-		p.sumRem[m] -= row[m]
+		sumNext[m] = sumPrev[m] - row[m]
 	}
-	p.chosenJob[p.depth] = job
-	p.chosenRank[p.depth] = rank
-	p.perm = append(p.perm, job)
-	p.depth++
+	p.chosenJob[d] = job
+	p.chosenRank[d] = rank
+	p.depth = d + 1
+	p.bounder.Push()
 }
 
-// Ascend implements bb.Problem.
+// Ascend implements bb.Problem. The per-depth rows need no restoring — the
+// depth counter dropping makes them dead — so only the remaining list is
+// repaired.
 func (p *Problem) Ascend() {
 	p.depth--
 	job := p.chosenJob[p.depth]
 	rank := p.chosenRank[p.depth]
-	p.remaining = p.remaining[:len(p.remaining)+1]
-	copy(p.remaining[rank+1:], p.remaining[rank:])
-	p.remaining[rank] = job
-	p.inRem[job] = true
-	row := p.ins.Proc[job]
-	for m := 0; m < p.ins.Machines; m++ {
-		p.sumRem[m] += row[m]
+	rem := p.remaining[:len(p.remaining)+1]
+	for i := len(rem) - 1; i > rank; i-- {
+		rem[i] = rem[i-1]
 	}
-	p.perm = p.perm[:len(p.perm)-1]
+	rem[rank] = job
+	p.remaining = rem
+	p.inRem[job] = true
+	p.bounder.Pop()
 }
 
-// Bound implements bb.Problem.
-func (p *Problem) Bound() int64 {
-	return p.bounder.Bound(p.heads[p.depth], p.remaining, p.inRem, p.sumRem)
+// Bound implements bb.Problem. The cutoff is forwarded to the staged,
+// cutoff-aware bounder (see bounds.go).
+func (p *Problem) Bound(cutoff int64) int64 {
+	return p.bounder.Bound(p.heads[p.depth], p.remaining, p.inRem, p.sumRem[p.depth], cutoff)
 }
 
 // Cost implements bb.Problem: the makespan of the complete schedule.
@@ -129,7 +147,7 @@ func (p *Problem) Cost() int64 {
 
 // Prefix returns a copy of the currently scheduled job prefix, mostly for
 // debugging and examples.
-func (p *Problem) Prefix() []int { return append([]int(nil), p.perm...) }
+func (p *Problem) Prefix() []int { return append([]int(nil), p.chosenJob[:p.depth]...) }
 
 // DecodePath implements bb.Decoder: it renders the job permutation selected
 // by a rank path.

@@ -48,6 +48,66 @@ func (iv Interval) A() *big.Int { return cloneOrZero(iv.a) }
 // B returns a copy of the interval's end.
 func (iv Interval) B() *big.Int { return cloneOrZero(iv.b) }
 
+// zero is the implicit bound of an Interval with nil fields (the zero value
+// is [0, 0)). It is only ever read.
+var zero = new(big.Int)
+
+func orZero(x *big.Int) *big.Int {
+	if x == nil {
+		return zero
+	}
+	return x
+}
+
+// Borrow-style accessors. A() and B() clone so callers can never alias
+// internal state, which is the right default for values that cross
+// goroutines and process boundaries — but it puts two heap allocations on
+// every inspection, and the coordination hot paths (Explorer.Restrict, the
+// farmer's per-checkpoint message handling) inspect intervals thousands of
+// times per second. The methods below compare against or copy into
+// caller-owned big.Ints instead, so steady-state coordination rounds
+// allocate nothing. None of them retain or expose the interval's internals.
+
+// CmpA compares the interval's beginning with x: -1 if A < x, 0 if equal,
+// +1 if A > x.
+func (iv Interval) CmpA(x *big.Int) int { return orZero(iv.a).Cmp(x) }
+
+// CmpB compares the interval's end with x.
+func (iv Interval) CmpB(x *big.Int) int { return orZero(iv.b).Cmp(x) }
+
+// AInto copies the interval's beginning into dst and returns dst.
+func (iv Interval) AInto(dst *big.Int) *big.Int { return dst.Set(orZero(iv.a)) }
+
+// BInto copies the interval's end into dst and returns dst.
+func (iv Interval) BInto(dst *big.Int) *big.Int { return dst.Set(orZero(iv.b)) }
+
+// LenInto computes Len (B-A clamped at zero) into dst and returns dst.
+func (iv Interval) LenInto(dst *big.Int) *big.Int {
+	if iv.IsEmpty() {
+		return dst.SetInt64(0)
+	}
+	return dst.Sub(iv.b, iv.a)
+}
+
+// IntersectInPlace narrows iv to iv ∩ other (eq. 14) without allocating
+// fresh bounds in the steady state: the receiver's own big.Ints are
+// overwritten. It is the mutating twin of Intersect for owners of
+// long-lived intervals (the farmer's INTERVALS entries), with the same
+// convention: a nil bound (from the zero Interval) is treated as absent and
+// imposes no constraint.
+func (iv *Interval) IntersectInPlace(other Interval) {
+	if iv.a == nil {
+		iv.a = cloneOrZero(other.a)
+	} else if other.a != nil && other.a.Cmp(iv.a) > 0 {
+		iv.a.Set(other.a)
+	}
+	if iv.b == nil {
+		iv.b = cloneOrZero(other.b)
+	} else if other.b != nil && other.b.Cmp(iv.b) < 0 {
+		iv.b.Set(other.b)
+	}
+}
+
 // Clone returns a deep copy of the interval.
 func (iv Interval) Clone() Interval { return Interval{a: iv.A(), b: iv.B()} }
 

@@ -306,3 +306,70 @@ func TestString(t *testing.T) {
 		t.Errorf("zero String() = %q", got)
 	}
 }
+
+// TestBorrowAccessors: the allocation-free accessors agree with their
+// cloning counterparts, including on the zero interval.
+func TestBorrowAccessors(t *testing.T) {
+	x := iv(3, 9)
+	scratch := new(big.Int)
+	if x.CmpA(big.NewInt(2)) <= 0 || x.CmpA(big.NewInt(3)) != 0 || x.CmpA(big.NewInt(4)) >= 0 {
+		t.Error("CmpA ordering wrong")
+	}
+	if x.CmpB(big.NewInt(8)) <= 0 || x.CmpB(big.NewInt(9)) != 0 || x.CmpB(big.NewInt(10)) >= 0 {
+		t.Error("CmpB ordering wrong")
+	}
+	if x.AInto(scratch).Cmp(x.A()) != 0 {
+		t.Errorf("AInto = %v, A = %v", scratch, x.A())
+	}
+	if x.BInto(scratch).Cmp(x.B()) != 0 {
+		t.Errorf("BInto = %v, B = %v", scratch, x.B())
+	}
+	if x.LenInto(scratch).Cmp(x.Len()) != 0 {
+		t.Errorf("LenInto = %v, Len = %v", scratch, x.Len())
+	}
+	if got := iv(7, 2).LenInto(scratch); got.Sign() != 0 {
+		t.Errorf("LenInto of empty = %v, want 0", got)
+	}
+	var zero Interval
+	if zero.CmpA(new(big.Int)) != 0 || zero.CmpB(new(big.Int)) != 0 {
+		t.Error("zero interval borrow accessors should compare as 0")
+	}
+	if zero.AInto(scratch).Sign() != 0 || zero.BInto(scratch).Sign() != 0 {
+		t.Error("zero interval AInto/BInto should yield 0")
+	}
+	// Mutating the copied-out value must not touch the interval.
+	x.AInto(scratch).SetInt64(99)
+	if x.CmpA(big.NewInt(3)) != 0 {
+		t.Error("AInto leaked internal state")
+	}
+}
+
+// TestIntersectInPlace: the mutating intersection matches Intersect on
+// overlapping, nested, disjoint and empty operands.
+func TestIntersectInPlace(t *testing.T) {
+	cases := [][2]Interval{
+		{iv(0, 10), iv(5, 20)},
+		{iv(5, 20), iv(0, 10)},
+		{iv(0, 10), iv(2, 8)},
+		{iv(2, 8), iv(0, 10)},
+		{iv(0, 5), iv(7, 9)},
+		{iv(0, 5), iv(5, 9)},
+		{iv(3, 3), iv(0, 10)},
+		{iv(0, 10), {}},
+	}
+	for _, c := range cases {
+		want := c[0].Intersect(c[1])
+		got := c[0].Clone()
+		got.IntersectInPlace(c[1])
+		if !got.Equal(want) {
+			t.Errorf("IntersectInPlace(%v, %v) = %v, want %v", c[0], c[1], got, want)
+		}
+	}
+	// The zero interval's nil bounds impose no constraint, mirroring
+	// Intersect's maxBig/minBig convention.
+	var zero Interval
+	zero.IntersectInPlace(iv(1, 5))
+	if !zero.Equal(iv(1, 5)) {
+		t.Errorf("zero ∩ [1,5) = %v, want [1,5)", zero)
+	}
+}

@@ -177,7 +177,12 @@ func (p *Problem) Ascend() { p.depth-- }
 // first one that does not fit contributes its fractional value, floored —
 // valid because the integer optimum below this node is at most the LP
 // optimum, and being integral, at most its floor.
-func (p *Problem) Bound() int64 {
+//
+// The greedy accumulation only drives the (negated) bound down, so there is
+// no sound prune-side shortcut mid-scan; the cutoff is accepted for the
+// bb.Problem contract and the exact bound is always returned (the scan is
+// already short: it stops at the first item that does not fit).
+func (p *Problem) Bound(int64) int64 {
 	if p.load[p.depth] > p.ins.Capacity {
 		return bb.Infinity
 	}

@@ -74,7 +74,7 @@ func TestBoundIsRelaxation(t *testing.T) {
 		for d := 0; d < depth; d++ {
 			p.Descend(int(path>>d) & 1)
 		}
-		lb := p.Bound()
+		lb := p.Bound(bb.Infinity)
 		// Brute-force the best completion below this node.
 		best := bb.Infinity
 		var walk func(d int)
@@ -133,8 +133,8 @@ func TestInfeasibleBranchesPruned(t *testing.T) {
 	p := NewProblem(ins)
 	p.Reset()
 	p.Descend(0) // take item of weight 6 > capacity 5
-	if p.Bound() != bb.Infinity {
-		t.Fatalf("bound of infeasible node = %d", p.Bound())
+	if p.Bound(bb.Infinity) != bb.Infinity {
+		t.Fatalf("bound of infeasible node = %d", p.Bound(bb.Infinity))
 	}
 	p.Descend(0)
 	if p.Cost() != bb.Infinity {

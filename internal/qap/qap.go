@@ -178,9 +178,16 @@ func (p *Problem) Ascend() {
 func (p *Problem) Cost() int64 { return p.fixed[p.depth] }
 
 // Bound implements bb.Problem: fixed cost + fixed–free minima + free–free
-// rearrangement bound.
-func (p *Problem) Bound() int64 {
+// rearrangement bound. Every term added is non-negative, so the running sum
+// is itself an admissible lower bound at every step; per the cutoff contract
+// the evaluation returns the moment it reaches cutoff, which skips the
+// per-facility location scans and — most importantly — the two sorts of the
+// rearrangement stage for the bulk of the pruned nodes.
+func (p *Problem) Bound(cutoff int64) int64 {
 	lb := p.fixed[p.depth]
+	if lb >= cutoff {
+		return lb
+	}
 	n := p.ins.N
 	// Fixed–free: each unplaced facility f interacts with every placed
 	// facility; whatever location f ends on, it pays at least the
@@ -201,6 +208,9 @@ func (p *Problem) Bound() int64 {
 		}
 		if min < (int64(1) << 62) {
 			lb += min
+			if lb >= cutoff {
+				return lb
+			}
 		}
 	}
 	// Free–free: the off-diagonal flows among unplaced facilities will

@@ -90,7 +90,7 @@ func TestBoundAdmissible(t *testing.T) {
 		for d := 0; d < depth; d++ {
 			p.Descend(rng.Intn(ins.N - d))
 		}
-		lb := p.Bound()
+		lb := p.Bound(bb.Infinity)
 		best := bb.Infinity
 		var walk func(d int)
 		walk = func(d int) {
@@ -120,17 +120,17 @@ func TestDescendAscendInverse(t *testing.T) {
 	p := NewProblem(ins)
 	p.Descend(2)
 	p.Descend(0)
-	b1 := p.Bound()
+	b1 := p.Bound(bb.Infinity)
 	p.Descend(1)
 	p.Ascend()
-	if got := p.Bound(); got != b1 {
+	if got := p.Bound(bb.Infinity); got != b1 {
 		t.Fatalf("bound after descend+ascend = %d, want %d", got, b1)
 	}
 	p.Ascend()
 	p.Ascend()
 	p.Descend(2)
 	p.Descend(0)
-	if got := p.Bound(); got != b1 {
+	if got := p.Bound(bb.Infinity); got != b1 {
 		t.Fatalf("bound after full rewind = %d, want %d", got, b1)
 	}
 }

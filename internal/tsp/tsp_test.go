@@ -92,7 +92,7 @@ func TestBoundAdmissible(t *testing.T) {
 		for d := 0; d < depth; d++ {
 			p.Descend(rng.Intn(ins.N - 1 - d))
 		}
-		lb := p.Bound()
+		lb := p.Bound(bb.Infinity)
 		best := bb.Infinity
 		var walk func(d int)
 		walk = func(d int) {

@@ -62,21 +62,39 @@ func TestManyWorkersMatchSequential(t *testing.T) {
 
 	f := newFarmerFor(oracleP)
 	const n = 8
+	// Acquire every worker's first interval synchronously before racing:
+	// a zero-budget Advance requests work without exploring. Without this
+	// barrier the test depends on goroutine scheduling — the engine is
+	// fast enough to finish the whole tree before a late-starting peer
+	// issues its first request.
+	sessions := make([]*Session, n)
+	for i := 0; i < n; i++ {
+		p := flowshop.NewProblem(ins, flowshop.BoundOneMachine, flowshop.PairsAll)
+		cfg := Config{
+			ID:                transport.WorkerID(string(rune('a' + i))),
+			Power:             int64(1 + i%3),
+			UpdatePeriodNodes: 200,
+			StepSize:          100,
+		}
+		sessions[i] = NewSession(cfg, f, p)
+		if _, _, err := sessions[i].Advance(0); err != nil {
+			t.Fatalf("worker %d: first request: %v", i, err)
+		}
+	}
 	var wg sync.WaitGroup
-	results := make([]Result, n)
 	errs := make([]error, n)
 	for i := 0; i < n; i++ {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			p := flowshop.NewProblem(ins, flowshop.BoundOneMachine, flowshop.PairsAll)
-			cfg := Config{
-				ID:                transport.WorkerID(string(rune('a' + i))),
-				Power:             int64(1 + i%3),
-				UpdatePeriodNodes: 200,
-				StepSize:          100,
+			s := sessions[i]
+			for {
+				_, finished, err := s.Advance(s.cfg.StepSize)
+				if err != nil || finished {
+					errs[i] = err
+					return
+				}
 			}
-			results[i], errs[i] = Run(context.Background(), cfg, f, p)
 		}(i)
 	}
 	wg.Wait()
