@@ -5,7 +5,7 @@
 GO      ?= go
 BENCH_OUT ?= bench.json
 
-.PHONY: all build vet test bench bench-hot
+.PHONY: all build vet test race bench bench-hot
 
 all: vet build test
 
@@ -17,6 +17,11 @@ vet:
 
 test:
 	$(GO) test ./...
+
+# The concurrent runtime (farmer monitor, p2p ring, gridbb workers) under
+# the race detector; CI runs this as its own job.
+race:
+	$(GO) test -race ./...
 
 # Full benchmark sweep as a JSON event stream (one test2json object per
 # line; the BenchmarkResult lines carry ns/op, B/op and allocs/op).

@@ -33,8 +33,14 @@ type IntervalRecord struct {
 type Snapshot struct {
 	// Intervals is the content of INTERVALS.
 	Intervals []IntervalRecord
-	// NextID continues the ID sequence so restored and fresh intervals
-	// never collide.
+	// Epoch counts farmer incarnations: each restore bumps it, and ids
+	// are epoch-qualified, so an id issued after this snapshot was taken
+	// can never collide with one issued after the restore.
+	Epoch int64
+	// NextID records the saving incarnation's allocation count. It is
+	// diagnostic only: id freshness across restarts comes from the Epoch
+	// bump (a restored farmer restarts its sequence at zero in a fresh
+	// epoch), never from continuing this sequence.
 	NextID int64
 	// BestCost is SOLUTION's cost; bb.Infinity when no solution exists.
 	BestCost int64
@@ -72,6 +78,7 @@ func (s *Store) Dir() string { return s.dir }
 func (s *Store) Save(snap Snapshot) error {
 	var iv strings.Builder
 	fmt.Fprintf(&iv, "%s intervals\n", formatVersion)
+	fmt.Fprintf(&iv, "epoch %d\n", snap.Epoch)
 	fmt.Fprintf(&iv, "nextid %d\n", snap.NextID)
 	for _, rec := range snap.Intervals {
 		text, err := rec.Interval.MarshalText()
@@ -144,6 +151,15 @@ func (s *Store) loadIntervals(snap *Snapshot) error {
 		}
 		fields := strings.Fields(line)
 		switch fields[0] {
+		case "epoch":
+			// Absent in files written before the epoch mechanism; the
+			// zero default makes the restore bump it to 1 either way.
+			if len(fields) != 2 {
+				return fmt.Errorf("checkpoint: bad epoch line %q", line)
+			}
+			if _, err := fmt.Sscanf(fields[1], "%d", &snap.Epoch); err != nil {
+				return fmt.Errorf("checkpoint: bad epoch %q: %w", fields[1], err)
+			}
 		case "nextid":
 			if len(fields) != 2 {
 				return fmt.Errorf("checkpoint: bad nextid line %q", line)

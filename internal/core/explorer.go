@@ -95,11 +95,25 @@ func NewExplorer(p bb.Problem, nb *Numbering, iv interval.Interval, initialUpper
 	// branch has one extra entry (the leaf depth, zero) so the walk can
 	// index it at any current depth without a bound check.
 	copy(e.branch, bb.Branchings(nb.shape))
-	clamped := iv.Intersect(nb.RootRange())
-	e.lo, e.hi = clamped.A(), clamped.B()
-	e.done = clamped.IsEmpty()
+	e.lo, e.hi = clampAssigned(iv, nb)
+	e.done = e.lo.Cmp(e.hi) >= 0
 	p.Reset()
 	return e
+}
+
+// clampAssigned restricts an assigned interval to the tree's root range.
+// An empty interval — including the zero value, whose nil bounds would
+// otherwise read as "no constraint" under the eq. 14 convention and clamp
+// to the whole tree — assigns nothing: an idle explorer owns zero leaves,
+// which is what the p2p peers and the worker's dropped-interval path rely
+// on.
+func clampAssigned(iv interval.Interval, nb *Numbering) (lo, hi *big.Int) {
+	if iv.IsEmpty() {
+		z := new(big.Int)
+		return z, new(big.Int)
+	}
+	clamped := iv.Intersect(nb.RootRange())
+	return clamped.A(), clamped.B()
 }
 
 // Numbering returns the numbering the explorer navigates with.
@@ -381,9 +395,8 @@ func (e *Explorer) improve(cost int64, leafDepth int) {
 // work unit after finishing one (§4.2: "a B&B process requests an interval
 // ... when it finishes the exploration of its interval").
 func (e *Explorer) Reassign(iv interval.Interval) {
-	clamped := iv.Intersect(e.nb.RootRange())
-	e.lo, e.hi = clamped.A(), clamped.B()
-	e.done = clamped.IsEmpty()
+	e.lo, e.hi = clampAssigned(iv, e.nb)
+	e.done = e.lo.Cmp(e.hi) >= 0
 	e.depth = 0
 	e.interior = -1
 	for d := range e.cursor {

@@ -49,6 +49,11 @@ type Counters struct {
 	ExpiredOwners int64
 	// HandedOffOrphans counts orphaned intervals given to new workers.
 	HandedOffOrphans int64
+	// RecoveredTails counts tail regions carved back into INTERVALS when
+	// a worker re-registered a remainder shorter than the coordinator's
+	// copy — which only happens when the copy is stale, i.e. restored
+	// from a checkpoint that predates a partition (farmer restart, §4.1).
+	RecoveredTails int64
 }
 
 // RedundancyStats measures duplicated work in leaf-number units, the
@@ -105,8 +110,23 @@ func (t *tracked) holderPower() int64 {
 type Farmer struct {
 	mu sync.Mutex
 
+	// ckptMu serializes Checkpoint callers end to end. The snapshot is
+	// taken under mu but written outside it (a slow disk must not block
+	// the workers); without this second lock two concurrent checkpoints
+	// — the periodic ticker racing a final snapshot — could interleave
+	// writes to the same temp file, or rename an older snapshot over a
+	// newer one.
+	ckptMu sync.Mutex
+
 	intervals map[int64]*tracked
-	nextID    int64
+	// Interval ids are epoch-qualified: id = epoch<<epochShift | seq.
+	// The epoch is bumped on every restore from checkpoint, so an id
+	// allocated after the snapshot was taken (and therefore lost in the
+	// crash) can never be re-issued to a different interval — a late
+	// update from its pre-crash owner is recognizably stale instead of
+	// silently intersecting an unrelated interval.
+	epoch  int64
+	nextID int64
 
 	bestCost int64
 	bestPath []int
@@ -219,7 +239,11 @@ func Restore(root interval.Interval, store *checkpoint.Store, opts ...Option) (*
 	f := New(interval.Interval{}, opts...)
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	f.nextID = snap.NextID
+	// A fresh epoch: every id allocated by this incarnation is distinct
+	// from every id any previous incarnation ever issued, including the
+	// ones issued after the snapshot (which the snapshot cannot know).
+	f.epoch = snap.Epoch + 1
+	f.nextID = 0
 	for _, rec := range snap.Intervals {
 		if rec.Interval.IsEmpty() {
 			continue
@@ -237,11 +261,15 @@ func Restore(root interval.Interval, store *checkpoint.Store, opts ...Option) (*
 	return f, nil
 }
 
+// epochShift positions the restore epoch in the high bits of interval ids;
+// 2^40 allocations per incarnation and 2^23 restarts are both out of reach.
+const epochShift = 40
+
 // addTracked registers a new orphan interval and returns it. Caller holds
 // no lock (construction) or the lock (runtime paths handle locking).
 func (f *Farmer) addTracked(iv interval.Interval) *tracked {
 	t := &tracked{
-		id:        f.nextID,
+		id:        f.epoch<<epochShift | f.nextID,
 		iv:        iv.Clone(),
 		owners:    make(map[transport.WorkerID]*owner),
 		coveredTo: iv.A(),
@@ -433,6 +461,39 @@ func (f *Farmer) UpdateInterval(req transport.UpdateRequest) (transport.UpdateRe
 		o.lastA.Set(reportedA)
 	}
 
+	// Stale-copy reconciliation (farmer restart, §4.1). In normal
+	// operation a worker's remaining end never falls short of the
+	// coordinator's copy: the worker's end bound only ever shrinks
+	// through replies this coordinator issued. A shorter end therefore
+	// means the copy is stale — restored from a snapshot taken before a
+	// partition whose donated tail lived on only in assignments the crash
+	// orphaned. Blindly intersecting would discard that tail as if it had
+	// been explored; instead it is carved back into INTERVALS as a fresh
+	// orphan so the allocation path re-issues it.
+	remB := req.Remaining.BInto(f.scrMul)
+	if t.iv.CmpB(remB) > 0 {
+		if t.iv.CmpA(remB) < 0 {
+			f.addTracked(interval.New(remB, t.iv.B()))
+			f.counters.RecoveredTails++
+		} else {
+			// The worker's whole view lies before the copy: it brings
+			// no progress over this copy, and intersecting would
+			// wrongly empty it. The worker cannot adopt the copy either
+			// — its explorer only ever narrows (eq. 14), so a reply
+			// carrying a disjoint interval would make it finish and
+			// drop the work while this farmer kept it as a leased
+			// owner, stalling recovery for a full lease TTL. Drop the
+			// ownership and send the worker back for fresh work.
+			delete(t.owners, req.Worker)
+			f.cleanLocked()
+			return transport.UpdateReply{
+				Known:    false,
+				BestCost: f.bestCost,
+				Finished: len(f.intervals) == 0,
+			}, nil
+		}
+	}
+
 	// Intersection operator (eq. 14): reconcile the worker's view with
 	// the coordinator's copy in place. Only the reply's interval is a
 	// fresh copy — it escapes to the worker.
@@ -553,14 +614,18 @@ func (f *Farmer) Size() (cardinality int, totalLen *big.Int) {
 }
 
 // Checkpoint persists INTERVALS and SOLUTION through the attached store
-// (§4.1). It errors if no store is attached.
+// (§4.1). It errors if no store is attached. Concurrent callers are
+// serialized in snapshot order; workers are only blocked for the in-memory
+// snapshot, never for the file write.
 func (f *Farmer) Checkpoint() error {
+	f.ckptMu.Lock()
+	defer f.ckptMu.Unlock()
 	f.mu.Lock()
 	if f.store == nil {
 		f.mu.Unlock()
 		return fmt.Errorf("farmer: no checkpoint store attached")
 	}
-	snap := checkpoint.Snapshot{NextID: f.nextID, BestCost: f.bestCost}
+	snap := checkpoint.Snapshot{Epoch: f.epoch, NextID: f.nextID, BestCost: f.bestCost}
 	if f.bestPath != nil {
 		snap.BestPath = append([]int(nil), f.bestPath...)
 	}

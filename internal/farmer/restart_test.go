@@ -1,0 +1,223 @@
+package farmer
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/checkpoint"
+	"repro/internal/interval"
+	"repro/internal/transport"
+)
+
+// restartFixture builds a farmer over [0,1000) with a real store, lets w1
+// take the whole interval, checkpoints, and then lets w2 split off the
+// right half — so the snapshot predates the partition, the exact situation
+// a farmer crash turns into trouble.
+func restartFixture(t *testing.T) (f1 *Farmer, store *checkpoint.Store, w1ID, w2ID int64) {
+	t.Helper()
+	store, err := checkpoint.NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	clk := &fixedClock{}
+	f1 = New(interval.FromInt64(0, 1000), WithClock(clk.fn()), WithCheckpointStore(store))
+	r1, err := f1.RequestWork(transport.WorkRequest{Worker: "w1", Power: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f1.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	r2, err := f1.RequestWork(transport.WorkRequest{Worker: "w2", Power: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.IntervalID == r1.IntervalID {
+		t.Fatalf("split reused the holder id %d", r1.IntervalID)
+	}
+	return f1, store, r1.IntervalID, r2.IntervalID
+}
+
+// TestRestartIDsNeverCollide: ids issued after a restore live in a fresh
+// epoch, so an id allocated after the snapshot (and lost in the crash) is
+// recognizably stale — it can never alias a new allocation. Before the
+// epoch mechanism, the restored farmer re-issued the post-snapshot id and a
+// late update from its presumed-dead owner silently intersected an
+// unrelated interval, which could erase unexplored work.
+func TestRestartIDsNeverCollide(t *testing.T) {
+	_, store, id1, id2 := restartFixture(t)
+
+	f2, err := Restore(interval.FromInt64(0, 1000), store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r3, err := f2.RequestWork(transport.WorkRequest{Worker: "w3", Power: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r3.IntervalID == id1 || r3.IntervalID == id2 {
+		t.Fatalf("restored farmer re-issued pre-crash id %d (pre-crash ids %d, %d)", r3.IntervalID, id1, id2)
+	}
+
+	// The post-snapshot id must be reported unknown, not intersected.
+	up, err := f2.UpdateInterval(transport.UpdateRequest{
+		Worker: "w2", IntervalID: id2, Remaining: interval.FromInt64(600, 1000), Power: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if up.Known {
+		t.Fatalf("update for post-snapshot id %d accepted by the restored farmer", id2)
+	}
+}
+
+// TestRestartEpochPersists: each incarnation checkpoints its own epoch, so
+// the id space stays fresh across any number of crashes.
+func TestRestartEpochPersists(t *testing.T) {
+	_, store, _, _ := restartFixture(t)
+	for want := int64(1); want <= 3; want++ {
+		f, err := Restore(interval.FromInt64(0, 1000), store)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Checkpoint(); err != nil {
+			t.Fatal(err)
+		}
+		snap, err := store.Load()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if snap.Epoch != want {
+			t.Fatalf("after %d restores the snapshot carries epoch %d", want, snap.Epoch)
+		}
+	}
+}
+
+// TestRestartRecoversStaleTail: after a restore, the coordinator's copy may
+// predate a partition — it is wider than the surviving holder's view. The
+// holder's re-registration must not discard the tail the lost sibling was
+// exploring: it is carved back into INTERVALS and re-issued.
+func TestRestartRecoversStaleTail(t *testing.T) {
+	_, store, id1, _ := restartFixture(t)
+
+	f2, err := Restore(interval.FromInt64(0, 1000), store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// w1 survived the crash. Pre-crash it was restricted to [0,500) by
+	// the split and has advanced to 100; its id is in the snapshot.
+	up, err := f2.UpdateInterval(transport.UpdateRequest{
+		Worker: "w1", IntervalID: id1, Remaining: interval.FromInt64(100, 500), Power: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !up.Known {
+		t.Fatal("snapshot id unknown after restore")
+	}
+	if !up.Interval.Equal(interval.FromInt64(100, 500)) {
+		t.Fatalf("holder reconciled to %v, want [100,500)", up.Interval)
+	}
+	if c := f2.Counters(); c.RecoveredTails != 1 {
+		t.Fatalf("RecoveredTails = %d, want 1", c.RecoveredTails)
+	}
+	// Nothing was lost: INTERVALS must still cover [100,1000) exactly.
+	total := interval.NewSet()
+	for _, rec := range f2.IntervalsSnapshot() {
+		if ov := total.Add(rec.Interval); ov.Sign() != 0 {
+			t.Fatalf("INTERVALS overlap by %s", ov)
+		}
+	}
+	if gaps := total.Gaps(interval.FromInt64(100, 1000)); len(gaps) > 0 {
+		t.Fatalf("stale-tail recovery left gaps %v", gaps)
+	}
+}
+
+// TestUpdateEntirelyBehindKeepsCopy: a worker whose whole view lies before
+// the coordinator's copy (a stale duplicate owner) contributes no progress.
+// The copy must survive untouched instead of being intersected to empty,
+// and the worker must be sent back for fresh work (Known=false) rather
+// than re-admitted as an owner of an interval it can never adopt — an
+// explorer only narrows, so it would silently drop the copy while its
+// lease stalled recovery.
+func TestUpdateEntirelyBehindKeepsCopy(t *testing.T) {
+	f, _ := newTestFarmer(100)
+	r, err := f.RequestWork(transport.WorkRequest{Worker: "w1", Power: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// w1 advances the copy to [60,100).
+	if _, err := f.UpdateInterval(transport.UpdateRequest{
+		Worker: "w1", IntervalID: r.IntervalID, Remaining: interval.FromInt64(60, 100), Power: 1,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// A stale view [10,50) arrives for the same id.
+	up, err := f.UpdateInterval(transport.UpdateRequest{
+		Worker: "w2", IntervalID: r.IntervalID, Remaining: interval.FromInt64(10, 50), Power: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if up.Known {
+		t.Fatalf("stale update got %+v, want Known=false (drop and re-request)", up)
+	}
+	if f.Done() {
+		t.Fatal("stale update emptied INTERVALS")
+	}
+	// The stale worker must not linger as a leased owner: only w1 counts
+	// as a holder, so an equal-power requester gets exactly half of
+	// [60,100). A phantom w2 would shrink the donation to a third.
+	r2, err := f.RequestWork(transport.WorkRequest{Worker: "w3", Power: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r2.Interval.Equal(interval.FromInt64(80, 100)) {
+		t.Fatalf("w3 got %v, want the half [80,100) — a phantom owner is inflating holder power", r2.Interval)
+	}
+}
+
+// TestConcurrentCheckpointsSerialize: the periodic snapshotter racing a
+// final snapshot (the gridbb.Solve shutdown pattern) must never corrupt the
+// store. Run under -race this also audits the snapshot bookkeeping.
+func TestConcurrentCheckpointsSerialize(t *testing.T) {
+	store, err := checkpoint.NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, _ := newTestFarmer(1000, WithCheckpointStore(store))
+	r, err := f.RequestWork(transport.WorkRequest{Worker: "w1", Power: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				if err := f.Checkpoint(); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for a := int64(0); a < 1000; a += 40 {
+			if _, err := f.UpdateInterval(transport.UpdateRequest{
+				Worker: "w1", IntervalID: r.IntervalID,
+				Remaining: interval.FromInt64(a, 1000), Power: 1,
+			}); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	if _, err := store.Load(); err != nil {
+		t.Fatalf("store corrupted by concurrent checkpoints: %v", err)
+	}
+}

@@ -1,0 +1,450 @@
+// Package harness is a deterministic in-process grid: it composes the real
+// farmer, real worker sessions, the real two-file checkpoint store and the
+// real p2p ring over an instrumented transport with seeded fault injection
+// (message drop/duplication, worker kill-and-rejoin, farmer restart from
+// its checkpoint files), and holds every run to the paper's invariants as
+// machine-checked conformance properties (see conformance.go and
+// DESIGN.md §5).
+//
+// Everything runs in one goroutine under a virtual clock: worker sessions
+// are advanced in seeded-shuffled order with seeded budgets, every fault is
+// drawn from the scenario's rng, and every event is appended to a trace —
+// equal seeds give byte-identical traces, so every failure reproduces.
+// The statistics and the failures are produced by the real protocol code,
+// not a model of it: the chaos layer is transport.Interceptor middleware
+// and the conformance layer is itself a transport.Coordinator.
+package harness
+
+import (
+	"errors"
+	"fmt"
+	"math/big"
+	"math/rand"
+	"os"
+	"time"
+
+	"repro/internal/bb"
+	"repro/internal/checkpoint"
+	"repro/internal/core"
+	"repro/internal/farmer"
+	"repro/internal/transport"
+	"repro/internal/worker"
+)
+
+// KillEvent schedules a worker crash: the session on Slot dies at Tick
+// without any goodbye (no final checkpoint — the §4.1 worker failure), and
+// a fresh session joins on the same slot RejoinAfter ticks later (0: the
+// slot stays empty for good).
+type KillEvent struct {
+	Tick, Slot, RejoinAfter int
+}
+
+// Scenario is one named fault schedule over one problem instance.
+type Scenario struct {
+	// Name identifies the scenario in reports and test names.
+	Name string
+	// Seed drives every random decision; equal seeds reproduce the run
+	// event for event.
+	Seed int64
+	// Factory returns a fresh Problem per call (one per worker and one
+	// for the sequential baseline).
+	Factory func() bb.Problem
+	// Workers is the number of slots. Default 3.
+	Workers int
+	// UpdatePeriodNodes is the worker checkpoint period. Default 256.
+	UpdatePeriodNodes int64
+	// TickBudget is the mean node budget per worker per tick (each tick
+	// draws a jittered value around it — hosts are heterogeneous).
+	// Default 512.
+	TickBudget int64
+	// LeaseTTLTicks is the farmer lease in virtual ticks (1 tick = 1
+	// virtual second). Default 3.
+	LeaseTTLTicks int
+	// CheckpointEvery snapshots the farmer every so many ticks (0: only
+	// the implicit initial state).
+	CheckpointEvery int
+	// FarmerRestarts lists ticks at which the farmer process is killed
+	// and restored from its latest snapshot.
+	FarmerRestarts []int
+	// Kills schedules worker crashes.
+	Kills []KillEvent
+	// DropRequestPct / DropReplyPct / DuplicatePct are per-message fault
+	// percentages (0..100, cumulative must stay ≤ 100).
+	DropRequestPct, DropReplyPct, DuplicatePct int
+	// InitialUpper primes SOLUTION (0: Infinity).
+	InitialUpper int64
+	// MaxTicks aborts a stuck scenario. Default 5000.
+	MaxTicks int
+	// Dir, when set, hosts the checkpoint store; empty uses a private
+	// temporary directory removed at the end of the run.
+	Dir string
+}
+
+func (s *Scenario) fillDefaults() {
+	if s.Workers <= 0 {
+		s.Workers = 3
+	}
+	if s.UpdatePeriodNodes <= 0 {
+		s.UpdatePeriodNodes = 256
+	}
+	if s.TickBudget <= 0 {
+		s.TickBudget = 512
+	}
+	if s.LeaseTTLTicks <= 0 {
+		s.LeaseTTLTicks = 3
+	}
+	if s.InitialUpper <= 0 {
+		s.InitialUpper = bb.Infinity
+	}
+	if s.MaxTicks <= 0 {
+		s.MaxTicks = 5000
+	}
+}
+
+// Report is the outcome of a scenario run. A run is conformant iff
+// Violations is empty and Finished is true.
+type Report struct {
+	// Name echoes the scenario.
+	Name string
+	// Trace is the deterministic event log (same seed ⇒ same trace).
+	Trace []string
+	// Violations lists every conformance breach, empty on a clean run.
+	Violations []string
+	// Best is the resolution's answer; Baseline the sequential oracle's.
+	Best, Baseline bb.Solution
+	// Ticks is the virtual duration; Finished whether INTERVALS emptied.
+	Ticks    int
+	Finished bool
+	// Fault bookkeeping.
+	Drops, Duplicates, Kills, Rejoins, Restarts, Checkpoints int
+	// OverlapUnits is the re-covered leaf measure; ReworkBudget what the
+	// fault events justify.
+	OverlapUnits, ReworkBudget *big.Int
+	// Counters are the final farmer counters.
+	Counters farmer.Counters
+}
+
+// slot is one worker seat of the grid.
+type slot struct {
+	sess     *worker.Session
+	id       transport.WorkerID
+	gen      int // incarnation count, for unique ids across rejoins
+	rejoinAt int // tick to rejoin at; -1 = stay empty
+	finished bool
+}
+
+// grid is the running state of one scenario.
+type grid struct {
+	sc      Scenario
+	rng     *rand.Rand
+	tick    int
+	nowNano int64
+
+	nb      *core.Numbering
+	store   *checkpoint.Store
+	farmer  *farmer.Farmer
+	track   *tracker
+	chaos   *transport.Interceptor
+	slots   []*slot
+	trace   []string
+	report  *Report
+	crashed map[transport.WorkerID]bool // lost-report verdicts pending a kill
+}
+
+func (g *grid) tracef(format string, args ...any) {
+	g.trace = append(g.trace, fmt.Sprintf("t=%04d ", g.tick)+fmt.Sprintf(format, args...))
+}
+
+// Run executes one scenario to termination and returns its report. The
+// error is reserved for harness misuse (unexpected protocol errors bubble
+// up as violations, not errors).
+func Run(sc Scenario) (Report, error) {
+	sc.fillDefaults()
+	rep := Report{Name: sc.Name, OverlapUnits: new(big.Int), ReworkBudget: new(big.Int)}
+
+	dir := sc.Dir
+	if dir == "" {
+		d, err := os.MkdirTemp("", "harness-ckpt-*")
+		if err != nil {
+			return rep, err
+		}
+		defer os.RemoveAll(d)
+		dir = d
+	}
+	store, err := checkpoint.NewStore(dir)
+	if err != nil {
+		return rep, err
+	}
+
+	baseProb := sc.Factory()
+	rep.Baseline, _ = bb.Solve(baseProb, sc.InitialUpper)
+
+	nb := core.NewNumbering(baseProb.Shape())
+	root := nb.RootRange()
+	g := &grid{
+		sc:      sc,
+		rng:     rand.New(rand.NewSource(sc.Seed)),
+		nb:      nb,
+		store:   store,
+		track:   newTracker(root),
+		report:  &rep,
+		crashed: make(map[transport.WorkerID]bool),
+	}
+	g.farmer = farmer.New(root, g.farmerOpts()...)
+	g.track.attach(g.farmer)
+	g.chaos = transport.NewInterceptor(g.track, transport.Hooks{
+		Fault:   g.decideFault,
+		Observe: g.observe,
+	})
+	for i := 0; i < sc.Workers; i++ {
+		g.slots = append(g.slots, &slot{rejoinAt: -1})
+		g.join(i)
+	}
+
+	if err := g.loop(); err != nil {
+		return rep, err
+	}
+
+	// Conformance verdicts.
+	g.track.noteTermination()
+	if !rep.Finished {
+		g.track.violatef("scenario did not terminate within %d ticks", sc.MaxTicks)
+	}
+	rep.Best = g.farmer.Best()
+	g.checkOptimality()
+	rep.Counters = g.farmer.Counters()
+	rep.Trace = g.trace
+	rep.Violations = g.track.violations
+	rep.OverlapUnits.Set(g.track.overlap)
+	rep.ReworkBudget.Set(g.track.reworkBudget)
+	return rep, nil
+}
+
+// farmerOpts builds the option set shared by the initial farmer and every
+// restored incarnation: the virtual clock, the scenario lease and the
+// checkpoint store.
+func (g *grid) farmerOpts() []farmer.Option {
+	opts := []farmer.Option{
+		farmer.WithClock(func() int64 { return g.nowNano }),
+		farmer.WithLeaseTTL(time.Duration(g.sc.LeaseTTLTicks) * time.Second),
+		farmer.WithCheckpointStore(g.store),
+	}
+	if g.sc.InitialUpper < bb.Infinity {
+		opts = append(opts, farmer.WithInitialBest(g.sc.InitialUpper, nil))
+	}
+	return opts
+}
+
+// loop is the virtual-time event loop.
+func (g *grid) loop() error {
+	sc := &g.sc
+	restarts := make(map[int]bool, len(sc.FarmerRestarts))
+	for _, t := range sc.FarmerRestarts {
+		restarts[t] = true
+	}
+	for tick := 0; tick < sc.MaxTicks; tick++ {
+		g.tick = tick
+		g.nowNano = int64(tick) * int64(time.Second)
+
+		if restarts[tick] {
+			if err := g.restartFarmer(); err != nil {
+				return err
+			}
+		}
+		if sc.CheckpointEvery > 0 && tick > 0 && tick%sc.CheckpointEvery == 0 {
+			if err := g.farmer.Checkpoint(); err != nil {
+				return err
+			}
+			g.track.noteCheckpoint()
+			g.report.Checkpoints++
+			g.tracef("ckpt n=%d", g.report.Checkpoints)
+		}
+		for _, k := range sc.Kills {
+			if k.Tick == tick {
+				rejoin := -1
+				if k.RejoinAfter > 0 {
+					rejoin = tick + k.RejoinAfter
+				}
+				g.kill(k.Slot, rejoin, "scheduled")
+			}
+		}
+		for i, sl := range g.slots {
+			if sl.sess == nil && sl.rejoinAt == tick {
+				g.join(i)
+			}
+		}
+
+		for _, si := range g.rng.Perm(len(g.slots)) {
+			sl := g.slots[si]
+			if sl.sess == nil || sl.finished {
+				continue
+			}
+			budget := sc.TickBudget/2 + g.rng.Int63n(sc.TickBudget)
+			n, finished, err := sl.sess.Advance(budget)
+			g.tracef("adv w=%s n=%d fin=%v", sl.id, n, finished)
+			if err != nil {
+				if !errors.Is(err, transport.ErrLost) {
+					return fmt.Errorf("harness: worker %s: %w", sl.id, err)
+				}
+				// A lost message is a transient network failure the
+				// pull-model protocol retries safely — except a lost
+				// solution report, which the protocol never resends:
+				// the real worker process dies on the RPC error and
+				// the solution's region is re-explored from the last
+				// reported fold. Model exactly that.
+				if g.crashed[sl.id] {
+					delete(g.crashed, sl.id)
+					g.kill(si, tick+sc.LeaseTTLTicks+1, "lost-report")
+				}
+				continue
+			}
+			if finished {
+				sl.finished = true
+			}
+		}
+
+		if g.farmer.Done() {
+			g.report.Finished = true
+			g.report.Ticks = tick + 1
+			g.tracef("done best=%d", g.farmer.Best().Cost)
+			return nil
+		}
+	}
+	g.report.Ticks = g.sc.MaxTicks
+	return nil
+}
+
+// join seats a fresh session on the slot.
+func (g *grid) join(i int) {
+	sl := g.slots[i]
+	sl.gen++
+	sl.id = transport.WorkerID(fmt.Sprintf("s%d-g%d", i, sl.gen))
+	sl.sess = worker.NewSession(worker.Config{
+		ID:                sl.id,
+		Power:             1 + int64(i), // heterogeneous by construction
+		UpdatePeriodNodes: g.sc.UpdatePeriodNodes,
+	}, g.chaos, g.sc.Factory())
+	sl.rejoinAt = -1
+	sl.finished = false
+	if sl.gen > 1 {
+		g.report.Rejoins++
+	}
+	g.tracef("join slot=%d w=%s", i, sl.id)
+}
+
+// kill crashes the slot's session, checking the bounded-rework property on
+// the way out: a worker can never die with more unreported nodes than one
+// checkpoint period. A scheduled kill landing on a slot already emptied by
+// a chaos crash is traced (so the schedule's coverage stays auditable) and
+// its rejoin still honoured if it is the earlier one.
+func (g *grid) kill(i, rejoinAt int, why string) {
+	sl := g.slots[i]
+	if sl.sess == nil {
+		g.tracef("kill-skipped slot=%d why=%s", i, why)
+		if rejoinAt >= 0 && (sl.rejoinAt < 0 || rejoinAt < sl.rejoinAt) {
+			sl.rejoinAt = rejoinAt
+		}
+		return
+	}
+	unreported := sl.sess.Stats().Explored - sl.sess.Reported().Explored
+	if unreported > g.sc.UpdatePeriodNodes {
+		g.track.violatef("worker %s died with %d unreported nodes, more than the %d-node checkpoint period",
+			sl.id, unreported, g.sc.UpdatePeriodNodes)
+	}
+	g.tracef("kill slot=%d w=%s why=%s unreported=%d", i, sl.id, why, unreported)
+	delete(g.crashed, sl.id)
+	sl.sess = nil
+	sl.rejoinAt = rejoinAt
+	g.report.Kills++
+}
+
+// restartFarmer kills the coordinator and restores it from the latest
+// snapshot — or from scratch when none exists. The workers keep their
+// connection object (the interceptor) exactly like real workers reconnect
+// to a restarted coordinator address.
+func (g *grid) restartFarmer() error {
+	f, err := farmer.Restore(g.nb.RootRange(), g.store, g.farmerOpts()...)
+	if err != nil {
+		return err
+	}
+	g.farmer = f
+	g.track.attach(f)
+	g.track.noteRestart()
+	g.report.Restarts++
+	g.tracef("farmer-restart n=%d", g.report.Restarts)
+	return nil
+}
+
+// decideFault is the seeded chaos policy: one draw per message.
+func (g *grid) decideFault(op transport.Op, w transport.WorkerID) transport.Fault {
+	sc := &g.sc
+	total := sc.DropRequestPct + sc.DropReplyPct + sc.DuplicatePct
+	if total == 0 {
+		return transport.FaultNone
+	}
+	r := g.rng.Intn(100)
+	switch {
+	case r < sc.DropRequestPct:
+		return transport.FaultDropRequest
+	case r < sc.DropRequestPct+sc.DropReplyPct:
+		return transport.FaultDropReply
+	case r < total:
+		return transport.FaultDuplicate
+	default:
+		return transport.FaultNone
+	}
+}
+
+// observe logs every message and earmarks lost solution reports for the
+// crash-on-lost-report policy (see loop).
+func (g *grid) observe(op transport.Op, w transport.WorkerID, fault transport.Fault, err error) {
+	if fault != transport.FaultNone {
+		g.tracef("msg %s w=%s fault=%s", op, w, fault)
+		switch fault {
+		case transport.FaultDropRequest, transport.FaultDropReply:
+			g.report.Drops++
+			if op == transport.OpReportSolution {
+				g.crashed[w] = true
+			}
+		case transport.FaultDuplicate:
+			g.report.Duplicates++
+		}
+	}
+}
+
+// checkOptimality holds the final incumbent to the sequential baseline:
+// equal cost, and — when a path exists — a real leaf of that cost.
+func (g *grid) checkOptimality() {
+	best, base := g.report.Best, g.report.Baseline
+	if best.Cost != base.Cost {
+		g.track.violatef("incumbent %d != sequential baseline %d", best.Cost, base.Cost)
+		return
+	}
+	if !best.Valid() {
+		if base.Valid() {
+			g.track.violatef("baseline found a solution but the grid has none")
+		}
+		return
+	}
+	if cost, err := evalPath(g.sc.Factory(), best.Path); err != nil {
+		g.track.violatef("incumbent path invalid: %v", err)
+	} else if cost != best.Cost {
+		g.track.violatef("incumbent path evaluates to %d, claimed %d", cost, best.Cost)
+	}
+}
+
+// evalPath walks the problem down the rank path and prices the leaf.
+func evalPath(p bb.Problem, path []int) (int64, error) {
+	depth := p.Shape().Depth()
+	if len(path) != depth {
+		return 0, fmt.Errorf("path length %d != tree depth %d", len(path), depth)
+	}
+	p.Reset()
+	for d, r := range path {
+		if r < 0 || r >= p.Shape().Branching(d) {
+			return 0, fmt.Errorf("rank %d out of range at depth %d", r, d)
+		}
+		p.Descend(r)
+	}
+	return p.Cost(), nil
+}

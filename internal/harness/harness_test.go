@@ -1,0 +1,251 @@
+package harness
+
+import (
+	"math/big"
+	"strings"
+	"testing"
+
+	"repro/internal/bb"
+	"repro/internal/checkpoint"
+	"repro/internal/interval"
+	"repro/internal/knapsack"
+	"repro/internal/transport"
+)
+
+// TestScenarioMatrixConformance runs every named scenario twice: the first
+// run must satisfy all three conformance invariants (interval partition,
+// incumbent optimality, bounded rework) and actually exercise its faults;
+// the second must produce a byte-identical event trace — the determinism
+// contract that makes every harness failure reproducible.
+func TestScenarioMatrixConformance(t *testing.T) {
+	for _, sc := range GridScenarios() {
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) {
+			rep, err := Run(sc)
+			if err != nil {
+				t.Fatalf("harness error: %v", err)
+			}
+			assertConformant(t, rep)
+
+			again, err := Run(sc)
+			if err != nil {
+				t.Fatalf("second run: %v", err)
+			}
+			assertSameTrace(t, rep.Trace, again.Trace)
+		})
+	}
+	t.Run(PartitionedRing().Name, func(t *testing.T) {
+		sc := PartitionedRing()
+		rep, err := RunRing(sc)
+		if err != nil {
+			t.Fatalf("harness error: %v", err)
+		}
+		assertConformant(t, rep)
+		again, err := RunRing(sc)
+		if err != nil {
+			t.Fatalf("second run: %v", err)
+		}
+		assertSameTrace(t, rep.Trace, again.Trace)
+	})
+}
+
+func assertConformant(t *testing.T, rep Report) {
+	t.Helper()
+	for _, v := range rep.Violations {
+		t.Errorf("%s: VIOLATION: %s", rep.Name, v)
+	}
+	if !rep.Finished {
+		t.Fatalf("%s: did not finish (%d ticks)", rep.Name, rep.Ticks)
+	}
+	if rep.Best.Cost != rep.Baseline.Cost {
+		t.Fatalf("%s: best %d != baseline %d", rep.Name, rep.Best.Cost, rep.Baseline.Cost)
+	}
+	t.Logf("%s: ticks=%d best=%d drops=%d dups=%d kills=%d rejoins=%d restarts=%d ckpts=%d overlap=%s rework=%s",
+		rep.Name, rep.Ticks, rep.Best.Cost, rep.Drops, rep.Duplicates, rep.Kills,
+		rep.Rejoins, rep.Restarts, rep.Checkpoints, rep.OverlapUnits, rep.ReworkBudget)
+}
+
+func assertSameTrace(t *testing.T, a, b []string) {
+	t.Helper()
+	if len(a) != len(b) {
+		t.Fatalf("trace lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("traces diverge at event %d:\n  run1: %s\n  run2: %s", i, a[i], b[i])
+		}
+	}
+}
+
+// TestScenariosExerciseTheirFaults guards the scenarios against silently
+// degenerating into quiet runs (e.g. after a retuning that makes the
+// resolution finish before the first scheduled fault).
+func TestScenariosExerciseTheirFaults(t *testing.T) {
+	churny, err := Run(ChurnyGrid())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if churny.Kills == 0 || churny.Rejoins == 0 {
+		t.Errorf("churny-grid: kills=%d rejoins=%d — fault schedule never fired", churny.Kills, churny.Rejoins)
+	}
+	if churny.Drops == 0 || churny.Duplicates == 0 {
+		t.Errorf("churny-grid: drops=%d duplicates=%d — message chaos never fired", churny.Drops, churny.Duplicates)
+	}
+
+	failover, err := Run(FarmerFailover())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failover.Restarts != len(FarmerFailover().FarmerRestarts) {
+		t.Errorf("farmer-failover: %d restarts, scheduled %d", failover.Restarts, len(FarmerFailover().FarmerRestarts))
+	}
+	if failover.Checkpoints == 0 {
+		t.Errorf("farmer-failover: no farmer checkpoints written")
+	}
+
+	quiet, err := Run(QuietGrid())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if quiet.OverlapUnits.Sign() != 0 {
+		t.Errorf("quiet-grid: %s units re-covered without any fault", quiet.OverlapUnits)
+	}
+
+	ring, err := RunRing(PartitionedRing())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var blocked bool
+	for _, line := range ring.Trace {
+		if strings.Contains(line, "-blocked") {
+			blocked = true
+			break
+		}
+	}
+	if !blocked {
+		t.Errorf("partitioned-ring: the partition window never blocked anything")
+	}
+}
+
+// TestDifferentSeedsDiverge: the seed is the only source of variation, and
+// it is a real one — two different seeds must produce different traces
+// (otherwise the chaos machinery is decorative).
+func TestDifferentSeedsDiverge(t *testing.T) {
+	a := ChurnyGrid()
+	b := ChurnyGrid()
+	b.Seed++
+	ra, err := Run(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := Run(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertConformant(t, ra)
+	assertConformant(t, rb)
+	if len(ra.Trace) == len(rb.Trace) {
+		same := true
+		for i := range ra.Trace {
+			if ra.Trace[i] != rb.Trace[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatal("different seeds produced identical traces")
+		}
+	}
+}
+
+// lossyCoordinator is a deliberately broken coordinator: allocation drops
+// half of the handed-out interval from its own bookkeeping (the lost-work
+// bug class the stale-tail carve fixed in the farmer), and an update can be
+// made to conjure new work out of thin air.
+type lossyCoordinator struct {
+	intervals []checkpoint.IntervalRecord
+	loseOn    bool
+	growOn    bool
+}
+
+func (c *lossyCoordinator) IntervalsSnapshot() []checkpoint.IntervalRecord {
+	out := make([]checkpoint.IntervalRecord, len(c.intervals))
+	copy(out, c.intervals)
+	return out
+}
+
+func (c *lossyCoordinator) RequestWork(req transport.WorkRequest) (transport.WorkReply, error) {
+	if c.loseOn && len(c.intervals) > 0 {
+		iv := c.intervals[0].Interval
+		mid := new(big.Int).Add(iv.A(), iv.B())
+		mid.Rsh(mid, 1)
+		left, _ := iv.SplitAt(mid)
+		c.intervals[0].Interval = left // the right half silently vanishes
+	}
+	return transport.WorkReply{Status: transport.WorkAssigned, IntervalID: 1}, nil
+}
+
+func (c *lossyCoordinator) UpdateInterval(req transport.UpdateRequest) (transport.UpdateReply, error) {
+	if c.growOn {
+		c.intervals = append(c.intervals, checkpoint.IntervalRecord{
+			ID: 99, Interval: interval.FromInt64(1000, 2000),
+		})
+	}
+	return transport.UpdateReply{Known: true}, nil
+}
+
+func (c *lossyCoordinator) ReportSolution(req transport.SolutionReport) (transport.SolutionAck, error) {
+	return transport.SolutionAck{}, nil
+}
+
+// TestTrackerCatchesBrokenCoordinators proves the conformance layer has
+// teeth: a coordinator that loses work on allocation, or conjures work on
+// update, or terminates with uncovered regions, is flagged.
+func TestTrackerCatchesBrokenCoordinators(t *testing.T) {
+	root := interval.FromInt64(0, 100)
+
+	lossy := &lossyCoordinator{
+		intervals: []checkpoint.IntervalRecord{{ID: 1, Interval: root.Clone()}},
+		loseOn:    true,
+	}
+	tr := newTracker(root)
+	tr.attach(lossy)
+	tr.RequestWork(transport.WorkRequest{Worker: "w", Power: 1})
+	if len(tr.violations) == 0 {
+		t.Error("tracker accepted an allocation that lost half the interval")
+	}
+
+	growing := &lossyCoordinator{
+		intervals: []checkpoint.IntervalRecord{{ID: 1, Interval: root.Clone()}},
+		growOn:    true,
+	}
+	tr2 := newTracker(root)
+	tr2.attach(growing)
+	tr2.UpdateInterval(transport.UpdateRequest{Worker: "w", IntervalID: 1, Remaining: root})
+	if len(tr2.violations) == 0 {
+		t.Error("tracker accepted an update that grew INTERVALS")
+	}
+
+	empty := &lossyCoordinator{}
+	tr3 := newTracker(root)
+	tr3.attach(empty)
+	tr3.covered.Add(interval.FromInt64(0, 40)) // 60 units never covered
+	tr3.noteTermination()
+	if len(tr3.violations) == 0 {
+		t.Error("tracker accepted termination with unexplored gaps")
+	}
+}
+
+// TestHarnessBaselineAgreement: the harness's sequential baseline matches a
+// direct bb.Solve — guarding the oracle itself.
+func TestHarnessBaselineAgreement(t *testing.T) {
+	sc := QuietGrid()
+	rep, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := bb.Solve(knapsack.NewProblem(knapsack.Random(20, 5)), bb.Infinity)
+	if rep.Baseline.Cost != want.Cost {
+		t.Fatalf("baseline %d, direct solve %d", rep.Baseline.Cost, want.Cost)
+	}
+}

@@ -1,0 +1,206 @@
+package harness
+
+import (
+	"fmt"
+	"math/big"
+
+	"repro/internal/bb"
+	"repro/internal/core"
+	"repro/internal/interval"
+	"repro/internal/p2p"
+)
+
+// RingScenario puts the decentralized p2p runtime under chaos: the ring is
+// driven by the deterministic lockstep driver and a partition window blocks
+// all communication (steals and the termination token) across a cut for a
+// range of sweeps. The conformance layer tracks every region's owner
+// through the steal events and holds the ring to an *exact* partition
+// invariant — work stealing moves intervals, it never loses or duplicates
+// a single leaf number, and the Dijkstra–Feijen–van Gasteren token must
+// never declare termination while the partition is up.
+type RingScenario struct {
+	// Name identifies the scenario.
+	Name string
+	// Seed drives victim selection; equal seeds reproduce the run.
+	Seed int64
+	// Factory returns a fresh Problem per call.
+	Factory func() bb.Problem
+	// Peers is the ring size. Default 4.
+	Peers int
+	// StepBudget is the per-peer slice per sweep. Default 512.
+	StepBudget int64
+	// PartitionFrom / PartitionUntil delimit the sweep window during
+	// which the ring is cut; PartitionCut splits peers [0,cut) from
+	// [cut,n).
+	PartitionFrom, PartitionUntil, PartitionCut int
+	// MaxSweeps aborts a stuck scenario. Default 20000.
+	MaxSweeps int
+}
+
+func (s *RingScenario) fillDefaults() {
+	if s.Peers <= 0 {
+		s.Peers = 4
+	}
+	if s.StepBudget <= 0 {
+		s.StepBudget = 512
+	}
+	if s.MaxSweeps <= 0 {
+		s.MaxSweeps = 20000
+	}
+}
+
+// view is the conformance layer's model of one peer's owned interval.
+type view struct {
+	a, b   *big.Int
+	active bool
+}
+
+// RunRing executes one p2p scenario and returns its report.
+func RunRing(sc RingScenario) (Report, error) {
+	sc.fillDefaults()
+	rep := Report{Name: sc.Name, OverlapUnits: new(big.Int), ReworkBudget: new(big.Int)}
+	rep.Baseline, _ = bb.Solve(sc.Factory(), bb.Infinity)
+
+	nb := core.NewNumbering(sc.Factory().Shape())
+	root := nb.RootRange()
+	l := p2p.NewLockstep(sc.Factory, p2p.Options{Peers: sc.Peers, StepBudget: sc.StepBudget, Seed: sc.Seed})
+
+	sweep := 0
+	l.Blocked = func(a, b int) bool {
+		if sweep < sc.PartitionFrom || sweep >= sc.PartitionUntil {
+			return false
+		}
+		return (a < sc.PartitionCut) != (b < sc.PartitionCut)
+	}
+
+	var violations []string
+	violatef := func(format string, args ...any) {
+		violations = append(violations, fmt.Sprintf(format, args...))
+	}
+	covered := interval.NewSet()
+	overlap := new(big.Int)
+	cover := func(a, b *big.Int, who int) {
+		if a.Cmp(b) >= 0 {
+			return
+		}
+		if ov := covered.Add(interval.New(a, b)); ov.Sign() != 0 {
+			overlap.Add(overlap, ov)
+			violatef("peer %d re-covered %s units in [%s,%s)", who, ov, a, b)
+		}
+	}
+
+	views := make([]view, sc.Peers)
+	views[0] = view{a: root.A(), b: root.B(), active: true}
+
+	processed := 0
+	trace := []string{}
+	reconcile := func() {
+		events := l.Events()
+		for ; processed < len(events); processed++ {
+			ev := events[processed]
+			trace = append(trace, fmt.Sprintf("s=%04d %s %d<-%d %s", ev.Sweep, ev.Kind, ev.From, ev.To, ev.Interval))
+			switch ev.Kind {
+			case "steal":
+				thief, victim := ev.From, ev.To
+				iv := ev.Interval
+				v := &views[victim]
+				if !v.active {
+					violatef("sweep %d: steal from inactive peer %d", ev.Sweep, victim)
+					continue
+				}
+				if v.b.Cmp(iv.B()) != 0 {
+					violatef("sweep %d: peer %d donated [%s,%s) but owns up to %s", ev.Sweep, victim, iv.A(), iv.B(), v.b)
+				}
+				v.b = iv.A() // the victim restricted itself to the left part
+				t := &views[thief]
+				if t.active {
+					// The thief was idle: its old region is done.
+					cover(t.a, t.b, thief)
+				}
+				*t = view{a: iv.A(), b: iv.B(), active: true}
+			case "terminate":
+				if ev.Sweep >= sc.PartitionFrom && ev.Sweep < sc.PartitionUntil {
+					violatef("sweep %d: termination declared while the ring was partitioned", ev.Sweep)
+				}
+			}
+		}
+		// Progress audit: each active peer's fold must advance
+		// monotonically inside its owned region.
+		for i := range views {
+			v := &views[i]
+			rem := l.Remaining(i)
+			if !v.active {
+				if !rem.IsEmpty() {
+					violatef("sweep %d: peer %d reports work %s but owns nothing", sweep, i, rem)
+				}
+				continue
+			}
+			if rem.IsEmpty() {
+				cover(v.a, v.b, i)
+				v.active = false
+				continue
+			}
+			ra, rb := rem.A(), rem.B()
+			if rb.Cmp(v.b) != 0 {
+				violatef("sweep %d: peer %d remaining end %s != owned end %s", sweep, i, rb, v.b)
+			}
+			if ra.Cmp(v.a) < 0 {
+				violatef("sweep %d: peer %d fold moved backwards %s < %s", sweep, i, ra, v.a)
+				continue
+			}
+			cover(v.a, ra, i)
+			v.a = ra
+		}
+	}
+
+	terminated := false
+	for sweep = 1; sweep <= sc.MaxSweeps; sweep++ {
+		done := l.Sweep()
+		reconcile()
+		if done {
+			terminated = true
+			break
+		}
+	}
+	rep.Ticks = sweep
+	rep.Finished = terminated
+	if !terminated {
+		violatef("ring did not terminate within %d sweeps", sc.MaxSweeps)
+	}
+
+	// Exact partition: stealing moves work, it never loses or duplicates
+	// any — the covered set must be precisely the root range with zero
+	// overlap (the farmer scenarios tolerate fault-justified rework; the
+	// p2p ring has no faults to justify any).
+	for i := range views {
+		if views[i].active {
+			violatef("peer %d still owns [%s,%s) after termination", i, views[i].a, views[i].b)
+		}
+	}
+	if gaps := covered.Gaps(root); len(gaps) > 0 {
+		violatef("termination with unexplored gaps %v", gaps)
+	}
+	if covered.Total().Cmp(root.Len()) != 0 {
+		violatef("covered measure %s != root measure %s", covered.Total(), root.Len())
+	}
+	if overlap.Sign() != 0 {
+		violatef("p2p re-covered %s units; steals must never duplicate work", overlap)
+	}
+
+	res := l.Result()
+	rep.Best = res.Best
+	if rep.Best.Cost != rep.Baseline.Cost {
+		violatef("incumbent %d != sequential baseline %d", rep.Best.Cost, rep.Baseline.Cost)
+	} else if rep.Best.Valid() {
+		if cost, err := evalPath(sc.Factory(), rep.Best.Path); err != nil {
+			violatef("incumbent path invalid: %v", err)
+		} else if cost != rep.Best.Cost {
+			violatef("incumbent path evaluates to %d, claimed %d", cost, rep.Best.Cost)
+		}
+	}
+	trace = append(trace, fmt.Sprintf("end sweeps=%d best=%d steals=%d rounds=%d", sweep, res.Best.Cost, res.Steals, res.TokenRounds))
+	rep.Trace = trace
+	rep.Violations = violations
+	rep.OverlapUnits.Set(overlap)
+	return rep, nil
+}

@@ -1,0 +1,112 @@
+package harness
+
+import (
+	"repro/internal/bb"
+	"repro/internal/flowshop"
+	"repro/internal/knapsack"
+	"repro/internal/qap"
+	"repro/internal/tsp"
+)
+
+// The scenario matrix: four named fault schedules, one per problem domain,
+// covering the grid situations the paper's mechanisms exist for. Each is
+// fully deterministic — same seed, same event trace — and every run is held
+// to the three conformance invariants (interval partition, incumbent
+// optimality, bounded rework). Future PRs extend the matrix by appending
+// constructors here; see DESIGN.md §5. Instance sizes are chosen so the
+// fault schedules land mid-resolution (the sequential node counts are in
+// the constructors' comments — re-probe before retuning).
+
+// QuietGrid is the control: a small pool, no faults, on the knapsack's
+// binary tree (~356 sequential nodes; the budgets are scaled down to
+// stretch the run over several protocol rounds). Every invariant must hold
+// with zero rework — if this scenario reports overlap, the runtime
+// duplicates work even in fair weather.
+func QuietGrid() Scenario {
+	ins := knapsack.Random(20, 5)
+	return Scenario{
+		Name:              "quiet-grid",
+		Seed:              1,
+		Factory:           func() bb.Problem { return knapsack.NewProblem(ins) },
+		Workers:           3,
+		UpdatePeriodNodes: 48,
+		TickBudget:        48,
+		CheckpointEvery:   2,
+	}
+}
+
+// ChurnyGrid is the paper's worker-failure story (§4.1) pushed hard on a
+// flowshop instance (~60k sequential nodes): messages drop in both
+// directions and retransmit, workers crash without goodbye and rejoin,
+// leases expire and orphaned intervals are re-issued.
+func ChurnyGrid() Scenario {
+	ins := flowshop.Taillard(12, 5, 7)
+	return Scenario{
+		Name: "churny-grid",
+		Seed: 2,
+		Factory: func() bb.Problem {
+			return flowshop.NewProblem(ins, flowshop.BoundOneMachine, flowshop.PairsAll)
+		},
+		Workers:           4,
+		UpdatePeriodNodes: 256,
+		TickBudget:        480,
+		LeaseTTLTicks:     2,
+		CheckpointEvery:   3,
+		DropRequestPct:    8,
+		DropReplyPct:      8,
+		DuplicatePct:      6,
+		Kills: []KillEvent{
+			{Tick: 4, Slot: 1, RejoinAfter: 3},
+			{Tick: 9, Slot: 2, RejoinAfter: 4},
+			{Tick: 14, Slot: 0, RejoinAfter: 3},
+		},
+	}
+}
+
+// FarmerFailover is the coordinator-failure story (§4.1) on a TSP instance
+// (~42k sequential nodes): the farmer dies twice mid-resolution and
+// restores from its two checkpoint files while the workers keep hammering
+// it. The restart path exercises the epoch-id and stale-tail mechanics; the
+// bounded-rework invariant pins the cost of each crash to the work covered
+// since the last snapshot.
+func FarmerFailover() Scenario {
+	ins := tsp.RandomEuclidean(10, 100, 4)
+	return Scenario{
+		Name:              "farmer-failover",
+		Seed:              3,
+		Factory:           func() bb.Problem { return tsp.NewProblem(ins) },
+		Workers:           3,
+		UpdatePeriodNodes: 256,
+		TickBudget:        450,
+		LeaseTTLTicks:     2,
+		CheckpointEvery:   3,
+		FarmerRestarts:    []int{7, 15},
+		DropReplyPct:      4,
+	}
+}
+
+// PartitionedRing is the p2p future-work story (§6) under a network
+// partition on a QAP instance (~13k sequential nodes): the ring is cut in
+// half from the very first sweep — while peers 2 and 3 are still starved,
+// their only work sources on the far side — so no steals and no
+// termination token cross the cut for the window; the ring must neither
+// lose work nor declare termination early, and the starved half must catch
+// up once the partition heals.
+func PartitionedRing() RingScenario {
+	ins := qap.Random(8, 15, 9)
+	return RingScenario{
+		Name:           "partitioned-ring",
+		Seed:           4,
+		Factory:        func() bb.Problem { return qap.NewProblem(ins) },
+		Peers:          4,
+		StepBudget:     256,
+		PartitionFrom:  1,
+		PartitionUntil: 6,
+		PartitionCut:   2,
+	}
+}
+
+// GridScenarios returns the farmer-based scenario matrix.
+func GridScenarios() []Scenario {
+	return []Scenario{QuietGrid(), ChurnyGrid(), FarmerFailover()}
+}

@@ -1,0 +1,222 @@
+package interval
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+)
+
+// Randomized torture tests of the work-unit algebra, in the style of
+// core/explorer_fuzz_test.go: thousands of seeded random cases checked
+// against brute-force models over a small universe, so every algebraic
+// identity the runtime leans on (eq. 10/14 and the Set conservation laws
+// the harness asserts) is pinned mechanically.
+
+const fuzzUniverse = 64
+
+func randIv(rng *rand.Rand) Interval {
+	a := rng.Int63n(fuzzUniverse + 1)
+	b := rng.Int63n(fuzzUniverse + 1)
+	if rng.Intn(8) == 0 {
+		return Interval{} // the zero value joins the party
+	}
+	return FromInt64(a, b) // may be empty (a >= b): that is the point
+}
+
+// model is the brute-force reference: one bool per number.
+type model [fuzzUniverse]bool
+
+func (m *model) add(iv Interval) (overlap int64) {
+	for i := int64(0); i < fuzzUniverse; i++ {
+		if iv.Contains(big.NewInt(i)) {
+			if m[i] {
+				overlap++
+			}
+			m[i] = true
+		}
+	}
+	return overlap
+}
+
+func (m *model) sub(iv Interval) (removed int64) {
+	for i := int64(0); i < fuzzUniverse; i++ {
+		if iv.Contains(big.NewInt(i)) && m[i] {
+			removed++
+			m[i] = false
+		}
+	}
+	return removed
+}
+
+func (m *model) contains(s *Set) bool {
+	for i := int64(0); i < fuzzUniverse; i++ {
+		if m[i] != s.Covers(FromInt64(i, i+1)) {
+			return false
+		}
+	}
+	return true
+}
+
+func (m *model) total() int64 {
+	var n int64
+	for _, b := range m {
+		if b {
+			n++
+		}
+	}
+	return n
+}
+
+// TestFuzzIntersectInPlaceMatchesIntersect: the mutating twin must agree
+// with the pure operator on every input, including zero-value operands —
+// this is the identity the farmer's per-checkpoint hot path relies on.
+func TestFuzzIntersectInPlaceMatchesIntersect(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 5000; trial++ {
+		x, y := randIv(rng), randIv(rng)
+		pure := x.Intersect(y)
+		mut := x.Clone()
+		mut.IntersectInPlace(y)
+		if !mut.Equal(pure) {
+			t.Fatalf("trial %d: %v ∩ %v: in-place %v, pure %v", trial, x, y, mut, pure)
+		}
+		// Commutativity up to Equal (empties may differ in bounds).
+		if !y.Intersect(x).Equal(pure) {
+			t.Fatalf("trial %d: intersection not commutative for %v, %v", trial, x, y)
+		}
+		// Membership law against the model.
+		for i := int64(0); i < fuzzUniverse; i++ {
+			n := big.NewInt(i)
+			if pure.Contains(n) != (x.Contains(n) && y.Contains(n)) {
+				t.Fatalf("trial %d: %d membership wrong in %v ∩ %v = %v", trial, i, x, y, pure)
+			}
+		}
+	}
+}
+
+// TestFuzzSplitsTile: both partitioning operators produce two pieces that
+// tile the original exactly — the §4.2 guarantee the load balancer and the
+// p2p donate path depend on for work conservation.
+func TestFuzzSplitsTile(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 5000; trial++ {
+		iv := randIv(rng)
+		var holder, donated Interval
+		if rng.Intn(2) == 0 {
+			holder, donated = iv.SplitAt(big.NewInt(rng.Int63n(fuzzUniverse + 1)))
+		} else {
+			holder, donated = iv.SplitProportional(rng.Int63n(5), rng.Int63n(5))
+		}
+		sum := new(big.Int).Add(holder.Len(), donated.Len())
+		if sum.Cmp(iv.Len()) != 0 {
+			t.Fatalf("trial %d: split of %v lost measure: %v + %v", trial, iv, holder, donated)
+		}
+		if holder.Overlaps(donated) {
+			t.Fatalf("trial %d: split pieces overlap: %v, %v", trial, holder, donated)
+		}
+		for i := int64(0); i < fuzzUniverse; i++ {
+			n := big.NewInt(i)
+			if iv.Contains(n) != (holder.Contains(n) || donated.Contains(n)) {
+				t.Fatalf("trial %d: number %d misplaced by split of %v", trial, i, iv)
+			}
+		}
+	}
+}
+
+// TestFuzzMarshalRoundTrip: the wire form is lossless — checkpoint files
+// and RPC messages reconstruct the exact interval.
+func TestFuzzMarshalRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	for trial := 0; trial < 2000; trial++ {
+		iv := randIv(rng)
+		text, err := iv.MarshalText()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back Interval
+		if err := back.UnmarshalText(text); err != nil {
+			t.Fatal(err)
+		}
+		// Bounds round-trip exactly (not just up to Equal): the
+		// checkpoint format preserves positions of empty intervals.
+		if back.A().Cmp(iv.A()) != 0 || back.B().Cmp(iv.B()) != 0 {
+			t.Fatalf("trial %d: %v round-tripped to %v", trial, iv, back)
+		}
+	}
+}
+
+// TestFuzzSetAgainstModel: a long random walk of Add/Sub over the Set,
+// checked step by step against the brute-force bitset — measures, overlap
+// and removal accounting, coverage queries, gaps and normalization.
+func TestFuzzSetAgainstModel(t *testing.T) {
+	universe := FromInt64(0, fuzzUniverse)
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(100 + seed))
+		s := NewSet()
+		var m model
+		for step := 0; step < 400; step++ {
+			iv := randIv(rng)
+			if rng.Intn(3) == 0 {
+				got, want := s.Sub(iv), m.sub(iv)
+				if got.Int64() != want {
+					t.Fatalf("seed %d step %d: Sub(%v) removed %s, model %d", seed, step, iv, got, want)
+				}
+			} else {
+				got, want := s.Add(iv), m.add(iv)
+				if got.Int64() != want {
+					t.Fatalf("seed %d step %d: Add(%v) overlap %s, model %d", seed, step, iv, got, want)
+				}
+			}
+			if s.Total().Int64() != m.total() {
+				t.Fatalf("seed %d step %d: total %s, model %d", seed, step, s.Total(), m.total())
+			}
+			if !m.contains(s) {
+				t.Fatalf("seed %d step %d: membership mismatch: %s", seed, step, s)
+			}
+			// The runs are normalized: disjoint, non-adjacent, sorted.
+			runs := s.Intervals()
+			for i := 1; i < len(runs); i++ {
+				if runs[i-1].B().Cmp(runs[i].A()) >= 0 {
+					t.Fatalf("seed %d step %d: runs not normalized: %s", seed, step, s)
+				}
+			}
+			// Gaps ∪ set = universe, and gaps are disjoint from the set.
+			gapMeasure := new(big.Int)
+			for _, gap := range s.Gaps(universe) {
+				gapMeasure.Add(gapMeasure, gap.Len())
+				if s.Covers(gap) || s.Add(gap.Clone()).Sign() != 0 {
+					t.Fatalf("seed %d step %d: gap %v overlaps the set", seed, step, gap)
+				}
+				s.Sub(gap) // restore
+			}
+			wantGaps := fuzzUniverse - m.total()
+			if gapMeasure.Int64() != wantGaps {
+				t.Fatalf("seed %d step %d: gap measure %s, model %d", seed, step, gapMeasure, wantGaps)
+			}
+		}
+	}
+}
+
+// TestFuzzSetDiff: SetDiff is true set difference.
+func TestFuzzSetDiff(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(200 + seed))
+		a, b := NewSet(), NewSet()
+		var ma, mb model
+		for i := 0; i < 12; i++ {
+			iv := randIv(rng)
+			a.Add(iv)
+			ma.add(iv)
+			iv = randIv(rng)
+			b.Add(iv)
+			mb.add(iv)
+		}
+		d := SetDiff(a, b)
+		for i := int64(0); i < fuzzUniverse; i++ {
+			want := ma[i] && !mb[i]
+			if d.Covers(FromInt64(i, i+1)) != want {
+				t.Fatalf("seed %d: diff wrong at %d: %s \\ %s = %s", seed, i, a, b, d)
+			}
+		}
+	}
+}

@@ -92,18 +92,24 @@ func (iv Interval) LenInto(dst *big.Int) *big.Int {
 // IntersectInPlace narrows iv to iv ∩ other (eq. 14) without allocating
 // fresh bounds in the steady state: the receiver's own big.Ints are
 // overwritten. It is the mutating twin of Intersect for owners of
-// long-lived intervals (the farmer's INTERVALS entries), with the same
-// convention: a nil bound (from the zero Interval) is treated as absent and
-// imposes no constraint.
+// long-lived intervals (the farmer's INTERVALS entries) and agrees with it
+// on every input (up to Equal): intersecting with an empty interval —
+// including the zero value — empties the receiver.
 func (iv *Interval) IntersectInPlace(other Interval) {
 	if iv.a == nil {
-		iv.a = cloneOrZero(other.a)
-	} else if other.a != nil && other.a.Cmp(iv.a) > 0 {
-		iv.a.Set(other.a)
+		iv.a = new(big.Int)
 	}
 	if iv.b == nil {
-		iv.b = cloneOrZero(other.b)
-	} else if other.b != nil && other.b.Cmp(iv.b) < 0 {
+		iv.b = new(big.Int)
+	}
+	if other.IsEmpty() {
+		iv.b.Set(iv.a)
+		return
+	}
+	if other.a.Cmp(iv.a) > 0 {
+		iv.a.Set(other.a)
+	}
+	if other.b.Cmp(iv.b) < 0 {
 		iv.b.Set(other.b)
 	}
 }
@@ -165,7 +171,14 @@ func (iv Interval) Overlaps(other Interval) bool {
 //
 // It is how a B&B process reconciles its locally explored interval with the
 // coordinator's copy after load balancing shrank one of them (§4.1).
+// Intersection with an empty interval — including the zero value, which
+// denotes ∅ everywhere in this package — is empty; an early version treated
+// the zero value's nil bounds as "no constraint", which silently handed the
+// whole root range to explorers constructed with no work at all.
 func (iv Interval) Intersect(other Interval) Interval {
+	if iv.IsEmpty() || other.IsEmpty() {
+		return Interval{a: new(big.Int), b: new(big.Int)}
+	}
 	a := maxBig(iv.a, other.a)
 	b := minBig(iv.b, other.b)
 	return Interval{a: cloneOrZero(a), b: cloneOrZero(b)}
@@ -224,6 +237,9 @@ func (iv Interval) SplitAt(c *big.Int) (holder, donated Interval) {
 // Negative powers are treated as zero. If both powers are zero the split is
 // at A (the whole interval is donated), matching the orphan rule.
 func (iv Interval) SplitProportional(holderPower, requesterPower int64) (holder, donated Interval) {
+	if iv.IsEmpty() {
+		return iv.SplitAt(iv.a)
+	}
 	if holderPower < 0 {
 		holderPower = 0
 	}

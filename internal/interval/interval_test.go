@@ -365,11 +365,15 @@ func TestIntersectInPlace(t *testing.T) {
 			t.Errorf("IntersectInPlace(%v, %v) = %v, want %v", c[0], c[1], got, want)
 		}
 	}
-	// The zero interval's nil bounds impose no constraint, mirroring
-	// Intersect's maxBig/minBig convention.
+	// The zero interval denotes ∅, and ∅ absorbs: intersecting either
+	// way yields an empty interval (the old nil-means-no-constraint
+	// reading silently handed the whole root range to empty explorers).
 	var zero Interval
 	zero.IntersectInPlace(iv(1, 5))
-	if !zero.Equal(iv(1, 5)) {
-		t.Errorf("zero ∩ [1,5) = %v, want [1,5)", zero)
+	if !zero.IsEmpty() {
+		t.Errorf("zero ∩ [1,5) = %v, want empty", zero)
+	}
+	if got := iv(1, 5).Intersect(Interval{}); !got.IsEmpty() {
+		t.Errorf("[1,5) ∩ zero = %v, want empty", got)
 	}
 }

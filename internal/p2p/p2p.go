@@ -143,22 +143,26 @@ func (g *group) terminate(rounds int64) {
 	})
 }
 
-// Solve runs the peer-to-peer resolution to completion and returns the
-// proven optimum. factory must return a fresh Problem per call.
-func Solve(factory func() bb.Problem, opt Options) (Result, error) {
+// fillDefaults normalizes the options in place.
+func (opt *Options) fillDefaults() {
 	if opt.Peers <= 0 {
 		opt.Peers = 4
 	}
 	if opt.StepBudget <= 0 {
 		opt.StepBudget = 4096
 	}
-	upper := opt.InitialUpper
-	if upper <= 0 {
-		upper = bb.Infinity
+	if opt.InitialUpper <= 0 {
+		opt.InitialUpper = bb.Infinity
 	}
+}
 
+// newGroup wires a ring of peers over fresh problems: peer 0 starts with
+// the whole tree, the others start empty and steal their first interval —
+// exactly how grid workers join an ongoing computation. Shared by the
+// goroutine runtime (Solve) and the deterministic lockstep driver.
+func newGroup(factory func() bb.Problem, opt Options) (*group, *sharedBest) {
 	nb := core.NewNumbering(factory().Shape())
-	best := &sharedBest{cost: upper}
+	best := &sharedBest{cost: opt.InitialUpper}
 	g := &group{done: make(chan struct{})}
 	for i := 0; i < opt.Peers; i++ {
 		p := &peer{
@@ -169,17 +173,39 @@ func Solve(factory func() bb.Problem, opt Options) (Result, error) {
 			steals: make(chan stealRequest, opt.Peers),
 			tokens: make(chan token, 1),
 		}
-		// Peer 0 starts with the whole tree; the others start empty
-		// and steal their first interval — exactly how grid workers
-		// join an ongoing computation.
 		iv := interval.Interval{}
 		if i == 0 {
 			iv = nb.RootRange()
 		}
-		p.ex = core.NewExplorer(factory(), nb, iv, upper)
+		p.ex = core.NewExplorer(factory(), nb, iv, opt.InitialUpper)
 		p.ex.OnImprove = func(sol bb.Solution) { best.offer(sol) }
 		g.peers = append(g.peers, p)
 	}
+	return g, best
+}
+
+// result assembles the common Result block from the group's final state.
+func (g *group) result(best *sharedBest) Result {
+	res := Result{Best: best.solution(), PerPeer: make([]int64, len(g.peers))}
+	for i, p := range g.peers {
+		st := p.ex.Stats()
+		res.Stats.Add(st)
+		res.PerPeer[i] = st.Explored
+		res.Steals += p.stats.steals
+		res.StealAttempts += p.stats.attempts
+	}
+	g.mu.Lock()
+	res.TokenRounds = g.tokenRounds
+	g.mu.Unlock()
+	return res
+}
+
+// Solve runs the peer-to-peer resolution to completion and returns the
+// proven optimum. factory must return a fresh Problem per call.
+func Solve(factory func() bb.Problem, opt Options) (Result, error) {
+	opt.fillDefaults()
+	upper := opt.InitialUpper
+	g, best := newGroup(factory, opt)
 
 	var wg sync.WaitGroup
 	for _, p := range g.peers {
@@ -194,17 +220,7 @@ func Solve(factory func() bb.Problem, opt Options) (Result, error) {
 	g.peers[0].tokens <- token{}
 	wg.Wait()
 
-	res := Result{Best: best.solution(), PerPeer: make([]int64, opt.Peers)}
-	for i, p := range g.peers {
-		st := p.ex.Stats()
-		res.Stats.Add(st)
-		res.PerPeer[i] = st.Explored
-		res.Steals += p.stats.steals
-		res.StealAttempts += p.stats.attempts
-	}
-	g.mu.Lock()
-	res.TokenRounds = g.tokenRounds
-	g.mu.Unlock()
+	res := g.result(best)
 	if res.Best.Cost < upper && !res.Best.Valid() {
 		return res, fmt.Errorf("p2p: inconsistent incumbent (cost %d without a path)", res.Best.Cost)
 	}
@@ -281,23 +297,37 @@ func (p *peer) serveToken() {
 	}
 }
 
-// forwardToken applies the Dijkstra–Feijen–van Gasteren rules.
-func (p *peer) forwardToken(t token) {
+// advanceToken applies the Dijkstra–Feijen–van Gasteren counting rules at
+// this peer and reports whether a white round completed (termination). It
+// is a pure state transition — delivery to the successor is the caller's
+// business — so the goroutine runtime and the deterministic lockstep driver
+// share the exact same termination logic.
+func (p *peer) advanceToken(t token) (token, bool) {
 	if p.dirty {
 		t.black = true
 		p.dirty = false
 	}
-	n := len(p.group.peers)
 	if p.idx == 0 {
 		t.rounds++
 		if !t.black && t.rounds > 1 {
 			// A full circulation of a white token over idle
 			// peers: no work anywhere, nothing in flight.
-			p.group.terminate(t.rounds)
-			return
+			return t, true
 		}
 		t.black = false // start a fresh round
 	}
+	return t, false
+}
+
+// forwardToken applies the Dijkstra–Feijen–van Gasteren rules and passes
+// the token along the ring.
+func (p *peer) forwardToken(t token) {
+	t, terminated := p.advanceToken(t)
+	if terminated {
+		p.group.terminate(t.rounds)
+		return
+	}
+	n := len(p.group.peers)
 	next := p.group.peers[(p.idx+1)%n]
 	select {
 	case next.tokens <- t:
@@ -305,19 +335,35 @@ func (p *peer) forwardToken(t token) {
 	}
 }
 
-// trySteal asks one random other peer for work. While waiting for the
-// reply it keeps serving its own steal queue, so two peers stealing from
-// each other cannot deadlock.
+// trySteal probes the other peers for work in seeded random order until
+// one donates (most peers are empty early on: a single random probe would
+// routinely miss the few holders). While waiting for a reply it keeps
+// serving its own steal queue, so two peers stealing from each other
+// cannot deadlock.
 func (p *peer) trySteal() bool {
 	n := len(p.group.peers)
 	if n == 1 {
 		return false
 	}
-	victimIdx := p.rng.Intn(n - 1)
-	if victimIdx >= p.idx {
-		victimIdx++
+	for _, off := range p.rng.Perm(n - 1) {
+		victimIdx := off
+		if victimIdx >= p.idx {
+			victimIdx++
+		}
+		if p.stealFrom(p.group.peers[victimIdx]) {
+			return true
+		}
+		select {
+		case <-p.group.done:
+			return false
+		default:
+		}
 	}
-	victim := p.group.peers[victimIdx]
+	return false
+}
+
+// stealFrom asks one victim for work and waits for the reply.
+func (p *peer) stealFrom(victim *peer) bool {
 	p.stats.attempts++
 	req := stealRequest{reply: make(chan interval.Interval, 1)}
 	select {

@@ -11,7 +11,11 @@ import (
 )
 
 // TestP2PSolvesFlowshop: the decentralized runtime proves the sequential
-// optimum across several concurrency levels and seeds.
+// optimum across several concurrency levels and seeds. Only deterministic
+// outcomes are asserted here: steal counts depend on goroutine scheduling
+// (a fast host can legitimately finish a small instance solo before any
+// thief is served), so distribution properties are pinned on the lockstep
+// driver (lockstep_test.go), where the schedule is part of the seed.
 func TestP2PSolvesFlowshop(t *testing.T) {
 	ins := flowshop.Taillard(12, 10, 5)
 	factory := func() bb.Problem {
@@ -26,9 +30,6 @@ func TestP2PSolvesFlowshop(t *testing.T) {
 			}
 			if res.Best.Cost != want.Cost {
 				t.Fatalf("peers=%d seed=%d: best %d, want %d", peers, seed, res.Best.Cost, want.Cost)
-			}
-			if peers > 1 && res.Steals == 0 {
-				t.Errorf("peers=%d seed=%d: no steals happened", peers, seed)
 			}
 			if res.TokenRounds == 0 {
 				t.Errorf("peers=%d seed=%d: termination without token rounds", peers, seed)
@@ -89,15 +90,20 @@ func TestP2PWithInitialUpper(t *testing.T) {
 }
 
 // TestP2PWorkDistribution: with enough peers and a real workload, more
-// than one peer ends up exploring (the steal mechanism spreads work).
+// than one peer ends up exploring (the steal mechanism spreads work). The
+// lockstep driver makes this deterministic — under the goroutine runtime
+// the same property is a coin flip on a loaded single-core host.
 func TestP2PWorkDistribution(t *testing.T) {
 	ins := flowshop.Taillard(12, 10, 5)
 	factory := func() bb.Problem {
 		return flowshop.NewProblem(ins, flowshop.BoundOneMachine, flowshop.PairsAll)
 	}
-	res, err := Solve(factory, Options{Peers: 4, Seed: 11, StepBudget: 200})
-	if err != nil {
-		t.Fatal(err)
+	res, ok := SolveLockstep(factory, Options{Peers: 4, Seed: 11, StepBudget: 200}, 0)
+	if !ok {
+		t.Fatal("lockstep ring did not terminate")
+	}
+	if res.Steals == 0 {
+		t.Fatalf("no steals happened: %v", res.PerPeer)
 	}
 	working := 0
 	for _, n := range res.PerPeer {

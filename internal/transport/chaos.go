@@ -1,0 +1,198 @@
+// Fault injection for the farmer–worker protocol. The Interceptor is a
+// Coordinator middleware: every protocol message passes through an
+// injectable hook that may drop the request (it never reaches the
+// coordinator), drop the reply (the coordinator processes it, the worker
+// never learns), or duplicate the request (a retransmission after a lost
+// ack). Together with a seeded decision function these reproduce, in a
+// single deterministic process, the message-level failures a WAN grid
+// inflicts on the paper's architecture (§4.1) — internal/harness builds its
+// chaos scenarios on this type.
+package transport
+
+import (
+	"errors"
+	"sync"
+)
+
+// Op identifies one of the three pull-model protocol operations.
+type Op int
+
+const (
+	// OpRequestWork is the load-balancing entry point (§4.2).
+	OpRequestWork Op = iota
+	// OpUpdateInterval is the worker-side checkpoint (§4.1).
+	OpUpdateInterval
+	// OpReportSolution is immediate solution sharing (§4.4).
+	OpReportSolution
+)
+
+// String renders the op for traces.
+func (o Op) String() string {
+	switch o {
+	case OpRequestWork:
+		return "request"
+	case OpUpdateInterval:
+		return "update"
+	case OpReportSolution:
+		return "report"
+	default:
+		return "unknown-op"
+	}
+}
+
+// Fault is a hook's verdict on one message.
+type Fault int
+
+const (
+	// FaultNone delivers the message normally.
+	FaultNone Fault = iota
+	// FaultDropRequest loses the message before the coordinator sees it;
+	// the caller gets ErrLost and the coordinator state is untouched.
+	FaultDropRequest
+	// FaultDropReply delivers the message — the coordinator mutates its
+	// state — but loses the reply; the caller gets ErrLost. This is the
+	// asymmetric failure that creates orphaned allocations and duplicate
+	// retransmissions, the hard cases of §4.1.
+	FaultDropReply
+	// FaultDuplicate delivers the message twice (a retransmission whose
+	// original was acknowledged late); the caller sees the second reply.
+	FaultDuplicate
+)
+
+// String renders the fault for traces.
+func (f Fault) String() string {
+	switch f {
+	case FaultNone:
+		return "ok"
+	case FaultDropRequest:
+		return "drop-request"
+	case FaultDropReply:
+		return "drop-reply"
+	case FaultDuplicate:
+		return "duplicate"
+	default:
+		return "unknown-fault"
+	}
+}
+
+// ErrLost is returned to the caller when its message or the reply was lost.
+// It models a transport-level failure, not a protocol error: callers may
+// retry (the protocol is designed so retries are safe) or treat it as their
+// own crash, which is what a real RPC error does to a worker process.
+var ErrLost = errors.New("transport: message lost")
+
+// Hooks customizes an Interceptor. Both hooks are optional; nil fields
+// behave as "no fault, no observation". Hooks run under the interceptor's
+// mutex, so implementations may keep plain (e.g. rand.Rand) state — which
+// also means calls through one Interceptor are serialized; for the
+// deterministic single-threaded harness that is exactly the point.
+type Hooks struct {
+	// Fault decides the fate of one message before delivery.
+	Fault func(op Op, worker WorkerID) Fault
+	// Observe is called after the exchange with the delivered request and
+	// reply (reply is the zero value when the fault suppressed it).
+	Observe func(op Op, worker WorkerID, fault Fault, err error)
+}
+
+// Interceptor wraps a Coordinator with fault-injection hooks. It implements
+// Coordinator itself, so it can stand between worker sessions and a farmer
+// (or between chained middlewares — internal/harness wraps its conformance
+// tracker, which in turn fronts the farmer and survives farmer restarts by
+// re-attaching to the restored incarnation).
+type Interceptor struct {
+	mu    sync.Mutex
+	inner Coordinator
+	hooks Hooks
+}
+
+// NewInterceptor wraps inner with the given hooks.
+func NewInterceptor(inner Coordinator, hooks Hooks) *Interceptor {
+	return &Interceptor{inner: inner, hooks: hooks}
+}
+
+// deliver runs one exchange under the fault discipline. call must invoke
+// the wrapped coordinator exactly once per invocation.
+func (i *Interceptor) deliver(op Op, worker WorkerID, call func(Coordinator) error) error {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	fault := FaultNone
+	if i.hooks.Fault != nil {
+		fault = i.hooks.Fault(op, worker)
+	}
+	var err error
+	switch fault {
+	case FaultDropRequest:
+		err = ErrLost
+	case FaultDropReply:
+		if e := call(i.inner); e != nil {
+			err = e
+		} else {
+			err = ErrLost
+		}
+	case FaultDuplicate:
+		if e := call(i.inner); e != nil {
+			err = e
+		} else {
+			err = call(i.inner)
+		}
+	default:
+		err = call(i.inner)
+	}
+	if i.hooks.Observe != nil {
+		i.hooks.Observe(op, worker, fault, err)
+	}
+	return err
+}
+
+// RequestWork implements Coordinator.
+func (i *Interceptor) RequestWork(req WorkRequest) (WorkReply, error) {
+	var reply WorkReply
+	err := i.deliver(OpRequestWork, req.Worker, func(c Coordinator) error {
+		r, e := c.RequestWork(req)
+		if e != nil {
+			return e
+		}
+		reply = r
+		return nil
+	})
+	if err != nil {
+		return WorkReply{}, err
+	}
+	return reply, nil
+}
+
+// UpdateInterval implements Coordinator.
+func (i *Interceptor) UpdateInterval(req UpdateRequest) (UpdateReply, error) {
+	var reply UpdateReply
+	err := i.deliver(OpUpdateInterval, req.Worker, func(c Coordinator) error {
+		r, e := c.UpdateInterval(req)
+		if e != nil {
+			return e
+		}
+		reply = r
+		return nil
+	})
+	if err != nil {
+		return UpdateReply{}, err
+	}
+	return reply, nil
+}
+
+// ReportSolution implements Coordinator.
+func (i *Interceptor) ReportSolution(req SolutionReport) (SolutionAck, error) {
+	var reply SolutionAck
+	err := i.deliver(OpReportSolution, req.Worker, func(c Coordinator) error {
+		r, e := c.ReportSolution(req)
+		if e != nil {
+			return e
+		}
+		reply = r
+		return nil
+	})
+	if err != nil {
+		return SolutionAck{}, err
+	}
+	return reply, nil
+}
+
+var _ Coordinator = (*Interceptor)(nil)
