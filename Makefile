@@ -5,9 +5,13 @@
 GO      ?= go
 BENCH_OUT ?= bench.json
 
-.PHONY: all build vet test race bench bench-hot
+.PHONY: all build vet test race bench bench-hot bench-smoke check
 
 all: vet build test
+
+# The full local gate: everything CI runs, in one target. go vet is the
+# de-flake guard — it must stay both here and in CI.
+check: vet build test race bench-smoke
 
 build:
 	$(GO) build ./...
@@ -32,3 +36,9 @@ bench:
 # The two hot-loop benchmarks the perf acceptance gates watch.
 bench-hot:
 	$(GO) test -run '^$$' -bench 'BenchmarkTable1EngineThroughput|BenchmarkExplorerInteriorStep' -benchmem -benchtime 2s -count 3 .
+
+# Every benchmark exactly once: not a measurement, a compile-and-run guard
+# so bench_test.go cannot bit-rot between perf PRs. CI runs this on every
+# push.
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchtime 1x .

@@ -25,6 +25,7 @@ package repro
 
 import (
 	"bytes"
+	"context"
 	"encoding/gob"
 	"fmt"
 	"math/big"
@@ -541,6 +542,49 @@ func BenchmarkHeadlineParallelSpeedup(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkMulticoreWorker measures the intra-worker multicore engine: one
+// farmer plus ONE RunParallel worker whose interval is tiled over a sweep
+// of core counts, on the flowshop domain primed with the optimum + 1 (so
+// every variant proves the same optimum over essentially the same node
+// set). The headline metric is nodes/sec of the whole resolution; cores=1
+// falls back to the classic single-explorer Run and is the baseline the
+// ≥3×-at-4-cores acceptance gate compares against. Like
+// BenchmarkHeadlineParallelSpeedup, read it according to the host: shard
+// goroutines can only scale wall-clock throughput when GOMAXPROCS cores
+// physically exist (this repository's reference box has one; CI has more).
+func BenchmarkMulticoreWorker(b *testing.B) {
+	ins := flowshop.Taillard(14, 8, 5) // ~430k sequential nodes
+	factory := func() bb.Problem {
+		return flowshop.NewProblem(ins, flowshop.BoundOneMachine, flowshop.PairsAll)
+	}
+	seq, _ := bb.Solve(factory(), bb.Infinity)
+	prime := seq.Cost + 1
+	for _, cores := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("cores=%d", cores), func(b *testing.B) {
+			var nodes int64
+			for i := 0; i < b.N; i++ {
+				nb := core.NewNumbering(factory().Shape())
+				f := farmer.New(nb.RootRange(), farmer.WithInitialBest(prime, nil))
+				res, err := worker.RunParallel(context.Background(), worker.Config{
+					ID:                "bench-mc",
+					Power:             1,
+					Cores:             cores,
+					UpdatePeriodNodes: 1 << 14,
+				}, f, factory)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if f.Best().Cost != seq.Cost {
+					b.Fatalf("cores=%d: incumbent %d != sequential %d", cores, f.Best().Cost, seq.Cost)
+				}
+				nodes += res.Stats.Explored
+			}
+			b.ReportMetric(float64(nodes)/b.Elapsed().Seconds(), "nodes/sec")
+			b.ReportMetric(float64(nodes)/float64(b.N), "nodes/resolution")
+		})
+	}
 }
 
 func solveParallel(b *testing.B, factory func() bb.Problem, workers int, prime int64) int64 {

@@ -10,7 +10,7 @@
 //
 // Usage:
 //
-//	worker -addr farmerhost:4321 -instance ta056 -reduce-jobs 13 -reduce-machines 8 -procs 4
+//	worker -addr farmerhost:4321 -instance ta056 -reduce-jobs 13 -reduce-machines 8 -procs 4 -cores 8
 package main
 
 import (
@@ -38,6 +38,7 @@ func main() {
 		redJobs  = flag.Int("reduce-jobs", 0, "reduce to this many jobs (must match the farmer)")
 		redMach  = flag.Int("reduce-machines", 0, "reduce to this many machines (must match the farmer)")
 		procs    = flag.Int("procs", 1, "B&B processes to host (the paper: one per processor)")
+		cores    = flag.Int("cores", 1, "shard explorers per process (multicore engine; 1 = the paper's single explorer, 0 = all cores of the host)")
 		bound    = flag.String("bound", "one", "bound: one, two, combined")
 		update   = flag.Int64("update-nodes", 1<<16, "nodes between interval checkpoints")
 		name     = flag.String("name", "", "worker name prefix (default host-pid)")
@@ -89,9 +90,14 @@ func main() {
 				Power:             1,
 				AutoPower:         true, // measure the real rate, report it
 				UpdatePeriodNodes: *update,
+				Cores:             *cores,
 			}
 			start := time.Now()
-			res, err := gridbb.RunRemoteWorker(ctx, *addr, cfg, flowshop.NewProblem(ins, kind, flowshop.PairsAll))
+			// RunRemoteWorkerParallel degrades to the classic single
+			// explorer when cores is 1.
+			res, err := gridbb.RunRemoteWorkerParallel(ctx, *addr, cfg, func() gridbb.Problem {
+				return flowshop.NewProblem(ins, kind, flowshop.PairsAll)
+			})
 			if err != nil && ctx.Err() == nil {
 				log.Printf("process %d: %v", i, err)
 				return

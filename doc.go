@@ -5,7 +5,10 @@
 // dynamic load balancing, fault tolerance, implicit termination detection
 // and global solution sharing, the permutation flowshop application with
 // Taillard's benchmark generator, and a discrete-event grid simulator
-// reproducing the paper's evaluation (Tables 1–3, Figures 1–7).
+// reproducing the paper's evaluation (Tables 1–3, Figures 1–7). Beyond the
+// paper, each worker can shard its interval across the cores of its host
+// (the multicore engine, DESIGN.md §7) while speaking the unchanged
+// single-worker protocol.
 //
 // The public API lives in repro/gridbb; see README.md for a tour and
 // DESIGN.md for the system inventory and the experiment index. The

@@ -91,6 +91,13 @@ type Options struct {
 	// Workers is the number of in-process B&B workers (goroutines).
 	// Default: 4.
 	Workers int
+	// Cores is the number of shard explorers inside each worker (the
+	// intra-worker multicore engine, DESIGN.md §7): the worker splits its
+	// assigned interval across Cores goroutines that rebalance by halving
+	// steals and share one incumbent, while the farmer still sees one
+	// fold, one power and one checkpoint per worker. Zero or one keeps
+	// the paper's single-explorer worker. Requires a ProblemFactory.
+	Cores int
 	// InitialUpper primes the global best cost; Infinity (the zero
 	// Options value is normalized to it) when unknown. The paper's runs
 	// start from the best known makespan (§5.3).
@@ -145,6 +152,9 @@ func Solve(p Problem, opt Options) (Result, error) {
 	if opt.Workers > 1 && opt.ProblemFactory == nil {
 		return Result{}, fmt.Errorf("gridbb: Workers=%d needs a ProblemFactory (Problem state is single-threaded)", opt.Workers)
 	}
+	if opt.Cores > 1 && opt.ProblemFactory == nil {
+		return Result{}, fmt.Errorf("gridbb: Cores=%d needs a ProblemFactory (one Problem per shard)", opt.Cores)
+	}
 	nb := core.NewNumbering(p.Shape())
 
 	fopts := []farmer.Option{farmer.WithInitialBest(opt.InitialUpper, opt.InitialPath)}
@@ -194,14 +204,19 @@ func Solve(p Problem, opt Options) (Result, error) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			prob := p
-			if opt.ProblemFactory != nil {
-				prob = opt.ProblemFactory()
-			}
 			cfg := worker.Config{
 				ID:                transport.WorkerID(fmt.Sprintf("w%03d", i)),
 				Power:             1,
 				UpdatePeriodNodes: opt.UpdatePeriodNodes,
+				Cores:             opt.Cores,
+			}
+			if opt.Cores > 1 {
+				results[i], errs[i] = worker.RunParallel(ctx, cfg, f, opt.ProblemFactory)
+				return
+			}
+			prob := p
+			if opt.ProblemFactory != nil {
+				prob = opt.ProblemFactory()
 			}
 			results[i], errs[i] = worker.Run(ctx, cfg, f, prob)
 		}(i)
@@ -263,4 +278,18 @@ func RunRemoteWorker(ctx context.Context, addr string, cfg WorkerConfig, p Probl
 	}
 	defer client.Close()
 	return worker.Run(ctx, cfg, client, p)
+}
+
+// RunRemoteWorkerParallel connects to a TCP farmer and works with the
+// multicore shard engine: cfg.Cores shard explorers (zero means all
+// available cores) over one worker identity — the farmer sees the same
+// single-worker protocol as RunRemoteWorker. factory must return a fresh
+// Problem per call.
+func RunRemoteWorkerParallel(ctx context.Context, addr string, cfg WorkerConfig, factory func() Problem) (worker.Result, error) {
+	client, err := transport.Dial(addr)
+	if err != nil {
+		return worker.Result{}, err
+	}
+	defer client.Close()
+	return worker.RunParallel(ctx, cfg, client, factory)
 }

@@ -146,3 +146,23 @@ func TestSolveP2PFacade(t *testing.T) {
 		t.Fatalf("p2p best %d, want %d", res.Best.Cost, want.Cost)
 	}
 }
+
+// TestSolveMulticoreWorkers: the public Cores knob runs the intra-worker
+// shard engine under the same farmer protocol and proves the same optimum.
+func TestSolveMulticoreWorkers(t *testing.T) {
+	ins := flowshop.Taillard(11, 6, 9)
+	factory := func() Problem {
+		return flowshop.NewProblem(ins, flowshop.BoundOneMachine, flowshop.PairsAll)
+	}
+	want, _ := SolveSequential(factory(), Infinity)
+	res, err := Solve(factory(), Options{Workers: 2, Cores: 3, ProblemFactory: factory, UpdatePeriodNodes: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best.Cost != want.Cost {
+		t.Fatalf("multicore best %d, sequential %d", res.Best.Cost, want.Cost)
+	}
+	if _, err := Solve(factory(), Options{Workers: 1, Cores: 2}); err == nil {
+		t.Fatal("Cores>1 without a factory should be rejected")
+	}
+}

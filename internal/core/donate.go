@@ -1,0 +1,30 @@
+package core
+
+import "repro/internal/interval"
+
+// Donate carves off the right half of the explorer's remaining interval and
+// returns it, restricting the explorer to the left half it is already
+// walking. It returns the empty interval — and leaves the explorer
+// untouched — when there is nothing worth giving (the explorer is done or
+// its remainder holds fewer than two numbers).
+//
+// This is the work-movement primitive shared by every runtime that
+// rebalances between live explorers: the p2p ring's steal-by-halving
+// (victims donate to hungry peers) and the multicore worker's shard engine
+// (idle shards donate from the richest sibling). Callers own the
+// synchronization: an Explorer is single-threaded, so concurrent runtimes
+// must hold the victim's lock across the call — the fold (Remaining), the
+// halving and the Restrict must be one atomic step or the donated and kept
+// parts could both be explored.
+func Donate(e *Explorer) interval.Interval {
+	if e.Done() {
+		return interval.Interval{}
+	}
+	rem := e.Remaining()
+	keep, give := interval.Halve(rem)
+	if give.IsEmpty() {
+		return interval.Interval{}
+	}
+	e.Restrict(keep)
+	return give
+}

@@ -1,0 +1,75 @@
+package core
+
+import (
+	"math/big"
+	"testing"
+
+	"repro/internal/bb"
+	"repro/internal/interval"
+	"repro/internal/knapsack"
+)
+
+// TestDonateTilesRemaining: mid-exploration donations carve the victim's
+// remainder exactly in two — donated + kept tile the old remainder with no
+// overlap — and exploring the two parts with separate engines still proves
+// the sequential optimum: work moves, it is never lost or duplicated.
+func TestDonateTilesRemaining(t *testing.T) {
+	ins := knapsack.Random(16, 9)
+	factory := func() bb.Problem { return knapsack.NewProblem(ins) }
+	want, _ := bb.Solve(factory(), bb.Infinity)
+	nb := NewNumbering(factory().Shape())
+
+	victim := NewExplorer(factory(), nb, nb.RootRange(), bb.Infinity)
+	victim.Step(50) // get properly mid-walk (the instance solves in ~62 nodes)
+	before := victim.Remaining()
+	give := Donate(victim)
+	if give.IsEmpty() {
+		t.Fatal("victim with a large remainder donated nothing")
+	}
+	after := victim.Remaining()
+	if after.Overlaps(give) {
+		t.Fatalf("donated %v overlaps kept remainder %v", give, after)
+	}
+	sum := new(big.Int).Add(after.Len(), give.Len())
+	if sum.Cmp(before.Len()) != 0 {
+		t.Fatalf("donation lost measure: %v -> %v + %v", before, after, give)
+	}
+	thief := NewExplorer(factory(), nb, give, bb.Infinity)
+	vSol, _ := victim.Run(1 << 12)
+	tSol, _ := thief.Run(1 << 12)
+	best := vSol
+	if tSol.Cost < best.Cost {
+		best = tSol
+	}
+	if best.Cost != want.Cost {
+		t.Fatalf("victim+thief best %d != sequential %d", best.Cost, want.Cost)
+	}
+}
+
+// TestDonateAbsorbing: a finished explorer and one with a sub-2 remainder
+// both refuse to donate, and the refusal leaves them untouched.
+func TestDonateAbsorbing(t *testing.T) {
+	ins := knapsack.Random(10, 4)
+	factory := func() bb.Problem { return knapsack.NewProblem(ins) }
+	nb := NewNumbering(factory().Shape())
+
+	done := NewExplorer(factory(), nb, nb.RootRange(), bb.Infinity)
+	done.Run(1 << 12)
+	if give := Donate(done); !give.IsEmpty() {
+		t.Fatalf("finished explorer donated %v", give)
+	}
+
+	root := nb.RootRange()
+	one := NewExplorer(factory(), nb, root, bb.Infinity)
+	// Restrict to a single leaf: too short to share.
+	lo := root.A()
+	hi := new(big.Int).Add(lo, big.NewInt(1))
+	one.Reassign(interval.New(lo, hi))
+	before := one.Remaining()
+	if give := Donate(one); !give.IsEmpty() {
+		t.Fatalf("one-leaf explorer donated %v", give)
+	}
+	if !one.Remaining().Equal(before) {
+		t.Fatal("refused donation still changed the remainder")
+	}
+}

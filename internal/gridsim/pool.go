@@ -29,6 +29,12 @@ type CPUSpec struct {
 	Domain string
 	// Count is the number of processors of this spec.
 	Count int
+	// Cores is the number of cores per processor slot. The paper's 2007
+	// pool is single-core (zero means 1); a modern pool sets it higher
+	// and each simulated host runs the real multicore shard engine: its
+	// exploration rate and reported power both scale with Cores while the
+	// farmer still sees one worker per host.
+	Cores int
 }
 
 // String renders a Table 1-style row.
@@ -41,30 +47,30 @@ func (c CPUSpec) String() string {
 // Table 1 lists them as 2×N and we store the processor count).
 func Table1Pool() []CPUSpec {
 	return []CPUSpec{
-		{"P4", 1.70, "IEEA-FIL (Lille1)", 24},
-		{"P4", 2.40, "IEEA-FIL (Lille1)", 48},
-		{"P4", 2.80, "IEEA-FIL (Lille1)", 59},
-		{"P4", 3.00, "IEEA-FIL (Lille1)", 27},
-		{"AMD", 1.30, "Polytech'Lille (Lille1)", 14},
-		{"Celeron", 2.40, "Polytech'Lille (Lille1)", 35},
-		{"Celeron", 0.80, "Polytech'Lille (Lille1)", 14},
-		{"Celeron", 2.00, "Polytech'Lille (Lille1)", 13},
-		{"Celeron", 2.20, "Polytech'Lille (Lille1)", 28},
-		{"P3", 1.20, "Polytech'Lille (Lille1)", 12},
-		{"P4", 3.20, "Polytech'Lille (Lille1)", 12},
-		{"P4", 1.60, "IUT-A (Lille1)", 22},
-		{"P4", 2.00, "IUT-A (Lille1)", 18},
-		{"P4", 2.80, "IUT-A (Lille1)", 45},
-		{"P4", 2.66, "IUT-A (Lille1)", 57},
-		{"P4", 3.00, "IUT-A (Lille1)", 41},
-		{"AMD", 2.20, "Bordeaux (Grid5000)", 2 * 47},
-		{"AMD", 2.20, "Lille (Grid5000)", 2 * 54},
-		{"Xeon", 2.40, "Rennes (Grid5000)", 2 * 64},
-		{"AMD", 2.20, "Rennes (Grid5000)", 2 * 64},
-		{"AMD", 2.00, "Sophia (Grid5000)", 2 * 100},
-		{"AMD", 2.00, "Sophia (Grid5000)", 2 * 107},
-		{"AMD", 2.20, "Toulouse (Grid5000)", 2 * 58},
-		{"AMD", 2.00, "Orsay (Grid5000)", 2 * 216},
+		{"P4", 1.70, "IEEA-FIL (Lille1)", 24, 1},
+		{"P4", 2.40, "IEEA-FIL (Lille1)", 48, 1},
+		{"P4", 2.80, "IEEA-FIL (Lille1)", 59, 1},
+		{"P4", 3.00, "IEEA-FIL (Lille1)", 27, 1},
+		{"AMD", 1.30, "Polytech'Lille (Lille1)", 14, 1},
+		{"Celeron", 2.40, "Polytech'Lille (Lille1)", 35, 1},
+		{"Celeron", 0.80, "Polytech'Lille (Lille1)", 14, 1},
+		{"Celeron", 2.00, "Polytech'Lille (Lille1)", 13, 1},
+		{"Celeron", 2.20, "Polytech'Lille (Lille1)", 28, 1},
+		{"P3", 1.20, "Polytech'Lille (Lille1)", 12, 1},
+		{"P4", 3.20, "Polytech'Lille (Lille1)", 12, 1},
+		{"P4", 1.60, "IUT-A (Lille1)", 22, 1},
+		{"P4", 2.00, "IUT-A (Lille1)", 18, 1},
+		{"P4", 2.80, "IUT-A (Lille1)", 45, 1},
+		{"P4", 2.66, "IUT-A (Lille1)", 57, 1},
+		{"P4", 3.00, "IUT-A (Lille1)", 41, 1},
+		{"AMD", 2.20, "Bordeaux (Grid5000)", 2 * 47, 1},
+		{"AMD", 2.20, "Lille (Grid5000)", 2 * 54, 1},
+		{"Xeon", 2.40, "Rennes (Grid5000)", 2 * 64, 1},
+		{"AMD", 2.20, "Rennes (Grid5000)", 2 * 64, 1},
+		{"AMD", 2.00, "Sophia (Grid5000)", 2 * 100, 1},
+		{"AMD", 2.00, "Sophia (Grid5000)", 2 * 107, 1},
+		{"AMD", 2.20, "Toulouse (Grid5000)", 2 * 58, 1},
+		{"AMD", 2.00, "Orsay (Grid5000)", 2 * 216, 1},
 	}
 }
 
@@ -103,8 +109,19 @@ func SmallPool(n int) []CPUSpec {
 	b := n / 3
 	c := n - a - b
 	return []CPUSpec{
-		{"P4", 3.00, "alpha", a},
-		{"AMD", 2.20, "beta", b},
-		{"Celeron", 1.00, "gamma", c},
+		{"P4", 3.00, "alpha", a, 1},
+		{"AMD", 2.20, "beta", b, 1},
+		{"Celeron", 1.00, "gamma", c, 1},
 	}
+}
+
+// MulticorePool returns a modern pool: the same three domains as SmallPool
+// but every host has cores cores, so each simulated worker runs the shard
+// engine and reports a cores-scaled power.
+func MulticorePool(n, cores int) []CPUSpec {
+	pool := SmallPool(n)
+	for i := range pool {
+		pool[i].Cores = cores
+	}
+	return pool
 }

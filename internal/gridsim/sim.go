@@ -188,6 +188,7 @@ type Sim struct {
 
 	farmer  *farmer.Farmer
 	slots   []float64 // GHz per processor slot
+	cores   []int     // cores per processor slot (>= 1)
 	domains []domainState
 	active  []*simWorker // per slot, nil = idle host
 
@@ -217,9 +218,14 @@ func New(cfg Config, factory func() bb.Problem) *Sim {
 				phase: (s.rng.Float64()*2 - 1) * jitter,
 			})
 		}
+		slotCores := spec.Cores
+		if slotCores < 1 {
+			slotCores = 1
+		}
 		for i := 0; i < spec.Count; i++ {
 			s.domains[di].slots = append(s.domains[di].slots, len(s.slots))
 			s.slots = append(s.slots, spec.GHz)
+			s.cores = append(s.cores, slotCores)
 		}
 	}
 	s.active = make([]*simWorker, len(s.slots))
@@ -438,11 +444,14 @@ func (s *Sim) adjustAvailability() {
 	}
 }
 
-// join starts a fresh B&B process on the slot.
+// join starts a fresh B&B process on the slot. A multicore slot hosts the
+// real shard engine (stepped deterministically inside the session) and both
+// its exploration rate and its reported power scale with the core count.
 func (s *Sim) join(slot int) {
 	s.nextID++
 	id := transport.WorkerID(fmt.Sprintf("sim-%d-s%d", s.nextID, slot))
-	rate := s.slots[slot] * s.cfg.NodesPerGHzPerSecond * (1 - s.cfg.Availability.HostLoadFraction)
+	cores := s.cores[slot]
+	rate := s.slots[slot] * float64(cores) * s.cfg.NodesPerGHzPerSecond * (1 - s.cfg.Availability.HostLoadFraction)
 	power := int64(rate * 1000) // fixed-point so slow hosts stay > 0
 	if power < 1 {
 		power = 1
@@ -451,11 +460,12 @@ func (s *Sim) join(slot int) {
 	if updateNodes < 1 {
 		updateNodes = 1
 	}
-	sess := worker.NewSession(worker.Config{
+	sess := worker.NewShardedSession(worker.Config{
 		ID:                id,
 		Power:             power,
 		UpdatePeriodNodes: updateNodes,
-	}, s.farmer, s.factory())
+		Cores:             cores,
+	}, s.farmer, s.factory)
 	s.active[slot] = &simWorker{id: id, session: sess, rate: rate, lastUpdateSecs: s.nowSecs}
 	s.result.Joins++
 }

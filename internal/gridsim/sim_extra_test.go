@@ -201,3 +201,31 @@ func TestThresholdFractionComputation(t *testing.T) {
 		t.Fatalf("root size = %s", total)
 	}
 }
+
+// TestSimulationMulticorePoolScales: a pool of 4-core hosts runs the real
+// shard engine per worker and finishes the same workload in fewer virtual
+// ticks than the single-core pool, still proving the optimum — the
+// "power scales with cores" contract of the multicore engine (DESIGN.md §7).
+func TestSimulationMulticorePoolScales(t *testing.T) {
+	cfg, factory, want := fastConfig(29)
+	single, err := New(cfg, factory).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg2, _, _ := fastConfig(29)
+	cfg2.Pool = MulticorePool(30, 4)
+	multi, err := New(cfg2, factory).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !single.Finished || !multi.Finished {
+		t.Fatalf("runs did not finish: single=%v multi=%v", single.Finished, multi.Finished)
+	}
+	if multi.Best.Cost != want.Cost || single.Best.Cost != want.Cost {
+		t.Fatalf("optima: single=%d multi=%d want=%d", single.Best.Cost, multi.Best.Cost, want.Cost)
+	}
+	if multi.Ticks >= single.Ticks {
+		t.Fatalf("4-core pool took %d ticks, single-core %d — cores did not speed up the grid",
+			multi.Ticks, single.Ticks)
+	}
+}

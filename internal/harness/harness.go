@@ -51,6 +51,12 @@ type Scenario struct {
 	Factory func() bb.Problem
 	// Workers is the number of slots. Default 3.
 	Workers int
+	// Cores makes every worker a multicore one: Cores shard explorers
+	// over a tiling of its interval, stepped deterministically inside the
+	// session (the shard engine's step-driven form), so chaos runs with
+	// multicore workers still produce byte-identical traces. Zero or one
+	// keeps the paper's single-explorer worker.
+	Cores int
 	// UpdatePeriodNodes is the worker checkpoint period. Default 256.
 	UpdatePeriodNodes int64
 	// TickBudget is the mean node budget per worker per tick (each tick
@@ -319,11 +325,12 @@ func (g *grid) join(i int) {
 	sl := g.slots[i]
 	sl.gen++
 	sl.id = transport.WorkerID(fmt.Sprintf("s%d-g%d", i, sl.gen))
-	sl.sess = worker.NewSession(worker.Config{
+	sl.sess = worker.NewShardedSession(worker.Config{
 		ID:                sl.id,
-		Power:             1 + int64(i), // heterogeneous by construction
+		Power:             (1 + int64(i)) * int64(max(g.sc.Cores, 1)), // heterogeneous by construction, scaled by cores
 		UpdatePeriodNodes: g.sc.UpdatePeriodNodes,
-	}, g.chaos, g.sc.Factory())
+		Cores:             g.sc.Cores,
+	}, g.chaos, g.sc.Factory)
 	sl.rejoinAt = -1
 	sl.finished = false
 	if sl.gen > 1 {

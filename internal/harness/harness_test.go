@@ -103,6 +103,17 @@ func TestScenariosExerciseTheirFaults(t *testing.T) {
 		t.Errorf("farmer-failover: no farmer checkpoints written")
 	}
 
+	mc, err := Run(MulticoreChurn())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mc.Kills == 0 || mc.Rejoins == 0 {
+		t.Errorf("multicore-churn: kills=%d rejoins=%d — fault schedule never fired", mc.Kills, mc.Rejoins)
+	}
+	if mc.Drops == 0 {
+		t.Errorf("multicore-churn: drops=%d — reply chaos never fired", mc.Drops)
+	}
+
 	quiet, err := Run(QuietGrid())
 	if err != nil {
 		t.Fatal(err)

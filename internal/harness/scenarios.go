@@ -85,6 +85,37 @@ func FarmerFailover() Scenario {
 	}
 }
 
+// MulticoreChurn is the intra-worker multicore story (DESIGN.md §7) under
+// the §4.1 failure model, on a flowshop instance (~60k sequential nodes):
+// every worker runs 4 shard explorers over a tiling of its interval —
+// internally rebalanced by halving steals — while replies drop and workers
+// crash without goodbye and rejoin. The farmer sees only single-worker
+// folds, so all three conformance invariants apply unchanged; the shard
+// merge is stepped deterministically inside the session, so two runs must
+// still produce byte-identical traces.
+func MulticoreChurn() Scenario {
+	ins := flowshop.Taillard(12, 5, 19)
+	return Scenario{
+		Name: "multicore-churn",
+		Seed: 5,
+		Factory: func() bb.Problem {
+			return flowshop.NewProblem(ins, flowshop.BoundOneMachine, flowshop.PairsAll)
+		},
+		Workers:           3,
+		Cores:             4,
+		UpdatePeriodNodes: 256,
+		TickBudget:        768,
+		LeaseTTLTicks:     2,
+		CheckpointEvery:   3,
+		DropReplyPct:      10,
+		Kills: []KillEvent{
+			{Tick: 4, Slot: 1, RejoinAfter: 3},
+			{Tick: 9, Slot: 2, RejoinAfter: 4},
+			{Tick: 15, Slot: 0, RejoinAfter: 3},
+		},
+	}
+}
+
 // PartitionedRing is the p2p future-work story (§6) under a network
 // partition on a QAP instance (~13k sequential nodes): the ring is cut in
 // half from the very first sweep — while peers 2 and 3 are still starved,
@@ -108,5 +139,5 @@ func PartitionedRing() RingScenario {
 
 // GridScenarios returns the farmer-based scenario matrix.
 func GridScenarios() []Scenario {
-	return []Scenario{QuietGrid(), ChurnyGrid(), FarmerFailover()}
+	return []Scenario{QuietGrid(), ChurnyGrid(), FarmerFailover(), MulticoreChurn()}
 }

@@ -123,6 +123,113 @@ func TestFuzzSplitsTile(t *testing.T) {
 	}
 }
 
+// TestFuzzHalveTiles: the extracted donation operator — kept + donated
+// exactly tile the victim's interval, the pieces never overlap, and
+// too-short intervals (including every empty one, zero value included) are
+// absorbing: the victim keeps everything and the donation is empty. This
+// is the conservation law the p2p steals and the multicore shard engine's
+// internal rebalancing both lean on.
+func TestFuzzHalveTiles(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	for trial := 0; trial < 5000; trial++ {
+		iv := randIv(rng)
+		keep, give := Halve(iv)
+		sum := new(big.Int).Add(keep.Len(), give.Len())
+		if sum.Cmp(iv.Len()) != 0 {
+			t.Fatalf("trial %d: Halve(%v) lost measure: %v + %v", trial, iv, keep, give)
+		}
+		if keep.Overlaps(give) {
+			t.Fatalf("trial %d: Halve(%v) pieces overlap: %v, %v", trial, iv, keep, give)
+		}
+		for i := int64(0); i < fuzzUniverse; i++ {
+			n := big.NewInt(i)
+			if iv.Contains(n) != (keep.Contains(n) || give.Contains(n)) {
+				t.Fatalf("trial %d: number %d misplaced by Halve(%v)", trial, i, iv)
+			}
+		}
+		if iv.Len().Cmp(big.NewInt(2)) < 0 {
+			if !give.IsEmpty() {
+				t.Fatalf("trial %d: Halve(%v) donated %v from a too-short interval", trial, iv, give)
+			}
+			if !keep.Equal(iv) {
+				t.Fatalf("trial %d: Halve(%v) did not keep the whole interval: %v", trial, iv, keep)
+			}
+		} else {
+			// A real split: both halves non-empty and near-equal, so
+			// repeated halving actually spreads work.
+			if keep.IsEmpty() || give.IsEmpty() {
+				t.Fatalf("trial %d: Halve(%v) produced an empty half: %v, %v", trial, iv, keep, give)
+			}
+			diff := new(big.Int).Sub(keep.Len(), give.Len())
+			if diff.CmpAbs(big.NewInt(1)) > 0 {
+				t.Fatalf("trial %d: Halve(%v) unbalanced: %v vs %v", trial, iv, keep, give)
+			}
+		}
+	}
+}
+
+// TestFuzzSplitEvenTiles: the shard tiling operator produces exactly n
+// ascending, pairwise-disjoint pieces whose union is the input — the
+// multicore engine's initial shard layout is a partition, whatever the
+// interval length (shorter-than-n intervals leave trailing empties).
+func TestFuzzSplitEvenTiles(t *testing.T) {
+	rng := rand.New(rand.NewSource(45))
+	for trial := 0; trial < 5000; trial++ {
+		iv := randIv(rng)
+		n := 1 + rng.Intn(8)
+		parts := SplitEven(iv, n)
+		if len(parts) != n {
+			t.Fatalf("trial %d: SplitEven(%v, %d) returned %d pieces", trial, iv, n, len(parts))
+		}
+		total := new(big.Int)
+		set := NewSet()
+		maxLen, minLen := new(big.Int), new(big.Int)
+		for i, p := range parts {
+			total.Add(total, p.Len())
+			if ov := set.Add(p); ov.Sign() != 0 {
+				t.Fatalf("trial %d: SplitEven(%v, %d) pieces overlap by %s", trial, iv, n, ov)
+			}
+			if !iv.ContainsInterval(p) {
+				t.Fatalf("trial %d: piece %v outside %v", trial, p, iv)
+			}
+			if i > 0 && !p.IsEmpty() && !parts[i-1].IsEmpty() && parts[i-1].B().Cmp(p.A()) != 0 {
+				t.Fatalf("trial %d: pieces %v, %v not contiguous", trial, parts[i-1], p)
+			}
+			l := p.Len()
+			if i == 0 {
+				maxLen.Set(l)
+				minLen.Set(l)
+			} else {
+				if l.Cmp(maxLen) > 0 {
+					maxLen.Set(l)
+				}
+				if l.Cmp(minLen) < 0 {
+					minLen.Set(l)
+				}
+			}
+		}
+		if total.Cmp(iv.Len()) != 0 {
+			t.Fatalf("trial %d: SplitEven(%v, %d) measure %s != %s", trial, iv, n, total, iv.Len())
+		}
+		if spread := new(big.Int).Sub(maxLen, minLen); spread.Cmp(big.NewInt(1)) > 0 {
+			t.Fatalf("trial %d: SplitEven(%v, %d) uneven: min %s max %s", trial, iv, n, minLen, maxLen)
+		}
+		for i := int64(0); i < fuzzUniverse; i++ {
+			x := big.NewInt(i)
+			in := false
+			for _, p := range parts {
+				if p.Contains(x) {
+					in = true
+					break
+				}
+			}
+			if in != iv.Contains(x) {
+				t.Fatalf("trial %d: number %d misplaced by SplitEven(%v, %d)", trial, i, iv, n)
+			}
+		}
+	}
+}
+
 // TestFuzzMarshalRoundTrip: the wire form is lossless — checkpoint files
 // and RPC messages reconstruct the exact interval.
 func TestFuzzMarshalRoundTrip(t *testing.T) {

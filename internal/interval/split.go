@@ -1,0 +1,59 @@
+// Sharding operators: the donation algebra the peer-to-peer runtime
+// introduced (steal-by-halving) and the tiling operator the intra-worker
+// multicore engine is built on, extracted here so every runtime that moves
+// work between explorers shares one audited implementation. Both are pure
+// functions of the interval bounds; the fuzz suite pins their conservation
+// laws (pieces tile the input exactly, never overlap, empties stay
+// absorbing) against the brute-force model.
+package interval
+
+import "math/big"
+
+// Halve is the donation operator: it splits iv at its midpoint into the
+// part the holder keeps ([A, mid), the region its depth-first walk is
+// already inside) and the part it donates ([mid, B)). An interval too short
+// to share — fewer than two numbers, including every empty interval — is
+// kept whole: keep echoes iv and give is empty, so donation chains absorb
+// empties instead of manufacturing work from them.
+func Halve(iv Interval) (keep, give Interval) {
+	two := big.NewInt(2)
+	if iv.IsEmpty() || iv.Len().Cmp(two) < 0 {
+		return iv.Clone(), Interval{a: new(big.Int), b: new(big.Int)}
+	}
+	mid := new(big.Int).Add(iv.a, iv.b)
+	mid.Rsh(mid, 1)
+	return iv.SplitAt(mid)
+}
+
+// SplitEven tiles iv into n contiguous pieces of near-equal length (the
+// first Len mod n pieces get one extra number), in ascending order. The
+// pieces always tile iv exactly; when iv holds fewer than n numbers the
+// trailing pieces are empty. It is the initial shard layout of the
+// multicore worker engine: one piece per shard explorer, which then
+// rebalance among themselves with Halve-based stealing. n < 1 is treated
+// as 1.
+func SplitEven(iv Interval, n int) []Interval {
+	if n < 1 {
+		n = 1
+	}
+	out := make([]Interval, n)
+	if iv.IsEmpty() {
+		for i := range out {
+			out[i] = Interval{a: new(big.Int), b: new(big.Int)}
+		}
+		return out
+	}
+	length := iv.Len()
+	quo, rem := new(big.Int).QuoRem(length, big.NewInt(int64(n)), new(big.Int))
+	cut := new(big.Int).Set(iv.a)
+	one := big.NewInt(1)
+	for i := 0; i < n; i++ {
+		a := new(big.Int).Set(cut)
+		cut.Add(cut, quo)
+		if int64(i) < rem.Int64() {
+			cut.Add(cut, one)
+		}
+		out[i] = Interval{a: a, b: new(big.Int).Set(cut)}
+	}
+	return out
+}

@@ -21,7 +21,6 @@ package p2p
 
 import (
 	"fmt"
-	"math/big"
 	"math/rand"
 	"sync"
 
@@ -266,21 +265,15 @@ func (p *peer) serveSteals() {
 	}
 }
 
-// donate carves off half of the remaining interval, or returns an empty
-// interval when there is nothing worth giving.
+// donate carves off half of the remaining interval via the shared donation
+// operator (core.Donate / interval.Halve — the same algebra the multicore
+// shard engine steals with), or returns an empty interval when there is
+// nothing worth giving.
 func (p *peer) donate() interval.Interval {
-	if p.ex.Done() {
-		return interval.Interval{}
+	give := core.Donate(p.ex)
+	if !give.IsEmpty() {
+		p.dirty = true
 	}
-	rem := p.ex.Remaining()
-	if rem.Len().Cmp(big.NewInt(2)) < 0 {
-		return interval.Interval{}
-	}
-	mid := new(big.Int).Add(rem.A(), rem.B())
-	mid.Rsh(mid, 1)
-	keep, give := rem.SplitAt(mid)
-	p.ex.Restrict(keep)
-	p.dirty = true
 	return give
 }
 

@@ -45,6 +45,15 @@ type Config struct {
 	// StepSize is the engine slice used by Run between context checks.
 	// Default 1<<12.
 	StepSize int64
+	// Cores is how many shard explorers this worker runs over a tiling of
+	// its assigned interval (the intra-worker multicore engine; see
+	// DESIGN.md §7). It only takes effect through the entry points that
+	// can supply one Problem instance per shard: NewShardedSession (the
+	// deterministic, step-driven form used by the simulator and the chaos
+	// harness) and RunParallel (the goroutine runtime used on real
+	// multicore hosts, where zero means runtime.GOMAXPROCS). Zero or one
+	// keeps the paper's single-explorer worker.
+	Cores int
 }
 
 func (c *Config) fillDefaults() {
@@ -59,14 +68,33 @@ func (c *Config) fillDefaults() {
 	}
 }
 
+// engine abstracts the exploration side of a session: the paper's single
+// interval-driven Explorer or the multicore shard engine that presents the
+// same fold/restrict surface over a tiling of the interval. Everything the
+// protocol state machine needs is here; *core.Explorer satisfies it as-is.
+type engine interface {
+	Step(budget int64) (explored int64, done bool)
+	Remaining() interval.Interval
+	Restrict(iv interval.Interval)
+	Reassign(iv interval.Interval)
+	AdoptBest(cost int64)
+	Best() bb.Solution
+	Stats() bb.Stats
+	Done() bool
+}
+
 // Session is the worker's protocol state machine. Drive it with Advance.
 // Not safe for concurrent use.
 type Session struct {
 	cfg   Config
 	coord transport.Coordinator
-	prob  bb.Problem
 	nb    *core.Numbering
-	ex    *core.Explorer
+	ex    engine
+
+	// newEngine builds the exploration engine on the first assignment;
+	// it decides single-explorer vs sharded and wires the improvement
+	// hook back into pushSolution.
+	newEngine func(iv interval.Interval, bestCost int64) engine
 
 	intervalID  int64
 	haveWork    bool
@@ -82,10 +110,56 @@ type Session struct {
 }
 
 // NewSession builds a session over a problem and a coordinator connection.
+// The session hosts the paper's single interval-driven explorer; Cores is
+// ignored here because one Problem instance can only back one shard — use
+// NewShardedSession with a factory for the multicore engine.
 func NewSession(cfg Config, coord transport.Coordinator, prob bb.Problem) *Session {
 	cfg.fillDefaults()
-	s := &Session{cfg: cfg, coord: coord, prob: prob, nb: core.NewNumbering(prob.Shape())}
+	s := &Session{cfg: cfg, coord: coord, nb: core.NewNumbering(prob.Shape())}
+	s.newEngine = func(iv interval.Interval, bestCost int64) engine {
+		e := core.NewExplorer(prob, s.nb, iv, bestCost)
+		e.OnImprove = s.pushSolution
+		return e
+	}
 	return s
+}
+
+// NewShardedSession builds a session whose exploration engine runs
+// cfg.Cores shard explorers over a tiling of the assigned interval, each on
+// its own Problem instance from factory. The engine is stepped
+// deterministically inside Advance (round-robin shards, richest-victim
+// halving steals), so the session stays a single-threaded state machine:
+// the grid simulator and the chaos harness drive multicore workers with
+// byte-identical traces, while the farmer still sees the paper's exact
+// single-worker protocol — one fold, one power, one checkpoint. Cores <= 1
+// degenerates to the classic single-explorer session.
+func NewShardedSession(cfg Config, coord transport.Coordinator, factory func() bb.Problem) *Session {
+	if cfg.Cores <= 1 {
+		return NewSession(cfg, coord, factory())
+	}
+	cfg.fillDefaults()
+	probe := factory()
+	s := &Session{cfg: cfg, coord: coord, nb: core.NewNumbering(probe.Shape())}
+	fac := reuseFirst(probe, factory)
+	s.newEngine = func(iv interval.Interval, bestCost int64) engine {
+		g := newShardEngine(fac, s.nb, cfg.Cores, cfg.StepSize, iv, bestCost)
+		g.onImprove = s.pushSolution
+		return g
+	}
+	return s
+}
+
+// reuseFirst wraps factory so the instance already built to read Shape()
+// backs the first shard instead of being discarded (Problem construction
+// is not free — flowshop builds job matrices and Johnson pair orders).
+func reuseFirst(probe bb.Problem, factory func() bb.Problem) func() bb.Problem {
+	return func() bb.Problem {
+		if p := probe; p != nil {
+			probe = nil
+			return p
+		}
+		return factory()
+	}
 }
 
 // SetPower refreshes the exploration-speed estimate reported to the
@@ -183,8 +257,7 @@ func (s *Session) requestWork() (bool, error) {
 		return false, nil
 	case transport.WorkAssigned:
 		if s.ex == nil {
-			s.ex = core.NewExplorer(s.prob, s.nb, reply.Interval, reply.BestCost)
-			s.ex.OnImprove = s.pushSolution
+			s.ex = s.newEngine(reply.Interval, reply.BestCost)
 		} else {
 			s.ex.Reassign(reply.Interval)
 			s.ex.AdoptBest(reply.BestCost)
