@@ -5,13 +5,21 @@
 GO      ?= go
 BENCH_OUT ?= bench.json
 
-.PHONY: all build vet test race bench bench-hot bench-smoke check
+.PHONY: all build vet test race bench bench-hot bench-smoke check docs-check
 
 all: vet build test
 
 # The full local gate: everything CI runs, in one target. go vet is the
 # de-flake guard — it must stay both here and in CI.
-check: vet build test race bench-smoke
+check: vet build test race bench-smoke docs-check
+
+# The docs gate (CI runs it as its own job): the README must exist —
+# doc.go points at it — and the tree must be gofmt-clean and vet-clean so
+# pkgsite/godoc render what we think they render.
+docs-check:
+	@test -f README.md || { echo "docs-check: README.md is missing (doc.go references it)"; exit 1; }
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "docs-check: gofmt -l flags:"; echo "$$out"; exit 1; fi
+	$(GO) vet ./...
 
 build:
 	$(GO) build ./...

@@ -176,6 +176,79 @@ func BenchmarkFig5ProtocolRound(b *testing.B) {
 	}
 }
 
+// BenchmarkFarmerRequestThroughput measures the farmer's per-request cost
+// as a function of the number of tracked intervals — the grid-size axis of
+// the paper's scalability claim (the farmer's 1.7 % exploitation rate only
+// holds if serving a request stays cheap as the fleet grows). The setup
+// populates INTERVALS with `workers` entries of heterogeneous holder
+// powers, then the timed loop alternates one RequestWork (splitting a
+// tracked interval) with one UpdateInterval retiring the freshly donated
+// interval, so the tracked count stays pinned at `workers` throughout. The
+// Ta056-scale root (numbers ~2^214) keeps every interval far above the
+// duplication threshold for any b.N. Sub-linear ns/op growth from 100 to
+// 2000 is the acceptance gate of the indexed selection (BENCH_pr4.json).
+func BenchmarkFarmerRequestThroughput(b *testing.B) {
+	nb := ta056Numbering()
+	for _, workers := range []int{100, 500, 1000, 2000} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			// Powers cycle through a handful of host classes like a real
+			// heterogeneous pool (Table 1 has ~8 speed grades).
+			powers := []int64{800, 1300, 1700, 2000, 2200, 2400, 2800, 3200}
+			// populate seeds INTERVALS with `workers` owned entries.
+			populate := func() *farmer.Farmer {
+				f := farmer.New(nb.RootRange(), farmer.WithClock(func() int64 { return 0 }))
+				for i := 0; i < workers; i++ {
+					_, err := f.RequestWork(transport.WorkRequest{
+						Worker: transport.WorkerID(fmt.Sprintf("seed-%d", i)),
+						Power:  powers[i%len(powers)],
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+				return f
+			}
+			f := populate()
+			// Every request permanently consumes the donated length (a
+			// retire cannot grow INTERVALS back — intersection only ever
+			// narrows), which halves the total every ~1.4·workers pairs.
+			// Rebuilding outside the timer long before the ~2^200 headroom
+			// runs out keeps the tracked count AND the length scale pinned.
+			rebuildEvery := 100 * workers
+			sinceRebuild := 0
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if sinceRebuild == rebuildEvery {
+					b.StopTimer()
+					f = populate()
+					sinceRebuild = 0
+					b.StartTimer()
+				}
+				sinceRebuild++
+				w := transport.WorkerID(fmt.Sprintf("req-%d", i%workers))
+				reply, err := f.RequestWork(transport.WorkRequest{Worker: w, Power: powers[i%len(powers)]})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if reply.Status != transport.WorkAssigned {
+					b.Fatal("ran out of work")
+				}
+				// Retire the donated interval so the tracked count stays
+				// at `workers`: the finished fold [B,B) — what a real
+				// worker reports after exhausting its interval — empties
+				// the coordinator's copy and deletes the entry.
+				end := reply.Interval.B()
+				if _, err := f.UpdateInterval(transport.UpdateRequest{
+					Worker: w, IntervalID: reply.IntervalID, Remaining: interval.New(end, end),
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkTable1PoolBuild builds and validates the paper's pool (Figure 6
 // / Table 1).
 func BenchmarkTable1PoolBuild(b *testing.B) {

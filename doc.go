@@ -8,7 +8,9 @@
 // reproducing the paper's evaluation (Tables 1–3, Figures 1–7). Beyond the
 // paper, each worker can shard its interval across the cores of its host
 // (the multicore engine, DESIGN.md §7) while speaking the unchanged
-// single-worker protocol.
+// single-worker protocol, and the farmer serves thousand-worker grids with
+// per-request cost logarithmic in the fleet size (the selection index,
+// DESIGN.md §8).
 //
 // The public API lives in repro/gridbb; see README.md for a tour and
 // DESIGN.md for the system inventory and the experiment index. The

@@ -1,6 +1,7 @@
 package gridbb_test
 
 import (
+	"context"
 	"fmt"
 
 	"repro/gridbb"
@@ -24,6 +25,36 @@ func ExampleSolve() {
 	fmt.Printf("optimal makespan %d, schedule valid: %v\n", res.Best.Cost, ins.Makespan(perm) == res.Best.Cost)
 	// Output:
 	// optimal makespan 683, schedule valid: true
+}
+
+// ExampleRunRemoteWorkerParallel runs a real multi-process deployment in
+// miniature: a TCP farmer (what cmd/farmer wraps) and one multicore worker
+// (what cmd/worker -cores wraps) that shards its assigned interval across
+// two explorers while the farmer sees the unchanged single-worker protocol
+// — one fold, one power, one checkpoint per round.
+func ExampleRunRemoteWorkerParallel() {
+	ins := flowshop.Taillard(9, 5, 7)
+	factory := func() gridbb.Problem {
+		return flowshop.NewProblem(ins, flowshop.BoundOneMachine, flowshop.PairsAll)
+	}
+	srv, farmer, err := gridbb.ServeFarmer(factory(), "127.0.0.1:0")
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	defer srv.Close()
+
+	cfg := gridbb.WorkerConfig{ID: "mc-worker", Power: 2, Cores: 2}
+	if _, err := gridbb.RunRemoteWorkerParallel(context.Background(), srv.Addr(), cfg, factory); err != nil {
+		fmt.Println(err)
+		return
+	}
+	best := farmer.Best()
+	perm, _ := flowshop.PermutationOfPath(ins.Jobs, best.Path)
+	fmt.Printf("proven optimal makespan %d, schedule valid: %v, finished: %v\n",
+		best.Cost, ins.Makespan(perm) == best.Cost, farmer.Done())
+	// Output:
+	// proven optimal makespan 683, schedule valid: true, finished: true
 }
 
 // ExampleUnfold shows the interval coding: an interval of node numbers

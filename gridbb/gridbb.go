@@ -12,10 +12,18 @@
 // Quick start — define or pick a Problem (see repro/internal/flowshop,
 // repro/internal/tsp, repro/internal/knapsack for complete examples), then:
 //
-//	sol, stats, err := gridbb.Solve(problem, gridbb.Options{Workers: 8})
+//	res, err := gridbb.Solve(problem, gridbb.Options{Workers: 8, ProblemFactory: factory})
 //
 // For multi-process deployments, run a farmer with ServeFarmer and connect
-// workers with RunRemoteWorker (see cmd/farmer and cmd/worker).
+// workers with RunRemoteWorker — or RunRemoteWorkerParallel to shard each
+// worker's interval across its host's cores behind the unchanged
+// single-worker protocol (see cmd/farmer, cmd/worker and the package
+// examples). SolveP2P runs the decentralized variant with no coordinator
+// at all.
+//
+// README.md is the repository tour; DESIGN.md records the engineering
+// decisions (the two-mode explorer §1, the multicore shard engine §7, the
+// farmer's grid-scale selection index §8).
 package gridbb
 
 import (
@@ -57,7 +65,10 @@ type Explorer = core.Explorer
 // NodeRef identifies a node by its rank path.
 type NodeRef = core.NodeRef
 
-// Farmer is the coordinator.
+// Farmer is the coordinator: it owns INTERVALS (served to requesters by
+// the §4.2 selection and partitioning operators, answered at grid scale
+// by an indexed structure — DESIGN.md §8) and SOLUTION, expires silent
+// workers' leases, and checkpoints both to a two-file store.
 type Farmer = farmer.Farmer
 
 // WorkerConfig parameterizes one worker process.
@@ -105,7 +116,9 @@ type Options struct {
 	// InitialPath optionally carries the rank path of the initial
 	// solution.
 	InitialPath []int
-	// UpdatePeriodNodes is the worker checkpoint period in nodes.
+	// UpdatePeriodNodes is the worker checkpoint period in nodes: how
+	// much exploration may sit unreported between two interval updates
+	// (and so the most a crash can cost). Default: 65536.
 	UpdatePeriodNodes int64
 	// Threshold is the duplication threshold of the partitioning
 	// operator (§4.2); nil uses the farmer default.

@@ -11,6 +11,7 @@ package checkpoint
 import (
 	"bufio"
 	"fmt"
+	"math/big"
 	"os"
 	"path/filepath"
 	"strings"
@@ -46,6 +47,14 @@ type Snapshot struct {
 	BestCost int64
 	// BestPath is SOLUTION's rank path; nil when no solution exists.
 	BestPath []int
+	// TotalLen, when non-nil, records the total remaining length of
+	// INTERVALS as the farmer maintained it incrementally (§4.3's "size"
+	// measure). Save persists it and Load cross-checks it against the sum
+	// of the interval records, so a snapshot whose incremental counter
+	// drifted from its table — or whose file lost or gained a record —
+	// is rejected instead of silently restoring the wrong search space.
+	// Nil (files from before the field existed) skips the check.
+	TotalLen *big.Int
 }
 
 // Store reads and writes snapshots under a directory, using the paper's
@@ -80,6 +89,9 @@ func (s *Store) Save(snap Snapshot) error {
 	fmt.Fprintf(&iv, "%s intervals\n", formatVersion)
 	fmt.Fprintf(&iv, "epoch %d\n", snap.Epoch)
 	fmt.Fprintf(&iv, "nextid %d\n", snap.NextID)
+	if snap.TotalLen != nil {
+		fmt.Fprintf(&iv, "total %s\n", snap.TotalLen.Text(10))
+	}
 	for _, rec := range snap.Intervals {
 		text, err := rec.Interval.MarshalText()
 		if err != nil {
@@ -167,6 +179,15 @@ func (s *Store) loadIntervals(snap *Snapshot) error {
 			if _, err := fmt.Sscanf(fields[1], "%d", &snap.NextID); err != nil {
 				return fmt.Errorf("checkpoint: bad nextid %q: %w", fields[1], err)
 			}
+		case "total":
+			if len(fields) != 2 {
+				return fmt.Errorf("checkpoint: bad total line %q", line)
+			}
+			total, ok := new(big.Int).SetString(fields[1], 10)
+			if !ok {
+				return fmt.Errorf("checkpoint: bad total %q", fields[1])
+			}
+			snap.TotalLen = total
 		case "interval":
 			if len(fields) != 4 {
 				return fmt.Errorf("checkpoint: bad interval line %q", line)
@@ -183,7 +204,23 @@ func (s *Store) loadIntervals(snap *Snapshot) error {
 			return fmt.Errorf("checkpoint: unknown record %q", fields[0])
 		}
 	}
-	return sc.Err()
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	// Integrity cross-check: the incremental total the farmer carried must
+	// match what the records actually sum to. This is the only place the
+	// lengths are ever re-summed — at restore time, once, not per snapshot.
+	if snap.TotalLen != nil {
+		sum := new(big.Int)
+		for _, rec := range snap.Intervals {
+			sum.Add(sum, rec.Interval.Len())
+		}
+		if sum.Cmp(snap.TotalLen) != 0 {
+			return fmt.Errorf("checkpoint: %s: interval records sum to %s but the recorded total is %s (corrupt or inconsistent snapshot)",
+				intervalsFile, sum, snap.TotalLen)
+		}
+	}
+	return nil
 }
 
 func (s *Store) loadSolution(snap *Snapshot) error {

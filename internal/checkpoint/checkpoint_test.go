@@ -182,3 +182,73 @@ func TestExistsRequiresBothFiles(t *testing.T) {
 		t.Fatal("half a checkpoint reported as present")
 	}
 }
+
+// TestTotalLenRoundTrip: the incremental INTERVALS total the farmer stamps
+// on a snapshot survives the file format and passes the load-time
+// cross-check.
+func TestTotalLenRoundTrip(t *testing.T) {
+	store, err := NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	iv1 := bigIv("10", "30414093201713378043612608166064768844377641568960512000000000000")
+	iv2 := bigIv("5", "905")
+	total := new(big.Int).Add(iv1.Len(), iv2.Len())
+	snap := Snapshot{
+		BestCost: 100,
+		Intervals: []IntervalRecord{
+			{ID: 1, Interval: iv1},
+			{ID: 2, Interval: iv2},
+		},
+		TotalLen: total,
+	}
+	if err := store.Save(snap); err != nil {
+		t.Fatal(err)
+	}
+	got, err := store.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.TotalLen == nil || got.TotalLen.Cmp(total) != 0 {
+		t.Fatalf("TotalLen = %v, want %s", got.TotalLen, total)
+	}
+}
+
+// TestTotalLenMismatchRejected: a snapshot whose recorded total disagrees
+// with its interval records is corrupt and must not restore.
+func TestTotalLenMismatchRejected(t *testing.T) {
+	store, err := NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := Snapshot{
+		Intervals: []IntervalRecord{{ID: 1, Interval: bigIv("0", "100")}},
+		TotalLen:  big.NewInt(99),
+	}
+	if err := store.Save(snap); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := store.Load(); err == nil || !strings.Contains(err.Error(), "total") {
+		t.Fatalf("load of inconsistent snapshot: err = %v, want total mismatch", err)
+	}
+}
+
+// TestTotalLenAbsentSkipsCheck: files written before the total line existed
+// still load (the field stays nil).
+func TestTotalLenAbsentSkipsCheck(t *testing.T) {
+	store, err := NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := Snapshot{Intervals: []IntervalRecord{{ID: 1, Interval: bigIv("0", "100")}}}
+	if err := store.Save(snap); err != nil {
+		t.Fatal(err)
+	}
+	got, err := store.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.TotalLen != nil {
+		t.Fatalf("TotalLen = %v, want nil", got.TotalLen)
+	}
+}

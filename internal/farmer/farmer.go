@@ -11,6 +11,7 @@ package farmer
 import (
 	"fmt"
 	"math/big"
+	"sort"
 	"sync"
 	"time"
 
@@ -93,6 +94,12 @@ type tracked struct {
 	iv        interval.Interval
 	owners    map[transport.WorkerID]*owner
 	coveredTo *big.Int // high watermark of reported beginnings
+
+	// Selection-index key cache (see index.go): the length and holder
+	// power this entry is currently filed under. Only the index touches
+	// these; they may lag iv/owners between a mutation and its fix.
+	idxLen *big.Int
+	idxHP  int64
 }
 
 func (t *tracked) holderPower() int64 {
@@ -119,6 +126,15 @@ type Farmer struct {
 	ckptMu sync.Mutex
 
 	intervals map[int64]*tracked
+	// idx answers the selection operator in O(groups·log W) and keeps the
+	// INTERVALS length total incrementally; lease schedules owner expiry
+	// on a deadline min-heap so the request path pays one peek instead of
+	// a full owner sweep; empties lists the (rare) intervals born empty by
+	// the partitioning operator, drained where the seed re-scanned the
+	// whole table. See index.go and DESIGN.md §8.
+	idx     *selIndex
+	lease   leaseHeap
+	empties []int64
 	// Interval ids are epoch-qualified: id = epoch<<epochShift | seq.
 	// The epoch is bumped on every restore from checkpoint, so an id
 	// allocated after the snapshot was taken (and therefore lost in the
@@ -207,6 +223,7 @@ func WithInitialBest(cost int64, path []int) Option {
 func New(root interval.Interval, opts ...Option) *Farmer {
 	f := &Farmer{
 		intervals: make(map[int64]*tracked),
+		idx:       newSelIndex(),
 		bestCost:  bb.Infinity,
 		threshold: big.NewInt(2),
 		clock:     func() int64 { return time.Now().UnixNano() },
@@ -255,6 +272,7 @@ func Restore(root interval.Interval, store *checkpoint.Store, opts ...Option) (*
 			coveredTo: rec.Interval.A(),
 		}
 		f.intervals[rec.ID] = t
+		f.idx.insert(t)
 	}
 	f.bestCost = snap.BestCost
 	f.bestPath = snap.BestPath
@@ -268,14 +286,35 @@ const epochShift = 40
 // addTracked registers a new orphan interval and returns it. Caller holds
 // no lock (construction) or the lock (runtime paths handle locking).
 func (f *Farmer) addTracked(iv interval.Interval) *tracked {
+	return f.addTrackedFor(iv, "", nil)
+}
+
+// addTrackedFor registers a new interval already owned by w (the donated
+// part of a split), so the index files it under its owner's power class in
+// one insert instead of an orphan insert plus a re-key. A nil owner
+// registers an orphan.
+func (f *Farmer) addTrackedFor(iv interval.Interval, w transport.WorkerID, o *owner) *tracked {
 	t := &tracked{
 		id:        f.epoch<<epochShift | f.nextID,
 		iv:        iv.Clone(),
 		owners:    make(map[transport.WorkerID]*owner),
 		coveredTo: iv.A(),
 	}
+	if o != nil {
+		t.owners[w] = o
+	}
 	f.nextID++
 	f.intervals[t.id] = t
+	f.idx.insert(t)
+	if o != nil {
+		f.pushLease(t, w, o)
+	}
+	if t.iv.IsEmpty() {
+		// Only the partitioning operator can mint an empty entry (a
+		// zero-power requester's donated part); remember it for the next
+		// cleanLocked, which the seed answered with a full-table scan.
+		f.empties = append(f.empties, t.id)
+	}
 	return t
 }
 
@@ -284,28 +323,53 @@ func (f *Farmer) addTracked(iv interval.Interval) *tracked {
 // interval is either entirely given to another B&B process, or shared
 // between several B&B processes" (§4.1) — both happen through the normal
 // allocation path afterwards.
+// The sweep runs off the lease heap: the top deadline is the next-expiry
+// watermark, so the common case — nobody near expiry — is one comparison
+// instead of the seed's O(W·owners) scan per request. Entries are lazy: an
+// owner that reported since its entry was pushed is re-pushed at its newer
+// deadline; an owner dropped, replaced or retired with its interval is
+// detected by pointer identity and discarded.
 func (f *Farmer) expireLocked(now int64) {
 	if f.leaseTTL <= 0 {
 		return
 	}
-	for _, t := range f.intervals {
-		for id, o := range t.owners {
-			if now-o.lastSeen > f.leaseTTL {
-				delete(t.owners, id)
-				f.counters.ExpiredOwners++
-			}
+	for len(f.lease) > 0 && f.lease[0].deadline < now {
+		e := f.lease.pop()
+		t, ok := f.intervals[e.t.id]
+		if !ok || t != e.t {
+			continue // interval retired: stale entry
+		}
+		o, ok := t.owners[e.w]
+		if !ok || o != e.o {
+			continue // owner dropped or replaced: stale entry
+		}
+		if now-o.lastSeen > f.leaseTTL {
+			delete(t.owners, e.w)
+			f.counters.ExpiredOwners++
+			f.idx.fix(t) // the holder-power class changed
+		} else {
+			f.pushLease(t, e.w, o) // reported since: re-arm
 		}
 	}
 }
 
 // cleanLocked removes empty intervals (§4.3: "Any empty interval of
-// INTERVALS is automatically removed").
+// INTERVALS is automatically removed"). Every runtime mutation point
+// retires an interval the moment it empties; the only entries that reach
+// this sweep are the ones born empty at the partitioning operator, listed
+// in f.empties — so the seed's full-table scan is now O(#empties), almost
+// always zero.
 func (f *Farmer) cleanLocked() {
-	for id, t := range f.intervals {
-		if t.iv.IsEmpty() {
+	if len(f.empties) == 0 {
+		return
+	}
+	for _, id := range f.empties {
+		if t, ok := f.intervals[id]; ok && t.iv.IsEmpty() {
+			f.idx.remove(t)
 			delete(f.intervals, id)
 		}
 	}
+	f.empties = f.empties[:0]
 }
 
 // RequestWork implements transport.Coordinator: the selection and
@@ -329,17 +393,14 @@ func (f *Farmer) RequestWork(req transport.WorkRequest) (transport.WorkReply, er
 	// donated part [C,B) given the requester's power (§4.2: "The
 	// selection operator does not choose the greatest interval [A,B[ of
 	// INTERVALS, but the one which produces the greatest possible
-	// interval [C,B[").
-	var chosen *tracked
-	bestDonated := new(big.Int)
-	for _, t := range f.intervals {
-		donated := f.donatedLength(f.scrA, t.iv, t.holderPower(), req.Power)
-		if chosen == nil || donated.Cmp(bestDonated) > 0 ||
-			(donated.Cmp(bestDonated) == 0 && t.id < chosen.id) {
-			chosen = t
-			bestDonated.Set(donated)
-		}
+	// interval [C,B["). The index answers in O(classes·log W) with
+	// decisions byte-identical to the seed linear scan (index.go; the
+	// oracle test pins the equivalence).
+	chosenID, ok := f.idx.selectBest(req.Power)
+	if !ok {
+		return transport.WorkReply{}, fmt.Errorf("farmer: selection index empty with %d tracked intervals", len(f.intervals))
 	}
+	chosen := f.intervals[chosenID]
 
 	reply := transport.WorkReply{Status: transport.WorkAssigned, BestCost: f.bestCost}
 	holderPower := chosen.holderPower()
@@ -349,7 +410,10 @@ func (f *Farmer) RequestWork(req transport.WorkRequest) (transport.WorkReply, er
 		// than splitting crumbs. "The coordinator keeps only one copy
 		// of a duplicated interval, even if it is assigned to several
 		// processes" (§4.2).
-		chosen.owners[req.Worker] = &owner{power: req.Power, lastSeen: now, lastA: chosen.iv.A()}
+		o := &owner{power: req.Power, lastSeen: now, lastA: chosen.iv.A()}
+		chosen.owners[req.Worker] = o
+		f.idx.fix(chosen) // the holder-power class changed
+		f.pushLease(chosen, req.Worker, o)
 		f.counters.Duplications++
 		f.counters.WorkAllocations++
 		reply.IntervalID = chosen.id
@@ -371,15 +435,17 @@ func (f *Farmer) RequestWork(req transport.WorkRequest) (transport.WorkReply, er
 		// process rule). Retire the old copy; the new owner gets a
 		// fresh id so any late update from a presumed-dead previous
 		// owner is recognizably stale.
+		f.idx.remove(chosen)
 		delete(f.intervals, chosen.id)
 	} else {
 		chosen.iv = holder
+		f.idx.fix(chosen) // the kept part is shorter: re-key
 		// The holder keeps exploring [A,C) and learns of the shrink
 		// at its next update (§4.2: "After a certain time, the holder
 		// process is also informed to limit its exploration").
 	}
-	nt := f.addTracked(donated)
-	nt.owners[req.Worker] = &owner{power: req.Power, lastSeen: now, lastA: donated.A()}
+	nt := f.addTrackedFor(donated, req.Worker,
+		&owner{power: req.Power, lastSeen: now, lastA: donated.A()})
 	f.counters.WorkAllocations++
 	reply.IntervalID = nt.id
 	reply.Interval = donated.Clone()
@@ -431,8 +497,11 @@ func (f *Farmer) UpdateInterval(req transport.UpdateRequest) (transport.UpdateRe
 		// exists (it was shared, not handed off). Re-admit it: it is
 		// evidently alive, and the paper explicitly allows an
 		// interval to be "shared between several B&B processes".
+		// The holder-power change is picked up by the single index fix
+		// at the end of the update.
 		o = &owner{power: req.Power, lastSeen: now, lastA: t.iv.A()}
 		t.owners[req.Worker] = o
+		f.pushLease(t, req.Worker, o)
 	}
 	o.lastSeen = now
 	if req.Power > 0 {
@@ -485,6 +554,7 @@ func (f *Farmer) UpdateInterval(req transport.UpdateRequest) (transport.UpdateRe
 			// owner, stalling recovery for a full lease TTL. Drop the
 			// ownership and send the worker back for fresh work.
 			delete(t.owners, req.Worker)
+			f.idx.fix(t) // owner set (and maybe power) changed above
 			f.cleanLocked()
 			return transport.UpdateReply{
 				Known:    false,
@@ -500,7 +570,12 @@ func (f *Farmer) UpdateInterval(req transport.UpdateRequest) (transport.UpdateRe
 	t.iv.IntersectInPlace(req.Remaining)
 	reply := transport.UpdateReply{Known: true, BestCost: f.bestCost, Interval: t.iv.Clone()}
 	if t.iv.IsEmpty() {
+		f.idx.remove(t)
 		delete(f.intervals, t.id)
+	} else {
+		// One re-key covers everything this update changed: the
+		// intersected length, a re-admitted owner, a power update.
+		f.idx.fix(t)
 	}
 	f.cleanLocked()
 	reply.Finished = len(f.intervals) == 0
@@ -593,24 +668,18 @@ func (f *Farmer) IntervalsSnapshot() []checkpoint.IntervalRecord {
 }
 
 func sortRecords(recs []checkpoint.IntervalRecord) {
-	for i := 1; i < len(recs); i++ {
-		for j := i; j > 0 && recs[j].ID < recs[j-1].ID; j-- {
-			recs[j], recs[j-1] = recs[j-1], recs[j]
-		}
-	}
+	sort.Slice(recs, func(i, j int) bool { return recs[i].ID < recs[j].ID })
 }
 
 // Size returns the cardinality of INTERVALS and the total remaining length
 // (§4.3: cardinality ≈ number of B&B processes; size = not-yet-explored
-// solutions, monotonically decreasing).
+// solutions, monotonically decreasing). The total is maintained
+// incrementally by the selection index — no full-table big.Int
+// re-summation however large the grid.
 func (f *Farmer) Size() (cardinality int, totalLen *big.Int) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	total := new(big.Int)
-	for _, t := range f.intervals {
-		total.Add(total, t.iv.Len())
-	}
-	return len(f.intervals), total
+	return len(f.intervals), new(big.Int).Set(f.idx.total)
 }
 
 // Checkpoint persists INTERVALS and SOLUTION through the attached store
@@ -625,7 +694,15 @@ func (f *Farmer) Checkpoint() error {
 		f.mu.Unlock()
 		return fmt.Errorf("farmer: no checkpoint store attached")
 	}
-	snap := checkpoint.Snapshot{Epoch: f.epoch, NextID: f.nextID, BestCost: f.bestCost}
+	snap := checkpoint.Snapshot{
+		Epoch:    f.epoch,
+		NextID:   f.nextID,
+		BestCost: f.bestCost,
+		// The incremental total (lingering empty entries contribute
+		// zero, matching the records below which skip them); Load
+		// cross-checks it against the record sum.
+		TotalLen: new(big.Int).Set(f.idx.total),
+	}
 	if f.bestPath != nil {
 		snap.BestPath = append([]int(nil), f.bestPath...)
 	}
@@ -635,13 +712,14 @@ func (f *Farmer) Checkpoint() error {
 		}
 		snap.Intervals = append(snap.Intervals, checkpoint.IntervalRecord{ID: t.id, Interval: t.iv.Clone()})
 	}
-	sortRecords(snap.Intervals)
 	store := f.store
 	f.counters.FarmerCheckpoints++
 	f.mu.Unlock()
-	// The file write happens outside the lock: a slow disk must not
-	// block the workers — the farmer's low exploitation rate is the
-	// scalability claim.
+	// The sort and the file write happen outside the lock: snap is
+	// private by now, and a slow disk (or a big table) must not block the
+	// workers — the farmer's low exploitation rate is the scalability
+	// claim.
+	sortRecords(snap.Intervals)
 	return store.Save(snap)
 }
 

@@ -115,6 +115,19 @@ func SmallPool(n int) []CPUSpec {
 	}
 }
 
+// MassivePool returns the paper's Table 1 pool topped up with an extra
+// burst domain to exactly n processors (n ≥ Table1Total): the 2007 campus
+// and Grid5000 domains verbatim, plus the cloud capacity a modern rerun
+// would lease on top. It is the pool of the massive-grid scenario, sized
+// so the farmer tracks roughly two thousand concurrent workers.
+func MassivePool(n int) []CPUSpec {
+	pool := Table1Pool()
+	if extra := n - Table1Total; extra > 0 {
+		pool = append(pool, CPUSpec{"Xeon", 2.40, "Cloud (burst)", extra, 1})
+	}
+	return pool
+}
+
 // MulticorePool returns a modern pool: the same three domains as SmallPool
 // but every host has cores cores, so each simulated worker runs the shard
 // engine and reports a cores-scaled power.

@@ -21,6 +21,34 @@ func PaperScenario(seed int64, expectedNodes int64, wallDays float64) Config {
 	}
 }
 
+// MassiveScenario returns the massive-grid configuration: the paper's full
+// Table 1 pool topped up to ~2000 processors (MassivePool) under the
+// Figure 7 availability model with compressed 20-minute "days". It exists
+// to reproduce the paper's farmer-exploitation claim at full fleet size —
+// one coordinator serving the whole grid while staying almost idle —
+// which is only an honest claim when serving a request does not degrade
+// with the number of tracked intervals (the selection index, DESIGN.md
+// §8; before it, a run at this scale spent most of its wall clock inside
+// the farmer's O(W) scans). expectedNodes calibrates the exploration rate
+// so the resolution spans roughly wallDays compressed days.
+func MassiveScenario(seed int64, expectedNodes int64, wallDays float64) Config {
+	m := AvailabilityModel{
+		BaseFraction: 0.2, Amplitude: 0.6, NoiseFraction: 0.08,
+		NoisePeriodSeconds: 60, DaySeconds: 1200, CrashShare: 0.25,
+		RampSeconds: 60, PhaseJitterRadians: 0.3, HostLoadFraction: 0.025,
+	}
+	pool := MassivePool(2000)
+	return Config{
+		Pool:                 pool,
+		Availability:         m,
+		Seed:                 seed,
+		TickSeconds:          1,
+		UpdatePeriodSeconds:  180,
+		LeaseTTLSeconds:      360,
+		NodesPerGHzPerSecond: CalibrateRate(pool, m, expectedNodes, wallDays*1200),
+	}
+}
+
 // FastScenario returns a compressed configuration — a 60-processor pool,
 // 20-minute "days", 1-second ticks — that reproduces the qualitative
 // Table 2 / Figure 7 shape in a few real seconds. expectedNodes calibrates

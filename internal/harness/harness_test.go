@@ -114,6 +114,23 @@ func TestScenariosExerciseTheirFaults(t *testing.T) {
 		t.Errorf("multicore-churn: drops=%d — reply chaos never fired", mc.Drops)
 	}
 
+	packed, err := Run(PackedGrid())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if packed.Kills == 0 || packed.Rejoins == 0 {
+		t.Errorf("packed-grid: kills=%d rejoins=%d — fault schedule never fired", packed.Kills, packed.Rejoins)
+	}
+	if packed.Drops == 0 {
+		t.Errorf("packed-grid: drops=%d — reply chaos never fired", packed.Drops)
+	}
+	if packed.Counters.ExpiredOwners == 0 {
+		t.Errorf("packed-grid: no lease ever expired — the heap sweep went unexercised")
+	}
+	if packed.Counters.WorkAllocations < 16 {
+		t.Errorf("packed-grid: only %d allocations across 16 workers", packed.Counters.WorkAllocations)
+	}
+
 	quiet, err := Run(QuietGrid())
 	if err != nil {
 		t.Fatal(err)

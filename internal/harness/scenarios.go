@@ -116,6 +116,40 @@ func MulticoreChurn() Scenario {
 	}
 }
 
+// PackedGrid is the fleet-size story of the indexed farmer (DESIGN.md §8)
+// on a flowshop instance (~60k sequential nodes): 16 workers — the widest
+// scenario of the matrix — whose powers are all distinct by the harness's
+// heterogeneity rule, so the selection index carries 16 holder-power
+// classes whose treaps churn on every allocation, lease expiry and
+// re-admission, while replies drop and workers crash without goodbye. The
+// three conformance invariants hold the indexed selection and the heap
+// expiry to the same machine-checked properties as the seed scan, and the
+// double run must stay byte-identical (the index is deterministic by
+// construction: decisions depend only on INTERVALS, never on treap shape).
+func PackedGrid() Scenario {
+	ins := flowshop.Taillard(12, 5, 23)
+	return Scenario{
+		Name: "packed-grid",
+		Seed: 6,
+		Factory: func() bb.Problem {
+			return flowshop.NewProblem(ins, flowshop.BoundOneMachine, flowshop.PairsAll)
+		},
+		Workers:           16,
+		UpdatePeriodNodes: 192,
+		TickBudget:        96,
+		LeaseTTLTicks:     2,
+		CheckpointEvery:   4,
+		DropReplyPct:      6,
+		DuplicatePct:      4,
+		Kills: []KillEvent{
+			{Tick: 3, Slot: 5, RejoinAfter: 3},
+			{Tick: 6, Slot: 11, RejoinAfter: 4},
+			{Tick: 9, Slot: 2, RejoinAfter: 3},
+			{Tick: 12, Slot: 14, RejoinAfter: 5},
+		},
+	}
+}
+
 // PartitionedRing is the p2p future-work story (§6) under a network
 // partition on a QAP instance (~13k sequential nodes): the ring is cut in
 // half from the very first sweep — while peers 2 and 3 are still starved,
@@ -139,5 +173,5 @@ func PartitionedRing() RingScenario {
 
 // GridScenarios returns the farmer-based scenario matrix.
 func GridScenarios() []Scenario {
-	return []Scenario{QuietGrid(), ChurnyGrid(), FarmerFailover(), MulticoreChurn()}
+	return []Scenario{QuietGrid(), ChurnyGrid(), FarmerFailover(), MulticoreChurn(), PackedGrid()}
 }
