@@ -5,7 +5,7 @@
 GO      ?= go
 BENCH_OUT ?= bench.json
 
-.PHONY: all build vet test race bench bench-hot bench-smoke check docs-check
+.PHONY: all build vet test race bench bench-hot bench-smoke bench-tree check docs-check
 
 all: vet build test
 
@@ -45,8 +45,17 @@ bench:
 bench-hot:
 	$(GO) test -run '^$$' -bench 'BenchmarkTable1EngineThroughput|BenchmarkExplorerInteriorStep' -benchmem -benchtime 2s -count 3 .
 
+# The hierarchical-farmer throughput record (flat vs 2-level tree, plus
+# root-cost flatness in the subtree count). ns/op is aggregate: read the
+# flat-vs-tree ratio on a multicore box — on one core both topologies
+# serialize and only the root-flatness rows are meaningful (BENCH_pr5.json).
+bench-tree:
+	$(GO) test -run '^$$' -bench BenchmarkFarmerTreeThroughput -benchmem -benchtime 1s -count 2 .
+
 # Every benchmark exactly once: not a measurement, a compile-and-run guard
 # so bench_test.go cannot bit-rot between perf PRs. CI runs this on every
-# push.
+# push (BenchmarkFarmerTreeThroughput included, so the tree record cannot
+# bit-rot either), and the race job runs the full test suite — the
+# tree-churn chaos scenario included — under the race detector.
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x .

@@ -30,6 +30,9 @@ import (
 	"fmt"
 	"math/big"
 	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/bb"
@@ -241,6 +244,142 @@ func BenchmarkFarmerRequestThroughput(b *testing.B) {
 				end := reply.Interval.B()
 				if _, err := f.UpdateInterval(transport.UpdateRequest{
 					Worker: w, IntervalID: reply.IntervalID, Remaining: interval.New(end, end),
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFarmerTreeThroughput is the coordination-throughput record of
+// the hierarchical farmer (DESIGN.md §9): flat single farmer vs a 2-level
+// tree of 8 sub-farmers, at equal tracked-fleet size (2k/5k/10k), hammered
+// by GOMAXPROCS concurrent clients. Each op is one request+retire pair —
+// the farmer-side cost of one worker life cycle — and ns/op is therefore
+// the reciprocal of the aggregate coordination throughput. The flat farmer
+// is one monitor: all clients serialize on one mutex whatever the fleet
+// size. The tree is 8 independent monitors whose root sees only the
+// piggybacked folds (one per 64 fleet messages), so aggregate throughput
+// scales with min(clients, subtrees) on multicore hardware; on a
+// single-core box the tree's edge reduces to its smaller per-sub tables
+// (read the scaling on CI, like BenchmarkMulticoreWorker's wall-clock
+// numbers). The `root/subtrees=S` cases pin the other half of the claim:
+// the root's own per-request cost stays flat as the subtree count grows.
+//
+// Requester power is 1 against ~2800-class holders, so each pair consumes
+// a ~1/2800 sliver of one interval: the tracked count and the length scale
+// stay pinned for any b.N without mid-run rebuilds (the Ta056-scale root
+// has ~2^200 of headroom).
+func BenchmarkFarmerTreeThroughput(b *testing.B) {
+	nb := ta056Numbering()
+	powers := []int64{800, 1300, 1700, 2000, 2200, 2400, 2800, 3200}
+	const subtrees = 8
+
+	// hammer drives b.N request+retire pairs through coordFor, spread
+	// over GOMAXPROCS goroutines by an atomic op counter.
+	hammer := func(b *testing.B, coordFor func(g int) transport.Coordinator) {
+		clients := runtime.GOMAXPROCS(0)
+		b.ReportAllocs()
+		b.ResetTimer()
+		var ops atomic.Int64
+		var wg sync.WaitGroup
+		errc := make(chan error, clients)
+		for g := 0; g < clients; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				coord := coordFor(g)
+				w := transport.WorkerID(fmt.Sprintf("c%d", g))
+				for ops.Add(1) <= int64(b.N) {
+					reply, err := coord.RequestWork(transport.WorkRequest{Worker: w, Power: 1})
+					if err != nil {
+						errc <- err
+						return
+					}
+					if reply.Status != transport.WorkAssigned {
+						errc <- fmt.Errorf("status %v: ran out of work", reply.Status)
+						return
+					}
+					end := reply.Interval.B()
+					if _, err := coord.UpdateInterval(transport.UpdateRequest{
+						Worker: w, IntervalID: reply.IntervalID,
+						Remaining: interval.New(end, end), Power: 1,
+					}); err != nil {
+						errc <- err
+						return
+					}
+				}
+			}(g)
+		}
+		wg.Wait()
+		select {
+		case err := <-errc:
+			b.Fatal(err)
+		default:
+		}
+	}
+
+	seed := func(coord transport.Coordinator, n, off int) error {
+		for i := 0; i < n; i++ {
+			_, err := coord.RequestWork(transport.WorkRequest{
+				Worker: transport.WorkerID(fmt.Sprintf("seed-%d", off+i)),
+				Power:  powers[(off+i)%len(powers)],
+			})
+			if err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	for _, workers := range []int{2000, 5000, 10000} {
+		b.Run(fmt.Sprintf("flat/workers=%d", workers), func(b *testing.B) {
+			f := farmer.New(nb.RootRange(), farmer.WithClock(func() int64 { return 0 }))
+			if err := seed(f, workers, 0); err != nil {
+				b.Fatal(err)
+			}
+			hammer(b, func(int) transport.Coordinator { return f })
+		})
+		b.Run(fmt.Sprintf("tree/workers=%d", workers), func(b *testing.B) {
+			tr := farmer.NewTree(nb.RootRange(), farmer.TreeConfig{
+				Subtrees:       subtrees,
+				SubUpdateEvery: 64,
+				Clock:          func() int64 { return 0 },
+			})
+			// Each sub-farmer pulls its sub-range from the root on its
+			// fleet's first request and then serves its 1/8 of the
+			// tracked fleet.
+			for s := 0; s < subtrees; s++ {
+				if err := seed(tr.Sub(s), workers/subtrees, s*(workers/subtrees)); err != nil {
+					b.Fatal(err)
+				}
+			}
+			hammer(b, func(g int) transport.Coordinator { return tr.Sub(g % subtrees) })
+		})
+	}
+
+	// Root flatness: the root's request cost as a function of how many
+	// sub-farmer copies it arbitrates between. Single client — this is a
+	// latency claim, not a throughput one.
+	for _, s := range []int{2, 8, 32, 128} {
+		b.Run(fmt.Sprintf("root/subtrees=%d", s), func(b *testing.B) {
+			f := farmer.New(nb.RootRange(), farmer.WithClock(func() int64 { return 0 }))
+			if err := seed(f, s, 0); err != nil {
+				b.Fatal(err)
+			}
+			w := transport.WorkerID("refiller")
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				reply, err := f.RequestWork(transport.WorkRequest{Worker: w, Power: 1})
+				if err != nil {
+					b.Fatal(err)
+				}
+				end := reply.Interval.B()
+				if _, err := f.UpdateInterval(transport.UpdateRequest{
+					Worker: w, IntervalID: reply.IntervalID,
+					Remaining: interval.New(end, end), Power: 1,
 				}); err != nil {
 					b.Fatal(err)
 				}

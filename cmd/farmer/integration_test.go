@@ -215,6 +215,121 @@ func TestFarmerWorkerBinaries(t *testing.T) {
 	}
 }
 
+// TestTreeBinaries is the 3-tier deployment smoke test: root farmer,
+// sub-farmer and workers as separate OS processes over TCP. The workers
+// talk only to the sub-farmer; the root sees one "worker" (the sub-farmer)
+// and must still print the proven optimum. Note what the sub-farmer is NOT
+// given: any instance configuration — the mid tier is pure interval
+// algebra.
+func TestTreeBinaries(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process integration test")
+	}
+	dir := t.TempDir()
+	farmerBin := filepath.Join(dir, "farmer")
+	subBin := filepath.Join(dir, "subfarmer")
+	workerBin := filepath.Join(dir, "worker")
+	for _, b := range []struct{ out, pkg string }{
+		{farmerBin, "repro/cmd/farmer"},
+		{subBin, "repro/cmd/subfarmer"},
+		{workerBin, "repro/cmd/worker"},
+	} {
+		cmd := exec.Command("go", "build", "-o", b.out, b.pkg)
+		cmd.Dir = repoRoot(t)
+		if out, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("build %s: %v\n%s", b.pkg, err, out)
+		}
+	}
+
+	args := []string{
+		"-instance", "ta056", "-reduce-jobs", "11", "-reduce-machines", "6",
+	}
+	farmerOut := &syncBuffer{}
+	farmer := exec.Command(farmerBin, append([]string{
+		"-addr", "127.0.0.1:0",
+		"-checkpoint-dir", filepath.Join(dir, "root-ckpt"),
+		"-lease-ttl", "5",
+		"-status-period", "1",
+	}, args...)...)
+	farmer.Stdout = farmerOut
+	farmer.Stderr = farmerOut
+	if err := farmer.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if farmer.Process != nil {
+			farmer.Process.Kill()
+			farmer.Wait()
+		}
+	}()
+	rootAddr := awaitAddr(t, farmerOut, regexp.MustCompile(`serving on (\S+)`))
+
+	subOut := &syncBuffer{}
+	sub := exec.Command(subBin,
+		"-root", rootAddr,
+		"-addr", "127.0.0.1:0",
+		"-checkpoint-dir", filepath.Join(dir, "sub-ckpt"),
+		"-update-period", "1",
+		"-lease-ttl", "3",
+		"-status-period", "1",
+	)
+	sub.Stdout = subOut
+	sub.Stderr = subOut
+	if err := sub.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if sub.Process != nil {
+			sub.Process.Kill()
+			sub.Wait()
+		}
+	}()
+	subAddr := awaitAddr(t, subOut, regexp.MustCompile(`serving subtree .* on (\S+),`))
+
+	w := exec.Command(workerBin, append([]string{
+		"-addr", subAddr, "-update-nodes", "2000", "-procs", "2", "-name", "tw",
+	}, args...)...)
+	w.Stdout = os.Stderr
+	w.Stderr = os.Stderr
+	if err := w.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if w.Process != nil {
+			w.Process.Kill()
+		}
+	}()
+
+	done := make(chan error, 1)
+	go func() { done <- farmer.Wait() }()
+	select {
+	case <-done:
+	case <-time.After(90 * time.Second):
+		t.Fatalf("farmer did not finish; farmer output:\n%s\nsubfarmer output:\n%s", farmerOut.String(), subOut.String())
+	}
+	w.Wait()
+
+	out := farmerOut.String()
+	if !strings.Contains(out, "optimal makespan: 842") {
+		t.Fatalf("unexpected optimum in farmer output:\n%s\nsubfarmer output:\n%s", out, subOut.String())
+	}
+}
+
+// awaitAddr polls a process's log for its bound address.
+func awaitAddr(t *testing.T, buf *syncBuffer, re *regexp.Regexp) string {
+	t.Helper()
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		if m := re.FindStringSubmatch(buf.String()); m != nil {
+			return m[1]
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("address never appeared; output:\n%s", buf.String())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
 func repoRoot(t *testing.T) string {
 	t.Helper()
 	dir, err := os.Getwd()

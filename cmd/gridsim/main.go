@@ -39,6 +39,7 @@ func main() {
 		prime    = flag.Bool("prime", true, "prime SOLUTION like the paper's run 2 (best known + 1)")
 		ckptDir  = flag.String("checkpoint-dir", "", "write real farmer snapshots here")
 		traceCSV = flag.String("trace-csv", "", "dump the Figure 7 series (seconds,active) to this CSV file")
+		subtrees = flag.Int("subtrees", 0, "coordinate through a 2-level farmer tree of this many sub-farmers (0: the paper's flat farmer)")
 	)
 	flag.Parse()
 
@@ -72,6 +73,7 @@ func main() {
 		cfg.InitialUpper = seq.Cost + 1
 	}
 	cfg.CheckpointDir = *ckptDir
+	cfg.Subtrees = *subtrees
 
 	log.Printf("simulating on %d processors in %d domains...",
 		gridsim.PoolSize(cfg.Pool), len(gridsim.PoolDomains(cfg.Pool)))

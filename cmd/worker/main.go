@@ -1,8 +1,12 @@
-// Command worker joins a TCP farmer (cmd/farmer) as one or more B&B
-// processes — the paper's worker side: pull-model messaging (works from
-// behind firewalls and NATs), periodic interval checkpointing, immediate
-// solution push. Kill it any time: the farmer's lease mechanism recovers
-// its intervals from their last checkpoint.
+// Command worker joins a TCP farmer (cmd/farmer) or sub-farmer
+// (cmd/subfarmer) as one or more B&B processes — the paper's worker side:
+// pull-model messaging (works from behind firewalls and NATs), periodic
+// interval checkpointing, immediate solution push. Kill it any time: the
+// farmer's lease mechanism recovers its intervals from their last
+// checkpoint. If the coordinator goes away, the worker reconnects with
+// jittered exponential backoff and a bounded retry budget, so a farmer
+// restart is met by a trickle of staggered rejoins instead of a
+// thundering herd.
 //
 // The instance configuration must match the farmer's — like the paper's
 // deployment, problem data is distributed out of band and only intervals
@@ -18,6 +22,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"math/rand"
 	"os"
 	"os/signal"
 	"sync"
@@ -42,6 +47,7 @@ func main() {
 		bound    = flag.String("bound", "one", "bound: one, two, combined")
 		update   = flag.Int64("update-nodes", 1<<16, "nodes between interval checkpoints")
 		name     = flag.String("name", "", "worker name prefix (default host-pid)")
+		retries  = flag.Int("max-retries", 10, "bounded reconnect attempts per process (progress resets the budget)")
 	)
 	flag.Parse()
 
@@ -92,18 +98,49 @@ func main() {
 				UpdatePeriodNodes: *update,
 				Cores:             *cores,
 			}
-			start := time.Now()
-			// RunRemoteWorkerParallel degrades to the classic single
-			// explorer when cores is 1.
-			res, err := gridbb.RunRemoteWorkerParallel(ctx, *addr, cfg, func() gridbb.Problem {
-				return flowshop.NewProblem(ins, kind, flowshop.PairsAll)
-			})
-			if err != nil && ctx.Err() == nil {
-				log.Printf("process %d: %v", i, err)
-				return
+			// Per-process jitter source: two workers must never share a
+			// backoff schedule, or a farmer restart turns every retry
+			// round into a synchronized stampede. The schedule itself
+			// (full jitter over an exponential step) is the shared
+			// transport.Backoff every reconnect path uses.
+			backoff := transport.Backoff{
+				Rng: rand.New(rand.NewSource(time.Now().UnixNano() ^ int64(os.Getpid())<<16 ^ int64(i))),
 			}
-			log.Printf("process %d done in %s: explored %d nodes, %d updates, local best %s",
-				i, time.Since(start).Round(time.Second), res.Stats.Explored, res.Updates, costString(res.Best.Cost))
+			start := time.Now()
+			attempt := 0
+			var explored int64
+			for {
+				// RunRemoteWorkerParallel degrades to the classic single
+				// explorer when cores is 1.
+				res, err := gridbb.RunRemoteWorkerParallel(ctx, *addr, cfg, func() gridbb.Problem {
+					return flowshop.NewProblem(ins, kind, flowshop.PairsAll)
+				})
+				explored += res.Stats.Explored
+				if err == nil || ctx.Err() != nil {
+					log.Printf("process %d done in %s: explored %d nodes, %d updates, local best %s",
+						i, time.Since(start).Round(time.Second), explored, res.Updates, costString(res.Best.Cost))
+					return
+				}
+				// A run that made progress proves the coordinator was
+				// reachable: the failure is fresh, so the retry budget
+				// and the backoff start over.
+				if res.Stats.Explored > 0 {
+					attempt = 0
+					backoff.Reset()
+				}
+				attempt++
+				if attempt > *retries {
+					log.Printf("process %d: giving up after %d attempts: %v", i, attempt-1, err)
+					return
+				}
+				d := backoff.Next()
+				log.Printf("process %d: %v — reconnecting in %s (attempt %d/%d)", i, err, d.Round(time.Millisecond), attempt, *retries)
+				select {
+				case <-ctx.Done():
+					return
+				case <-time.After(d):
+				}
+			}
 		}(i)
 	}
 	wg.Wait()

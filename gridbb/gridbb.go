@@ -134,6 +134,13 @@ type Options struct {
 	// machines are single-threaded. When nil, Solve runs a single
 	// worker on the given problem.
 	ProblemFactory func() Problem
+	// Subtrees ≥ 2 coordinates the workers through a 2-level farmer
+	// tree (DESIGN.md §9): workers attach to sub-farmers round-robin,
+	// each sub-farmer aggregates its fleet into one fold and one power
+	// over the unchanged protocol, and the root farmer only arbitrates
+	// inter-subtree rebalancing. Zero or one keeps the paper's flat
+	// farmer. Result.Counters are the root's either way.
+	Subtrees int
 }
 
 // Result is the outcome of a parallel resolution.
@@ -183,10 +190,44 @@ func Solve(p Problem, opt Options) (Result, error) {
 		}
 		fopts = append(fopts, farmer.WithCheckpointStore(store))
 	}
-	f := farmer.New(nb.RootRange(), fopts...)
+	var (
+		f  *farmer.Farmer
+		tr *farmer.Tree
+	)
+	if opt.Subtrees >= 2 {
+		var inner []farmer.Option
+		if opt.Threshold != nil {
+			inner = append(inner, farmer.WithThreshold(opt.Threshold))
+		}
+		tr = farmer.NewTree(nb.RootRange(), farmer.TreeConfig{
+			Subtrees:     opt.Subtrees,
+			RootOptions:  fopts,
+			InnerOptions: inner,
+		})
+		f = tr.Root
+	} else {
+		f = farmer.New(nb.RootRange(), fopts...)
+	}
 
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
+	if tr != nil {
+		// The time half of the sub→root fold cadence: quiet fleets must
+		// keep their root leases alive even when the piggyback cadence
+		// (one fold per UpdateEvery fleet messages) has nothing to ride.
+		go func() {
+			ticker := time.NewTicker(time.Second)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-ticker.C:
+					tr.Pulse()
+				}
+			}
+		}()
+	}
 	if store != nil {
 		period := opt.CheckpointPeriod
 		if period <= 0 {
@@ -223,15 +264,19 @@ func Solve(p Problem, opt Options) (Result, error) {
 				UpdatePeriodNodes: opt.UpdatePeriodNodes,
 				Cores:             opt.Cores,
 			}
+			coord := transport.Coordinator(f)
+			if tr != nil {
+				coord = tr.Sub(i)
+			}
 			if opt.Cores > 1 {
-				results[i], errs[i] = worker.RunParallel(ctx, cfg, f, opt.ProblemFactory)
+				results[i], errs[i] = worker.RunParallel(ctx, cfg, coord, opt.ProblemFactory)
 				return
 			}
 			prob := p
 			if opt.ProblemFactory != nil {
 				prob = opt.ProblemFactory()
 			}
-			results[i], errs[i] = worker.Run(ctx, cfg, f, prob)
+			results[i], errs[i] = worker.Run(ctx, cfg, coord, prob)
 		}(i)
 	}
 	wg.Wait()
@@ -239,6 +284,12 @@ func Solve(p Problem, opt Options) (Result, error) {
 		if err != nil {
 			return Result{}, err
 		}
+	}
+	if tr != nil {
+		// One final pulse: flush straggler statistics (fleet checkpoints
+		// that landed after each sub-farmer's last fold), so the root
+		// counters below report the whole tree.
+		tr.Pulse()
 	}
 	if store != nil {
 		// Final snapshot records the completed state.

@@ -166,3 +166,39 @@ func TestSolveMulticoreWorkers(t *testing.T) {
 		t.Fatal("Cores>1 without a factory should be rejected")
 	}
 }
+
+// TestSolveTreeCoordination: the public Subtrees knob coordinates the
+// workers through a 2-level farmer tree (DESIGN.md §9) and proves the same
+// optimum, with the root aggregating the whole tree's statistics.
+func TestSolveTreeCoordination(t *testing.T) {
+	ins := flowshop.Taillard(11, 6, 9)
+	factory := func() Problem {
+		return flowshop.NewProblem(ins, flowshop.BoundOneMachine, flowshop.PairsAll)
+	}
+	want, _ := SolveSequential(factory(), Infinity)
+	res, err := Solve(factory(), Options{
+		Workers: 4, Subtrees: 2, ProblemFactory: factory, UpdatePeriodNodes: 500,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best.Cost != want.Cost {
+		t.Fatalf("tree best %d, sequential %d", res.Best.Cost, want.Cost)
+	}
+	if !res.Best.Valid() {
+		t.Fatal("tree optimum lost its leaf path on the way to the root")
+	}
+	// The root's counters must aggregate the whole tree exactly:
+	// sub-farmers ship their fleets' exploration deltas with every fold,
+	// and the terminal flush covers checkpoints that landed after the
+	// final fold. In-process nothing is lost, so the root total equals
+	// the sum of the workers' engine counters.
+	var workerTotal int64
+	for _, w := range res.PerWorker {
+		workerTotal += w.Stats.Explored
+	}
+	if res.Counters.ExploredNodes != workerTotal {
+		t.Fatalf("root counters aggregate %d explored nodes, workers explored %d — fleet statistics leaked between folds",
+			res.Counters.ExploredNodes, workerTotal)
+	}
+}

@@ -1,0 +1,91 @@
+package checkpoint
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/interval"
+)
+
+// Binding is the upstream half of a sub-farmer's persistent state: which
+// parent-side interval it holds and the bounds it last knew for it. It
+// lives in a third file next to the paper's two — the two-file snapshot
+// stays exactly the §4.1 INTERVALS/SOLUTION story at this tier, while the
+// binding lets a restarted sub-farmer resume its parent session instead of
+// presenting as a stranger (the parent then sees a lease blip, not a
+// failure). A missing binding file simply means "not bound": the sub-farmer
+// re-requests work from the parent and the parent's lease mechanism
+// recovers whatever the previous incarnation held.
+type Binding struct {
+	// Bound reports whether an upstream interval is held at all.
+	Bound bool
+	// ID is the parent-side interval id (epoch-qualified by the parent).
+	ID int64
+	// Interval is the parent's copy as last learned from a reply.
+	Interval interval.Interval
+}
+
+// bindingFile is the sub-farmer's upstream-session file.
+const bindingFile = "upstream.ckpt"
+
+// SaveBinding persists the upstream binding atomically (same temp+rename
+// discipline as the two snapshot files).
+func (s *Store) SaveBinding(b Binding) error {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s upstream\n", formatVersion)
+	if b.Bound {
+		text, err := b.Interval.MarshalText()
+		if err != nil {
+			return fmt.Errorf("checkpoint: marshal binding interval: %w", err)
+		}
+		fmt.Fprintf(&sb, "bound %d %s\n", b.ID, text)
+	}
+	return writeAtomic(filepath.Join(s.dir, bindingFile), sb.String())
+}
+
+// LoadBinding reads the upstream binding. ok is false when no binding file
+// exists (a first start, or a store written by a flat farmer).
+func (s *Store) LoadBinding() (b Binding, ok bool, err error) {
+	f, err := os.Open(filepath.Join(s.dir, bindingFile))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return Binding{}, false, nil
+		}
+		return Binding{}, false, fmt.Errorf("checkpoint: %w", err)
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	if !sc.Scan() || !strings.HasPrefix(sc.Text(), formatVersion) {
+		return Binding{}, false, fmt.Errorf("checkpoint: %s: bad or missing header", bindingFile)
+	}
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "bound":
+			if len(fields) != 4 {
+				return Binding{}, false, fmt.Errorf("checkpoint: bad bound line %q", line)
+			}
+			if _, err := fmt.Sscanf(fields[1], "%d", &b.ID); err != nil {
+				return Binding{}, false, fmt.Errorf("checkpoint: bad binding id %q: %w", fields[1], err)
+			}
+			if err := b.Interval.UnmarshalText([]byte(fields[2] + " " + fields[3])); err != nil {
+				return Binding{}, false, fmt.Errorf("checkpoint: %w", err)
+			}
+			b.Bound = true
+		default:
+			return Binding{}, false, fmt.Errorf("checkpoint: unknown record %q", fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return Binding{}, false, err
+	}
+	return b, true, nil
+}

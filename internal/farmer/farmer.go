@@ -55,6 +55,16 @@ type Counters struct {
 	// copy — which only happens when the copy is stale, i.e. restored
 	// from a checkpoint that predates a partition (farmer restart, §4.1).
 	RecoveredTails int64
+	// RejectedPowers counts work requests refused for a non-positive
+	// power claim; IgnoredPowers counts non-positive power claims on
+	// interval updates, which are processed but do not refresh the
+	// speed estimate (the checkpoint is too valuable to reject);
+	// ClampedPowers counts claims capped at MaxPower in either
+	// direction. Together they are the coordinator-boundary hardening
+	// against workers (or sub-farmers) reporting garbage speeds that
+	// would skew the proportional partitioning operator for the whole
+	// grid.
+	RejectedPowers, IgnoredPowers, ClampedPowers int64
 }
 
 // RedundancyStats measures duplicated work in leaf-number units, the
@@ -153,6 +163,14 @@ type Farmer struct {
 	store      *checkpoint.Store
 	equalSplit bool
 
+	// front, when frontier tracking is enabled, is a lazy min-heap over
+	// the beginnings of all tracked intervals: its valid top is the fold
+	// frontier a sub-farmer reports upstream (min A over INTERVALS). Flat
+	// farmers never read it, so they never pay for it either — pushes are
+	// gated on trackFront.
+	front      frontierHeap
+	trackFront bool
+
 	counters   Counters
 	redundancy RedundancyStats
 
@@ -203,6 +221,14 @@ func WithCheckpointStore(store *checkpoint.Store) Option {
 // intervals.
 func WithEqualSplit(equal bool) Option {
 	return func(f *Farmer) { f.equalSplit = equal }
+}
+
+// WithFrontierTracking makes the farmer maintain the lazy frontier heap so
+// Frontier (the fold a sub-farmer reports upstream) is O(log W) amortized.
+// Off by default: a flat farmer never folds, and the heap would otherwise
+// grow with every allocation for nothing.
+func WithFrontierTracking() Option {
+	return func(f *Farmer) { f.trackFront = true }
 }
 
 // WithInitialBest primes SOLUTION with an externally known solution — the
@@ -273,6 +299,7 @@ func Restore(root interval.Interval, store *checkpoint.Store, opts ...Option) (*
 		}
 		f.intervals[rec.ID] = t
 		f.idx.insert(t)
+		f.pushFrontier(t)
 	}
 	f.bestCost = snap.BestCost
 	f.bestPath = snap.BestPath
@@ -306,6 +333,7 @@ func (f *Farmer) addTrackedFor(iv interval.Interval, w transport.WorkerID, o *ow
 	f.nextID++
 	f.intervals[t.id] = t
 	f.idx.insert(t)
+	f.pushFrontier(t)
 	if o != nil {
 		f.pushLease(t, w, o)
 	}
@@ -372,6 +400,25 @@ func (f *Farmer) cleanLocked() {
 	f.empties = f.empties[:0]
 }
 
+// MaxPower caps the exploration speed a coordinator believes (nodes per
+// second, in whatever fixed-point scale the deployment uses). The paper's
+// fastest hosts explored a few million nodes per second; 2^40 leaves three
+// orders of magnitude of headroom for fixed-point scaling and fleet-power
+// sums while keeping a hostile claim from monopolizing the partitioning
+// operator (a 2^63 power would make every split donate essentially the
+// whole interval to the liar).
+const MaxPower = int64(1) << 40
+
+// clampPower caps a positive power claim at MaxPower, counting the clamp.
+// Callers reject or ignore non-positive claims before calling.
+func (f *Farmer) clampPower(p int64) int64 {
+	if p > MaxPower {
+		f.counters.ClampedPowers++
+		return MaxPower
+	}
+	return p
+}
+
 // RequestWork implements transport.Coordinator: the selection and
 // partitioning operators of §4.2.
 func (f *Farmer) RequestWork(req transport.WorkRequest) (transport.WorkReply, error) {
@@ -385,9 +432,14 @@ func (f *Farmer) RequestWork(req transport.WorkRequest) (transport.WorkReply, er
 	if len(f.intervals) == 0 {
 		return transport.WorkReply{Status: transport.WorkFinished, BestCost: f.bestCost}, nil
 	}
-	if req.Power < 0 {
-		return transport.WorkReply{}, fmt.Errorf("farmer: negative power %d from %q", req.Power, req.Worker)
+	if req.Power <= 0 {
+		// The partitioning operator splits proportionally to powers; a
+		// zero or negative claim is either a broken worker or an attempt
+		// to game the split. Reject at the boundary (§4.2 hardening).
+		f.counters.RejectedPowers++
+		return transport.WorkReply{}, fmt.Errorf("farmer: non-positive power %d from %q", req.Power, req.Worker)
 	}
+	req.Power = f.clampPower(req.Power)
 
 	// Selection operator: pick the interval producing the greatest
 	// donated part [C,B) given the requester's power (§4.2: "The
@@ -491,6 +543,18 @@ func (f *Farmer) UpdateInterval(req transport.UpdateRequest) (transport.UpdateRe
 			BestCost: f.bestCost,
 		}, nil
 	}
+	// Boundary hardening: a non-positive power claim never overwrites the
+	// last credible estimate (re-admissions fall back to 1), and absurd
+	// claims are clamped at MaxPower — same rules as RequestWork, except
+	// an update is never rejected outright: losing the checkpoint would
+	// hurt the honest majority more than the one liar.
+	power := req.Power
+	if power <= 0 {
+		f.counters.IgnoredPowers++
+		power = 0
+	} else {
+		power = f.clampPower(power)
+	}
 	o, isOwner := t.owners[req.Worker]
 	if !isOwner {
 		// A lease-expired owner resurfaced while its interval still
@@ -499,13 +563,17 @@ func (f *Farmer) UpdateInterval(req transport.UpdateRequest) (transport.UpdateRe
 		// interval to be "shared between several B&B processes".
 		// The holder-power change is picked up by the single index fix
 		// at the end of the update.
-		o = &owner{power: req.Power, lastSeen: now, lastA: t.iv.A()}
+		admitted := power
+		if admitted <= 0 {
+			admitted = 1
+		}
+		o = &owner{power: admitted, lastSeen: now, lastA: t.iv.A()}
 		t.owners[req.Worker] = o
 		f.pushLease(t, req.Worker, o)
 	}
 	o.lastSeen = now
-	if req.Power > 0 {
-		o.power = req.Power
+	if power > 0 {
+		o.power = power
 	}
 
 	// Redundancy accounting in leaf units: progress over a region some
@@ -637,6 +705,14 @@ func (f *Farmer) Best() bb.Solution {
 	return bb.Solution{Cost: f.bestCost, Path: append([]int(nil), f.bestPath...)}
 }
 
+// BestCost returns SOLUTION's cost without copying the path — the
+// accessor for reply hot paths that only ever forward the bound.
+func (f *Farmer) BestCost() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.bestCost
+}
+
 // Counters returns a snapshot of the protocol counters.
 func (f *Farmer) Counters() Counters {
 	f.mu.Lock()
@@ -729,6 +805,69 @@ func (f *Farmer) ExpireNow() {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	f.expireLocked(f.clock())
+}
+
+// Inject registers a fresh orphan interval at runtime: the refill path of a
+// sub-farmer seeding a sub-range the root just donated into its own
+// INTERVALS. Empty intervals are ignored. The injected interval gets a
+// fresh epoch-qualified id and is handed out through the normal allocation
+// path (the virtual null-power process rule: first requester takes it all
+// or splits it).
+func (f *Farmer) Inject(iv interval.Interval) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if iv.IsEmpty() {
+		return
+	}
+	f.addTracked(iv)
+}
+
+// RestrictTo intersects every tracked interval with iv (eq. 14 applied
+// table-wide), retiring entries that empty. It is the downward half of the
+// hierarchical protocol: when the tier above shrinks a sub-farmer's
+// authoritative copy — a tail donated to another subtree, or ground below
+// the reported frontier — the sub-farmer restricts its whole table to the
+// new bounds. Everything removed here is accounted for elsewhere: above
+// the cut it is tracked by the parent under another subtree's copy, below
+// it it was already reported consumed. Workers holding removed or narrowed
+// copies learn at their next checkpoint, exactly like the paper's lazy
+// "after a certain time, the holder process is also informed" rule.
+func (f *Farmer) RestrictTo(iv interval.Interval) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for id, t := range f.intervals {
+		t.iv.IntersectInPlace(iv)
+		if t.iv.IsEmpty() {
+			f.idx.remove(t)
+			delete(f.intervals, id)
+		} else {
+			f.idx.fix(t)
+		}
+	}
+}
+
+// AdoptBest lowers SOLUTION's cost when cost improves it. The path is
+// unknown (a cost learned from the tier above travels without its leaf —
+// the root keeps the authoritative path, pushed up with every improving
+// report); local workers only ever need the cost, for pruning and for the
+// solution-sharing replies.
+func (f *Farmer) AdoptBest(cost int64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if cost < f.bestCost {
+		f.bestCost = cost
+		f.bestPath = nil
+	}
+}
+
+// FrontierInto writes the smallest beginning among all tracked intervals
+// into dst — the fold frontier a sub-farmer reports upstream: INTERVALS is
+// always a subset of [frontier, assigned end). It reports false when the
+// table is empty or frontier tracking is disabled (WithFrontierTracking).
+func (f *Farmer) FrontierInto(dst *big.Int) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.frontierLocked(dst)
 }
 
 var _ transport.Coordinator = (*Farmer)(nil)

@@ -1,0 +1,99 @@
+package farmer
+
+import "math/big"
+
+// The frontier heap answers "what is the smallest beginning among all
+// tracked intervals?" — the fold a sub-farmer reports upstream — in
+// amortized O(log W) instead of an O(W) table scan per fold. It follows the
+// lease heap's lazy discipline: one entry is pushed when an interval is
+// tracked, and staleness is resolved at read time. An entry is stale when
+// its interval was retired (discard) or when the interval's beginning has
+// advanced past the recorded one (re-file at the current beginning; a
+// beginning only ever advances, so the re-filed entry is correctly placed
+// and the old position was a valid lower bound all along).
+
+// frontierEntry is one scheduled frontier candidate. a is owned by the
+// entry and re-used when the entry is re-filed.
+type frontierEntry struct {
+	a *big.Int
+	t *tracked
+}
+
+// frontierHeap is a plain min-heap on a.
+type frontierHeap []frontierEntry
+
+func (h *frontierHeap) push(e frontierEntry) {
+	*h = append(*h, e)
+	s := *h
+	i := len(s) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if s[p].a.Cmp(s[i].a) <= 0 {
+			break
+		}
+		s[p], s[i] = s[i], s[p]
+		i = p
+	}
+}
+
+func (h *frontierHeap) pop() frontierEntry {
+	s := *h
+	top := s[0]
+	n := len(s) - 1
+	s[0] = s[n]
+	s[n] = frontierEntry{} // release the pointers
+	s = s[:n]
+	*h = s
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		m := i
+		if l < n && s[l].a.Cmp(s[m].a) < 0 {
+			m = l
+		}
+		if r < n && s[r].a.Cmp(s[m].a) < 0 {
+			m = r
+		}
+		if m == i {
+			return top
+		}
+		s[i], s[m] = s[m], s[i]
+		i = m
+	}
+}
+
+// pushFrontier files a freshly tracked interval in the frontier heap. A
+// no-op unless frontier tracking is enabled: flat farmers never read the
+// frontier, so they must not accumulate heap entries either.
+func (f *Farmer) pushFrontier(t *tracked) {
+	if !f.trackFront {
+		return
+	}
+	f.front.push(frontierEntry{a: t.iv.A(), t: t})
+}
+
+// frontierLocked resolves the heap top to the current minimum beginning and
+// writes it into dst, discarding or re-filing stale entries on the way. It
+// reports false when the table is empty (or tracking is off). Caller holds
+// f.mu.
+func (f *Farmer) frontierLocked(dst *big.Int) bool {
+	for len(f.front) > 0 {
+		e := f.front[0]
+		t, ok := f.intervals[e.t.id]
+		if !ok || t != e.t || t.iv.IsEmpty() {
+			f.front.pop()
+			continue
+		}
+		if t.iv.CmpA(e.a) != 0 {
+			// The beginning advanced since filing: re-file at the
+			// current position (reusing the entry's big.Int).
+			e = f.front.pop()
+			t.iv.AInto(e.a)
+			f.front.push(e)
+			continue
+		}
+		dst.Set(e.a)
+		return true
+	}
+	return false
+}

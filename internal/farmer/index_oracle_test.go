@@ -69,7 +69,11 @@ func TestSelectionOracleRandomStreams(t *testing.T) {
 						}
 						decisions++
 					}
-					reply, err := f.RequestWork(transport.WorkRequest{Worker: w, Power: p})
+					// The boundary rejects non-positive powers since the
+					// transport hardening; the selectors' zero-power
+					// semantics stay pinned by the probes above, while
+					// the state evolution uses a valid claim.
+					reply, err := f.RequestWork(transport.WorkRequest{Worker: w, Power: max(p, 1)})
 					if err != nil {
 						t.Fatal(err)
 					}

@@ -1,0 +1,118 @@
+package farmer
+
+import (
+	"math/big"
+	"testing"
+
+	"repro/internal/interval"
+	"repro/internal/transport"
+)
+
+// TestPowerValidationAtBoundary pins the coordinator-boundary hardening:
+// the farmer no longer trusts Power claims blindly. Non-positive request
+// powers are rejected, non-positive update powers are ignored (the last
+// credible estimate stands), and absurd claims are clamped at MaxPower in
+// both directions — a 2^62 claim must not let one liar monopolize the
+// partitioning operator.
+func TestPowerValidationAtBoundary(t *testing.T) {
+	newFarmer := func() *Farmer {
+		return New(interval.FromInt64(0, 1_000_000), WithClock(func() int64 { return 0 }))
+	}
+
+	t.Run("request rejects non-positive", func(t *testing.T) {
+		f := newFarmer()
+		for _, p := range []int64{0, -1, -1 << 40} {
+			if _, err := f.RequestWork(transport.WorkRequest{Worker: "w", Power: p}); err == nil {
+				t.Errorf("power %d accepted, want rejection", p)
+			}
+		}
+		if c := f.Counters().RejectedPowers; c != 3 {
+			t.Errorf("RejectedPowers = %d, want 3", c)
+		}
+		if c := f.Counters().WorkAllocations; c != 0 {
+			t.Errorf("rejected requests still allocated %d intervals", c)
+		}
+	})
+
+	t.Run("request clamps absurd claims", func(t *testing.T) {
+		f := newFarmer()
+		// An honest holder takes the interval first.
+		r1, err := f.RequestWork(transport.WorkRequest{Worker: "honest", Power: 100})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r1.Status != transport.WorkAssigned {
+			t.Fatalf("status %v", r1.Status)
+		}
+		// A liar claiming 2^62 nodes/sec is clamped to MaxPower: the
+		// split donates len·MaxPower/(100+MaxPower) — almost all, but
+		// never the degenerate everything a raw 2^62 would approach
+		// with larger tables, and the clamp is observable.
+		r2, err := f.RequestWork(transport.WorkRequest{Worker: "liar", Power: 1 << 62})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r2.Status != transport.WorkAssigned {
+			t.Fatalf("status %v", r2.Status)
+		}
+		if c := f.Counters().ClampedPowers; c != 1 {
+			t.Errorf("ClampedPowers = %d, want 1", c)
+		}
+	})
+
+	t.Run("update ignores non-positive and clamps absurd", func(t *testing.T) {
+		f := newFarmer()
+		r, err := f.RequestWork(transport.WorkRequest{Worker: "w", Power: 100})
+		if err != nil {
+			t.Fatal(err)
+		}
+		remaining := interval.New(big.NewInt(10), r.Interval.B())
+		// A zero-power update is processed (losing the checkpoint would
+		// hurt the worker) but the power estimate must not change: a
+		// second requester's split shows which holder power was used.
+		if _, err := f.UpdateInterval(transport.UpdateRequest{
+			Worker: "w", IntervalID: r.IntervalID, Remaining: remaining, Power: 0,
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if c := f.Counters().IgnoredPowers; c != 1 {
+			t.Errorf("IgnoredPowers = %d, want 1", c)
+		}
+		if c := f.Counters().RejectedPowers; c != 0 {
+			t.Errorf("RejectedPowers = %d on a processed update, want 0 (the counter is for refused requests only)", c)
+		}
+		r2, err := f.RequestWork(transport.WorkRequest{Worker: "peer", Power: 100})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Equal powers (100 vs the retained 100) split the remainder in
+		// half; had the zero overwritten the estimate, the holder power
+		// would be 0 and the whole interval would be donated.
+		want := new(big.Int).Sub(remaining.B(), remaining.A())
+		want.Rsh(want, 1)
+		if got := r2.Interval.Len(); got.Cmp(want) != 0 {
+			t.Errorf("donated %s, want the even split %s (holder power mutated by a zero-power update?)", got, want)
+		}
+
+		// An absurd update claim is clamped, and counted.
+		if _, err := f.UpdateInterval(transport.UpdateRequest{
+			Worker: "w", IntervalID: r.IntervalID, Remaining: r2d(f, r.IntervalID), Power: 1 << 61,
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if c := f.Counters().ClampedPowers; c != 1 {
+			t.Errorf("ClampedPowers = %d, want 1", c)
+		}
+	})
+}
+
+// r2d reads the coordinator's current copy of an interval so an update can
+// report "no progress" without fabricating bounds.
+func r2d(f *Farmer, id int64) interval.Interval {
+	for _, rec := range f.IntervalsSnapshot() {
+		if rec.ID == id {
+			return rec.Interval
+		}
+	}
+	return interval.Interval{}
+}

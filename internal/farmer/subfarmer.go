@@ -1,0 +1,676 @@
+// The sub-farmer role of the hierarchical farmer tree (DESIGN.md §9). A
+// SubFarmer is simultaneously both sides of the paper's protocol:
+//
+//   - to its own fleet it is a Coordinator — it embeds a full Farmer over
+//     the sub-range it was assigned and serves RequestWork/UpdateInterval/
+//     ReportSolution exactly as a flat farmer would;
+//   - to the tier above it is a worker — its INTERVALS folds to one
+//     interval [frontier, B) (the same fold a multicore worker reports for
+//     its shards), its power is the fleet power sum, its checkpoint
+//     cadence keeps the parent lease alive, and it asks the parent for a
+//     fresh sub-range only when its local table runs dry.
+//
+// Nothing in internal/transport changes: the three messages carry the tree
+// because the interval algebra composes — a sub-farmer's INTERVALS is
+// itself a partition of its assigned interval, so one fold per sub-farmer
+// is to the root exactly what one fold per worker is to a sub-farmer.
+package farmer
+
+import (
+	"math/big"
+	"sync"
+	"time"
+
+	"repro/internal/bb"
+	"repro/internal/checkpoint"
+	"repro/internal/interval"
+	"repro/internal/transport"
+)
+
+// SubCounters aggregates the sub-farmer's upstream protocol statistics.
+// The fleet-facing statistics live in the embedded farmer's Counters.
+type SubCounters struct {
+	// UpstreamRequests/Updates/Reports count messages sent to the parent.
+	UpstreamRequests, UpstreamUpdates, UpstreamReports int64
+	// UpstreamLost counts upstream exchanges that failed at the
+	// transport; every one is retried by a later exchange (the pull
+	// model's retry-safety composes up the tree).
+	UpstreamLost int64
+	// Refills counts sub-ranges obtained from the parent: the first
+	// assignment plus every inter-subtree rebalance toward this subtree.
+	Refills int64
+	// Restricts counts table-wide restrictions applied because the
+	// parent shrank the authoritative copy (rebalances away from this
+	// subtree, or post-restart reconciliation).
+	Restricts int64
+	// DroppedTables counts local tables discarded because the parent no
+	// longer tracked the binding (lease expired during a long outage and
+	// the range was re-issued elsewhere).
+	DroppedTables int64
+}
+
+// SubConfig parameterizes a sub-farmer.
+type SubConfig struct {
+	// ID identifies this sub-farmer to the parent.
+	ID transport.WorkerID
+	// UpdateEvery is how many fleet messages to serve between two
+	// upstream folds (the piggyback cadence). Default 16.
+	UpdateEvery int64
+	// UpdatePeriod is the time cadence of upstream folds, enforced by
+	// Pulse — it must stay well under the parent's lease TTL so a quiet
+	// fleet does not get its sub-range orphaned. Default 30s.
+	UpdatePeriod time.Duration
+	// FleetTTL is how long a silent fleet worker keeps contributing to
+	// the reported fleet power. Default one minute.
+	FleetTTL time.Duration
+	// Clock injects a nanosecond clock (virtual in the simulator and the
+	// chaos harness). Default wall clock.
+	Clock func() int64
+	// Store, when set, is the sub-farmer's own checkpoint store: the
+	// §4.1 two-file snapshot of its local INTERVALS/SOLUTION plus the
+	// upstream binding file. A sub-farmer restart replays the §4.1
+	// mechanics at its tier; the parent only sees a lease blip.
+	Store *checkpoint.Store
+	// InnerOptions are passed to the embedded farmer (threshold, lease
+	// TTL for the fleet, equal-split ablation...). Clock and Store from
+	// this config are appended automatically.
+	InnerOptions []Option
+}
+
+func (c *SubConfig) fillDefaults() {
+	if c.UpdateEvery <= 0 {
+		c.UpdateEvery = 16
+	}
+	if c.UpdatePeriod <= 0 {
+		c.UpdatePeriod = 30 * time.Second
+	}
+	if c.FleetTTL <= 0 {
+		c.FleetTTL = time.Minute
+	}
+	if c.Clock == nil {
+		c.Clock = func() int64 { return time.Now().UnixNano() }
+	}
+}
+
+// fleetEntry is one fleet worker's contribution to the power sum.
+type fleetEntry struct {
+	power    int64
+	lastSeen int64
+}
+
+// SubFarmer is the mid-tier coordinator. Like the Farmer it wraps, it is a
+// monitor — every operation takes the single mutex — with one deliberate
+// exception: the mutex is released around blocking parent RPCs (upCall),
+// serialized instead by the upBusy token, so the fleet keeps being served
+// while a fold crosses the WAN. Lock order is always SubFarmer → embedded
+// Farmer and SubFarmer → parent, never the reverse (the parent never calls
+// down — the protocol is pull-model at every tier).
+type SubFarmer struct {
+	mu    sync.Mutex
+	cfg   SubConfig
+	up    transport.Coordinator
+	inner *Farmer
+
+	// Upstream binding: the parent-side copy this subtree is exploring.
+	bound bool
+	upID  int64
+	upIV  interval.Interval
+
+	// upBusy is the upstream-exchange token: the holder may release mu
+	// around the blocking parent RPC (upCall) while keeping exclusive
+	// ownership of the binding, bestSentUp, the sent-stats watermarks and
+	// the scratch big.Ints. Fleet messages keep being served during an
+	// in-flight exchange — one slow or hung parent round-trip must not
+	// freeze the whole subtree — and any cadence that finds the token
+	// taken simply skips; the next cadence retries, which is the
+	// protocol's normal loss discipline anyway.
+	upBusy bool
+
+	// finished latches the parent's global termination verdict; local
+	// dryness is never surfaced to the fleet as termination.
+	finished bool
+
+	fleet map[transport.WorkerID]*fleetEntry
+
+	// bestSentUp is the solution cost the parent is known to have; a
+	// lower local best is (re-)pushed on every upstream exchange until
+	// one succeeds, so a dropped report is healed, not fatal.
+	bestSentUp int64
+
+	// sinceMsgs and lastFoldNanos drive the two fold cadences.
+	sinceMsgs     int64
+	lastFoldNanos int64
+
+	// sentStats tracks the exploration deltas already shipped upstream,
+	// so the root's Table 2 counters aggregate the whole tree.
+	sentExplored, sentPruned, sentLeaves int64
+
+	counters SubCounters
+
+	// Scratch big.Ints for the fold path (guarded by mu).
+	scrFront, scrB *big.Int
+}
+
+// NewSubFarmer creates a sub-farmer with an empty local table. The first
+// fleet request triggers the first refill from the parent.
+func NewSubFarmer(cfg SubConfig, up transport.Coordinator) *SubFarmer {
+	cfg.fillDefaults()
+	s := &SubFarmer{
+		cfg:        cfg,
+		up:         up,
+		fleet:      make(map[transport.WorkerID]*fleetEntry),
+		bestSentUp: bb.Infinity,
+		scrFront:   new(big.Int),
+		scrB:       new(big.Int),
+	}
+	s.inner = New(interval.Interval{}, s.innerOptions()...)
+	return s
+}
+
+// RestoreSubFarmer creates a sub-farmer from its checkpoint store: the
+// local table from the two-file snapshot (§4.1 replayed at this tier) and
+// the parent session from the binding file. With no checkpoint on disk it
+// degenerates to NewSubFarmer.
+func RestoreSubFarmer(cfg SubConfig, up transport.Coordinator) (*SubFarmer, error) {
+	cfg.fillDefaults()
+	if cfg.Store == nil || !cfg.Store.Exists() {
+		return NewSubFarmer(cfg, up), nil
+	}
+	s := &SubFarmer{
+		cfg:        cfg,
+		up:         up,
+		fleet:      make(map[transport.WorkerID]*fleetEntry),
+		bestSentUp: bb.Infinity,
+		scrFront:   new(big.Int),
+		scrB:       new(big.Int),
+	}
+	inner, err := Restore(interval.Interval{}, cfg.Store, s.innerOptions()...)
+	if err != nil {
+		return nil, err
+	}
+	s.inner = inner
+	b, ok, err := cfg.Store.LoadBinding()
+	if err != nil {
+		return nil, err
+	}
+	if ok && b.Bound {
+		s.bound, s.upID, s.upIV = true, b.ID, b.Interval.Clone()
+	}
+	return s, nil
+}
+
+func (s *SubFarmer) innerOptions() []Option {
+	opts := append([]Option{}, s.cfg.InnerOptions...)
+	opts = append(opts, WithClock(s.cfg.Clock), WithFrontierTracking())
+	if s.cfg.Store != nil {
+		opts = append(opts, WithCheckpointStore(s.cfg.Store))
+	}
+	return opts
+}
+
+// ID returns the sub-farmer's upstream identity.
+func (s *SubFarmer) ID() transport.WorkerID { return s.cfg.ID }
+
+// Inner exposes the embedded farmer (statistics, Size, Best) — read-only
+// use; all mutations must go through the protocol.
+func (s *SubFarmer) Inner() *Farmer { return s.inner }
+
+// Counters returns a snapshot of the upstream protocol counters.
+func (s *SubFarmer) Counters() SubCounters {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.counters
+}
+
+// Finished reports whether the parent declared the resolution over.
+func (s *SubFarmer) Finished() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.finished
+}
+
+// Bound reports whether the sub-farmer currently holds a parent interval,
+// and its id.
+func (s *SubFarmer) Bound() (int64, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.upID, s.bound
+}
+
+// IntervalsSnapshot exposes the local INTERVALS content — the tier view the
+// nested conformance harness audits.
+func (s *SubFarmer) IntervalsSnapshot() []checkpoint.IntervalRecord {
+	return s.inner.IntervalsSnapshot()
+}
+
+// noteFleetLocked refreshes the fleet power ledger with a sanitized claim.
+func (s *SubFarmer) noteFleetLocked(w transport.WorkerID, power, now int64) {
+	if power <= 0 {
+		return
+	}
+	if power > MaxPower {
+		power = MaxPower
+	}
+	e, ok := s.fleet[w]
+	if !ok {
+		e = &fleetEntry{}
+		s.fleet[w] = e
+	}
+	e.power, e.lastSeen = power, now
+}
+
+// fleetPowerLocked sums the live fleet powers, pruning silent entries, and
+// clamps the sum into the parent's accepted range. An empty fleet reports
+// 1: the sub-farmer itself is alive, and the parent rejects non-positive
+// claims.
+func (s *SubFarmer) fleetPowerLocked(now int64) int64 {
+	ttl := int64(s.cfg.FleetTTL)
+	var sum int64
+	for w, e := range s.fleet {
+		if now-e.lastSeen > ttl {
+			delete(s.fleet, w)
+			continue
+		}
+		sum += e.power
+		if sum >= MaxPower || sum < 0 { // saturate on overflow
+			sum = MaxPower
+			break
+		}
+	}
+	if sum < 1 {
+		sum = 1
+	}
+	return sum
+}
+
+// RequestWork implements transport.Coordinator for the fleet. When the
+// local table is dry it refills from the parent first — the only moment a
+// subtree asks the tier above for load balancing.
+func (s *SubFarmer) RequestWork(req transport.WorkRequest) (transport.WorkReply, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	now := s.cfg.Clock()
+	s.noteFleetLocked(req.Worker, req.Power, now)
+	// Two passes: a dry table refills once, then the inner allocation is
+	// retried; a second dry verdict (refill failed or yielded nothing)
+	// is surfaced as wait/finished.
+	for attempt := 0; attempt < 2; attempt++ {
+		if s.finished {
+			return transport.WorkReply{Status: transport.WorkFinished, BestCost: s.inner.BestCost()}, nil
+		}
+		reply, err := s.inner.RequestWork(req)
+		if err != nil {
+			return reply, err
+		}
+		if reply.Status == transport.WorkAssigned {
+			s.tickCadenceLocked(now)
+			return reply, nil
+		}
+		// Inner says finished ⇒ the local table is dry, which at this
+		// tier means "go ask the parent", never "stop the fleet".
+		if !s.refillLocked(now) {
+			break
+		}
+	}
+	if s.finished {
+		return transport.WorkReply{Status: transport.WorkFinished, BestCost: s.inner.BestCost()}, nil
+	}
+	return transport.WorkReply{Status: transport.WorkWait, BestCost: s.inner.BestCost()}, nil
+}
+
+// UpdateInterval implements transport.Coordinator for the fleet: the inner
+// farmer applies eq. 14 locally, and the sub-farmer folds upstream on its
+// cadence. A local-dry verdict triggers the upstream retire-and-refill
+// inline so the fleet never stalls on a drained subtree.
+func (s *SubFarmer) UpdateInterval(req transport.UpdateRequest) (transport.UpdateReply, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	now := s.cfg.Clock()
+	s.noteFleetLocked(req.Worker, req.Power, now)
+	reply, err := s.inner.UpdateInterval(req)
+	if err != nil {
+		return reply, err
+	}
+	if reply.Finished {
+		// Local table dry: retire the upstream copy (everything it
+		// still covered is genuinely explored — see foldUpLocked) and
+		// try to pull a fresh sub-range immediately.
+		s.refillLocked(now)
+	} else {
+		s.tickCadenceLocked(now)
+	}
+	reply.Finished = s.finished
+	reply.BestCost = s.inner.BestCost()
+	return reply, nil
+}
+
+// ReportSolution implements transport.Coordinator for the fleet: rule 2 of
+// solution sharing composes up the tree — improvements are pushed to the
+// parent immediately, with their leaf path, and the parent's (possibly
+// better) verdict is adopted locally so fleet replies always carry the
+// global best.
+func (s *SubFarmer) ReportSolution(req transport.SolutionReport) (transport.SolutionAck, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ack, err := s.inner.ReportSolution(req)
+	if err != nil {
+		return ack, err
+	}
+	s.pushBestUpLocked()
+	ack.BestCost = s.inner.BestCost()
+	return ack, nil
+}
+
+// Pulse drives the time-based upstream cadence: the runtime (a ticker
+// goroutine, the simulator's tick loop, the chaos harness) calls it
+// periodically so a quiet fleet still keeps the parent lease alive. After
+// global termination it flushes any straggler statistics instead (fleet
+// checkpoints that landed after the final fold), so the root's Table 2
+// counters converge on the whole tree's totals.
+func (s *SubFarmer) Pulse() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	now := s.cfg.Clock()
+	if s.finished {
+		s.flushStatsLocked(now)
+		return
+	}
+	if s.bound && now-s.lastFoldNanos >= int64(s.cfg.UpdatePeriod) {
+		s.foldUpLocked(now)
+	}
+}
+
+// upCall runs one parent exchange with the fleet mutex released. Caller
+// holds s.mu and has verified the upBusy token is free; upCall returns
+// with s.mu re-held. State owned by the token (binding, bestSentUp,
+// sent-stats, scratch) is stable across the window; the local table is
+// not, and callers must treat pre-call table snapshots accordingly.
+func (s *SubFarmer) upCall(f func(up transport.Coordinator)) {
+	s.upBusy = true
+	s.mu.Unlock()
+	f(s.up)
+	s.mu.Lock()
+	s.upBusy = false
+}
+
+// flushStatsLocked ships exploration deltas that accrued after the final
+// fold. The binding is gone by now, so the update rides the last (stale)
+// id: the parent accumulates statistics deltas before the id lookup, and
+// the Known=false verdict is exactly what we expect back. No-op while an
+// exchange is in flight or when nothing is pending.
+func (s *SubFarmer) flushStatsLocked(now int64) {
+	if s.upBusy {
+		return
+	}
+	ec, pc, lc := s.innerStatsLocked()
+	if ec == s.sentExplored && pc == s.sentPruned && lc == s.sentLeaves {
+		return
+	}
+	req := transport.UpdateRequest{
+		Worker:        s.cfg.ID,
+		IntervalID:    s.upID,
+		Power:         s.fleetPowerLocked(now),
+		ExploredDelta: ec - s.sentExplored,
+		PrunedDelta:   pc - s.sentPruned,
+		LeavesDelta:   lc - s.sentLeaves,
+	}
+	s.counters.UpstreamUpdates++
+	var err error
+	s.upCall(func(up transport.Coordinator) {
+		_, err = up.UpdateInterval(req)
+	})
+	if err != nil {
+		s.counters.UpstreamLost++
+		return
+	}
+	s.sentExplored, s.sentPruned, s.sentLeaves = ec, pc, lc
+}
+
+// Checkpoint persists the local two-file snapshot and the upstream binding.
+func (s *SubFarmer) Checkpoint() error {
+	if err := s.inner.Checkpoint(); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	b := checkpoint.Binding{Bound: s.bound, ID: s.upID}
+	if s.bound {
+		b.Interval = s.upIV.Clone()
+	}
+	store := s.cfg.Store
+	s.mu.Unlock()
+	if store == nil {
+		return nil
+	}
+	return store.SaveBinding(b)
+}
+
+// tickCadenceLocked counts a served fleet message and folds upstream when
+// either cadence (message count or time) is due.
+func (s *SubFarmer) tickCadenceLocked(now int64) {
+	if !s.bound {
+		return
+	}
+	s.sinceMsgs++
+	if s.sinceMsgs >= s.cfg.UpdateEvery || now-s.lastFoldNanos >= int64(s.cfg.UpdatePeriod) {
+		s.foldUpLocked(now)
+	}
+}
+
+// foldUpLocked sends the worker-side checkpoint of this tier: the fold
+// [frontier, B) of the local INTERVALS, the fleet power, and the
+// exploration deltas. The parent's reply is authoritative (eq. 14): the
+// local table is restricted to it, which is how inter-subtree rebalancing
+// decisions propagate down.
+//
+// The fold is sound in both directions. Its end is pinned at the last
+// known copy end, which never undershoots the parent's (the parent's end
+// only shrinks, and every shrink this sub-farmer has seen is reflected
+// here), so the parent's stale-copy carve — the farmer-restart repair —
+// never misfires on a live subtree. Its beginning is the minimum beginning
+// over the local table: everything below it was reported consumed by fleet
+// workers, so the parent crediting [old A, frontier) as explored is exact.
+func (s *SubFarmer) foldUpLocked(now int64) {
+	if !s.bound || s.upBusy {
+		return
+	}
+	s.pushBestUpLocked()
+	// tableLive is a snapshot: the fleet keeps updating while the RPC is
+	// in flight, so the table may drain before the reply lands. The drop
+	// branches below stay correct either way (restricting an already
+	// empty table is a no-op).
+	tableLive := s.inner.FrontierInto(s.scrFront)
+	if !tableLive {
+		// Empty local table folds to the empty interval [B, B): the
+		// parent retires the copy, completing this sub-range.
+		s.upIV.BInto(s.scrFront)
+	}
+	fold := interval.New(s.scrFront, s.upIV.BInto(s.scrB))
+	ec, pc, lc := s.innerStatsLocked()
+	s.counters.UpstreamUpdates++
+	req := transport.UpdateRequest{
+		Worker:        s.cfg.ID,
+		IntervalID:    s.upID,
+		Remaining:     fold,
+		Power:         s.fleetPowerLocked(now),
+		ExploredDelta: ec - s.sentExplored,
+		PrunedDelta:   pc - s.sentPruned,
+		LeavesDelta:   lc - s.sentLeaves,
+	}
+	var (
+		reply transport.UpdateReply
+		err   error
+	)
+	s.upCall(func(up transport.Coordinator) {
+		reply, err = up.UpdateInterval(req)
+	})
+	if err != nil {
+		s.counters.UpstreamLost++
+		return
+	}
+	s.sentExplored, s.sentPruned, s.sentLeaves = ec, pc, lc
+	s.sinceMsgs = 0
+	s.lastFoldNanos = now
+	s.adoptUpstreamBestLocked(reply.BestCost)
+	if s.finished = s.finished || reply.Finished; s.finished {
+		// Global termination: whatever remains locally is duplicated
+		// residue of ground another subtree already proved (the root's
+		// union is empty, so every leaf is accounted for). Drop it so
+		// the fleet stops instead of re-proving it.
+		s.bound = false
+		if tableLive {
+			s.inner.RestrictTo(interval.Interval{})
+		}
+		return
+	}
+	if !reply.Known {
+		// The parent no longer tracks the binding. For an empty table
+		// that is just the retire racing a completed copy; for a live
+		// one it means the lease expired during an outage and the
+		// range lives on under other owners — keeping the table would
+		// duplicate their work leaf for leaf, so drop it and rejoin
+		// through the refill path.
+		s.bound = false
+		if tableLive {
+			s.inner.RestrictTo(interval.Interval{})
+			s.counters.DroppedTables++
+		}
+		return
+	}
+	if reply.Interval.IsEmpty() {
+		// The copy emptied: the normal case is our own retire fold
+		// ([B,B) on a drained table); with a live table it means the
+		// parent already saw everything we still plan consumed under
+		// other owners — duplicated residue, dropped like above.
+		s.bound = false
+		if tableLive {
+			s.inner.RestrictTo(interval.Interval{})
+			s.counters.DroppedTables++
+		}
+		return
+	}
+	// Restrict the local table to the authoritative copy when it
+	// actually cuts something: a tail donated to another subtree, or —
+	// after a restart from checkpoint — ground below the frontier the
+	// previous incarnation had already reported consumed.
+	if reply.Interval.CmpA(s.scrFront) > 0 || reply.Interval.CmpB(s.scrB) < 0 {
+		s.inner.RestrictTo(reply.Interval)
+		s.counters.Restricts++
+	}
+	s.upIV = reply.Interval.Clone()
+}
+
+// refillLocked handles the dry-table moment: fold the (empty) table up so
+// the parent retires the finished copy, then request a fresh sub-range
+// with the fleet's aggregate power. Reports whether the local table is
+// ready for another allocation attempt.
+func (s *SubFarmer) refillLocked(now int64) bool {
+	if s.upBusy {
+		// Another worker's message is already mid-exchange with the
+		// parent; this one waits its turn (WorkWait → retry).
+		return false
+	}
+	if s.bound {
+		s.foldUpLocked(now)
+		if s.bound {
+			// The retire fold was lost in transit; the next cadence
+			// retries it. Do not stack a second upstream exchange on
+			// this fleet message.
+			return false
+		}
+	}
+	if s.finished {
+		return false
+	}
+	s.counters.UpstreamRequests++
+	req := transport.WorkRequest{
+		Worker: s.cfg.ID,
+		Power:  s.fleetPowerLocked(now),
+	}
+	var (
+		reply transport.WorkReply
+		err   error
+	)
+	s.upCall(func(up transport.Coordinator) {
+		reply, err = up.RequestWork(req)
+	})
+	if err != nil {
+		s.counters.UpstreamLost++
+		return false
+	}
+	s.adoptUpstreamBestLocked(reply.BestCost)
+	switch reply.Status {
+	case transport.WorkFinished:
+		s.finished = true
+		return false
+	case transport.WorkAssigned:
+		if reply.Interval.IsEmpty() {
+			// A crumb split can donate the empty interval; hand it
+			// straight back so the parent retires it.
+			s.bound, s.upID, s.upIV = true, reply.IntervalID, reply.Interval.Clone()
+			s.foldUpLocked(now)
+			return false
+		}
+		s.bound, s.upID, s.upIV = true, reply.IntervalID, reply.Interval.Clone()
+		s.inner.Inject(reply.Interval)
+		s.sinceMsgs = 0
+		s.lastFoldNanos = now
+		s.counters.Refills++
+		return true
+	default:
+		return false
+	}
+}
+
+// pushBestUpLocked ships the local best upstream if the parent has not
+// seen it yet, and adopts the parent's verdict. Lost pushes retry on the
+// next upstream exchange because bestSentUp only moves on success, and a
+// push that finds the token taken skips for the same reason.
+func (s *SubFarmer) pushBestUpLocked() {
+	if s.upBusy {
+		return
+	}
+	best := s.inner.Best()
+	if best.Cost >= s.bestSentUp {
+		return
+	}
+	s.counters.UpstreamReports++
+	req := transport.SolutionReport{
+		Worker: s.cfg.ID,
+		Cost:   best.Cost,
+		Path:   best.Path,
+	}
+	var (
+		ack transport.SolutionAck
+		err error
+	)
+	s.upCall(func(up transport.Coordinator) {
+		ack, err = up.ReportSolution(req)
+	})
+	if err != nil {
+		s.counters.UpstreamLost++
+		return
+	}
+	if best.Cost < s.bestSentUp {
+		s.bestSentUp = best.Cost
+	}
+	s.adoptUpstreamBestLocked(ack.BestCost)
+}
+
+// adoptUpstreamBestLocked folds a cost learned from the parent into the
+// local SOLUTION (rule 3 of solution sharing, composed down the tree). A
+// cost the parent already has never needs re-sending.
+func (s *SubFarmer) adoptUpstreamBestLocked(cost int64) {
+	if cost < s.bestSentUp {
+		s.bestSentUp = cost
+	}
+	s.inner.AdoptBest(cost)
+}
+
+// innerStatsLocked reads the fleet's cumulative exploration counters from
+// the embedded farmer.
+func (s *SubFarmer) innerStatsLocked() (explored, pruned, leaves int64) {
+	c := s.inner.Counters()
+	return c.ExploredNodes, c.PrunedNodes, c.EvaluatedLeaves
+}
+
+var _ transport.Coordinator = (*SubFarmer)(nil)

@@ -1,0 +1,102 @@
+// The 2-level farmer tree (DESIGN.md §9): a root farmer whose "workers"
+// are sub-farmers, each serving its own fleet over the unchanged protocol.
+// Tree is the in-process wiring used by gridbb.Solve, the grid simulator
+// and the benchmarks; multi-process deployments wire the same pieces over
+// TCP with cmd/farmer (root) and cmd/subfarmer (mid tier) instead.
+package farmer
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/bb"
+	"repro/internal/checkpoint"
+	"repro/internal/interval"
+	"repro/internal/transport"
+)
+
+// TreeConfig parameterizes a 2-level farmer tree.
+type TreeConfig struct {
+	// Subtrees is the number of sub-farmers. Minimum 1 (a degenerate
+	// tree, useful mainly in tests).
+	Subtrees int
+	// SubUpdateEvery and SubUpdatePeriod set the sub→root fold cadences
+	// (see SubConfig).
+	SubUpdateEvery  int64
+	SubUpdatePeriod time.Duration
+	// FleetTTL is the sub-farmers' fleet power TTL.
+	FleetTTL time.Duration
+	// Clock is shared by the root and every sub-farmer. Default wall
+	// clock.
+	Clock func() int64
+	// RootOptions configure the root farmer; InnerOptions every
+	// sub-farmer's embedded farmer. The clock is appended automatically.
+	RootOptions, InnerOptions []Option
+	// StoreFor, when set, supplies each sub-farmer's checkpoint store.
+	StoreFor func(i int) *checkpoint.Store
+	// Upstream, when set, wraps the root as seen by the sub-farmers —
+	// the hook the chaos harness uses to interpose fault injection and
+	// conformance tracking on the coordinator-to-coordinator legs.
+	// Default: the sub-farmers call the root directly.
+	Upstream func(root *Farmer) transport.Coordinator
+}
+
+// Tree is a root farmer plus its sub-farmers.
+type Tree struct {
+	Root *Farmer
+	Subs []*SubFarmer
+}
+
+// NewTree builds the tree over the root interval. Sub-farmers start with
+// empty tables; the first fleet request on each pulls its first sub-range
+// from the root, and from then on the root only arbitrates inter-subtree
+// rebalancing — its per-request cost depends on the subtree count, never
+// on the fleet size.
+func NewTree(root interval.Interval, cfg TreeConfig) *Tree {
+	if cfg.Subtrees < 1 {
+		cfg.Subtrees = 1
+	}
+	rootOpts := append([]Option{}, cfg.RootOptions...)
+	if cfg.Clock != nil {
+		rootOpts = append(rootOpts, WithClock(cfg.Clock))
+	}
+	t := &Tree{Root: New(root, rootOpts...)}
+	var up transport.Coordinator = t.Root
+	if cfg.Upstream != nil {
+		up = cfg.Upstream(t.Root)
+	}
+	for i := 0; i < cfg.Subtrees; i++ {
+		sc := SubConfig{
+			ID:           transport.WorkerID(fmt.Sprintf("sub-%d", i)),
+			UpdateEvery:  cfg.SubUpdateEvery,
+			UpdatePeriod: cfg.SubUpdatePeriod,
+			FleetTTL:     cfg.FleetTTL,
+			Clock:        cfg.Clock,
+			InnerOptions: cfg.InnerOptions,
+		}
+		if cfg.StoreFor != nil {
+			sc.Store = cfg.StoreFor(i)
+		}
+		t.Subs = append(t.Subs, NewSubFarmer(sc, up))
+	}
+	return t
+}
+
+// Sub returns the i-th sub-farmer's fleet-facing coordinator; workers are
+// attached round-robin (or by domain) across subs.
+func (t *Tree) Sub(i int) *SubFarmer { return t.Subs[i%len(t.Subs)] }
+
+// Pulse drives every sub-farmer's time-based upstream cadence once.
+func (t *Tree) Pulse() {
+	for _, s := range t.Subs {
+		s.Pulse()
+	}
+}
+
+// Done reports global termination: the root's INTERVALS is empty (§4.3,
+// unchanged — sub-farmer tables drain into their root copies first).
+func (t *Tree) Done() bool { return t.Root.Done() }
+
+// Best returns the root SOLUTION — cost and leaf path, since improvements
+// are pushed up with their paths.
+func (t *Tree) Best() bb.Solution { return t.Root.Best() }

@@ -65,3 +65,66 @@ func TestMassiveGridScenario(t *testing.T) {
 		res.Table2.FarmerExploitation*100, res.Table2.WorkerExploitation*100,
 		res.Table2.WorkAllocations, res.Table2.RedundantRate*100)
 }
+
+// TestMassiveTreeGridScenario is the order-of-magnitude step past the
+// indexed farmer: the Table 1 pool topped up to 10,000 processors, run
+// twice at equal load — once under the flat single farmer, once under a
+// 2-level tree of 8 sub-farmers. Both must prove the optimum; the
+// comparison pins the PR's coordination claim: the tree's root serves only
+// sub-farmer folds and refills, so its exploitation rate must land far
+// below the flat farmer's, which at 10k workers and ~40× the paper's
+// per-wall-second message pressure is pushed toward saturation. (The flat
+// run is the control — the claim is relative, at identical pool, seed,
+// availability and calibration.)
+func TestMassiveTreeGridScenario(t *testing.T) {
+	if raceEnabled {
+		t.Skip("single-threaded simulator at 10k scale: nothing for the race detector, minutes of instrumented bignum arithmetic (see race_on_test.go)")
+	}
+	ins := flowshop.Taillard(13, 10, 3) // ~285k sequential nodes
+	factory := func() bb.Problem {
+		return flowshop.NewProblem(ins, flowshop.BoundOneMachine, flowshop.PairsAll)
+	}
+	seq, _ := bb.Solve(factory(), bb.Infinity)
+
+	run := func(subtrees int) Result {
+		t.Helper()
+		cfg := MassiveTreeScenario(1, 285_000, 1.5, 10_000, subtrees)
+		cfg.InitialUpper = seq.Cost + 1 // run-2 protocol: primed one above the optimum
+		cfg.MaxTicks = 30_000
+		res, err := New(cfg, factory).Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Finished {
+			t.Fatalf("subtrees=%d: did not finish in %d ticks", subtrees, res.Ticks)
+		}
+		if res.Best.Cost != seq.Cost {
+			t.Fatalf("subtrees=%d: proved %d, sequential optimum is %d", subtrees, res.Best.Cost, seq.Cost)
+		}
+		return res
+	}
+
+	tree := run(8)
+	flat := run(0)
+
+	if tree.Table2.MaxWorkers < 6000 {
+		t.Errorf("tree peak concurrency %d, want ≥ 6000 (the scenario exists for 10k-fleet scale)", tree.Table2.MaxWorkers)
+	}
+	if tree.Table2.FarmerExploitation >= flat.Table2.FarmerExploitation {
+		t.Errorf("tree root exploitation %.2f%% not below the flat farmer's %.2f%% at equal load",
+			tree.Table2.FarmerExploitation*100, flat.Table2.FarmerExploitation*100)
+	}
+	if tree.Table2.FarmerExploitation >= 0.05 {
+		t.Errorf("tree root exploitation %.2f%%, want < 5%% — the root must be almost idle at 10k workers",
+			tree.Table2.FarmerExploitation*100)
+	}
+	if tree.Table2.WorkerExploitation <= 0.90 {
+		t.Errorf("tree worker exploitation %.1f%%, want > 90%%", tree.Table2.WorkerExploitation*100)
+	}
+	t.Logf("tree: ticks=%d maxW=%d avgW=%.0f root=%.3f%% worker=%.2f%% redundant=%.2f%%",
+		tree.Ticks, tree.Table2.MaxWorkers, tree.Table2.AvgWorkers,
+		tree.Table2.FarmerExploitation*100, tree.Table2.WorkerExploitation*100, tree.Table2.RedundantRate*100)
+	t.Logf("flat: ticks=%d maxW=%d avgW=%.0f farmer=%.3f%% worker=%.2f%% redundant=%.2f%%",
+		flat.Ticks, flat.Table2.MaxWorkers, flat.Table2.AvgWorkers,
+		flat.Table2.FarmerExploitation*100, flat.Table2.WorkerExploitation*100, flat.Table2.RedundantRate*100)
+}

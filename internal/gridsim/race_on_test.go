@@ -1,0 +1,12 @@
+//go:build race
+
+package gridsim
+
+// raceEnabled reports that this binary was built with -race; the
+// 10k-processor flat-vs-tree comparison skips itself there (the simulator
+// is single-threaded — one goroutine driving every session — so the race
+// detector has nothing to check and only multiplies a ~minute of
+// instrumented big.Int arithmetic; the concurrent tree paths are
+// race-covered by gridbb.TestSolveTreeCoordination and the harness
+// scenarios).
+const raceEnabled = true

@@ -49,6 +49,42 @@ func MassiveScenario(seed int64, expectedNodes int64, wallDays float64) Config {
 	}
 }
 
+// MassiveTreeScenario returns the 10k-processor hierarchical-farmer
+// configuration (DESIGN.md §9): the paper's Table 1 pool topped up to
+// `workers` processors under the compressed Figure 7 availability model,
+// coordinated by a 2-level tree of `subtrees` sub-farmers. It exists to
+// measure the coordination claim one order of magnitude past the indexed
+// flat farmer: at 10k workers the flat coordinator's per-wall-second
+// message pressure pushes its exploitation rate toward saturation, while
+// the tree's root serves only sub-farmer folds and refills — per-request
+// cost flat in the subtree count, aggregate coordination throughput scaling
+// with the number of sub-farmers. Pass subtrees = 0 for the flat control at
+// the same load.
+func MassiveTreeScenario(seed int64, expectedNodes int64, wallDays float64, workers, subtrees int) Config {
+	m := AvailabilityModel{
+		BaseFraction: 0.2, Amplitude: 0.6, NoiseFraction: 0.08,
+		NoisePeriodSeconds: 60, DaySeconds: 1200, CrashShare: 0.25,
+		RampSeconds: 60, PhaseJitterRadians: 0.3, HostLoadFraction: 0.025,
+	}
+	pool := MassivePool(workers)
+	return Config{
+		Pool:                pool,
+		Availability:        m,
+		Seed:                seed,
+		TickSeconds:         1,
+		UpdatePeriodSeconds: 180,
+		LeaseTTLSeconds:     360,
+		Subtrees:            subtrees,
+		// Sub-farmers fold up every virtual minute: rebalancing
+		// decisions (tail donations, drops) propagate within a fold, so
+		// a faster cadence shortens the duplicated-work window at a
+		// cost of 3 messages per sub-farmer-minute at the root — noise
+		// against the fleet's tens of thousands.
+		SubUpdatePeriodSeconds: 60,
+		NodesPerGHzPerSecond:   CalibrateRate(pool, m, expectedNodes, wallDays*1200),
+	}
+}
+
 // FastScenario returns a compressed configuration — a 60-processor pool,
 // 20-minute "days", 1-second ticks — that reproduces the qualitative
 // Table 2 / Figure 7 shape in a few real seconds. expectedNodes calibrates

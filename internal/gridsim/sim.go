@@ -64,6 +64,17 @@ type Config struct {
 	CheckpointDir string
 	// EqualSplit disables power-proportional partitioning (ablation).
 	EqualSplit bool
+	// Subtrees ≥ 2 coordinates the pool through a 2-level farmer tree
+	// (DESIGN.md §9): hosts attach to sub-farmers round-robin by slot,
+	// each sub-farmer aggregates its fleet into one fold and one power,
+	// and the root only arbitrates inter-subtree rebalancing. Result
+	// counters and the farmer-exploitation rate are the ROOT's — the
+	// per-message pressure the tree removes from the single coordinator
+	// is exactly what the massive-tree scenario measures.
+	Subtrees int
+	// SubUpdatePeriodSeconds is the sub→root fold cadence. Default:
+	// UpdatePeriodSeconds (the same cadence a worker checkpoints at).
+	SubUpdatePeriodSeconds float64
 }
 
 func (c *Config) fillDefaults() {
@@ -187,8 +198,9 @@ type Sim struct {
 	rng     *rand.Rand
 
 	farmer  *farmer.Farmer
-	slots   []float64 // GHz per processor slot
-	cores   []int     // cores per processor slot (>= 1)
+	subs    []*farmer.SubFarmer // tree mode: mid-tier coordinators
+	slots   []float64           // GHz per processor slot
+	cores   []int               // cores per processor slot (>= 1)
 	domains []domainState
 	active  []*simWorker // per slot, nil = idle host
 
@@ -253,7 +265,36 @@ func New(cfg Config, factory func() bb.Problem) *Sim {
 		}
 	}
 	s.farmer = farmer.New(nb.RootRange(), fopts...)
+	if cfg.Subtrees >= 2 {
+		subPeriod := cfg.SubUpdatePeriodSeconds
+		if subPeriod <= 0 {
+			subPeriod = cfg.UpdatePeriodSeconds
+		}
+		for i := 0; i < cfg.Subtrees; i++ {
+			s.subs = append(s.subs, farmer.NewSubFarmer(farmer.SubConfig{
+				ID:           transport.WorkerID(fmt.Sprintf("sub-%d", i)),
+				UpdateEvery:  64,
+				UpdatePeriod: time.Duration(subPeriod * 1e9),
+				FleetTTL:     time.Duration(cfg.LeaseTTLSeconds * 1e9),
+				Clock:        func() int64 { return int64(s.nowSecs * 1e9) },
+				InnerOptions: []farmer.Option{
+					farmer.WithLeaseTTL(time.Duration(cfg.LeaseTTLSeconds * 1e9)),
+					farmer.WithThreshold(thr),
+					farmer.WithEqualSplit(cfg.EqualSplit),
+				},
+			}, s.farmer))
+		}
+	}
 	return s
+}
+
+// coordFor returns the coordinator a host on the slot pulls on: the root
+// farmer, or — under a tree — its slot's sub-farmer.
+func (s *Sim) coordFor(slot int) transport.Coordinator {
+	if len(s.subs) == 0 {
+		return s.farmer
+	}
+	return s.subs[slot%len(s.subs)]
 }
 
 // Farmer exposes the coordinator (e.g. for mid-run inspection in tests).
@@ -348,6 +389,11 @@ func (s *Sim) Run() (Result, error) {
 			w.pendingComm += float64(msgs-w.lastMsgs) * cfg.WorkerRTTSeconds
 			w.lastMsgs = msgs
 		}
+		// Tree mode: drive the sub→root fold cadence so quiet fleets
+		// keep their leases alive and rebalancing decisions propagate.
+		for _, sub := range s.subs {
+			sub.Pulse()
+		}
 		s.result.Trace = append(s.result.Trace, TracePoint{TimeSeconds: s.nowSecs, Active: activeCount})
 		sumActive += int64(activeCount)
 		if activeCount > s.result.Table2.MaxWorkers {
@@ -364,6 +410,11 @@ func (s *Sim) Run() (Result, error) {
 			s.result.Finished = true
 			break
 		}
+	}
+	// Final pulse round: sub-farmers flush straggler statistics so the
+	// root counters in the result cover the whole tree.
+	for _, sub := range s.subs {
+		sub.Pulse()
 	}
 	s.finalize(sumActive)
 	return s.result, nil
@@ -465,7 +516,7 @@ func (s *Sim) join(slot int) {
 		Power:             power,
 		UpdatePeriodNodes: updateNodes,
 		Cores:             cores,
-	}, s.farmer, s.factory)
+	}, s.coordFor(slot), s.factory)
 	s.active[slot] = &simWorker{id: id, session: sess, rate: rate, lastUpdateSecs: s.nowSecs}
 	s.result.Joins++
 }

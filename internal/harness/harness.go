@@ -84,6 +84,19 @@ type Scenario struct {
 	// Dir, when set, hosts the checkpoint store; empty uses a private
 	// temporary directory removed at the end of the run.
 	Dir string
+	// Subtrees ≥ 2 runs the scenario as a 2-level farmer tree (tree.go):
+	// workers attach to sub-farmers round-robin, sub-farmers speak the
+	// unchanged protocol to the root, and the conformance layer audits
+	// both tiers. FarmerRestarts is not supported in tree mode.
+	Subtrees int
+	// SubUpdateEvery is the sub→root fold cadence in fleet messages
+	// (tree mode). Default 4.
+	SubUpdateEvery int64
+	// SubRestarts schedules sub-farmer crashes (tree mode): the
+	// sub-farmer on Sub dies at Tick and is restored from its own
+	// checkpoint store, binding file included, while its fleet keeps
+	// hammering the same endpoint.
+	SubRestarts []SubRestart
 }
 
 func (s *Scenario) fillDefaults() {
@@ -121,8 +134,11 @@ type Report struct {
 	// Ticks is the virtual duration; Finished whether INTERVALS emptied.
 	Ticks    int
 	Finished bool
-	// Fault bookkeeping.
+	// Fault bookkeeping. In tree mode Restarts counts sub-farmer
+	// restarts and Refills the sub-ranges pulled from the root (the
+	// first fill of each subtree plus every inter-subtree rebalance).
 	Drops, Duplicates, Kills, Rejoins, Restarts, Checkpoints int
+	Refills                                                  int64
 	// OverlapUnits is the re-covered leaf measure; ReworkBudget what the
 	// fault events justify.
 	OverlapUnits, ReworkBudget *big.Int
@@ -166,6 +182,9 @@ func (g *grid) tracef(format string, args ...any) {
 // up as violations, not errors).
 func Run(sc Scenario) (Report, error) {
 	sc.fillDefaults()
+	if sc.Subtrees >= 2 {
+		return runTree(sc)
+	}
 	rep := Report{Name: sc.Name, OverlapUnits: new(big.Int), ReworkBudget: new(big.Int)}
 
 	dir := sc.Dir

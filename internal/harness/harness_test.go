@@ -131,6 +131,26 @@ func TestScenariosExerciseTheirFaults(t *testing.T) {
 		t.Errorf("packed-grid: only %d allocations across 16 workers", packed.Counters.WorkAllocations)
 	}
 
+	tree, err := Run(TreeChurn())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.Restarts != len(TreeChurn().SubRestarts) {
+		t.Errorf("tree-churn: %d sub restarts, scheduled %d", tree.Restarts, len(TreeChurn().SubRestarts))
+	}
+	if tree.Kills == 0 || tree.Rejoins == 0 {
+		t.Errorf("tree-churn: kills=%d rejoins=%d — fault schedule never fired", tree.Kills, tree.Rejoins)
+	}
+	if tree.Drops == 0 {
+		t.Errorf("tree-churn: drops=%d — reply chaos never fired", tree.Drops)
+	}
+	if tree.Refills < int64(TreeChurn().Subtrees) {
+		t.Errorf("tree-churn: only %d refills across %d subtrees — the tree never spread work", tree.Refills, TreeChurn().Subtrees)
+	}
+	if tree.Checkpoints == 0 {
+		t.Errorf("tree-churn: no checkpoints written — the sub restarts restored nothing")
+	}
+
 	quiet, err := Run(QuietGrid())
 	if err != nil {
 		t.Fatal(err)

@@ -150,6 +150,42 @@ func PackedGrid() Scenario {
 	}
 }
 
+// TreeChurn is the hierarchical-farmer story (DESIGN.md §9) under the
+// §4.1 failure model, on a flowshop instance (~60k sequential nodes): six
+// workers spread over three sub-farmers, replies dropping on both the
+// worker and the coordinator-to-coordinator legs, workers crashing without
+// goodbye and rejoining, and two sub-farmers crashing mid-resolution and
+// restoring from their own two-file snapshots plus binding file — the root
+// sees only a lease blip. Conformance is audited at both tiers (the root's
+// §5 invariants and the sub-tier growth laws of tree.go), and the double
+// run must stay byte-identical.
+func TreeChurn() Scenario {
+	ins := flowshop.Taillard(12, 5, 31)
+	return Scenario{
+		Name: "tree-churn",
+		Seed: 8,
+		Factory: func() bb.Problem {
+			return flowshop.NewProblem(ins, flowshop.BoundOneMachine, flowshop.PairsAll)
+		},
+		Workers:           6,
+		Subtrees:          3,
+		SubUpdateEvery:    4,
+		UpdatePeriodNodes: 256,
+		TickBudget:        256,
+		LeaseTTLTicks:     3,
+		CheckpointEvery:   3,
+		DropReplyPct:      6,
+		Kills: []KillEvent{
+			{Tick: 4, Slot: 1, RejoinAfter: 3},
+			{Tick: 9, Slot: 4, RejoinAfter: 4},
+		},
+		SubRestarts: []SubRestart{
+			{Tick: 5, Sub: 1},
+			{Tick: 10, Sub: 0},
+		},
+	}
+}
+
 // PartitionedRing is the p2p future-work story (§6) under a network
 // partition on a QAP instance (~13k sequential nodes): the ring is cut in
 // half from the very first sweep — while peers 2 and 3 are still starved,
@@ -173,5 +209,5 @@ func PartitionedRing() RingScenario {
 
 // GridScenarios returns the farmer-based scenario matrix.
 func GridScenarios() []Scenario {
-	return []Scenario{QuietGrid(), ChurnyGrid(), FarmerFailover(), MulticoreChurn(), PackedGrid()}
+	return []Scenario{QuietGrid(), ChurnyGrid(), FarmerFailover(), MulticoreChurn(), PackedGrid(), TreeChurn()}
 }

@@ -1,0 +1,503 @@
+// The hierarchical-farmer chaos runner: the tree analog of harness.go's
+// flat grid. A scenario with Subtrees ≥ 2 composes the real root farmer,
+// real sub-farmers (each with its own checkpoint store) and real worker
+// sessions into a 2-level tree, injects seeded faults on both the
+// worker↔sub-farmer and sub-farmer↔root legs, crashes and restores
+// sub-farmers from their snapshots, and audits the paper's interval
+// algebra at both tiers:
+//
+//   - root tier: the unchanged conformance tracker — allocation conserves
+//     the root union, folds only shrink it and the removals are covered
+//     work, termination covers the root range exactly (§5 invariants);
+//   - sub tier (per sub-farmer): INTERVALS entries stay pairwise
+//     disjoint; fleet messages never grow the local table except at a
+//     refill, and refill growth must be ground the root simultaneously
+//     tracks (work enters a subtree only from the tier above, never from
+//     thin air); a restore must reproduce the last local snapshot.
+//
+// Mid-run a lagging subtree may legitimately cover ground the root
+// already saw consumed elsewhere — the duplicated-interval semantics
+// under lazy propagation — which is why sub-tier coverage is audited
+// through growth/shrink deltas rather than naive containment.
+package harness
+
+import (
+	"errors"
+	"fmt"
+	"math/big"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/bb"
+	"repro/internal/checkpoint"
+	"repro/internal/core"
+	"repro/internal/farmer"
+	"repro/internal/interval"
+	"repro/internal/transport"
+	"repro/internal/worker"
+)
+
+// SubRestart schedules a sub-farmer crash-and-restore at Tick.
+type SubRestart struct {
+	Tick, Sub int
+}
+
+// subTracker is the sub-tier conformance layer: a Coordinator middleware
+// between a sub-farmer's fleet (behind the chaos interceptor) and the
+// sub-farmer itself.
+type subTracker struct {
+	g    *treeGrid
+	name string
+	sub  *farmer.SubFarmer
+	// lastCkpt is the local INTERVALS content at the last sub snapshot;
+	// a restore must reproduce it exactly (§4.1 at this tier).
+	lastCkpt *interval.Set
+}
+
+func newSubTracker(g *treeGrid, name string, sub *farmer.SubFarmer) *subTracker {
+	return &subTracker{g: g, name: name, sub: sub, lastCkpt: interval.NewSet()}
+}
+
+// union reads the sub-farmer's table, checking pairwise disjointness.
+func (t *subTracker) union() *interval.Set {
+	s := interval.NewSet()
+	for _, rec := range t.sub.IntervalsSnapshot() {
+		if ov := s.Add(rec.Interval); ov.Sign() != 0 {
+			t.g.violatef("%s: INTERVALS entries overlap at id %d by %s units", t.name, rec.ID, ov)
+		}
+	}
+	return s
+}
+
+// audit wraps one fleet-facing delivery with the sub-tier growth law: the
+// local table may only grow during a refill, and what it gains must be
+// ground the root tracks at that same moment.
+func (t *subTracker) audit(op string, call func() error) error {
+	before := t.union()
+	refillsBefore := t.sub.Counters().Refills
+	err := call()
+	after := t.union()
+	if grown := interval.SetDiff(after, before); !grown.IsEmpty() {
+		if t.sub.Counters().Refills == refillsBefore {
+			t.g.violatef("%s: %s grew the local table by %s without a refill", t.name, op, grown)
+		} else if stray := interval.SetDiff(grown, t.g.rootTrack.union()); !stray.IsEmpty() {
+			t.g.violatef("%s: refill gained %s that the root does not track", t.name, stray)
+		}
+	}
+	return err
+}
+
+func (t *subTracker) RequestWork(req transport.WorkRequest) (reply transport.WorkReply, err error) {
+	err = t.audit("RequestWork", func() (e error) {
+		reply, e = t.sub.RequestWork(req)
+		return e
+	})
+	return reply, err
+}
+
+func (t *subTracker) UpdateInterval(req transport.UpdateRequest) (reply transport.UpdateReply, err error) {
+	err = t.audit("UpdateInterval", func() (e error) {
+		reply, e = t.sub.UpdateInterval(req)
+		return e
+	})
+	return reply, err
+}
+
+func (t *subTracker) ReportSolution(req transport.SolutionReport) (transport.SolutionAck, error) {
+	before := t.union()
+	ack, err := t.sub.ReportSolution(req)
+	if after := t.union(); !after.Equal(before) {
+		t.g.violatef("%s: ReportSolution changed the local table", t.name)
+	}
+	return ack, err
+}
+
+// noteCheckpoint records the table content saved by the sub snapshot.
+func (t *subTracker) noteCheckpoint() { t.lastCkpt = t.union() }
+
+// noteRestart points the tracker at the restored incarnation and audits
+// the §4.1 restore at this tier: the local table must be exactly the last
+// snapshot (the binding may lag — that is the parent's lease story).
+func (t *subTracker) noteRestart(sub *farmer.SubFarmer) {
+	t.sub = sub
+	if restored := t.union(); !restored.Equal(t.lastCkpt) {
+		t.g.violatef("%s: restore disagrees with last checkpoint: %s != %s", t.name, restored, t.lastCkpt)
+	}
+}
+
+var _ transport.Coordinator = (*subTracker)(nil)
+
+// treeGrid is the running state of one tree scenario.
+type treeGrid struct {
+	sc      Scenario
+	rng     *rand.Rand
+	tick    int
+	nowNano int64
+
+	nb        *core.Numbering
+	root      *farmer.Farmer
+	rootTrack *tracker
+	subs      []*farmer.SubFarmer
+	subTracks []*subTracker
+	subChaos  []*transport.Interceptor
+	upChaos   *transport.Interceptor
+	subStores []*checkpoint.Store
+
+	slots   []*slot
+	trace   []string
+	report  *Report
+	crashed map[transport.WorkerID]bool
+
+	violations []string
+}
+
+func (g *treeGrid) violatef(format string, args ...any) {
+	g.violations = append(g.violations, fmt.Sprintf(format, args...))
+}
+
+func (g *treeGrid) tracef(format string, args ...any) {
+	g.trace = append(g.trace, fmt.Sprintf("t=%04d ", g.tick)+fmt.Sprintf(format, args...))
+}
+
+func (sc *Scenario) fillTreeDefaults() {
+	if sc.SubUpdateEvery <= 0 {
+		sc.SubUpdateEvery = 4
+	}
+}
+
+// runTree executes a tree-mode scenario (dispatched from Run).
+func runTree(sc Scenario) (Report, error) {
+	sc.fillTreeDefaults()
+	rep := Report{Name: sc.Name, OverlapUnits: new(big.Int), ReworkBudget: new(big.Int)}
+	if len(sc.FarmerRestarts) > 0 {
+		return rep, fmt.Errorf("harness: FarmerRestarts is not supported in tree mode (root restarts compose with sub restarts in a later PR)")
+	}
+
+	dir := sc.Dir
+	if dir == "" {
+		d, err := os.MkdirTemp("", "harness-tree-*")
+		if err != nil {
+			return rep, err
+		}
+		defer os.RemoveAll(d)
+		dir = d
+	}
+
+	baseProb := sc.Factory()
+	rep.Baseline, _ = bb.Solve(baseProb, sc.InitialUpper)
+
+	nb := core.NewNumbering(baseProb.Shape())
+	root := nb.RootRange()
+	g := &treeGrid{
+		sc:      sc,
+		rng:     rand.New(rand.NewSource(sc.Seed)),
+		nb:      nb,
+		report:  &rep,
+		crashed: make(map[transport.WorkerID]bool),
+	}
+
+	// Root tier: farmer + classic tracker + chaos on the sub→root legs.
+	rootStore, err := checkpoint.NewStore(filepath.Join(dir, "root"))
+	if err != nil {
+		return rep, err
+	}
+	rootOpts := []farmer.Option{
+		farmer.WithClock(func() int64 { return g.nowNano }),
+		farmer.WithLeaseTTL(time.Duration(sc.LeaseTTLTicks) * time.Second),
+		farmer.WithCheckpointStore(rootStore),
+	}
+	if sc.InitialUpper < bb.Infinity {
+		rootOpts = append(rootOpts, farmer.WithInitialBest(sc.InitialUpper, nil))
+	}
+	g.root = farmer.New(root, rootOpts...)
+	g.rootTrack = newTracker(root)
+	g.rootTrack.attach(g.root)
+	g.upChaos = transport.NewInterceptor(g.rootTrack, transport.Hooks{
+		Fault: func(op transport.Op, w transport.WorkerID) transport.Fault {
+			return g.decideFault(op)
+		},
+		Observe: func(op transport.Op, w transport.WorkerID, fault transport.Fault, err error) {
+			g.observe("up", op, w, fault)
+		},
+	})
+
+	// Sub tier: sub-farmers + per-sub trackers + chaos on the worker legs.
+	for i := 0; i < sc.Subtrees; i++ {
+		store, err := checkpoint.NewStore(filepath.Join(dir, fmt.Sprintf("sub-%d", i)))
+		if err != nil {
+			return rep, err
+		}
+		g.subStores = append(g.subStores, store)
+		sub := farmer.NewSubFarmer(g.subCfg(i), g.upChaos)
+		g.subs = append(g.subs, sub)
+		g.subTracks = append(g.subTracks, newSubTracker(g, fmt.Sprintf("sub-%d", i), sub))
+		g.subChaos = append(g.subChaos, transport.NewInterceptor(g.subTracks[i], transport.Hooks{
+			Fault: func(op transport.Op, w transport.WorkerID) transport.Fault {
+				return g.decideFault(op)
+			},
+			Observe: func(op transport.Op, w transport.WorkerID, fault transport.Fault, err error) {
+				g.observe("w", op, w, fault)
+			},
+		}))
+	}
+
+	for i := 0; i < sc.Workers; i++ {
+		g.slots = append(g.slots, &slot{rejoinAt: -1})
+		g.join(i)
+	}
+
+	if err := g.loop(); err != nil {
+		return rep, err
+	}
+
+	// Termination folds: pulse every subtree past its period so each one
+	// reconciles and learns the verdict. A few rounds, because the chaos
+	// layer may drop a fold's reply — the retry-on-next-cadence rule is
+	// exactly the protocol's answer to that.
+	for round := 0; round < 4; round++ {
+		g.nowNano += int64(time.Minute)
+		for _, sub := range g.subs {
+			sub.Pulse()
+		}
+	}
+	for i, sub := range g.subs {
+		if card, totalLen := sub.Inner().Size(); card != 0 {
+			g.violatef("sub-%d: %d intervals (%s units) left after the termination folds", i, card, totalLen)
+		}
+	}
+	g.rootTrack.noteTermination()
+	if !rep.Finished {
+		g.violatef("scenario did not terminate within %d ticks", sc.MaxTicks)
+	}
+	for _, sub := range g.subs {
+		rep.Refills += sub.Counters().Refills
+	}
+	rep.Best = g.root.Best()
+	g.checkOptimality()
+	rep.Counters = g.root.Counters()
+	rep.Trace = g.trace
+	rep.Violations = append(g.rootTrack.violations, g.violations...)
+	rep.OverlapUnits.Set(g.rootTrack.overlap)
+	rep.ReworkBudget.Set(g.rootTrack.reworkBudget)
+	return rep, nil
+}
+
+// subCfg builds the (restart-stable) configuration of sub-farmer i.
+func (g *treeGrid) subCfg(i int) farmer.SubConfig {
+	return farmer.SubConfig{
+		ID:           transport.WorkerID(fmt.Sprintf("sub-%d", i)),
+		UpdateEvery:  g.sc.SubUpdateEvery,
+		UpdatePeriod: time.Second, // one virtual tick
+		FleetTTL:     time.Duration(g.sc.LeaseTTLTicks) * time.Second,
+		Clock:        func() int64 { return g.nowNano },
+		Store:        g.subStores[i],
+		InnerOptions: []farmer.Option{
+			farmer.WithLeaseTTL(time.Duration(g.sc.LeaseTTLTicks) * time.Second),
+		},
+	}
+}
+
+// loop is the virtual-time event loop (the tree twin of grid.loop).
+func (g *treeGrid) loop() error {
+	sc := &g.sc
+	for tick := 0; tick < sc.MaxTicks; tick++ {
+		g.tick = tick
+		g.nowNano = int64(tick) * int64(time.Second)
+
+		for _, r := range sc.SubRestarts {
+			if r.Tick == tick {
+				if err := g.restartSub(r.Sub); err != nil {
+					return err
+				}
+			}
+		}
+		if sc.CheckpointEvery > 0 && tick > 0 && tick%sc.CheckpointEvery == 0 {
+			if err := g.root.Checkpoint(); err != nil {
+				return err
+			}
+			g.rootTrack.noteCheckpoint()
+			for i, sub := range g.subs {
+				if err := sub.Checkpoint(); err != nil {
+					return err
+				}
+				g.subTracks[i].noteCheckpoint()
+			}
+			g.report.Checkpoints++
+			g.tracef("ckpt n=%d", g.report.Checkpoints)
+		}
+		for _, k := range sc.Kills {
+			if k.Tick == tick {
+				rejoin := -1
+				if k.RejoinAfter > 0 {
+					rejoin = tick + k.RejoinAfter
+				}
+				g.kill(k.Slot, rejoin, "scheduled")
+			}
+		}
+		for i, sl := range g.slots {
+			if sl.sess == nil && sl.rejoinAt == tick {
+				g.join(i)
+			}
+		}
+
+		for _, si := range g.rng.Perm(len(g.slots)) {
+			sl := g.slots[si]
+			if sl.sess == nil || sl.finished {
+				continue
+			}
+			budget := sc.TickBudget/2 + g.rng.Int63n(sc.TickBudget)
+			n, finished, err := sl.sess.Advance(budget)
+			g.tracef("adv w=%s n=%d fin=%v", sl.id, n, finished)
+			if err != nil {
+				if !errors.Is(err, transport.ErrLost) {
+					return fmt.Errorf("harness: worker %s: %w", sl.id, err)
+				}
+				// Same lost-message policy as the flat grid: only a
+				// lost solution report kills the worker process.
+				if g.crashed[sl.id] {
+					delete(g.crashed, sl.id)
+					g.kill(si, tick+sc.LeaseTTLTicks+1, "lost-report")
+				}
+				continue
+			}
+			if finished {
+				sl.finished = true
+			}
+		}
+
+		for _, sub := range g.subs {
+			sub.Pulse()
+		}
+
+		if g.root.Done() {
+			g.report.Finished = true
+			g.report.Ticks = tick + 1
+			g.tracef("done best=%d", g.root.Best().Cost)
+			return nil
+		}
+	}
+	g.report.Ticks = g.sc.MaxTicks
+	return nil
+}
+
+// join seats a fresh session on the slot, attached to its subtree's
+// endpoint (slot i → sub i mod Subtrees).
+func (g *treeGrid) join(i int) {
+	sl := g.slots[i]
+	sl.gen++
+	sl.id = transport.WorkerID(fmt.Sprintf("s%d-g%d", i, sl.gen))
+	sl.sess = worker.NewShardedSession(worker.Config{
+		ID:                sl.id,
+		Power:             (1 + int64(i)) * int64(max(g.sc.Cores, 1)), // heterogeneous by construction, scaled by cores
+		UpdatePeriodNodes: g.sc.UpdatePeriodNodes,
+		Cores:             g.sc.Cores,
+	}, g.subChaos[i%len(g.subChaos)], g.sc.Factory)
+	sl.rejoinAt = -1
+	sl.finished = false
+	if sl.gen > 1 {
+		g.report.Rejoins++
+	}
+	g.tracef("join slot=%d sub=%d w=%s", i, i%len(g.subChaos), sl.id)
+}
+
+// kill crashes the slot's session with the flat grid's bounded-rework
+// audit.
+func (g *treeGrid) kill(i, rejoinAt int, why string) {
+	sl := g.slots[i]
+	if sl.sess == nil {
+		g.tracef("kill-skipped slot=%d why=%s", i, why)
+		if rejoinAt >= 0 && (sl.rejoinAt < 0 || rejoinAt < sl.rejoinAt) {
+			sl.rejoinAt = rejoinAt
+		}
+		return
+	}
+	unreported := sl.sess.Stats().Explored - sl.sess.Reported().Explored
+	if unreported > g.sc.UpdatePeriodNodes {
+		g.violatef("worker %s died with %d unreported nodes, more than the %d-node checkpoint period",
+			sl.id, unreported, g.sc.UpdatePeriodNodes)
+	}
+	g.tracef("kill slot=%d w=%s why=%s unreported=%d", i, sl.id, why, unreported)
+	delete(g.crashed, sl.id)
+	sl.sess = nil
+	sl.rejoinAt = rejoinAt
+	g.report.Kills++
+}
+
+// restartSub crashes sub-farmer i and restores it from its own store —
+// the §4.1 mechanics replayed one tier up. The fleet keeps its endpoint
+// (the chaos interceptor and tracker), exactly like real workers keep the
+// address of a restarted coordinator.
+func (g *treeGrid) restartSub(i int) error {
+	sub, err := farmer.RestoreSubFarmer(g.subCfg(i), g.upChaos)
+	if err != nil {
+		return err
+	}
+	g.subs[i] = sub
+	g.subTracks[i].noteRestart(sub)
+	g.report.Restarts++
+	g.tracef("sub-restart sub=%d n=%d", i, g.report.Restarts)
+	return nil
+}
+
+// decideFault is the seeded chaos policy, shared by both legs: one draw
+// per message, in delivery order, so traces reproduce byte for byte.
+func (g *treeGrid) decideFault(op transport.Op) transport.Fault {
+	sc := &g.sc
+	total := sc.DropRequestPct + sc.DropReplyPct + sc.DuplicatePct
+	if total == 0 {
+		return transport.FaultNone
+	}
+	r := g.rng.Intn(100)
+	switch {
+	case r < sc.DropRequestPct:
+		return transport.FaultDropRequest
+	case r < sc.DropRequestPct+sc.DropReplyPct:
+		return transport.FaultDropReply
+	case r < total:
+		return transport.FaultDuplicate
+	default:
+		return transport.FaultNone
+	}
+}
+
+// observe logs every faulted message, earmarking lost worker solution
+// reports for the crash-on-lost-report policy. Sub-farmers shrug lost
+// upstream messages off by design (bestSentUp only advances on success),
+// so the policy applies to the worker legs only.
+func (g *treeGrid) observe(leg string, op transport.Op, w transport.WorkerID, fault transport.Fault) {
+	if fault == transport.FaultNone {
+		return
+	}
+	g.tracef("msg leg=%s %s w=%s fault=%s", leg, op, w, fault)
+	switch fault {
+	case transport.FaultDropRequest, transport.FaultDropReply:
+		g.report.Drops++
+		if leg == "w" && op == transport.OpReportSolution {
+			g.crashed[w] = true
+		}
+	case transport.FaultDuplicate:
+		g.report.Duplicates++
+	}
+}
+
+// checkOptimality holds the root incumbent to the sequential baseline.
+func (g *treeGrid) checkOptimality() {
+	best, base := g.report.Best, g.report.Baseline
+	if best.Cost != base.Cost {
+		g.violatef("incumbent %d != sequential baseline %d", best.Cost, base.Cost)
+		return
+	}
+	if !best.Valid() {
+		if base.Valid() {
+			g.violatef("baseline found a solution but the tree has none at the root")
+		}
+		return
+	}
+	if cost, err := evalPath(g.sc.Factory(), best.Path); err != nil {
+		g.violatef("incumbent path invalid: %v", err)
+	} else if cost != best.Cost {
+		g.violatef("incumbent path evaluates to %d, claimed %d", cost, best.Cost)
+	}
+}

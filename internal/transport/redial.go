@@ -1,0 +1,150 @@
+package transport
+
+import (
+	"math/rand"
+	"net/rpc"
+	"sync"
+	"time"
+)
+
+// Backoff computes full-jitter exponential delays: each step draws from
+// [cur/2, 3·cur/2) and doubles cur up to Max. It is the shared schedule of
+// every reconnect path (cmd/worker's process restarts, the Redial
+// coordinator below), so fleets restarted together spread their rejoins
+// instead of stampeding the coordinator.
+type Backoff struct {
+	// Base is the first step (default 1s); Max caps the exponential
+	// growth (default 1 minute).
+	Base, Max time.Duration
+	// Rng drives the jitter; nil seeds from the wall clock (two workers
+	// must never share a schedule).
+	Rng *rand.Rand
+
+	cur time.Duration
+}
+
+func (b *Backoff) init() {
+	if b.Base <= 0 {
+		b.Base = time.Second
+	}
+	if b.Max <= 0 {
+		b.Max = time.Minute
+	}
+	if b.Rng == nil {
+		b.Rng = rand.New(rand.NewSource(time.Now().UnixNano()))
+	}
+	if b.cur == 0 {
+		b.cur = b.Base
+	}
+}
+
+// Next returns the next jittered delay and advances the schedule.
+func (b *Backoff) Next() time.Duration {
+	b.init()
+	d := b.cur/2 + time.Duration(b.Rng.Int63n(int64(b.cur)))
+	if b.cur < b.Max {
+		b.cur *= 2
+	}
+	return d
+}
+
+// Reset rewinds the schedule to Base — call it after a success, so a
+// long-lived process that survives many incidents starts each one fresh.
+func (b *Backoff) Reset() { b.cur = 0 }
+
+// Redial is a Coordinator over TCP that dials lazily and re-dials after a
+// transport failure, with jittered backoff pacing between attempts. It
+// exists for long-lived mid-tier processes (cmd/subfarmer): a plain Client
+// is permanently dead after one connection loss, but a sub-farmer must
+// survive root restarts for the lifetime of a resolution. Server-side
+// errors (the coordinator rejecting a request) keep the connection;
+// connection-level errors drop it, and the next call re-dials — callers
+// like the SubFarmer already treat any upstream error as "lost, retry on
+// the next cadence", which is exactly the pacing the backoff enforces.
+type Redial struct {
+	mu      sync.Mutex
+	addr    string
+	client  *Client
+	backoff Backoff
+	nextTry time.Time
+	lastErr error
+}
+
+// NewRedial returns a reconnecting coordinator for addr. No connection is
+// attempted until the first call.
+func NewRedial(addr string) *Redial { return &Redial{addr: addr} }
+
+// call runs one exchange, (re)dialing as needed. While the backoff window
+// of a failed dial is open, calls fail fast with the last error instead of
+// hammering a dead address.
+func (r *Redial) call(f func(*Client) error) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.client == nil {
+		if time.Now().Before(r.nextTry) {
+			return r.lastErr
+		}
+		c, err := Dial(r.addr)
+		if err != nil {
+			r.lastErr = err
+			r.nextTry = time.Now().Add(r.backoff.Next())
+			return err
+		}
+		r.client = c
+		r.backoff.Reset()
+	}
+	err := f(r.client)
+	if err == nil {
+		return nil
+	}
+	if _, serverSide := err.(rpc.ServerError); !serverSide {
+		// Transport-level failure: the net/rpc client is unusable from
+		// here on. Drop it; the next call past the backoff re-dials.
+		r.client.Close()
+		r.client = nil
+		r.lastErr = err
+		r.nextTry = time.Now().Add(r.backoff.Next())
+	}
+	return err
+}
+
+// RequestWork implements Coordinator.
+func (r *Redial) RequestWork(req WorkRequest) (reply WorkReply, err error) {
+	err = r.call(func(c *Client) (e error) {
+		reply, e = c.RequestWork(req)
+		return e
+	})
+	return reply, err
+}
+
+// UpdateInterval implements Coordinator.
+func (r *Redial) UpdateInterval(req UpdateRequest) (reply UpdateReply, err error) {
+	err = r.call(func(c *Client) (e error) {
+		reply, e = c.UpdateInterval(req)
+		return e
+	})
+	return reply, err
+}
+
+// ReportSolution implements Coordinator.
+func (r *Redial) ReportSolution(req SolutionReport) (reply SolutionAck, err error) {
+	err = r.call(func(c *Client) (e error) {
+		reply, e = c.ReportSolution(req)
+		return e
+	})
+	return reply, err
+}
+
+// Close tears down the current connection, if any.
+func (r *Redial) Close() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.client == nil {
+		return nil
+	}
+	err := r.client.Close()
+	r.client = nil
+	return err
+}
+
+var _ Coordinator = (*Redial)(nil)
