@@ -5,13 +5,13 @@
 GO      ?= go
 BENCH_OUT ?= bench.json
 
-.PHONY: all build vet test race bench bench-hot bench-smoke bench-tree check docs-check
+.PHONY: all build vet test race bench bench-hot bench-smoke bench-tree bench-transport fuzz-smoke check docs-check
 
 all: vet build test
 
 # The full local gate: everything CI runs, in one target. go vet is the
 # de-flake guard — it must stay both here and in CI.
-check: vet build test race bench-smoke docs-check
+check: vet build test race fuzz-smoke bench-smoke docs-check
 
 # The docs gate (CI runs it as its own job): the README must exist —
 # doc.go points at it — and the tree must be gofmt-clean and vet-clean so
@@ -51,6 +51,18 @@ bench-hot:
 # serialize and only the root-flatness rows are meaningful (BENCH_pr5.json).
 bench-tree:
 	$(GO) test -run '^$$' -bench BenchmarkFarmerTreeThroughput -benchmem -benchtime 1s -count 2 .
+
+# The hardening overhead record (DESIGN.md §10): raw vs hardened transport
+# over loopback. Acceptance gate: hardened within 5% of raw (BENCH_pr6.json).
+bench-transport:
+	$(GO) test -run '^$$' -bench BenchmarkHardenedCallOverhead -benchmem -benchtime 1s -count 5 .
+
+# The coordinator-boundary fuzzer, briefly: the corpus seeds plus a few
+# seconds of fresh mutation on every gate run, so the hostile-peer
+# invariants (no panic, INTERVALS stays a partition fragment, rejections
+# are counted) cannot silently rot between dedicated fuzzing sessions.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz '^FuzzCoordinatorBoundary$$' -fuzztime 10s ./internal/farmer
 
 # Every benchmark exactly once: not a measurement, a compile-and-run guard
 # so bench_test.go cannot bit-rot between perf PRs. CI runs this on every

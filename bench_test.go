@@ -34,6 +34,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/bb"
 	"repro/internal/core"
@@ -386,6 +387,58 @@ func BenchmarkFarmerTreeThroughput(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkHardenedCallOverhead prices the hostile-WAN hardening
+// (DESIGN.md §10) on the wire path it taxes: one UpdateInterval round over
+// loopback TCP. The raw leg is the unhardened seed configuration (no
+// deadlines, no size windows, no connection cap); the hardened leg enables
+// the always-on defenses — server read deadlines, the per-message byte
+// window on both ends, the connection cap, and a client per-call deadline
+// (which switches the client from Call to Go + timer). TLS is deliberately
+// excluded: it is an opt-in identity mode with its own well-known cost,
+// not part of the default hardening tax. Acceptance gate (BENCH_pr6.json):
+// hardened ns/op within 5% of raw.
+func BenchmarkHardenedCallOverhead(b *testing.B) {
+	nb := ta056Numbering()
+	run := func(b *testing.B, so transport.ServerOptions, do transport.DialOptions) {
+		f := farmer.New(nb.RootRange(), farmer.WithClock(func() int64 { return 0 }))
+		srv, err := transport.ServeWith(f, "127.0.0.1:0", so)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer srv.Close()
+		cli, err := transport.DialWith(srv.Addr(), do)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer cli.Close()
+		reply, err := cli.RequestWork(transport.WorkRequest{Worker: "bench", Power: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Checkpoint the unchanged assignment each round: the steady-state
+		// worker heartbeat, dominated by wire cost rather than table churn.
+		req := transport.UpdateRequest{
+			Worker: "bench", IntervalID: reply.IntervalID,
+			Remaining: reply.Interval, Power: 1, ExploredDelta: 1,
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := cli.UpdateInterval(req); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("raw", func(b *testing.B) {
+		run(b, transport.ServerOptions{MaxMessageBytes: -1}, transport.DialOptions{MaxMessageBytes: -1})
+	})
+	b.Run("hardened", func(b *testing.B) {
+		run(b,
+			transport.ServerOptions{ReadTimeout: 30 * time.Second, MaxConns: 64},
+			transport.DialOptions{Policy: transport.Policy{Timeout: 30 * time.Second}})
+	})
 }
 
 // BenchmarkTable1PoolBuild builds and validates the paper's pool (Figure 6

@@ -36,6 +36,15 @@ func main() {
 		leaseTTL = flag.Int("lease-ttl", 300, "seconds of silence before a worker is presumed dead")
 		useNEH   = flag.Bool("neh", true, "prime SOLUTION with the NEH heuristic")
 		statusIv = flag.Int("status-period", 10, "seconds between status lines")
+
+		// Hostile-WAN hardening (DESIGN.md §10).
+		readTimeout = flag.Int("read-timeout", 300, "seconds a connection may stay silent before eviction (0: no deadline)")
+		maxConns    = flag.Int("max-conns", 0, "max simultaneous connections, evicting the most idle at the cap (0: unlimited)")
+		maxMsg      = flag.Int64("max-msg-bytes", transport.DefaultMaxMessageBytes, "per-message byte limit (negative: unlimited)")
+		tlsCert     = flag.String("tls-cert", "", "server certificate PEM (with -tls-key enables TLS)")
+		tlsKey      = flag.String("tls-key", "", "server key PEM")
+		tlsClientCA = flag.String("tls-client-ca", "", "require client certificates signed by this CA (certificate auth mode)")
+		authToken   = flag.String("auth-token", "", "shared token workers must present (token auth mode)")
 	)
 	flag.Parse()
 
@@ -79,7 +88,19 @@ func main() {
 		log.Printf("resumed from checkpoint: %d intervals, %s numbers left", card, size)
 	}
 
-	srv, err := transport.Serve(f, *addr)
+	so := transport.ServerOptions{
+		ReadTimeout:     time.Duration(*readTimeout) * time.Second,
+		MaxConns:        *maxConns,
+		MaxMessageBytes: *maxMsg,
+		Token:           *authToken,
+	}
+	if *tlsCert != "" || *tlsKey != "" {
+		if so.TLS, err = transport.LoadServerTLS(*tlsCert, *tlsKey, *tlsClientCA); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("TLS enabled (client CA: %v, token: %v)", *tlsClientCA != "", *authToken != "")
+	}
+	srv, err := transport.ServeWith(f, *addr, so)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -100,8 +121,10 @@ func main() {
 			card, size := f.Size()
 			best := f.Best()
 			c := f.Counters()
-			log.Printf("intervals=%d remaining=%s best=%s alloc=%d ckpt=%d nodes=%d",
-				card, size, costString(best.Cost), c.WorkAllocations, c.WorkerCheckpoints, c.ExploredNodes)
+			ss := srv.Stats()
+			log.Printf("intervals=%d remaining=%s best=%s alloc=%d ckpt=%d nodes=%d rejected=%d evicted=%d",
+				card, size, costString(best.Cost), c.WorkAllocations, c.WorkerCheckpoints, c.ExploredNodes,
+				c.RejectedIntervals+c.RejectedReports+c.RejectedPowers, ss.Evicted)
 			if f.Done() {
 				if err := f.Checkpoint(); err != nil {
 					log.Printf("final checkpoint failed: %v", err)

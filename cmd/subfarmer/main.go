@@ -44,6 +44,25 @@ func main() {
 		foldSecs = flag.Int("update-period", 30, "seconds between folds to the root (keep well under the root's lease TTL)")
 		leaseTTL = flag.Int("lease-ttl", 300, "seconds of silence before a fleet worker is presumed dead")
 		statusIv = flag.Int("status-period", 10, "seconds between status lines")
+
+		// Upstream hardening (DESIGN.md §10): deadline + in-call retries on
+		// the root leg, identity presented to the root.
+		callTimeout = flag.Int("call-timeout", 30, "seconds one root call may take before ErrDeadline (0: no deadline)")
+		callRetries = flag.Int("call-retries", 2, "in-call retries against the root before surfacing the error")
+		rootCA      = flag.String("root-tls-ca", "", "CA to verify the root farmer against (enables TLS upstream)")
+		rootCert    = flag.String("root-tls-cert", "", "client certificate PEM for the root (certificate auth mode)")
+		rootKey     = flag.String("root-tls-key", "", "client key PEM for the root")
+		rootName    = flag.String("root-tls-server-name", "", "expected root server name when it differs from -root's host")
+		rootToken   = flag.String("root-auth-token", "", "shared token to present to the root (token auth mode)")
+
+		// Fleet-side hardening: same listener knobs as cmd/farmer.
+		readTimeout = flag.Int("read-timeout", 300, "seconds a fleet connection may stay silent before eviction (0: no deadline)")
+		maxConns    = flag.Int("max-conns", 0, "max simultaneous fleet connections, evicting the most idle at the cap (0: unlimited)")
+		maxMsg      = flag.Int64("max-msg-bytes", transport.DefaultMaxMessageBytes, "per-message byte limit (negative: unlimited)")
+		tlsCert     = flag.String("tls-cert", "", "server certificate PEM for the fleet listener (with -tls-key enables TLS)")
+		tlsKey      = flag.String("tls-key", "", "server key PEM for the fleet listener")
+		tlsClientCA = flag.String("tls-client-ca", "", "require fleet client certificates signed by this CA")
+		authToken   = flag.String("auth-token", "", "shared token fleet workers must present")
 	)
 	flag.Parse()
 
@@ -64,7 +83,19 @@ func main() {
 	// retry later" — so a root outage degrades to a lease blip instead of
 	// permanently severing the subtree (a mid tier must never need a
 	// human to rejoin).
-	up := transport.NewRedial(*rootAddr)
+	upOpts := transport.DialOptions{
+		Policy: transport.Policy{
+			Timeout: time.Duration(*callTimeout) * time.Second,
+			Retries: *callRetries,
+		},
+		Token: *rootToken,
+	}
+	if *rootCA != "" || *rootCert != "" || *rootKey != "" {
+		if upOpts.TLS, err = transport.LoadClientTLS(*rootCA, *rootCert, *rootKey, *rootName); err != nil {
+			log.Fatal(err)
+		}
+	}
+	up := transport.NewRedialWith(*rootAddr, upOpts)
 	defer up.Close()
 
 	sub, err := farmer.RestoreSubFarmer(farmer.SubConfig{
@@ -85,7 +116,19 @@ func main() {
 		log.Printf("resumed from checkpoint: %d intervals, %s numbers left, bound=%v(root id %d)", card, size, bound, upID)
 	}
 
-	srv, err := transport.Serve(sub, *addr)
+	so := transport.ServerOptions{
+		ReadTimeout:     time.Duration(*readTimeout) * time.Second,
+		MaxConns:        *maxConns,
+		MaxMessageBytes: *maxMsg,
+		Token:           *authToken,
+	}
+	if *tlsCert != "" || *tlsKey != "" {
+		if so.TLS, err = transport.LoadServerTLS(*tlsCert, *tlsKey, *tlsClientCA); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("fleet TLS enabled (client CA: %v, token: %v)", *tlsClientCA != "", *authToken != "")
+	}
+	srv, err := transport.ServeWith(sub, *addr, so)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -109,8 +152,8 @@ func main() {
 		case <-status.C:
 			card, size := sub.Inner().Size()
 			c := sub.Counters()
-			log.Printf("intervals=%d remaining=%s refills=%d folds=%d lost=%d",
-				card, size, c.Refills, c.UpstreamUpdates, c.UpstreamLost)
+			log.Printf("intervals=%d remaining=%s refills=%d folds=%d lost=%d timeouts=%d",
+				card, size, c.Refills, c.UpstreamUpdates, c.UpstreamLost, c.UpstreamTimeouts)
 			if sub.Finished() {
 				if err := sub.Checkpoint(); err != nil {
 					log.Printf("final checkpoint failed: %v", err)

@@ -48,6 +48,14 @@ func main() {
 		update   = flag.Int64("update-nodes", 1<<16, "nodes between interval checkpoints")
 		name     = flag.String("name", "", "worker name prefix (default host-pid)")
 		retries  = flag.Int("max-retries", 10, "bounded reconnect attempts per process (progress resets the budget)")
+
+		// Hostile-WAN hardening (DESIGN.md §10).
+		callTimeout = flag.Int("call-timeout", 30, "seconds one protocol call may take before ErrDeadline (0: no deadline)")
+		tlsCA       = flag.String("tls-ca", "", "CA to verify the farmer against (enables TLS)")
+		tlsCert     = flag.String("tls-cert", "", "client certificate PEM (certificate auth mode)")
+		tlsKey      = flag.String("tls-key", "", "client key PEM")
+		tlsName     = flag.String("tls-server-name", "", "expected server name when it differs from -addr's host")
+		authToken   = flag.String("auth-token", "", "shared token to present to the farmer (token auth mode)")
 	)
 	flag.Parse()
 
@@ -83,6 +91,19 @@ func main() {
 		prefix = fmt.Sprintf("%s-%d", host, os.Getpid())
 	}
 
+	// Per-call deadline plus identity. Retries stay 0 at this layer: the
+	// per-process reconnect loop below is the retry mechanism, with its
+	// own jitter and budget.
+	dialOpts := gridbb.DialOptions{
+		Policy: gridbb.Policy{Timeout: time.Duration(*callTimeout) * time.Second},
+		Token:  *authToken,
+	}
+	if *tlsCA != "" || *tlsCert != "" || *tlsKey != "" {
+		if dialOpts.TLS, err = transport.LoadClientTLS(*tlsCA, *tlsCert, *tlsKey, *tlsName); err != nil {
+			log.Fatal(err)
+		}
+	}
+
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
@@ -112,7 +133,7 @@ func main() {
 			for {
 				// RunRemoteWorkerParallel degrades to the classic single
 				// explorer when cores is 1.
-				res, err := gridbb.RunRemoteWorkerParallel(ctx, *addr, cfg, func() gridbb.Problem {
+				res, err := gridbb.RunRemoteWorkerParallelWith(ctx, *addr, dialOpts, cfg, func() gridbb.Problem {
 					return flowshop.NewProblem(ins, kind, flowshop.PairsAll)
 				})
 				explored += res.Stats.Explored

@@ -320,13 +320,32 @@ func SolveP2P(factory func() Problem, opt P2POptions) (P2PResult, error) {
 	return p2p.Solve(factory, opt)
 }
 
+// ServerOptions hardens a served farmer against a hostile WAN: read
+// deadlines, connection caps, message-size limits, TLS and shared-token
+// worker authentication. See transport.ServerOptions.
+type ServerOptions = transport.ServerOptions
+
+// DialOptions hardens a remote worker's client leg: per-call deadlines and
+// retries (Policy), TLS, token. See transport.DialOptions.
+type DialOptions = transport.DialOptions
+
+// Policy is the per-call liveness discipline of the hardened transport:
+// Timeout bounds one protocol call, Retries and Backoff pace re-attempts.
+// See transport.Policy.
+type Policy = transport.Policy
+
 // ServeFarmer starts a TCP farmer for the problem's tree on addr and
 // returns the server and the coordinator. Use cmd/farmer for the packaged
 // binary.
 func ServeFarmer(p Problem, addr string, opts ...farmer.Option) (*transport.Server, *Farmer, error) {
+	return ServeFarmerWith(p, addr, ServerOptions{}, opts...)
+}
+
+// ServeFarmerWith is ServeFarmer with transport hardening options.
+func ServeFarmerWith(p Problem, addr string, so ServerOptions, opts ...farmer.Option) (*transport.Server, *Farmer, error) {
 	nb := core.NewNumbering(p.Shape())
 	f := farmer.New(nb.RootRange(), opts...)
-	srv, err := transport.Serve(f, addr)
+	srv, err := transport.ServeWith(f, addr, so)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -336,7 +355,13 @@ func ServeFarmer(p Problem, addr string, opts ...farmer.Option) (*transport.Serv
 // RunRemoteWorker connects to a TCP farmer and works until the resolution
 // finishes or the context is cancelled.
 func RunRemoteWorker(ctx context.Context, addr string, cfg WorkerConfig, p Problem) (worker.Result, error) {
-	client, err := transport.Dial(addr)
+	return RunRemoteWorkerWith(ctx, addr, DialOptions{}, cfg, p)
+}
+
+// RunRemoteWorkerWith is RunRemoteWorker with transport hardening options
+// (call deadlines, TLS, token).
+func RunRemoteWorkerWith(ctx context.Context, addr string, do DialOptions, cfg WorkerConfig, p Problem) (worker.Result, error) {
+	client, err := transport.DialWith(addr, do)
 	if err != nil {
 		return worker.Result{}, err
 	}
@@ -350,7 +375,13 @@ func RunRemoteWorker(ctx context.Context, addr string, cfg WorkerConfig, p Probl
 // single-worker protocol as RunRemoteWorker. factory must return a fresh
 // Problem per call.
 func RunRemoteWorkerParallel(ctx context.Context, addr string, cfg WorkerConfig, factory func() Problem) (worker.Result, error) {
-	client, err := transport.Dial(addr)
+	return RunRemoteWorkerParallelWith(ctx, addr, DialOptions{}, cfg, factory)
+}
+
+// RunRemoteWorkerParallelWith is RunRemoteWorkerParallel with transport
+// hardening options (call deadlines, TLS, token).
+func RunRemoteWorkerParallelWith(ctx context.Context, addr string, do DialOptions, cfg WorkerConfig, factory func() Problem) (worker.Result, error) {
+	client, err := transport.DialWith(addr, do)
 	if err != nil {
 		return worker.Result{}, err
 	}

@@ -1,0 +1,146 @@
+package farmer
+
+import (
+	"encoding/binary"
+	"math/big"
+	"testing"
+
+	"repro/internal/interval"
+	"repro/internal/transport"
+)
+
+// FuzzCoordinatorBoundary throws an adversarial message stream at a live
+// farmer: interleaved honest protocol rounds and hostile
+// WorkRequest/UpdateRequest/SolutionReport shapes — out-of-root and
+// reversed intervals, huge bignums, negative ids and deltas, oversize
+// paths and worker ids — all derived from the fuzz input. After every
+// message the INTERVALS table must still be a partition fragment (pairwise
+// disjoint, inside the root), the farmer must never panic, and the
+// provably hostile probes must land in the rejection counters.
+func FuzzCoordinatorBoundary(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 250, 251, 252, 253, 254, 255})
+	f.Add([]byte("hostile-peer-stream-aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa"))
+	f.Add(binary.BigEndian.AppendUint64(nil, 1<<63-1))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const rootEnd = 1_000_000_000
+		root := interval.FromInt64(0, rootEnd)
+		var now int64
+		fm := New(root, WithClock(func() int64 { now += 1e6; return now }))
+
+		// next pulls bytes off the stream; exhausted input yields zeros,
+		// so every prefix is a valid (if quiet) scenario.
+		pos := 0
+		next := func() byte {
+			if pos >= len(data) {
+				return 0
+			}
+			b := data[pos]
+			pos++
+			return b
+		}
+		nextInt64 := func() int64 {
+			var v uint64
+			for i := 0; i < 8; i++ {
+				v = v<<8 | uint64(next())
+			}
+			return int64(v)
+		}
+
+		// Interval ids observed from honest assignments: hostile updates
+		// reuse them half the time, so the deep paths (intersection,
+		// stale-tail carve, re-admission) stay reachable.
+		var ids []int64
+		knownBad := 0
+
+		checkInvariant := func() {
+			t.Helper()
+			set := interval.NewSet()
+			for _, rec := range fm.IntervalsSnapshot() {
+				if rec.Interval.IsEmpty() {
+					continue
+				}
+				if !root.ContainsInterval(rec.Interval) {
+					t.Fatalf("tracked interval %v escaped the root", rec.Interval)
+				}
+				if ov := set.Add(rec.Interval); ov.Sign() != 0 {
+					t.Fatalf("tracked intervals overlap by %s units", ov)
+				}
+			}
+		}
+
+		steps := 64
+		for s := 0; s < steps; s++ {
+			op := next() % 8
+			switch op {
+			case 0, 1: // honest request
+				r, err := fm.RequestWork(transport.WorkRequest{
+					Worker: transport.WorkerID([]byte{'h', next() % 4}),
+					Power:  1 + int64(next()%16),
+				})
+				if err == nil && r.Status == transport.WorkAssigned {
+					ids = append(ids, r.IntervalID)
+				}
+			case 2, 3: // hostile-ish update
+				id := nextInt64()
+				if len(ids) > 0 && next()%2 == 0 {
+					id = ids[int(next())%len(ids)]
+				}
+				lo, hi := nextInt64()%(2*rootEnd), nextInt64()%(2*rootEnd)
+				rem := interval.New(big.NewInt(lo), big.NewInt(hi))
+				if next()%8 == 0 {
+					// A megabyte bignum bound: always rejected.
+					rem = interval.New(big.NewInt(0), new(big.Int).Lsh(big.NewInt(1), MaxIntervalBits+1))
+					knownBad++
+				} else if lo >= 0 && lo < hi && hi > rootEnd {
+					knownBad++ // non-empty, end beyond the root: always rejected
+				}
+				fm.UpdateInterval(transport.UpdateRequest{
+					Worker:        transport.WorkerID([]byte{'h', next() % 4}),
+					IntervalID:    id,
+					Remaining:     rem,
+					Power:         nextInt64() % 100,
+					ExploredDelta: int64(next()),
+				})
+			case 4: // hostile report
+				path := make([]int, int(next())%8)
+				for i := range path {
+					path[i] = int(int8(next()))
+				}
+				if next()%4 == 0 {
+					path = make([]int, MaxPathLen+1)
+					knownBad++
+				}
+				fm.ReportSolution(transport.SolutionReport{
+					Worker: transport.WorkerID([]byte{'r', next() % 4}),
+					Cost:   nextInt64(),
+					Path:   path,
+				})
+			case 5: // negative-delta update: always rejected
+				fm.UpdateInterval(transport.UpdateRequest{
+					Worker:        "neg",
+					IntervalID:    nextInt64(),
+					ExploredDelta: -1 - int64(next()),
+				})
+				knownBad++
+			case 6: // oversize worker id: always rejected
+				long := make([]byte, MaxWorkerIDBytes+1+int(next()))
+				fm.RequestWork(transport.WorkRequest{Worker: transport.WorkerID(long), Power: 1})
+				knownBad++
+			case 7: // hostile request power
+				fm.RequestWork(transport.WorkRequest{
+					Worker: transport.WorkerID([]byte{'p', next() % 4}),
+					Power:  -nextInt64(),
+				})
+			}
+			checkInvariant()
+		}
+
+		c := fm.Counters()
+		rejected := c.RejectedIntervals + c.RejectedReports + c.OversizeMessages
+		if knownBad > 0 && rejected == 0 {
+			t.Fatalf("%d provably hostile probes sent, rejection counters never advanced", knownBad)
+		}
+	})
+}

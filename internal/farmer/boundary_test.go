@@ -1,0 +1,217 @@
+package farmer
+
+import (
+	"math/big"
+	"strings"
+	"testing"
+
+	"repro/internal/checkpoint"
+	"repro/internal/interval"
+	"repro/internal/transport"
+)
+
+// TestBoundaryValidation pins the coordinator-boundary message validation
+// (boundary.go): hostile shapes are rejected-and-counted and mutate
+// nothing; the legitimate shapes the protocol depends on — empty folds,
+// stale-id stat flushes — keep passing.
+func TestBoundaryValidation(t *testing.T) {
+	newFarmer := func() *Farmer {
+		return New(interval.FromInt64(0, 1_000_000), WithClock(func() int64 { return 0 }))
+	}
+	assign := func(t *testing.T, f *Farmer, w transport.WorkerID) transport.WorkReply {
+		t.Helper()
+		r, err := f.RequestWork(transport.WorkRequest{Worker: w, Power: 10})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+
+	t.Run("update rejects out-of-root intervals", func(t *testing.T) {
+		f := newFarmer()
+		r := assign(t, f, "w")
+		for _, rem := range []interval.Interval{
+			interval.FromInt64(500_000, 2_000_000),                     // end beyond root
+			interval.FromInt64(-5, 10),                                 // negative beginning
+			interval.New(big.NewInt(1_000_001), big.NewInt(1_000_002)), // fully outside
+		} {
+			if _, err := f.UpdateInterval(transport.UpdateRequest{
+				Worker: "w", IntervalID: r.IntervalID, Remaining: rem, Power: 10,
+			}); err == nil {
+				t.Errorf("out-of-root remaining %v accepted", rem)
+			}
+		}
+		c := f.Counters()
+		if c.RejectedIntervals != 3 {
+			t.Errorf("RejectedIntervals = %d, want 3", c.RejectedIntervals)
+		}
+		if c.WorkerCheckpoints != 0 {
+			t.Errorf("rejected updates still counted %d checkpoints", c.WorkerCheckpoints)
+		}
+		// The tracked copy must be untouched: a legitimate update still
+		// sees the full assignment.
+		up, err := f.UpdateInterval(transport.UpdateRequest{
+			Worker: "w", IntervalID: r.IntervalID, Remaining: r.Interval, Power: 10,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !up.Known || !up.Interval.Equal(r.Interval) {
+			t.Errorf("tracked copy corrupted by rejected updates: %v", up.Interval)
+		}
+	})
+
+	t.Run("update rejects oversize bignums without comparing them", func(t *testing.T) {
+		f := newFarmer()
+		r := assign(t, f, "w")
+		huge := new(big.Int).Lsh(big.NewInt(1), MaxIntervalBits+1)
+		if _, err := f.UpdateInterval(transport.UpdateRequest{
+			Worker: "w", IntervalID: r.IntervalID,
+			Remaining: interval.New(big.NewInt(0), huge), Power: 10,
+		}); err == nil {
+			t.Fatal("oversize bignum interval accepted")
+		}
+		c := f.Counters()
+		if c.RejectedIntervals != 1 || c.OversizeMessages != 1 {
+			t.Errorf("RejectedIntervals = %d, OversizeMessages = %d, want 1, 1",
+				c.RejectedIntervals, c.OversizeMessages)
+		}
+	})
+
+	t.Run("update rejects negative progress deltas", func(t *testing.T) {
+		f := newFarmer()
+		r := assign(t, f, "w")
+		if _, err := f.UpdateInterval(transport.UpdateRequest{
+			Worker: "w", IntervalID: r.IntervalID, Remaining: r.Interval,
+			Power: 10, ExploredDelta: -1_000_000,
+		}); err == nil {
+			t.Fatal("negative delta accepted")
+		}
+		if c := f.Counters(); c.ExploredNodes != 0 || c.RejectedIntervals != 1 {
+			t.Errorf("ExploredNodes = %d, RejectedIntervals = %d after a negative delta",
+				c.ExploredNodes, c.RejectedIntervals)
+		}
+	})
+
+	t.Run("oversize worker ids rejected on all three ops", func(t *testing.T) {
+		f := newFarmer()
+		long := transport.WorkerID(strings.Repeat("x", MaxWorkerIDBytes+1))
+		if _, err := f.RequestWork(transport.WorkRequest{Worker: long, Power: 1}); err == nil {
+			t.Error("oversize id accepted by RequestWork")
+		}
+		if _, err := f.UpdateInterval(transport.UpdateRequest{Worker: long}); err == nil {
+			t.Error("oversize id accepted by UpdateInterval")
+		}
+		if _, err := f.ReportSolution(transport.SolutionReport{Worker: long, Cost: 1}); err == nil {
+			t.Error("oversize id accepted by ReportSolution")
+		}
+		if c := f.Counters().OversizeMessages; c != 3 {
+			t.Errorf("OversizeMessages = %d, want 3", c)
+		}
+	})
+
+	t.Run("report rejects hostile paths", func(t *testing.T) {
+		f := newFarmer()
+		if _, err := f.ReportSolution(transport.SolutionReport{
+			Worker: "w", Cost: 1, Path: make([]int, MaxPathLen+1),
+		}); err == nil {
+			t.Error("oversize path accepted")
+		}
+		if _, err := f.ReportSolution(transport.SolutionReport{
+			Worker: "w", Cost: 1, Path: []int{3, -1, 2},
+		}); err == nil {
+			t.Error("negative rank accepted")
+		}
+		c := f.Counters()
+		if c.RejectedReports != 2 {
+			t.Errorf("RejectedReports = %d, want 2", c.RejectedReports)
+		}
+		if c.SolutionImprovements != 0 {
+			t.Error("a rejected report improved SOLUTION")
+		}
+		if f.Best().Cost == 1 {
+			t.Error("hostile cost stored as SOLUTION")
+		}
+	})
+
+	t.Run("empty folds and stale-id flushes keep passing", func(t *testing.T) {
+		f := newFarmer()
+		r := assign(t, f, "w")
+		// The "I finished" checkpoint: empty remaining at the end bound.
+		up, err := f.UpdateInterval(transport.UpdateRequest{
+			Worker: "w", IntervalID: r.IntervalID,
+			Remaining: interval.New(r.Interval.B(), r.Interval.B()), Power: 10,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !up.Finished {
+			t.Error("finishing fold did not finish the resolution")
+		}
+		// A sub-farmer stat flush after its binding died: zero-value
+		// interval, stale id. Must be answered Known=false, not rejected.
+		up, err = f.UpdateInterval(transport.UpdateRequest{
+			Worker: "sub-0", IntervalID: 999, ExploredDelta: 42,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if up.Known {
+			t.Error("stale id reported as known")
+		}
+		if c := f.Counters(); c.RejectedIntervals != 0 || c.ExploredNodes != 42 {
+			t.Errorf("stat flush mishandled: RejectedIntervals=%d ExploredNodes=%d",
+				c.RejectedIntervals, c.ExploredNodes)
+		}
+	})
+
+	t.Run("rootless farmer applies structural checks only", func(t *testing.T) {
+		// A sub-farmer's inner table is created over an empty root and
+		// grows by upstream grants: it cannot know a root range, but it
+		// still rejects negative beginnings and oversize bignums.
+		f := New(interval.Interval{}, WithClock(func() int64 { return 0 }))
+		f.Inject(interval.FromInt64(0, 1000))
+		r, err := f.RequestWork(transport.WorkRequest{Worker: "w", Power: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.UpdateInterval(transport.UpdateRequest{
+			Worker: "w", IntervalID: r.IntervalID,
+			Remaining: interval.FromInt64(-1, 500), Power: 1,
+		}); err == nil {
+			t.Error("negative beginning accepted by rootless farmer")
+		}
+		if _, err := f.UpdateInterval(transport.UpdateRequest{
+			Worker: "w", IntervalID: r.IntervalID,
+			Remaining: interval.FromInt64(200, 500), Power: 1,
+		}); err != nil {
+			t.Errorf("in-range update rejected by rootless farmer: %v", err)
+		}
+	})
+
+	t.Run("restored farmer keeps the boundary", func(t *testing.T) {
+		root := interval.FromInt64(0, 1_000_000)
+		store, err := checkpoint.NewStore(t.TempDir())
+		if err != nil {
+			t.Fatal(err)
+		}
+		f := New(root, WithClock(func() int64 { return 0 }), WithCheckpointStore(store))
+		r := assign(t, f, "w")
+		if err := f.Checkpoint(); err != nil {
+			t.Fatal(err)
+		}
+		f2, err := Restore(root, store, WithClock(func() int64 { return 0 }))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f2.UpdateInterval(transport.UpdateRequest{
+			Worker: "w", IntervalID: r.IntervalID,
+			Remaining: interval.FromInt64(0, 2_000_000), Power: 10,
+		}); err == nil {
+			t.Error("restored farmer accepted an out-of-root interval")
+		}
+		if c := f2.Counters().RejectedIntervals; c != 1 {
+			t.Errorf("RejectedIntervals = %d after restore, want 1", c)
+		}
+	})
+}

@@ -65,6 +65,19 @@ type Counters struct {
 	// would skew the proportional partitioning operator for the whole
 	// grid.
 	RejectedPowers, IgnoredPowers, ClampedPowers int64
+	// RejectedIntervals counts UpdateInterval requests refused at the
+	// boundary (out-of-root or oversize intervals, negative progress
+	// deltas, oversize worker ids); RejectedReports counts ReportSolution
+	// requests refused there (oversize or negative-rank paths, oversize
+	// worker ids). Rejected messages mutate nothing beyond these
+	// counters.
+	RejectedIntervals, RejectedReports int64
+	// OversizeMessages counts boundary rejections whose cause was a size
+	// bound specifically (interval bit length, path length, worker id
+	// length) — the fields gob decodes at attacker-chosen sizes within
+	// the transport's whole-message byte budget. It overlaps the two
+	// rejection counters above: an oversize update charges both.
+	OversizeMessages int64
 }
 
 // RedundancyStats measures duplicated work in leaf-number units, the
@@ -171,6 +184,12 @@ type Farmer struct {
 	front      frontierHeap
 	trackFront bool
 
+	// rootLo/rootHi are the root range the boundary pins inbound
+	// intervals inside (boundary.go). Nil when the farmer was created
+	// over an empty root (a sub-farmer's inner table, which grows by
+	// upstream grants): then only structural checks apply.
+	rootLo, rootHi *big.Int
+
 	counters   Counters
 	redundancy RedundancyStats
 
@@ -263,6 +282,7 @@ func New(root interval.Interval, opts ...Option) *Farmer {
 	}
 	f.redundancy = RedundancyStats{ConsumedUnits: new(big.Int), RedundantUnits: new(big.Int)}
 	if !root.IsEmpty() {
+		f.rootLo, f.rootHi = root.A(), root.B()
 		f.addTracked(root)
 	}
 	return f
@@ -282,6 +302,12 @@ func Restore(root interval.Interval, store *checkpoint.Store, opts ...Option) (*
 	f := New(interval.Interval{}, opts...)
 	f.mu.Lock()
 	defer f.mu.Unlock()
+	if !root.IsEmpty() {
+		// The restored table must honour the same boundary as a fresh
+		// one: the root range is a property of the instance, not of the
+		// snapshot.
+		f.rootLo, f.rootHi = root.A(), root.B()
+	}
 	// A fresh epoch: every id allocated by this incarnation is distinct
 	// from every id any previous incarnation ever issued, including the
 	// ones issued after the snapshot (which the snapshot cannot know).
@@ -427,6 +453,9 @@ func (f *Farmer) RequestWork(req transport.WorkRequest) (transport.WorkReply, er
 	now := f.clock()
 	defer f.accountBusy(now)
 	f.counters.WorkRequests++
+	if reason := f.vetWorkerLocked(req.Worker); reason != "" {
+		return transport.WorkReply{}, fmt.Errorf("farmer: rejected request from %q: %s", truncID(req.Worker), reason)
+	}
 	f.expireLocked(now)
 	f.cleanLocked()
 	if len(f.intervals) == 0 {
@@ -527,6 +556,13 @@ func (f *Farmer) UpdateInterval(req transport.UpdateRequest) (transport.UpdateRe
 	defer f.mu.Unlock()
 	now := f.clock()
 	defer f.accountBusy(now)
+	// Boundary validation runs before anything — counter accumulation
+	// included — so a rejected update leaves no trace beyond the
+	// rejection counters (boundary.go).
+	if reason := f.vetUpdateLocked(req); reason != "" {
+		f.counters.RejectedIntervals++
+		return transport.UpdateReply{}, fmt.Errorf("farmer: rejected update from %q: %s", truncID(req.Worker), reason)
+	}
 	f.counters.WorkerCheckpoints++
 	f.counters.ExploredNodes += req.ExploredDelta
 	f.counters.PrunedNodes += req.PrunedDelta
@@ -656,6 +692,10 @@ func (f *Farmer) ReportSolution(req transport.SolutionReport) (transport.Solutio
 	defer f.mu.Unlock()
 	now := f.clock()
 	defer f.accountBusy(now)
+	if reason := f.vetReportLocked(req); reason != "" {
+		f.counters.RejectedReports++
+		return transport.SolutionAck{}, fmt.Errorf("farmer: rejected report from %q: %s", truncID(req.Worker), reason)
+	}
 	f.counters.SolutionReports++
 	ack := transport.SolutionAck{}
 	if req.Cost < f.bestCost {

@@ -17,6 +17,7 @@
 package farmer
 
 import (
+	"errors"
 	"math/big"
 	"sync"
 	"time"
@@ -36,6 +37,11 @@ type SubCounters struct {
 	// transport; every one is retried by a later exchange (the pull
 	// model's retry-safety composes up the tree).
 	UpstreamLost int64
+	// UpstreamTimeouts counts the subset of UpstreamLost whose failure
+	// was a call deadline (transport.ErrDeadline): the black-holed-root
+	// case a transport.Policy turns from an upstream goroutine pinned
+	// forever into a counted, retried loss.
+	UpstreamTimeouts int64
 	// Refills counts sub-ranges obtained from the parent: the first
 	// assignment plus every inter-subtree rebalance toward this subtree.
 	Refills int64
@@ -220,6 +226,17 @@ func (s *SubFarmer) Counters() SubCounters {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.counters
+}
+
+// noteUpstreamErrLocked accounts one failed upstream exchange, splitting
+// out deadline failures: a lost message and a black-holed root are retried
+// the same way, but an operator watching the counters needs to tell a
+// flaky link from a stalled coordinator.
+func (s *SubFarmer) noteUpstreamErrLocked(err error) {
+	s.counters.UpstreamLost++
+	if errors.Is(err, transport.ErrDeadline) {
+		s.counters.UpstreamTimeouts++
+	}
 }
 
 // Finished reports whether the parent declared the resolution over.
@@ -420,7 +437,7 @@ func (s *SubFarmer) flushStatsLocked(now int64) {
 		_, err = up.UpdateInterval(req)
 	})
 	if err != nil {
-		s.counters.UpstreamLost++
+		s.noteUpstreamErrLocked(err)
 		return
 	}
 	s.sentExplored, s.sentPruned, s.sentLeaves = ec, pc, lc
@@ -504,7 +521,7 @@ func (s *SubFarmer) foldUpLocked(now int64) {
 		reply, err = up.UpdateInterval(req)
 	})
 	if err != nil {
-		s.counters.UpstreamLost++
+		s.noteUpstreamErrLocked(err)
 		return
 	}
 	s.sentExplored, s.sentPruned, s.sentLeaves = ec, pc, lc
@@ -594,7 +611,7 @@ func (s *SubFarmer) refillLocked(now int64) bool {
 		reply, err = up.RequestWork(req)
 	})
 	if err != nil {
-		s.counters.UpstreamLost++
+		s.noteUpstreamErrLocked(err)
 		return false
 	}
 	s.adoptUpstreamBestLocked(reply.BestCost)
@@ -647,7 +664,7 @@ func (s *SubFarmer) pushBestUpLocked() {
 		ack, err = up.ReportSolution(req)
 	})
 	if err != nil {
-		s.counters.UpstreamLost++
+		s.noteUpstreamErrLocked(err)
 		return
 	}
 	if best.Cost < s.bestSentUp {

@@ -77,6 +77,12 @@ type Scenario struct {
 	// DropRequestPct / DropReplyPct / DuplicatePct are per-message fault
 	// percentages (0..100, cumulative must stay ≤ 100).
 	DropRequestPct, DropReplyPct, DuplicatePct int
+	// BlackholePct black-holes messages: the coordinator never sees
+	// them and the caller gets transport.ErrDeadline, modelling a
+	// stalled peer behind the hardened transport's call deadline. It
+	// joins the other fault percentages in the ≤ 100 cumulative budget
+	// and applies to both tree legs.
+	BlackholePct int
 	// InitialUpper primes SOLUTION (0: Infinity).
 	InitialUpper int64
 	// MaxTicks aborts a stuck scenario. Default 5000.
@@ -138,7 +144,12 @@ type Report struct {
 	// restarts and Refills the sub-ranges pulled from the root (the
 	// first fill of each subtree plus every inter-subtree rebalance).
 	Drops, Duplicates, Kills, Rejoins, Restarts, Checkpoints int
-	Refills                                                  int64
+	// Timeouts counts black-holed calls that surfaced as ErrDeadline to
+	// a worker; in tree mode UpstreamTimeouts aggregates the deadline
+	// failures the sub-farmers saw on their root leg.
+	Timeouts         int
+	UpstreamTimeouts int64
+	Refills          int64
 	// OverlapUnits is the re-covered leaf measure; ReworkBudget what the
 	// fault events justify.
 	OverlapUnits, ReworkBudget *big.Int
@@ -308,15 +319,15 @@ func (g *grid) loop() error {
 			n, finished, err := sl.sess.Advance(budget)
 			g.tracef("adv w=%s n=%d fin=%v", sl.id, n, finished)
 			if err != nil {
-				if !errors.Is(err, transport.ErrLost) {
+				if !errors.Is(err, transport.ErrLost) && !errors.Is(err, transport.ErrDeadline) {
 					return fmt.Errorf("harness: worker %s: %w", sl.id, err)
 				}
-				// A lost message is a transient network failure the
-				// pull-model protocol retries safely — except a lost
-				// solution report, which the protocol never resends:
-				// the real worker process dies on the RPC error and
-				// the solution's region is re-explored from the last
-				// reported fold. Model exactly that.
+				// A lost or timed-out message is a transient network
+				// failure the pull-model protocol retries safely —
+				// except a lost solution report, which the protocol
+				// never resends: the real worker process dies on the
+				// RPC error and the solution's region is re-explored
+				// from the last reported fold. Model exactly that.
 				if g.crashed[sl.id] {
 					delete(g.crashed, sl.id)
 					g.kill(si, tick+sc.LeaseTTLTicks+1, "lost-report")
@@ -404,7 +415,7 @@ func (g *grid) restartFarmer() error {
 // decideFault is the seeded chaos policy: one draw per message.
 func (g *grid) decideFault(op transport.Op, w transport.WorkerID) transport.Fault {
 	sc := &g.sc
-	total := sc.DropRequestPct + sc.DropReplyPct + sc.DuplicatePct
+	total := sc.DropRequestPct + sc.DropReplyPct + sc.DuplicatePct + sc.BlackholePct
 	if total == 0 {
 		return transport.FaultNone
 	}
@@ -414,8 +425,10 @@ func (g *grid) decideFault(op transport.Op, w transport.WorkerID) transport.Faul
 		return transport.FaultDropRequest
 	case r < sc.DropRequestPct+sc.DropReplyPct:
 		return transport.FaultDropReply
-	case r < total:
+	case r < sc.DropRequestPct+sc.DropReplyPct+sc.DuplicatePct:
 		return transport.FaultDuplicate
+	case r < total:
+		return transport.FaultBlackhole
 	default:
 		return transport.FaultNone
 	}
@@ -429,6 +442,15 @@ func (g *grid) observe(op transport.Op, w transport.WorkerID, fault transport.Fa
 		switch fault {
 		case transport.FaultDropRequest, transport.FaultDropReply:
 			g.report.Drops++
+			if op == transport.OpReportSolution {
+				g.crashed[w] = true
+			}
+		case transport.FaultBlackhole:
+			// A timed-out call is a loss the deadline had to prove; the
+			// protocol consequences are identical to a drop, including
+			// the worker dying on a timed-out solution report (the real
+			// process restarts on the RPC error).
+			g.report.Timeouts++
 			if op == transport.OpReportSolution {
 				g.crashed[w] = true
 			}

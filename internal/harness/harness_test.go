@@ -151,6 +151,20 @@ func TestScenariosExerciseTheirFaults(t *testing.T) {
 		t.Errorf("tree-churn: no checkpoints written — the sub restarts restored nothing")
 	}
 
+	stalled, err := Run(StalledCoordinator())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stalled.Timeouts == 0 {
+		t.Errorf("stalled-coordinator: timeouts=%d — no call was ever black-holed", stalled.Timeouts)
+	}
+	if stalled.UpstreamTimeouts == 0 {
+		t.Errorf("stalled-coordinator: the sub→root leg never saw a deadline failure")
+	}
+	if stalled.Drops != 0 {
+		t.Errorf("stalled-coordinator: drops=%d — the scenario must fail only by deadline", stalled.Drops)
+	}
+
 	quiet, err := Run(QuietGrid())
 	if err != nil {
 		t.Fatal(err)

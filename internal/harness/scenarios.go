@@ -186,6 +186,36 @@ func TreeChurn() Scenario {
 	}
 }
 
+// StalledCoordinator is the hostile-WAN liveness story (DESIGN.md §10) on
+// a flowshop instance (~60k sequential nodes): a two-tier tree where a
+// slice of the calls on BOTH legs is black-holed — the coordinator never
+// sees them and the caller, who against the unhardened transport would
+// block forever, gets transport.ErrDeadline from its call deadline. The
+// run must prove the deadline discipline suffices for liveness: workers
+// absorb the timeout and re-issue on their own cadence, sub-farmers count
+// it (UpstreamTimeouts) and retry on the next fold, a timed-out solution
+// report kills the worker process exactly like a lost one, and the
+// resolution still terminates with the proven optimum, byte-identical over
+// double runs.
+func StalledCoordinator() Scenario {
+	ins := flowshop.Taillard(12, 5, 37)
+	return Scenario{
+		Name: "stalled-coordinator",
+		Seed: 11,
+		Factory: func() bb.Problem {
+			return flowshop.NewProblem(ins, flowshop.BoundOneMachine, flowshop.PairsAll)
+		},
+		Workers:           6,
+		Subtrees:          3,
+		SubUpdateEvery:    4,
+		UpdatePeriodNodes: 256,
+		TickBudget:        256,
+		LeaseTTLTicks:     3,
+		CheckpointEvery:   3,
+		BlackholePct:      12,
+	}
+}
+
 // PartitionedRing is the p2p future-work story (§6) under a network
 // partition on a QAP instance (~13k sequential nodes): the ring is cut in
 // half from the very first sweep — while peers 2 and 3 are still starved,
@@ -209,5 +239,5 @@ func PartitionedRing() RingScenario {
 
 // GridScenarios returns the farmer-based scenario matrix.
 func GridScenarios() []Scenario {
-	return []Scenario{QuietGrid(), ChurnyGrid(), FarmerFailover(), MulticoreChurn(), PackedGrid(), TreeChurn()}
+	return []Scenario{QuietGrid(), ChurnyGrid(), FarmerFailover(), MulticoreChurn(), PackedGrid(), TreeChurn(), StalledCoordinator()}
 }

@@ -273,6 +273,7 @@ func runTree(sc Scenario) (Report, error) {
 	}
 	for _, sub := range g.subs {
 		rep.Refills += sub.Counters().Refills
+		rep.UpstreamTimeouts += sub.Counters().UpstreamTimeouts
 	}
 	rep.Best = g.root.Best()
 	g.checkOptimality()
@@ -351,11 +352,12 @@ func (g *treeGrid) loop() error {
 			n, finished, err := sl.sess.Advance(budget)
 			g.tracef("adv w=%s n=%d fin=%v", sl.id, n, finished)
 			if err != nil {
-				if !errors.Is(err, transport.ErrLost) {
+				if !errors.Is(err, transport.ErrLost) && !errors.Is(err, transport.ErrDeadline) {
 					return fmt.Errorf("harness: worker %s: %w", sl.id, err)
 				}
 				// Same lost-message policy as the flat grid: only a
-				// lost solution report kills the worker process.
+				// lost (or timed-out) solution report kills the worker
+				// process.
 				if g.crashed[sl.id] {
 					delete(g.crashed, sl.id)
 					g.kill(si, tick+sc.LeaseTTLTicks+1, "lost-report")
@@ -445,7 +447,7 @@ func (g *treeGrid) restartSub(i int) error {
 // per message, in delivery order, so traces reproduce byte for byte.
 func (g *treeGrid) decideFault(op transport.Op) transport.Fault {
 	sc := &g.sc
-	total := sc.DropRequestPct + sc.DropReplyPct + sc.DuplicatePct
+	total := sc.DropRequestPct + sc.DropReplyPct + sc.DuplicatePct + sc.BlackholePct
 	if total == 0 {
 		return transport.FaultNone
 	}
@@ -455,8 +457,10 @@ func (g *treeGrid) decideFault(op transport.Op) transport.Fault {
 		return transport.FaultDropRequest
 	case r < sc.DropRequestPct+sc.DropReplyPct:
 		return transport.FaultDropReply
-	case r < total:
+	case r < sc.DropRequestPct+sc.DropReplyPct+sc.DuplicatePct:
 		return transport.FaultDuplicate
+	case r < total:
+		return transport.FaultBlackhole
 	default:
 		return transport.FaultNone
 	}
@@ -474,6 +478,16 @@ func (g *treeGrid) observe(leg string, op transport.Op, w transport.WorkerID, fa
 	switch fault {
 	case transport.FaultDropRequest, transport.FaultDropReply:
 		g.report.Drops++
+		if leg == "w" && op == transport.OpReportSolution {
+			g.crashed[w] = true
+		}
+	case transport.FaultBlackhole:
+		// A black-holed call surfaces as ErrDeadline: same protocol
+		// consequences as a drop. On the up leg the sub-farmer absorbs
+		// it (counted as UpstreamTimeouts); on the worker leg a
+		// timed-out solution report kills the worker process, exactly
+		// like a lost one.
+		g.report.Timeouts++
 		if leg == "w" && op == transport.OpReportSolution {
 			g.crashed[w] = true
 		}

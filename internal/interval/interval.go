@@ -72,6 +72,20 @@ func orZero(x *big.Int) *big.Int {
 // +1 if A > x.
 func (iv Interval) CmpA(x *big.Int) int { return orZero(iv.a).Cmp(x) }
 
+// MaxBitLen returns the larger bit length of the interval's two bounds.
+// It is the cheap size probe a coordinator boundary uses to reject
+// hostile megabyte bignums before any O(n) comparison touches them: gob
+// decoding accepts arbitrary-precision integers, so the shape of an
+// inbound interval is attacker-controlled. Nil bounds (the zero value)
+// report zero.
+func (iv Interval) MaxBitLen() int {
+	a, b := orZero(iv.a).BitLen(), orZero(iv.b).BitLen()
+	if a > b {
+		return a
+	}
+	return b
+}
+
 // CmpB compares the interval's end with x.
 func (iv Interval) CmpB(x *big.Int) int { return orZero(iv.b).Cmp(x) }
 

@@ -57,6 +57,13 @@ const (
 	// FaultDuplicate delivers the message twice (a retransmission whose
 	// original was acknowledged late); the caller sees the second reply.
 	FaultDuplicate
+	// FaultBlackhole models a stalled coordinator: the message never
+	// reaches it and the caller — who in the real transport would block
+	// until its Policy.Timeout — gets ErrDeadline. It differs from
+	// FaultDropRequest only in the error it surfaces, which is exactly
+	// the distinction the hardened transport introduces: a loss the
+	// network reported versus a loss a deadline had to prove.
+	FaultBlackhole
 )
 
 // String renders the fault for traces.
@@ -70,6 +77,8 @@ func (f Fault) String() string {
 		return "drop-reply"
 	case FaultDuplicate:
 		return "duplicate"
+	case FaultBlackhole:
+		return "blackhole"
 	default:
 		return "unknown-fault"
 	}
@@ -123,6 +132,8 @@ func (i *Interceptor) deliver(op Op, worker WorkerID, call func(Coordinator) err
 	switch fault {
 	case FaultDropRequest:
 		err = ErrLost
+	case FaultBlackhole:
+		err = ErrDeadline
 	case FaultDropReply:
 		if e := call(i.inner); e != nil {
 			err = e

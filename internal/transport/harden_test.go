@@ -1,0 +1,313 @@
+package transport_test
+
+import (
+	"errors"
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/farmer"
+	"repro/internal/interval"
+	"repro/internal/transport"
+)
+
+// testFarmer returns a live coordinator over a small integer root, enough
+// for real protocol rounds without a problem instance.
+func testFarmer() *farmer.Farmer {
+	return farmer.New(interval.FromInt64(0, 1_000_000))
+}
+
+// blackholeListener accepts connections and never responds — the stalled
+// coordinator in the flesh. It returns the address and a stop function.
+func blackholeListener(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	var mu sync.Mutex
+	var conns []net.Conn
+	t.Cleanup(func() {
+		mu.Lock()
+		defer mu.Unlock()
+		for _, c := range conns {
+			c.Close()
+		}
+	})
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			mu.Lock()
+			conns = append(conns, c)
+			mu.Unlock()
+		}
+	}()
+	return ln.Addr().String()
+}
+
+// TestClientDeadlineOnStalledCoordinator: the core liveness promise — a
+// call at a black-holed endpoint returns ErrDeadline within the policy's
+// timeout instead of blocking forever.
+func TestClientDeadlineOnStalledCoordinator(t *testing.T) {
+	addr := blackholeListener(t)
+	c, err := transport.DialWith(addr, transport.DialOptions{
+		Policy: transport.Policy{Timeout: 100 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	start := time.Now()
+	_, err = c.RequestWork(transport.WorkRequest{Worker: "w", Power: 1})
+	if !errors.Is(err, transport.ErrDeadline) {
+		t.Fatalf("err = %v, want ErrDeadline", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("deadline took %v to fire", elapsed)
+	}
+}
+
+// TestRedialRetriesThenSurfacesDeadline: the retry policy makes 1+Retries
+// attempts — each a fresh dial, visible to the accept counter — and still
+// surfaces ErrDeadline when all of them stall.
+func TestRedialRetriesThenSurfacesDeadline(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	var accepts atomic.Int64
+	var mu sync.Mutex
+	var conns []net.Conn
+	defer func() {
+		mu.Lock()
+		defer mu.Unlock()
+		for _, c := range conns {
+			c.Close()
+		}
+	}()
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			accepts.Add(1)
+			mu.Lock()
+			conns = append(conns, c)
+			mu.Unlock()
+		}
+	}()
+
+	r := transport.NewRedialWith(ln.Addr().String(), transport.DialOptions{
+		Policy: transport.Policy{
+			Timeout: 50 * time.Millisecond,
+			Retries: 2,
+			Backoff: transport.Backoff{Base: time.Millisecond, Max: 2 * time.Millisecond},
+		},
+	})
+	defer r.Close()
+	_, err = r.RequestWork(transport.WorkRequest{Worker: "w", Power: 1})
+	if !errors.Is(err, transport.ErrDeadline) {
+		t.Fatalf("err = %v, want ErrDeadline", err)
+	}
+	if got := accepts.Load(); got != 3 {
+		t.Fatalf("server saw %d dials, want 3 (1 attempt + 2 retries)", got)
+	}
+}
+
+// TestRedialNeverRetriesServerErrors: a coordinator actively rejecting a
+// request (here: the power-claim boundary) must not be hammered with
+// retries — the request is wrong, not lost.
+func TestRedialNeverRetriesServerErrors(t *testing.T) {
+	f := testFarmer()
+	srv, err := transport.Serve(f, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	r := transport.NewRedialWith(srv.Addr(), transport.DialOptions{
+		Policy: transport.Policy{Timeout: time.Second, Retries: 3},
+	})
+	defer r.Close()
+	if _, err := r.RequestWork(transport.WorkRequest{Worker: "w", Power: -1}); err == nil {
+		t.Fatal("negative power accepted")
+	}
+	if got := f.Counters().RejectedPowers; got != 1 {
+		t.Fatalf("farmer saw %d rejected requests, want exactly 1 (no retries)", got)
+	}
+}
+
+// TestServerKillsOversizeMessages: a hostile report bigger than the
+// server's message budget kills the connection and advances the Oversize
+// counter; the farmer never sees the message.
+func TestServerKillsOversizeMessages(t *testing.T) {
+	f := testFarmer()
+	srv, err := transport.ServeWith(f, "127.0.0.1:0", transport.ServerOptions{
+		MaxMessageBytes: 1024,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	c, err := transport.Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	huge := make([]int, 100_000)
+	if _, err := c.ReportSolution(transport.SolutionReport{Worker: "w", Cost: 1, Path: huge}); err == nil {
+		t.Fatal("oversize report went through")
+	}
+	if got := srv.Stats().Oversize; got != 1 {
+		t.Fatalf("Oversize = %d, want 1", got)
+	}
+	if got := f.Counters().SolutionReports; got != 0 {
+		t.Fatalf("farmer processed %d reports, want 0", got)
+	}
+}
+
+// TestServerEvictsForMaxConns: at the connection cap, the most idle
+// connection yields its slot to the newcomer.
+func TestServerEvictsForMaxConns(t *testing.T) {
+	f := testFarmer()
+	srv, err := transport.ServeWith(f, "127.0.0.1:0", transport.ServerOptions{MaxConns: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	c1, err := transport.Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c1.Close()
+	if _, err := c1.RequestWork(transport.WorkRequest{Worker: "w1", Power: 1}); err != nil {
+		t.Fatal(err)
+	}
+	c2, err := transport.Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	if _, err := c2.ReportSolution(transport.SolutionReport{Worker: "w2", Cost: 9}); err != nil {
+		t.Fatalf("newcomer rejected: %v", err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.Stats().Evicted == 0 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if got := srv.Stats().Evicted; got != 1 {
+		t.Fatalf("Evicted = %d, want 1", got)
+	}
+	if _, err := c1.ReportSolution(transport.SolutionReport{Worker: "w1", Cost: 8}); err == nil {
+		t.Fatal("evicted client still served")
+	}
+}
+
+// TestServerReadTimeoutDropsSilentPeers: a peer that connects and goes
+// silent is disconnected after the idle deadline, freeing the slot.
+func TestServerReadTimeoutDropsSilentPeers(t *testing.T) {
+	srv, err := transport.ServeWith(testFarmer(), "127.0.0.1:0", transport.ServerOptions{
+		ReadTimeout: 50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	nc, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	nc.SetReadDeadline(time.Now().Add(5 * time.Second))
+	buf := make([]byte, 1)
+	if _, err := nc.Read(buf); err == nil {
+		t.Fatal("silent connection still open after the idle deadline")
+	}
+}
+
+// TestServerCloseDisconnectsClients: Close tears down tracked connections,
+// not just the listener — in-flight clients observe the shutdown instead
+// of holding dead sockets forever.
+func TestServerCloseDisconnectsClients(t *testing.T) {
+	srv, err := transport.Serve(testFarmer(), "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := transport.Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.RequestWork(transport.WorkRequest{Worker: "w", Power: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.RequestWork(transport.WorkRequest{Worker: "w", Power: 1})
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("call succeeded against a closed server")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("call against a closed server hung")
+	}
+}
+
+// TestTokenAuthentication: the shared-token preamble — right token in,
+// wrong token counted and shut out.
+func TestTokenAuthentication(t *testing.T) {
+	f := testFarmer()
+	srv, err := transport.ServeWith(f, "127.0.0.1:0", transport.ServerOptions{Token: "s3cret"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	good, err := transport.DialWith(srv.Addr(), transport.DialOptions{Token: "s3cret"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer good.Close()
+	if _, err := good.RequestWork(transport.WorkRequest{Worker: "w", Power: 1}); err != nil {
+		t.Fatalf("authenticated call failed: %v", err)
+	}
+
+	if _, err := transport.DialWith(srv.Addr(), transport.DialOptions{
+		Token:  "wrong",
+		Policy: transport.Policy{Timeout: 2 * time.Second},
+	}); err == nil {
+		t.Fatal("wrong token accepted")
+	}
+	if got := srv.Stats().AuthFailures; got != 1 {
+		t.Fatalf("AuthFailures = %d, want 1", got)
+	}
+
+	// A client that skips the preamble entirely: its first call must fail
+	// and the farmer must stay untouched.
+	bare, err := transport.DialWith(srv.Addr(), transport.DialOptions{
+		Policy: transport.Policy{Timeout: 2 * time.Second},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bare.Close()
+	if _, err := bare.ReportSolution(transport.SolutionReport{Worker: "w", Cost: 1}); err == nil {
+		t.Fatal("unauthenticated call accepted")
+	}
+	if got := f.Counters().SolutionReports; got != 0 {
+		t.Fatalf("farmer processed %d reports from unauthenticated peers", got)
+	}
+}

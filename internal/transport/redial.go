@@ -64,6 +64,7 @@ func (b *Backoff) Reset() { b.cur = 0 }
 type Redial struct {
 	mu      sync.Mutex
 	addr    string
+	opts    DialOptions
 	client  *Client
 	backoff Backoff
 	nextTry time.Time
@@ -74,17 +75,59 @@ type Redial struct {
 // attempted until the first call.
 func NewRedial(addr string) *Redial { return &Redial{addr: addr} }
 
+// NewRedialWith is NewRedial with hardening options: opts.Policy gives
+// every call a deadline and a retry budget (this is where Policy.Retries
+// acts — a plain Client cannot retry), and opts.TLS/Token authenticate
+// each redial.
+func NewRedialWith(addr string, opts DialOptions) *Redial {
+	return &Redial{addr: addr, opts: opts}
+}
+
+// do runs one exchange under the retry policy: up to 1+Retries attempts,
+// paced by a fresh copy of the policy's backoff schedule. Server-side
+// errors (the coordinator actively rejecting the request) are never
+// retried; transport-level failures — including ErrDeadline from a
+// black-holed coordinator — are, each retry forcing a fresh dial past the
+// fail-fast window.
+func (r *Redial) do(f func(*Client) error) error {
+	attempts := 1 + r.opts.Policy.Retries
+	if attempts < 1 {
+		attempts = 1
+	}
+	bo := r.opts.Policy.Backoff
+	var err error
+	for a := 0; a < attempts; a++ {
+		if a > 0 {
+			// Draw under the mutex: bo is a per-call copy, but a
+			// caller-supplied Rng may be shared across goroutines.
+			r.mu.Lock()
+			d := bo.Next()
+			r.mu.Unlock()
+			time.Sleep(d)
+		}
+		err = r.call(f, a > 0)
+		if err == nil {
+			return nil
+		}
+		if _, serverSide := err.(rpc.ServerError); serverSide {
+			return err
+		}
+	}
+	return err
+}
+
 // call runs one exchange, (re)dialing as needed. While the backoff window
 // of a failed dial is open, calls fail fast with the last error instead of
-// hammering a dead address.
-func (r *Redial) call(f func(*Client) error) error {
+// hammering a dead address — except for retry attempts (force), which by
+// definition have already paid their pacing in the retry loop.
+func (r *Redial) call(f func(*Client) error, force bool) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if r.client == nil {
-		if time.Now().Before(r.nextTry) {
+		if !force && time.Now().Before(r.nextTry) {
 			return r.lastErr
 		}
-		c, err := Dial(r.addr)
+		c, err := DialWith(r.addr, r.opts)
 		if err != nil {
 			r.lastErr = err
 			r.nextTry = time.Now().Add(r.backoff.Next())
@@ -108,27 +151,30 @@ func (r *Redial) call(f func(*Client) error) error {
 	return err
 }
 
-// RequestWork implements Coordinator.
+// RequestWork implements Coordinator. Retried per policy: a re-issued
+// request is indistinguishable from a fresh one to the coordinator.
 func (r *Redial) RequestWork(req WorkRequest) (reply WorkReply, err error) {
-	err = r.call(func(c *Client) (e error) {
+	err = r.do(func(c *Client) (e error) {
 		reply, e = c.RequestWork(req)
 		return e
 	})
 	return reply, err
 }
 
-// UpdateInterval implements Coordinator.
+// UpdateInterval implements Coordinator. Retried per policy: the reply is
+// authoritative whether the original or the retry landed.
 func (r *Redial) UpdateInterval(req UpdateRequest) (reply UpdateReply, err error) {
-	err = r.call(func(c *Client) (e error) {
+	err = r.do(func(c *Client) (e error) {
 		reply, e = c.UpdateInterval(req)
 		return e
 	})
 	return reply, err
 }
 
-// ReportSolution implements Coordinator.
+// ReportSolution implements Coordinator. Retried per policy: SOLUTION only
+// improves, so a duplicate report is absorbed as a non-improvement.
 func (r *Redial) ReportSolution(req SolutionReport) (reply SolutionAck, err error) {
-	err = r.call(func(c *Client) (e error) {
+	err = r.do(func(c *Client) (e error) {
 		reply, e = c.ReportSolution(req)
 		return e
 	})

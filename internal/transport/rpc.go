@@ -1,10 +1,14 @@
 package transport
 
 import (
+	"crypto/tls"
 	"fmt"
+	"math"
 	"net"
 	"net/rpc"
 	"sync"
+	"sync/atomic"
+	"time"
 )
 
 // RPCService adapts a Coordinator to the net/rpc calling convention so a
@@ -50,19 +54,93 @@ func (s *RPCService) ReportSolution(req *SolutionReport, reply *SolutionAck) err
 // serviceName is the rpc-registered name of the farmer service.
 const serviceName = "GridBB"
 
+// DefaultMaxMessageBytes bounds one gob message on both ends of the wire.
+// The protocol's messages are intervals and short paths — a few hundred
+// bytes at depth-60 trees — so one mebibyte is three orders of magnitude
+// of headroom while still making a gigabyte Path unsendable.
+const DefaultMaxMessageBytes = 1 << 20
+
+// ServerOptions hardens a coordinator endpoint against a hostile WAN. The
+// zero value keeps the seed behaviour except for the message-size limit,
+// which defaults to DefaultMaxMessageBytes (set MaxMessageBytes negative
+// to disable it).
+type ServerOptions struct {
+	// ReadTimeout is the per-connection idle read deadline: a peer that
+	// goes silent longer than this (between requests, or mid-message) has
+	// its connection closed, freeing the slot and the goroutine. Zero
+	// disables the deadline.
+	ReadTimeout time.Duration
+	// MaxConns caps simultaneous connections. When a new peer arrives at
+	// the cap, the connection with the oldest traffic is evicted — slow or
+	// stalled clients yield to live ones, matching the pull model's bias
+	// toward whoever is actually exploring. Zero means unlimited.
+	MaxConns int
+	// MaxMessageBytes bounds the bytes of one inbound message. Zero means
+	// DefaultMaxMessageBytes; negative disables the bound.
+	MaxMessageBytes int64
+	// TLS, when non-nil, wraps every connection in server-side TLS. Use
+	// LoadServerTLS to build a config from PEM files, including the
+	// client-certificate authentication mode.
+	TLS *tls.Config
+	// Token, when non-empty, requires each connection to open with a
+	// matching shared token before any RPC is accepted (the lightweight
+	// authentication mode; combine with TLS so the token is not sent in
+	// clear).
+	Token string
+}
+
+// ServerStats counts what the hardening layer did, mirroring the farmer's
+// rejected-and-counted discipline at the connection level.
+type ServerStats struct {
+	// ActiveConns is the number of currently tracked connections.
+	ActiveConns int
+	// Evicted counts connections closed to make room under MaxConns.
+	Evicted int64
+	// Oversize counts connections killed for exceeding MaxMessageBytes.
+	Oversize int64
+	// AuthFailures counts connections that failed the TLS handshake or
+	// the token exchange.
+	AuthFailures int64
+	// AcceptErrors counts transient listener errors survived by the
+	// accept loop's backoff.
+	AcceptErrors int64
+}
+
 // Server serves a Coordinator over TCP.
 type Server struct {
 	listener net.Listener
 	rpcSrv   *rpc.Server
+	opts     ServerOptions
 
 	mu     sync.Mutex
 	closed bool
+	conns  map[*srvConn]struct{}
+
+	evicted      atomic.Int64
+	oversize     atomic.Int64
+	authFailures atomic.Int64
+	acceptErrors atomic.Int64
 }
 
 // Serve registers the coordinator and starts accepting connections on addr
-// (e.g. ":4321"). It returns immediately; connections are handled on
-// background goroutines until Close.
+// (e.g. ":4321") with default options. It returns immediately; connections
+// are handled on background goroutines until Close.
 func Serve(coord Coordinator, addr string) (*Server, error) {
+	return ServeWith(coord, addr, ServerOptions{})
+}
+
+// ServeTLS is Serve with TLS and optional shared-token authentication.
+// tlsConf typically comes from LoadServerTLS; token may be empty when the
+// TLS config itself authenticates clients (client-certificate mode).
+func ServeTLS(coord Coordinator, addr string, tlsConf *tls.Config, token string) (*Server, error) {
+	return ServeWith(coord, addr, ServerOptions{TLS: tlsConf, Token: token})
+}
+
+// ServeWith is Serve with explicit hardening options.
+func ServeWith(coord Coordinator, addr string, opts ServerOptions) (*Server, error) {
+	if opts.MaxMessageBytes == 0 {
+		opts.MaxMessageBytes = DefaultMaxMessageBytes
+	}
 	srv := rpc.NewServer()
 	if err := srv.RegisterName(serviceName, NewRPCService(coord)); err != nil {
 		return nil, fmt.Errorf("transport: register: %w", err)
@@ -71,12 +149,27 @@ func Serve(coord Coordinator, addr string) (*Server, error) {
 	if err != nil {
 		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
 	}
-	s := &Server{listener: ln, rpcSrv: srv}
+	if opts.TLS != nil {
+		ln = tls.NewListener(ln, opts.TLS)
+	}
+	s := &Server{
+		listener: ln,
+		rpcSrv:   srv,
+		opts:     opts,
+		conns:    make(map[*srvConn]struct{}),
+	}
 	go s.acceptLoop()
 	return s, nil
 }
 
+// acceptBackoff bounds the sleep ladder on transient Accept errors.
+const (
+	acceptBackoffBase = 5 * time.Millisecond
+	acceptBackoffMax  = time.Second
+)
+
 func (s *Server) acceptLoop() {
+	var delay time.Duration
 	for {
 		conn, err := s.listener.Accept()
 		if err != nil {
@@ -86,58 +179,323 @@ func (s *Server) acceptLoop() {
 			if closed {
 				return
 			}
-			// Transient accept errors: keep serving.
+			// Transient accept error (EMFILE and friends): back off
+			// instead of hot-spinning — the condition that broke Accept
+			// needs wall time, not retries, to clear.
+			s.acceptErrors.Add(1)
+			if delay == 0 {
+				delay = acceptBackoffBase
+			} else if delay *= 2; delay > acceptBackoffMax {
+				delay = acceptBackoffMax
+			}
+			time.Sleep(delay)
 			continue
 		}
-		go s.rpcSrv.ServeConn(conn)
+		delay = 0
+		go s.serveConn(conn)
 	}
+}
+
+// serveConn authenticates, registers, and serves one connection, and
+// guarantees its teardown.
+func (s *Server) serveConn(nc net.Conn) {
+	c := &srvConn{Conn: nc, srv: s}
+	c.touch()
+	if !s.register(c) {
+		nc.Close()
+		return
+	}
+	defer s.unregister(c)
+	defer nc.Close()
+	if tc, ok := nc.(*tls.Conn); ok {
+		nc.SetDeadline(time.Now().Add(authTimeout))
+		if err := tc.Handshake(); err != nil {
+			s.authFailures.Add(1)
+			return
+		}
+		nc.SetDeadline(time.Time{})
+	}
+	if s.opts.Token != "" {
+		if err := verifyToken(nc, s.opts.Token); err != nil {
+			s.authFailures.Add(1)
+			return
+		}
+	}
+	s.rpcSrv.ServeConn(c)
+}
+
+// register tracks c, evicting the most idle connection when MaxConns is
+// reached. It reports false when the server is already closed.
+func (s *Server) register(c *srvConn) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return false
+	}
+	if max := s.opts.MaxConns; max > 0 && len(s.conns) >= max {
+		var victim *srvConn
+		oldest := int64(math.MaxInt64)
+		for oc := range s.conns {
+			if la := oc.lastActive.Load(); la < oldest {
+				oldest, victim = la, oc
+			}
+		}
+		if victim != nil {
+			delete(s.conns, victim)
+			victim.Conn.Close()
+			s.evicted.Add(1)
+		}
+	}
+	s.conns[c] = struct{}{}
+	return true
+}
+
+func (s *Server) unregister(c *srvConn) {
+	s.mu.Lock()
+	delete(s.conns, c)
+	s.mu.Unlock()
 }
 
 // Addr returns the bound address, useful when addr was ":0".
 func (s *Server) Addr() string { return s.listener.Addr().String() }
 
-// Close stops accepting connections. In-flight calls finish on their own.
+// Stats snapshots the hardening counters.
+func (s *Server) Stats() ServerStats {
+	s.mu.Lock()
+	active := len(s.conns)
+	s.mu.Unlock()
+	return ServerStats{
+		ActiveConns:  active,
+		Evicted:      s.evicted.Load(),
+		Oversize:     s.oversize.Load(),
+		AuthFailures: s.authFailures.Load(),
+		AcceptErrors: s.acceptErrors.Load(),
+	}
+}
+
+// Close stops accepting connections and closes every tracked connection;
+// their serving goroutines unwind on the resulting read errors.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	s.closed = true
+	conns := make([]*srvConn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.conns = make(map[*srvConn]struct{})
 	s.mu.Unlock()
-	return s.listener.Close()
+	err := s.listener.Close()
+	for _, c := range conns {
+		c.Conn.Close()
+	}
+	return err
+}
+
+// srvConn is the server's per-connection hardening wrapper: it arms the
+// idle read deadline before every Read, timestamps traffic for the
+// MaxConns eviction policy, and enforces the message-size window. The
+// window is the bytes read since the connection's last write — because
+// net/rpc is strictly request/reply per codec, that span can cover at most
+// one full inbound message (plus the start of a pipelined next one), so a
+// cap of MaxMessageBytes+slack bounds every message without teaching the
+// wrapper gob framing.
+type srvConn struct {
+	net.Conn
+	srv        *Server
+	lastActive atomic.Int64 // wall nanos of last traffic, for eviction
+	window     atomic.Int64 // bytes read since the last write
+}
+
+func (c *srvConn) touch() { c.lastActive.Store(time.Now().UnixNano()) }
+
+func (c *srvConn) Read(p []byte) (int, error) {
+	if t := c.srv.opts.ReadTimeout; t > 0 {
+		c.Conn.SetReadDeadline(time.Now().Add(t))
+	}
+	n, err := c.Conn.Read(p)
+	if n > 0 {
+		c.touch()
+		// Allow one full message of pipelined readahead beyond the cap:
+		// the wrapper cannot see gob frame boundaries, only byte flow.
+		if max := c.srv.opts.MaxMessageBytes; max > 0 && c.window.Add(int64(n)) > 2*max {
+			c.srv.oversize.Add(1)
+			return 0, fmt.Errorf("transport: inbound message beyond %d bytes: %w", max, ErrOversize)
+		}
+	}
+	return n, err
+}
+
+func (c *srvConn) Write(p []byte) (int, error) {
+	c.window.Store(0)
+	c.touch()
+	return c.Conn.Write(p)
+}
+
+// DialOptions configures the client end of the hardened transport. The
+// zero value matches the seed behaviour plus the default reply-size limit.
+type DialOptions struct {
+	// Policy is the per-call liveness discipline; see Policy. Timeout also
+	// bounds connection establishment (dial, TLS handshake, token
+	// exchange).
+	Policy Policy
+	// TLS, when non-nil, dials through client-side TLS. Use LoadClientTLS
+	// to build a config from PEM files.
+	TLS *tls.Config
+	// Token, when non-empty, is presented to the server right after
+	// connecting (shared-token authentication).
+	Token string
+	// MaxMessageBytes bounds one inbound reply. Zero means
+	// DefaultMaxMessageBytes; negative disables the bound.
+	MaxMessageBytes int64
 }
 
 // Client is a Coordinator implementation that forwards calls to a remote
 // farmer over TCP. Calls are synchronous, matching the pull model: the
-// worker blocks on its own outbound request, never the reverse.
+// worker blocks on its own outbound request, never the reverse — but with
+// a Policy.Timeout the block is bounded, and a black-holed farmer yields
+// ErrDeadline instead of a hang. A Client whose call timed out is closed
+// (the reply could still arrive arbitrarily late on that connection);
+// Redial layers reconnection and retries on top.
 type Client struct {
-	rc *rpc.Client
+	rc      *rpc.Client
+	timeout time.Duration
 }
 
 // Dial connects to a farmer served by Serve.
 func Dial(addr string) (*Client, error) {
-	rc, err := rpc.Dial("tcp", addr)
+	return DialWith(addr, DialOptions{})
+}
+
+// DialTLS is Dial over TLS with optional shared-token authentication,
+// mirroring ServeTLS.
+func DialTLS(addr string, tlsConf *tls.Config, token string) (*Client, error) {
+	return DialWith(addr, DialOptions{TLS: tlsConf, Token: token})
+}
+
+// DialWith is Dial with explicit hardening options.
+func DialWith(addr string, opts DialOptions) (*Client, error) {
+	if opts.MaxMessageBytes == 0 {
+		opts.MaxMessageBytes = DefaultMaxMessageBytes
+	}
+	timeout := opts.Policy.Timeout
+	var nc net.Conn
+	var err error
+	if timeout > 0 {
+		nc, err = net.DialTimeout("tcp", addr, timeout)
+	} else {
+		nc, err = net.Dial("tcp", addr)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
 	}
-	return &Client{rc: rc}, nil
+	if timeout > 0 {
+		nc.SetDeadline(time.Now().Add(timeout))
+	}
+	if opts.TLS != nil {
+		conf := opts.TLS
+		if conf.ServerName == "" && !conf.InsecureSkipVerify {
+			// Derive the verification name from the dialed address, as
+			// tls.Dial would; the caller's config is not mutated.
+			host, _, err := net.SplitHostPort(addr)
+			if err != nil {
+				host = addr
+			}
+			conf = conf.Clone()
+			conf.ServerName = host
+		}
+		tc := tls.Client(nc, conf)
+		if err := tc.Handshake(); err != nil {
+			nc.Close()
+			return nil, fmt.Errorf("transport: tls handshake with %s: %w", addr, err)
+		}
+		nc = tc
+	}
+	if opts.Token != "" {
+		if err := presentToken(nc, opts.Token); err != nil {
+			nc.Close()
+			return nil, fmt.Errorf("transport: authenticate to %s: %w", addr, err)
+		}
+	}
+	if timeout > 0 {
+		nc.SetDeadline(time.Time{})
+	}
+	cc := &cliConn{Conn: nc, max: opts.MaxMessageBytes}
+	return &Client{rc: rpc.NewClient(cc), timeout: timeout}, nil
+}
+
+// cliConn enforces the reply-size window on the worker side, symmetric to
+// srvConn: a hostile coordinator cannot feed a worker an unbounded reply.
+type cliConn struct {
+	net.Conn
+	max    int64
+	window atomic.Int64
+}
+
+func (c *cliConn) Read(p []byte) (int, error) {
+	n, err := c.Conn.Read(p)
+	if n > 0 && c.max > 0 && c.window.Add(int64(n)) > 2*c.max {
+		return 0, fmt.Errorf("transport: inbound reply beyond %d bytes: %w", c.max, ErrOversize)
+	}
+	return n, err
+}
+
+func (c *cliConn) Write(p []byte) (int, error) {
+	c.window.Store(0)
+	return c.Conn.Write(p)
+}
+
+// timerPool recycles deadline timers across calls: a worker heartbeating
+// every few seconds would otherwise allocate a runtime timer per call.
+var timerPool sync.Pool
+
+// invoke runs one RPC under the client's deadline. On timeout the
+// connection is closed and the in-flight call drained before returning, so
+// a late reply can never race a caller that has moved on and reused its
+// reply value.
+func (c *Client) invoke(method string, req, reply any) error {
+	if c.timeout <= 0 {
+		return c.rc.Call(method, req, reply)
+	}
+	call := c.rc.Go(method, req, reply, make(chan *rpc.Call, 1))
+	timer, _ := timerPool.Get().(*time.Timer)
+	if timer == nil {
+		timer = time.NewTimer(c.timeout)
+	} else {
+		timer.Reset(c.timeout)
+	}
+	select {
+	case <-call.Done:
+		if !timer.Stop() {
+			<-timer.C
+		}
+		timerPool.Put(timer)
+		return call.Error
+	case <-timer.C:
+		timerPool.Put(timer)
+		c.rc.Close()
+		<-call.Done
+		return fmt.Errorf("transport: %s after %v: %w", method, c.timeout, ErrDeadline)
+	}
 }
 
 // RequestWork implements Coordinator.
 func (c *Client) RequestWork(req WorkRequest) (WorkReply, error) {
 	var reply WorkReply
-	err := c.rc.Call(serviceName+".RequestWork", &req, &reply)
+	err := c.invoke(serviceName+".RequestWork", &req, &reply)
 	return reply, err
 }
 
 // UpdateInterval implements Coordinator.
 func (c *Client) UpdateInterval(req UpdateRequest) (UpdateReply, error) {
 	var reply UpdateReply
-	err := c.rc.Call(serviceName+".UpdateInterval", &req, &reply)
+	err := c.invoke(serviceName+".UpdateInterval", &req, &reply)
 	return reply, err
 }
 
 // ReportSolution implements Coordinator.
 func (c *Client) ReportSolution(req SolutionReport) (SolutionAck, error) {
 	var reply SolutionAck
-	err := c.rc.Call(serviceName+".ReportSolution", &req, &reply)
+	err := c.invoke(serviceName+".ReportSolution", &req, &reply)
 	return reply, err
 }
 
