@@ -5,7 +5,7 @@
 GO      ?= go
 BENCH_OUT ?= bench.json
 
-.PHONY: all build vet test race bench bench-hot bench-smoke bench-tree bench-transport fuzz-smoke check docs-check
+.PHONY: all build vet test race bench bench-hot bench-smoke bench-tree bench-transport bench-wire fuzz-smoke check docs-check
 
 all: vet build test
 
@@ -56,6 +56,14 @@ bench-tree:
 # over loopback. Acceptance gate: hardened within 5% of raw (BENCH_pr6.json).
 bench-transport:
 	$(GO) test -run '^$$' -bench BenchmarkHardenedCallOverhead -benchmem -benchtime 1s -count 5 .
+
+# The wire-dialect record (DESIGN.md §11): bytes and latency per
+# steady-state fold, text-gob vs compact, through a counting TCP proxy,
+# plus the hardened-call overhead the codec must not regress. Acceptance
+# gates (BENCH_pr7.json): compact ≥5× fewer wire-B/fold than textgob, and
+# hardened ns/op no worse than the BENCH_pr6.json record.
+bench-wire:
+	$(GO) test -run '^$$' -bench 'BenchmarkWireBytesPerFold|BenchmarkHardenedCallOverhead' -benchmem -benchtime 1s -count 3 .
 
 # The coordinator-boundary fuzzer, briefly: the corpus seeds plus a few
 # seconds of fresh mutation on every gate run, so the hostile-peer

@@ -28,8 +28,10 @@ import (
 	"context"
 	"encoding/gob"
 	"fmt"
+	"io"
 	"math/big"
 	"math/rand"
+	"net"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -439,6 +441,124 @@ func BenchmarkHardenedCallOverhead(b *testing.B) {
 			transport.ServerOptions{ReadTimeout: 30 * time.Second, MaxConns: 64},
 			transport.DialOptions{Policy: transport.Policy{Timeout: 30 * time.Second}})
 	})
+}
+
+// countingConn tallies every byte a proxied connection moves, so a wire
+// benchmark can price a protocol in bytes instead of inferring from gob
+// buffer sizes.
+type countingConn struct {
+	net.Conn
+	read, written *atomic.Int64
+}
+
+func (c countingConn) Read(p []byte) (int, error) {
+	n, err := c.Conn.Read(p)
+	c.read.Add(int64(n))
+	return n, err
+}
+
+func (c countingConn) Write(p []byte) (int, error) {
+	n, err := c.Conn.Write(p)
+	c.written.Add(int64(n))
+	return n, err
+}
+
+// countingProxy is a byte-counting TCP relay in front of target: every
+// proxied connection's traffic lands in the shared counters.
+type countingProxy struct {
+	ln       net.Listener
+	sent     atomic.Int64 // client → server
+	received atomic.Int64 // server → client
+}
+
+func newCountingProxy(b *testing.B, target string) *countingProxy {
+	b.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { ln.Close() })
+	p := &countingProxy{ln: ln}
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) {
+				s, err := net.Dial("tcp", target)
+				if err != nil {
+					c.Close()
+					return
+				}
+				cc := countingConn{Conn: c, read: &p.sent, written: &p.received}
+				go func() { io.Copy(s, cc); s.Close(); c.Close() }()
+				io.Copy(cc, s)
+				s.Close()
+				c.Close()
+			}(c)
+		}
+	}()
+	return p
+}
+
+func (p *countingProxy) Addr() string { return p.ln.Addr().String() }
+func (p *countingProxy) Total() int64 { return p.sent.Load() + p.received.Load() }
+
+// BenchmarkWireBytesPerFold prices one steady-state fold round — the
+// message the grid sends more than every other combined — in wire bytes,
+// through a counting TCP proxy, for both dialects (DESIGN.md §11). The
+// fold interval sits interior to the 50-job root range, so the text-gob
+// leg pays two ~65-digit decimal texts plus the method string both ways,
+// while the compact leg pays delta-varints against the negotiated
+// reference and elides the unchanged reply interval entirely. Acceptance
+// gate (BENCH_pr7.json): compact wire-B/fold at least 5× under text-gob.
+// ns/op doubles as the loopback calls/sec ceiling of each dialect.
+func BenchmarkWireBytesPerFold(b *testing.B) {
+	nb := ta056Numbering()
+	root := nb.RootRange()
+	run := func(b *testing.B, compact bool) {
+		f := farmer.New(root, farmer.WithClock(func() int64 { return 0 }))
+		srv, err := transport.ServeWith(f, "127.0.0.1:0", transport.ServerOptions{WireRef: root})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer srv.Close()
+		proxy := newCountingProxy(b, srv.Addr())
+		cli, err := transport.DialWith(proxy.Addr(), transport.DialOptions{Compact: compact})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer cli.Close()
+		reply, err := cli.RequestWork(transport.WorkRequest{Worker: "bench", Power: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		// The steady-state heartbeat: an interior fold the farmer's
+		// intersection returns unchanged, round after round.
+		a := reply.Interval.A()
+		end := reply.Interval.B()
+		a.Add(a, end).Rsh(a, 1)
+		req := transport.UpdateRequest{
+			Worker: "bench", IntervalID: reply.IntervalID,
+			Remaining: interval.New(a, end), Power: 1, ExploredDelta: 1,
+		}
+		if _, err := cli.UpdateInterval(req); err != nil {
+			b.Fatal(err) // settle the table before counting
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		before := proxy.Total()
+		for i := 0; i < b.N; i++ {
+			if _, err := cli.UpdateInterval(req); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(proxy.Total()-before)/float64(b.N), "wire-B/fold")
+	}
+	b.Run("textgob", func(b *testing.B) { run(b, false) })
+	b.Run("compact", func(b *testing.B) { run(b, true) })
 }
 
 // BenchmarkTable1PoolBuild builds and validates the paper's pool (Figure 6

@@ -93,6 +93,9 @@ func main() {
 		MaxConns:        *maxConns,
 		MaxMessageBytes: *maxMsg,
 		Token:           *authToken,
+		// Compact-codec clients delta-encode intervals against the root
+		// range — the tightest reference there is for this resolution.
+		WireRef: nb.RootRange(),
 	}
 	if *tlsCert != "" || *tlsKey != "" {
 		if so.TLS, err = transport.LoadServerTLS(*tlsCert, *tlsKey, *tlsClientCA); err != nil {

@@ -341,10 +341,17 @@ func ServeFarmer(p Problem, addr string, opts ...farmer.Option) (*transport.Serv
 	return ServeFarmerWith(p, addr, ServerOptions{}, opts...)
 }
 
-// ServeFarmerWith is ServeFarmer with transport hardening options.
+// ServeFarmerWith is ServeFarmer with transport hardening options. The
+// compact wire codec's reference interval defaults to the problem's root
+// range — the same range the coordinator boundary pins — so negotiated
+// connections delta-encode every interval against the tightest possible
+// reference without the caller doing anything.
 func ServeFarmerWith(p Problem, addr string, so ServerOptions, opts ...farmer.Option) (*transport.Server, *Farmer, error) {
 	nb := core.NewNumbering(p.Shape())
 	f := farmer.New(nb.RootRange(), opts...)
+	if so.WireRef.IsEmpty() {
+		so.WireRef = nb.RootRange()
+	}
 	srv, err := transport.ServeWith(f, addr, so)
 	if err != nil {
 		return nil, nil, err
@@ -359,8 +366,16 @@ func RunRemoteWorker(ctx context.Context, addr string, cfg WorkerConfig, p Probl
 }
 
 // RunRemoteWorkerWith is RunRemoteWorker with transport hardening options
-// (call deadlines, TLS, token).
+// (call deadlines, TLS, token). With do.Share set, every worker session
+// in this process dialed with the same address and options multiplexes
+// over ONE physical connection (transport.DialShared) instead of opening
+// its own socket at the coordinator.
 func RunRemoteWorkerWith(ctx context.Context, addr string, do DialOptions, cfg WorkerConfig, p Problem) (worker.Result, error) {
+	if do.Share {
+		shared := transport.DialShared(addr, do)
+		defer shared.Close()
+		return worker.Run(ctx, cfg, shared, p)
+	}
 	client, err := transport.DialWith(addr, do)
 	if err != nil {
 		return worker.Result{}, err
@@ -379,8 +394,15 @@ func RunRemoteWorkerParallel(ctx context.Context, addr string, cfg WorkerConfig,
 }
 
 // RunRemoteWorkerParallelWith is RunRemoteWorkerParallel with transport
-// hardening options (call deadlines, TLS, token).
+// hardening options (call deadlines, TLS, token). With do.Share set, the
+// session multiplexes over one pooled connection per (addr, options)
+// pair, like RunRemoteWorkerWith.
 func RunRemoteWorkerParallelWith(ctx context.Context, addr string, do DialOptions, cfg WorkerConfig, factory func() Problem) (worker.Result, error) {
+	if do.Share {
+		shared := transport.DialShared(addr, do)
+		defer shared.Close()
+		return worker.RunParallel(ctx, cfg, shared, factory)
+	}
 	client, err := transport.DialWith(addr, do)
 	if err != nil {
 		return worker.Result{}, err

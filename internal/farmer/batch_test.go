@@ -1,0 +1,189 @@
+package farmer_test
+
+import (
+	"net"
+	"net/rpc"
+	"testing"
+	"time"
+
+	"repro/internal/bb"
+	"repro/internal/core"
+	"repro/internal/farmer"
+	"repro/internal/flowshop"
+	"repro/internal/transport"
+	"repro/internal/worker"
+)
+
+// legacyCoordinator re-creates the PR-6 service surface for the
+// mixed-version matrix: the three-call protocol over plain text-gob,
+// no Exchange method, no dialect sniff.
+type legacyCoordinator struct{ coord transport.Coordinator }
+
+func (l *legacyCoordinator) RequestWork(req *transport.WorkRequest, reply *transport.WorkReply) error {
+	r, err := l.coord.RequestWork(*req)
+	if err != nil {
+		return err
+	}
+	*reply = r
+	return nil
+}
+
+func (l *legacyCoordinator) UpdateInterval(req *transport.UpdateRequest, reply *transport.UpdateReply) error {
+	r, err := l.coord.UpdateInterval(*req)
+	if err != nil {
+		return err
+	}
+	*reply = r
+	return nil
+}
+
+func (l *legacyCoordinator) ReportSolution(req *transport.SolutionReport, reply *transport.SolutionAck) error {
+	r, err := l.coord.ReportSolution(*req)
+	if err != nil {
+		return err
+	}
+	*reply = r
+	return nil
+}
+
+func legacyServe(t *testing.T, coord transport.Coordinator) string {
+	t.Helper()
+	srv := rpc.NewServer()
+	if err := srv.RegisterName("GridBB", &legacyCoordinator{coord}); err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go srv.ServeConn(c)
+		}
+	}()
+	return ln.Addr().String()
+}
+
+// tcpRunResult is everything a mixed-version run must reproduce exactly.
+type tcpRunResult struct {
+	cost     int64
+	explored int64
+	counters farmer.SubCounters
+}
+
+// runSubtreeOverTCP resolves one instance with a compact-dialect
+// sub-farmer whose root speaks either the current wire (compact +
+// Exchange) or the PR-6 text-gob three-call protocol. The fleet is driven
+// on one goroutine under a virtual clock, so two identical runs must
+// produce identical results and identical protocol counter trails.
+func runSubtreeOverTCP(t *testing.T, legacyRoot bool) tcpRunResult {
+	t.Helper()
+	ins := flowshop.Taillard(10, 6, 13)
+	factory := func() bb.Problem {
+		return flowshop.NewProblem(ins, flowshop.BoundOneMachine, flowshop.PairsAll)
+	}
+	nb := core.NewNumbering(factory().Shape())
+	root := farmer.New(nb.RootRange())
+
+	var addr string
+	if legacyRoot {
+		addr = legacyServe(t, root)
+	} else {
+		srv, err := transport.ServeWith(root, "127.0.0.1:0", transport.ServerOptions{WireRef: nb.RootRange()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { srv.Close() })
+		addr = srv.Addr()
+	}
+
+	up := transport.NewRedialWith(addr, transport.DialOptions{
+		Compact: true,
+		Policy:  transport.Policy{Timeout: 30 * time.Second},
+	})
+	t.Cleanup(func() { up.Close() })
+
+	var now int64
+	sub := farmer.NewSubFarmer(farmer.SubConfig{
+		ID:           "sub",
+		UpdateEvery:  4,
+		UpdatePeriod: time.Hour, // the message cadence drives all folds
+		FleetTTL:     time.Hour,
+		Clock:        func() int64 { return now },
+	}, up)
+
+	sessions := []*worker.Session{
+		worker.NewSession(worker.Config{ID: "w0", Power: 3, UpdatePeriodNodes: 64}, sub, factory()),
+		worker.NewSession(worker.Config{ID: "w1", Power: 5, UpdatePeriodNodes: 96}, sub, factory()),
+	}
+	const maxSteps = 200_000
+	for step := 0; step < maxSteps && !sub.Finished(); step++ {
+		now += int64(time.Second)
+		if _, _, err := sessions[step%len(sessions)].Advance(128); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !sub.Finished() {
+		t.Fatalf("subtree did not finish within %d steps", maxSteps)
+	}
+	return tcpRunResult{
+		cost:     root.Best().Cost,
+		explored: root.Counters().ExploredNodes,
+		counters: sub.Counters(),
+	}
+}
+
+// TestSubFarmerBatchesUpstreamOverTCP: against a current root, the
+// sub-farmer's folds coalesce into Exchange round-trips — the batch
+// counter moves, round-trips stay well under the legs they carried, and
+// the resolution still proves the sequential optimum.
+func TestSubFarmerBatchesUpstreamOverTCP(t *testing.T) {
+	want, _ := bb.Solve(flowshop.NewProblem(flowshop.Taillard(10, 6, 13), flowshop.BoundOneMachine, flowshop.PairsAll), bb.Infinity)
+	res := runSubtreeOverTCP(t, false)
+	if res.cost != want.Cost {
+		t.Fatalf("batched subtree proved %d, sequential optimum is %d", res.cost, want.Cost)
+	}
+	c := res.counters
+	if c.UpstreamBatches == 0 {
+		t.Fatal("no Exchange round-trips against a batch-capable root")
+	}
+	legs := c.UpstreamUpdates + c.UpstreamRequests + c.UpstreamReports
+	if c.UpstreamBatches >= legs {
+		t.Fatalf("batching saved nothing: %d round-trips for %d legs (%+v)", c.UpstreamBatches, legs, c)
+	}
+	if c.UpstreamLost != 0 {
+		t.Fatalf("lost %d upstream exchanges on loopback (%+v)", c.UpstreamLost, c)
+	}
+}
+
+// TestSubFarmerFallsBackUnderLegacyRoot is the mixed-version scenario of
+// DESIGN.md §11: a compact-codec sub-farmer under a text-gob PR-6 root.
+// The dial falls back to gob, the first Exchange probe is answered with
+// the can't-find error and latches the three-call path, and the
+// resolution completes with the right optimum. Run twice: the driver is
+// single-threaded under a virtual clock, so the two runs must match
+// result for result and counter for counter.
+func TestSubFarmerFallsBackUnderLegacyRoot(t *testing.T) {
+	want, _ := bb.Solve(flowshop.NewProblem(flowshop.Taillard(10, 6, 13), flowshop.BoundOneMachine, flowshop.PairsAll), bb.Infinity)
+	first := runSubtreeOverTCP(t, true)
+	if first.cost != want.Cost {
+		t.Fatalf("legacy-root subtree proved %d, sequential optimum is %d", first.cost, want.Cost)
+	}
+	c := first.counters
+	if c.UpstreamBatches != 1 {
+		t.Fatalf("expected exactly the one rejected Exchange probe, saw %d (%+v)", c.UpstreamBatches, c)
+	}
+	if c.UpstreamLost != 1 {
+		t.Fatalf("the rejected probe should be the only loss, saw %d (%+v)", c.UpstreamLost, c)
+	}
+
+	second := runSubtreeOverTCP(t, true)
+	if first != second {
+		t.Fatalf("mixed-version run is not reproducible:\n first: %+v\nsecond: %+v", first, second)
+	}
+}

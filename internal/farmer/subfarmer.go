@@ -19,6 +19,8 @@ package farmer
 import (
 	"errors"
 	"math/big"
+	"net/rpc"
+	"strings"
 	"sync"
 	"time"
 
@@ -31,8 +33,15 @@ import (
 // SubCounters aggregates the sub-farmer's upstream protocol statistics.
 // The fleet-facing statistics live in the embedded farmer's Counters.
 type SubCounters struct {
-	// UpstreamRequests/Updates/Reports count messages sent to the parent.
+	// UpstreamRequests/Updates/Reports count protocol operations sent to
+	// the parent — coalesced legs included, so the trajectory of these
+	// counters is comparable whether or not batching engaged.
 	UpstreamRequests, UpstreamUpdates, UpstreamReports int64
+	// UpstreamBatches counts coalesced Exchange round-trips; each one
+	// carried one fold plus whatever legs rode along, so
+	// (UpstreamUpdates+UpstreamRequests+UpstreamReports) −
+	// round-trips-saved is visible from these counters alone.
+	UpstreamBatches int64
 	// UpstreamLost counts upstream exchanges that failed at the
 	// transport; every one is retried by a later exchange (the pull
 	// model's retry-safety composes up the tree).
@@ -135,6 +144,12 @@ type SubFarmer struct {
 	// finished latches the parent's global termination verdict; local
 	// dryness is never surfaced to the fleet as termination.
 	finished bool
+
+	// noBatch latches the discovery that the parent predates the batch
+	// Exchange frame (its rpc server answered "can't find method"); every
+	// later cadence speaks the three-call protocol directly instead of
+	// re-probing.
+	noBatch bool
 
 	fleet map[transport.WorkerID]*fleetEntry
 
@@ -490,6 +505,10 @@ func (s *SubFarmer) foldUpLocked(now int64) {
 	if !s.bound || s.upBusy {
 		return
 	}
+	if bc, ok := s.batchUpstreamLocked(); ok {
+		s.exchangeUpLocked(bc, now, false)
+		return
+	}
 	s.pushBestUpLocked()
 	// tableLive is a snapshot: the fleet keeps updating while the RPC is
 	// in flight, so the table may drain before the reply lands. The drop
@@ -528,6 +547,97 @@ func (s *SubFarmer) foldUpLocked(now int64) {
 	s.sinceMsgs = 0
 	s.lastFoldNanos = now
 	s.adoptUpstreamBestLocked(reply.BestCost)
+	s.applyFoldVerdictLocked(reply, tableLive)
+}
+
+// batchUpstreamLocked reports whether upstream exchanges should coalesce:
+// the parent leg implements the batch frame and has not answered "can't
+// find method". In-process parents (a *Farmer, the harness interceptor)
+// never implement BatchCoordinator — a batch over a function call saves
+// nothing — so flat and simulated deployments keep the three-call path
+// and its traces unchanged.
+func (s *SubFarmer) batchUpstreamLocked() (transport.BatchCoordinator, bool) {
+	if s.noBatch {
+		return nil, false
+	}
+	bc, ok := s.up.(transport.BatchCoordinator)
+	return bc, ok
+}
+
+// isNoBatchErr recognizes an old parent: its rpc server rejects the
+// Exchange method by name. Every other error is an ordinary loss.
+func isNoBatchErr(err error) bool {
+	var se rpc.ServerError
+	return errors.As(err, &se) && strings.Contains(string(se), "can't find")
+}
+
+// exchangeUpLocked is foldUpLocked over the coalesced batch frame: one
+// round-trip carries the fold, the fleet power, any unsent best solution,
+// and — when wantWork is set — the refill request that would otherwise be
+// a separate exchange after the retire. Caller holds mu, owns the upBusy
+// token window, and has verified s.bound. Returns the reply and whether
+// the exchange succeeded.
+func (s *SubFarmer) exchangeUpLocked(bc transport.BatchCoordinator, now int64, wantWork bool) (transport.BatchReply, bool) {
+	tableLive := s.inner.FrontierInto(s.scrFront)
+	if !tableLive {
+		s.upIV.BInto(s.scrFront)
+	}
+	fold := interval.New(s.scrFront, s.upIV.BInto(s.scrB))
+	ec, pc, lc := s.innerStatsLocked()
+	req := transport.BatchRequest{
+		Worker:        s.cfg.ID,
+		Power:         s.fleetPowerLocked(now),
+		HasFold:       true,
+		FoldID:        s.upID,
+		Remaining:     fold,
+		ExploredDelta: ec - s.sentExplored,
+		PrunedDelta:   pc - s.sentPruned,
+		LeavesDelta:   lc - s.sentLeaves,
+		WantWork:      wantWork,
+	}
+	if best := s.inner.Best(); best.Cost < s.bestSentUp {
+		req.HasReport, req.Cost, req.Path = true, best.Cost, best.Path
+		s.counters.UpstreamReports++
+	}
+	s.counters.UpstreamUpdates++
+	if wantWork {
+		s.counters.UpstreamRequests++
+	}
+	s.counters.UpstreamBatches++
+	var (
+		reply transport.BatchReply
+		err   error
+	)
+	s.upCall(func(transport.Coordinator) {
+		reply, err = bc.Exchange(req)
+	})
+	if err != nil {
+		if isNoBatchErr(err) {
+			s.noBatch = true
+		}
+		s.noteUpstreamErrLocked(err)
+		return reply, false
+	}
+	if req.HasReport && req.Cost < s.bestSentUp {
+		s.bestSentUp = req.Cost
+	}
+	s.sentExplored, s.sentPruned, s.sentLeaves = ec, pc, lc
+	s.sinceMsgs = 0
+	s.lastFoldNanos = now
+	s.adoptUpstreamBestLocked(reply.BestCost)
+	s.applyFoldVerdictLocked(transport.UpdateReply{
+		Finished: reply.Finished,
+		Known:    reply.Known,
+		Interval: reply.Interval,
+	}, tableLive)
+	return reply, true
+}
+
+// applyFoldVerdictLocked applies the parent's authoritative fold reply —
+// shared by the three-call and batch paths, so the drop/restrict
+// semantics cannot drift between dialects. Caller still owns the fold
+// scratch (scrFront/scrB hold the fold bounds just sent).
+func (s *SubFarmer) applyFoldVerdictLocked(reply transport.UpdateReply, tableLive bool) {
 	if s.finished = s.finished || reply.Finished; s.finished {
 		// Global termination: whatever remains locally is duplicated
 		// residue of ground another subtree already proved (the root's
@@ -586,6 +696,23 @@ func (s *SubFarmer) refillLocked(now int64) bool {
 		// parent; this one waits its turn (WorkWait → retry).
 		return false
 	}
+	if bc, ok := s.batchUpstreamLocked(); ok && s.bound {
+		// Coalesced: retire fold and refill in ONE round-trip instead of
+		// the fold-then-request pair below.
+		reply, ok := s.exchangeUpLocked(bc, now, true)
+		if !ok || s.finished || !reply.HasWork {
+			// A lost batch, global termination, or a fold verdict that
+			// suppressed the work leg; the next fleet message retries.
+			return false
+		}
+		return s.adoptWorkReplyLocked(transport.WorkReply{
+			Status:     reply.Status,
+			IntervalID: reply.IntervalID,
+			Interval:   reply.WorkInterval,
+			BestCost:   reply.BestCost,
+			Duplicated: reply.Duplicated,
+		}, now)
+	}
 	if s.bound {
 		s.foldUpLocked(now)
 		if s.bound {
@@ -614,6 +741,13 @@ func (s *SubFarmer) refillLocked(now int64) bool {
 		s.noteUpstreamErrLocked(err)
 		return false
 	}
+	return s.adoptWorkReplyLocked(reply, now)
+}
+
+// adoptWorkReplyLocked applies the parent's work assignment — shared by
+// the three-call and batch refill paths. Reports whether the local table
+// is ready for another allocation attempt.
+func (s *SubFarmer) adoptWorkReplyLocked(reply transport.WorkReply, now int64) bool {
 	s.adoptUpstreamBestLocked(reply.BestCost)
 	switch reply.Status {
 	case transport.WorkFinished:

@@ -1,0 +1,12 @@
+package transport
+
+import "time"
+
+// SetAuthTimeout overrides the shared authentication/negotiation deadline
+// so tests can prove the bound fires without waiting ten seconds. It
+// returns the previous value for restoration.
+func SetAuthTimeout(d time.Duration) time.Duration {
+	old := authTimeout
+	authTimeout = d
+	return old
+}

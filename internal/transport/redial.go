@@ -61,11 +61,18 @@ func (b *Backoff) Reset() { b.cur = 0 }
 // connection-level errors drop it, and the next call re-dials — callers
 // like the SubFarmer already treat any upstream error as "lost, retry on
 // the next cadence", which is exactly the pacing the backoff enforces.
+// The mutex guards only client acquisition and teardown, never an
+// in-flight RPC: the multiplexing layer shares one Redial among every
+// worker on a host, so one slow WAN round-trip must not serialize the
+// rest (or block Close). Concurrent callers during a re-dial wait on the
+// condition variable rather than racing duplicate dials.
 type Redial struct {
 	mu      sync.Mutex
+	cond    *sync.Cond // lazily bound to mu; signals the end of a dial
 	addr    string
 	opts    DialOptions
 	client  *Client
+	dialing bool
 	backoff Backoff
 	nextTry time.Time
 	lastErr error
@@ -116,37 +123,73 @@ func (r *Redial) do(f func(*Client) error) error {
 	return err
 }
 
-// call runs one exchange, (re)dialing as needed. While the backoff window
-// of a failed dial is open, calls fail fast with the last error instead of
-// hammering a dead address — except for retry attempts (force), which by
-// definition have already paid their pacing in the retry loop.
-func (r *Redial) call(f func(*Client) error, force bool) error {
+// acquire returns the live client, dialing one if needed. While the
+// backoff window of a failed dial is open, it fails fast with the last
+// error instead of hammering a dead address — except for retry attempts
+// (force), which by definition have already paid their pacing in the
+// retry loop. Exactly one goroutine dials at a time; the rest wait for
+// its verdict instead of stampeding the address.
+func (r *Redial) acquire(force bool) (*Client, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if r.client == nil {
-		if !force && time.Now().Before(r.nextTry) {
-			return r.lastErr
+	for {
+		if r.client != nil {
+			return r.client, nil
 		}
+		if r.dialing {
+			if r.cond == nil {
+				r.cond = sync.NewCond(&r.mu)
+			}
+			r.cond.Wait()
+			continue
+		}
+		if !force && time.Now().Before(r.nextTry) {
+			return nil, r.lastErr
+		}
+		r.dialing = true
+		r.mu.Unlock()
 		c, err := DialWith(r.addr, r.opts)
+		r.mu.Lock()
+		r.dialing = false
+		if r.cond != nil {
+			r.cond.Broadcast()
+		}
 		if err != nil {
 			r.lastErr = err
 			r.nextTry = time.Now().Add(r.backoff.Next())
-			return err
+			return nil, err
 		}
 		r.client = c
 		r.backoff.Reset()
+		return c, nil
 	}
-	err := f(r.client)
+}
+
+// call runs one exchange, (re)dialing as needed. The RPC itself runs
+// outside the mutex: a shared Redial stays concurrent (net/rpc
+// multiplexes in-flight calls by sequence number), and Close is never
+// blocked behind a WAN round-trip.
+func (r *Redial) call(f func(*Client) error, force bool) error {
+	c, err := r.acquire(force)
+	if err != nil {
+		return err
+	}
+	err = f(c)
 	if err == nil {
 		return nil
 	}
 	if _, serverSide := err.(rpc.ServerError); !serverSide {
 		// Transport-level failure: the net/rpc client is unusable from
-		// here on. Drop it; the next call past the backoff re-dials.
-		r.client.Close()
-		r.client = nil
-		r.lastErr = err
-		r.nextTry = time.Now().Add(r.backoff.Next())
+		// here on. Drop it — but only if a concurrent failer hasn't
+		// already replaced it — and close outside the lock.
+		r.mu.Lock()
+		if r.client == c {
+			r.client = nil
+			r.lastErr = err
+			r.nextTry = time.Now().Add(r.backoff.Next())
+		}
+		r.mu.Unlock()
+		c.Close()
 	}
 	return err
 }
@@ -181,16 +224,32 @@ func (r *Redial) ReportSolution(req SolutionReport) (reply SolutionAck, err erro
 	return reply, err
 }
 
-// Close tears down the current connection, if any.
+// Exchange implements BatchCoordinator, retried per policy: every leg of
+// a batch is individually retry-safe (see Policy), so the whole batch is.
+// Against an old coordinator the first attempt returns the rpc "can't
+// find method" ServerError — never retried — which callers treat as
+// "speak the three-call protocol".
+func (r *Redial) Exchange(req BatchRequest) (reply BatchReply, err error) {
+	err = r.do(func(c *Client) (e error) {
+		reply, e = c.Exchange(req)
+		return e
+	})
+	return reply, err
+}
+
+// Close tears down the current connection, if any. It swaps the client
+// out under the lock and closes outside it, so a Close never waits for
+// an in-flight call to come back.
 func (r *Redial) Close() error {
 	r.mu.Lock()
-	defer r.mu.Unlock()
-	if r.client == nil {
+	c := r.client
+	r.client = nil
+	r.mu.Unlock()
+	if c == nil {
 		return nil
 	}
-	err := r.client.Close()
-	r.client = nil
-	return err
+	return c.Close()
 }
 
 var _ Coordinator = (*Redial)(nil)
+var _ BatchCoordinator = (*Redial)(nil)

@@ -2,13 +2,17 @@ package transport
 
 import (
 	"crypto/tls"
+	"encoding/binary"
 	"fmt"
+	"io"
 	"math"
 	"net"
 	"net/rpc"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/interval"
 )
 
 // RPCService adapts a Coordinator to the net/rpc calling convention so a
@@ -51,6 +55,58 @@ func (s *RPCService) ReportSolution(req *SolutionReport, reply *SolutionAck) err
 	return nil
 }
 
+// Exchange is the RPC carrier of BatchCoordinator: it decomposes the
+// batch into the coordinator's three-call protocol server-side, so one
+// WAN round-trip replaces up to four without the Coordinator interface
+// growing. Leg order is report, fold, refill — and a fold that learns the
+// resolution is finished suppresses the refill.
+func (s *RPCService) Exchange(req *BatchRequest, reply *BatchReply) error {
+	if req.HasReport {
+		ack, err := s.coord.ReportSolution(SolutionReport{
+			Worker: req.Worker, Cost: req.Cost, Path: req.Path,
+		})
+		if err != nil {
+			return err
+		}
+		reply.BestCost = ack.BestCost
+	}
+	if req.HasFold {
+		ur, err := s.coord.UpdateInterval(UpdateRequest{
+			Worker:        req.Worker,
+			IntervalID:    req.FoldID,
+			Remaining:     req.Remaining,
+			Power:         req.Power,
+			ExploredDelta: req.ExploredDelta,
+			PrunedDelta:   req.PrunedDelta,
+			LeavesDelta:   req.LeavesDelta,
+		})
+		if err != nil {
+			return err
+		}
+		reply.HasFold = true
+		reply.Finished = ur.Finished
+		reply.Known = ur.Known
+		reply.Interval = ur.Interval
+		reply.BestCost = ur.BestCost
+	}
+	if req.WantWork && !reply.Finished {
+		wr, err := s.coord.RequestWork(WorkRequest{Worker: req.Worker, Power: req.Power})
+		if err != nil {
+			return err
+		}
+		reply.HasWork = true
+		reply.Status = wr.Status
+		reply.IntervalID = wr.IntervalID
+		reply.WorkInterval = wr.Interval
+		reply.Duplicated = wr.Duplicated
+		reply.BestCost = wr.BestCost
+		if wr.Status == WorkFinished {
+			reply.Finished = true
+		}
+	}
+	return nil
+}
+
 // serviceName is the rpc-registered name of the farmer service.
 const serviceName = "GridBB"
 
@@ -87,6 +143,13 @@ type ServerOptions struct {
 	// authentication mode; combine with TLS so the token is not sent in
 	// clear).
 	Token string
+	// WireRef is the reference interval of the compact wire codec: when a
+	// client negotiates the compact dialect, both ends delta-encode every
+	// interval against it. The natural choice is the root interval the
+	// coordinator boundary pins (gridbb wires it automatically); the zero
+	// value is still correct — intervals then encode their absolute
+	// bounds — just larger on the wire.
+	WireRef interval.Interval
 }
 
 // ServerStats counts what the hardening layer did, mirroring the farmer's
@@ -221,11 +284,43 @@ func (s *Server) serveConn(nc net.Conn) {
 			return
 		}
 	}
-	s.rpcSrv.ServeConn(c)
+	c.authed.Store(true)
+	// Dialect sniff: a compact-codec client opens with wirePreamble, whose
+	// lead byte can never begin a gob stream; anything else is the legacy
+	// text-gob dialect, replayed through prefixedConn.
+	var first [1]byte
+	if _, err := io.ReadFull(c, first[:]); err != nil {
+		return
+	}
+	if first[0] == wirePreamble[0] {
+		rest := make([]byte, len(wirePreamble)-1)
+		if _, err := io.ReadFull(c, rest); err != nil {
+			return
+		}
+		for i, b := range rest {
+			if b != wirePreamble[i+1] {
+				return
+			}
+		}
+		enc := s.opts.WireRef.AppendDelta(nil, interval.Interval{})
+		ack := append([]byte{wireAck}, binary.AppendUvarint(nil, uint64(len(enc)))...)
+		ack = append(ack, enc...)
+		if _, err := c.Write(ack); err != nil {
+			return
+		}
+		s.rpcSrv.ServeCodec(newWireServerCodec(c, s.opts.WireRef, s.opts.MaxMessageBytes))
+		return
+	}
+	s.rpcSrv.ServeConn(&prefixedConn{ReadWriteCloser: c, prefix: first[:]})
 }
 
-// register tracks c, evicting the most idle connection when MaxConns is
-// reached. It reports false when the server is already closed.
+// register tracks c, evicting a connection when MaxConns is reached. The
+// victim is the most idle UNauthenticated connection when one exists, and
+// only otherwise the most idle authenticated one: a new arrival has not
+// proven anything yet, so a flood of token-less dials competes with
+// itself for slots instead of evicting live workers mid-RPC (each failed
+// handshake unregisters within authTimeout, recycling the slots the flood
+// holds). Reports false when the server is already closed.
 func (s *Server) register(c *srvConn) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -234,11 +329,14 @@ func (s *Server) register(c *srvConn) bool {
 	}
 	if max := s.opts.MaxConns; max > 0 && len(s.conns) >= max {
 		var victim *srvConn
+		victimAuthed := true
 		oldest := int64(math.MaxInt64)
 		for oc := range s.conns {
-			if la := oc.lastActive.Load(); la < oldest {
-				oldest, victim = la, oc
+			authed, la := oc.authed.Load(), oc.lastActive.Load()
+			if victim != nil && (authed && !victimAuthed || authed == victimAuthed && la >= oldest) {
+				continue
 			}
+			victim, victimAuthed, oldest = oc, authed, la
 		}
 		if victim != nil {
 			delete(s.conns, victim)
@@ -304,6 +402,7 @@ type srvConn struct {
 	srv        *Server
 	lastActive atomic.Int64 // wall nanos of last traffic, for eviction
 	window     atomic.Int64 // bytes read since the last write
+	authed     atomic.Bool  // TLS + token passed; eviction spares these first
 }
 
 func (c *srvConn) touch() { c.lastActive.Store(time.Now().UnixNano()) }
@@ -347,6 +446,18 @@ type DialOptions struct {
 	// MaxMessageBytes bounds one inbound reply. Zero means
 	// DefaultMaxMessageBytes; negative disables the bound.
 	MaxMessageBytes int64
+	// Compact asks for the compact wire dialect (delta-coded intervals,
+	// one-byte methods; see wire.go). Negotiated, not assumed: an old
+	// server closes the connection at the preamble, and the dial falls
+	// back to a fresh text-gob connection — so Compact is always safe to
+	// set, whatever the server's vintage.
+	Compact bool
+	// Share marks this client as safe to pool on one physical connection
+	// per coordinator address (see DialShared): net/rpc multiplexes
+	// concurrent calls by sequence number, so workers on one host don't
+	// each need a socket at the root. Honored by the pooling layers
+	// (gridbb, cmd/worker), not by DialWith itself.
+	Share bool
 }
 
 // Client is a Coordinator implementation that forwards calls to a remote
@@ -378,6 +489,41 @@ func DialWith(addr string, opts DialOptions) (*Client, error) {
 		opts.MaxMessageBytes = DefaultMaxMessageBytes
 	}
 	timeout := opts.Policy.Timeout
+	nc, err := dialAuthedConn(addr, opts)
+	if err != nil {
+		return nil, err
+	}
+	cc := &cliConn{Conn: nc, max: opts.MaxMessageBytes}
+	if opts.Compact {
+		codec, err := negotiateCompact(cc, opts.MaxMessageBytes)
+		if err == nil {
+			nc.SetDeadline(time.Time{})
+			return &Client{rc: rpc.NewClientWithCodec(codec), timeout: timeout}, nil
+		}
+		// An old server trips over the preamble and closes the stream;
+		// re-dial from scratch and speak the dialect it does know.
+		nc.Close()
+		if nc, err = dialAuthedConn(addr, opts); err != nil {
+			return nil, err
+		}
+		cc = &cliConn{Conn: nc, max: opts.MaxMessageBytes}
+	}
+	nc.SetDeadline(time.Time{})
+	return &Client{rc: rpc.NewClient(cc), timeout: timeout}, nil
+}
+
+// dialAuthedConn dials, TLS-handshakes, and token-authenticates one
+// connection. The whole establishment phase runs under a deadline —
+// Policy.Timeout when set, else authTimeout, mirroring the bound the
+// server already puts on its half — so a black-holed coordinator can
+// never hang a dialer. The deadline is still armed on return (covering
+// the caller's dialect negotiation); the caller clears it.
+func dialAuthedConn(addr string, opts DialOptions) (net.Conn, error) {
+	timeout := opts.Policy.Timeout
+	authBound := timeout
+	if authBound <= 0 {
+		authBound = authTimeout
+	}
 	var nc net.Conn
 	var err error
 	if timeout > 0 {
@@ -388,9 +534,7 @@ func DialWith(addr string, opts DialOptions) (*Client, error) {
 	if err != nil {
 		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
 	}
-	if timeout > 0 {
-		nc.SetDeadline(time.Now().Add(timeout))
-	}
+	nc.SetDeadline(time.Now().Add(authBound))
 	if opts.TLS != nil {
 		conf := opts.TLS
 		if conf.ServerName == "" && !conf.InsecureSkipVerify {
@@ -416,11 +560,7 @@ func DialWith(addr string, opts DialOptions) (*Client, error) {
 			return nil, fmt.Errorf("transport: authenticate to %s: %w", addr, err)
 		}
 	}
-	if timeout > 0 {
-		nc.SetDeadline(time.Time{})
-	}
-	cc := &cliConn{Conn: nc, max: opts.MaxMessageBytes}
-	return &Client{rc: rpc.NewClient(cc), timeout: timeout}, nil
+	return nc, nil
 }
 
 // cliConn enforces the reply-size window on the worker side, symmetric to
@@ -499,7 +639,17 @@ func (c *Client) ReportSolution(req SolutionReport) (SolutionAck, error) {
 	return reply, err
 }
 
+// Exchange implements BatchCoordinator. Against an old server the call
+// returns rpc.ServerError("rpc: can't find method ..."); callers use
+// that as the signal to fall back to the three-call protocol.
+func (c *Client) Exchange(req BatchRequest) (BatchReply, error) {
+	var reply BatchReply
+	err := c.invoke(serviceName+".Exchange", &req, &reply)
+	return reply, err
+}
+
 // Close tears down the connection.
 func (c *Client) Close() error { return c.rc.Close() }
 
 var _ Coordinator = (*Client)(nil)
+var _ BatchCoordinator = (*Client)(nil)

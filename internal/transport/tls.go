@@ -26,10 +26,12 @@ import (
 	"time"
 )
 
-// authTimeout bounds the whole connection preamble (TLS handshake and
-// token exchange) on the server side, so an attacker cannot pin accept
-// slots with half-open handshakes.
-const authTimeout = 10 * time.Second
+// authTimeout bounds the whole connection preamble (TLS handshake, token
+// exchange, dialect negotiation) on both sides: the server cannot have
+// its accept slots pinned by half-open handshakes, and a dialer cannot be
+// hung forever by a black-holed coordinator. A variable, not a const, so
+// tests can shrink it.
+var authTimeout = 10 * time.Second
 
 // maxTokenBytes bounds the token frame; anything longer is hostile.
 const maxTokenBytes = 512

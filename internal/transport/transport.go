@@ -130,6 +130,61 @@ type SolutionAck struct {
 	Accepted bool
 }
 
+// BatchRequest coalesces one cadence worth of upstream traffic — solution
+// report, interval fold (with retire expressed as an empty Remaining), and
+// work refill — into a single round-trip. Flat deployments keep the three
+// separate calls; the batch exists for the hierarchical tree, where a
+// sub-farmer's cadence would otherwise pay two to four WAN round-trips.
+type BatchRequest struct {
+	// Worker and Power are as in WorkRequest/UpdateRequest.
+	Worker WorkerID
+	Power  int64
+	// HasFold gates the UpdateInterval leg: FoldID and Remaining carry
+	// what UpdateRequest would, and the three deltas report progress.
+	HasFold                                 bool
+	FoldID                                  int64
+	Remaining                               interval.Interval
+	ExploredDelta, PrunedDelta, LeavesDelta int64
+	// HasReport gates the ReportSolution leg.
+	HasReport bool
+	Cost      int64
+	Path      []int
+	// WantWork gates the RequestWork leg, skipped when the fold leg
+	// already learned the resolution is finished.
+	WantWork bool
+}
+
+// BatchReply carries the verdicts of every leg the request enabled.
+type BatchReply struct {
+	// HasFold mirrors the request: Finished/Known/Interval are the
+	// UpdateReply verdict for the fold leg.
+	HasFold  bool
+	Finished bool
+	Known    bool
+	Interval interval.Interval
+	// HasWork mirrors WantWork: Status/IntervalID/WorkInterval/Duplicated
+	// are the WorkReply for the refill leg.
+	HasWork      bool
+	Status       WorkStatus
+	IntervalID   int64
+	WorkInterval interval.Interval
+	Duplicated   bool
+	// BestCost is the global best after every leg ran (each leg also
+	// reports it; the last one wins, and they are monotone anyway).
+	BestCost int64
+}
+
+// BatchCoordinator is the optional coalescing extension of Coordinator.
+// The RPC transport implements it end to end (an old coordinator answers
+// "can't find method", which callers treat as "speak the three-call
+// protocol"); in-process coordinators need not bother, because a batch
+// over a function call saves nothing.
+type BatchCoordinator interface {
+	// Exchange runs report, fold, and refill — whichever the request
+	// enables, in that order — in one round-trip.
+	Exchange(req BatchRequest) (BatchReply, error)
+}
+
 // Coordinator is the farmer-side API workers pull on. Implementations must
 // be safe for concurrent use by many workers.
 type Coordinator interface {

@@ -1,0 +1,713 @@
+// The compact wire codec (DESIGN.md §11): a drop-in replacement for the
+// text-gob net/rpc stream that cuts an UpdateInterval round from ~350
+// bytes to a few tens. Three mechanisms stack:
+//
+//   - intervals go as binary deltas against a reference range negotiated
+//     at connection time (interval.AppendDelta; the server's WireRef,
+//     typically the root interval the coordinator boundary already pins),
+//     instead of two ~65-digit decimal texts;
+//   - the "GridBB.UpdateInterval" method string both ways collapses to a
+//     one-byte method id and a varint sequence number;
+//   - the reply interval is elided entirely when it equals the request's
+//     Remaining — the steady-state no-rebalance case, where the farmer's
+//     intersection (eq. 14) returns exactly what the worker folded.
+//
+// Framing is uvarint(length) + body; the length is checked against
+// MaxMessageBytes before the body is read, and intervals decode under
+// interval.MaxDeltaBits, so the reject-before-materialize discipline of
+// the srvConn/cliConn byte windows carries over (the windows themselves
+// still run beneath this codec).
+//
+// Negotiation: after authentication the client sends wirePreamble, whose
+// lead byte 0x00 can never begin a gob stream (a gob message length is
+// never zero), so a new server distinguishes the two dialects from the
+// first byte. A new server answers with an ack and the reference
+// interval; an old server trips over the preamble and closes, and the
+// client re-dials speaking plain text-gob — old and new peers interoperate
+// in both directions with no configuration.
+package transport
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net/rpc"
+	"sync"
+
+	"repro/internal/interval"
+)
+
+// wirePreamble opens a compact-codec connection, after authentication.
+// The lead 0x00 is unambiguous against gob: a gob stream begins with a
+// message length, which is never zero.
+var wirePreamble = [5]byte{0x00, 'G', 'B', 'W', 1}
+
+// wireAck is the server's one-byte acceptance of the preamble, followed
+// by the reference-interval frame.
+const wireAck = 0x01
+
+// maxWireRefBytes bounds the negotiated reference-interval frame.
+const maxWireRefBytes = 1 << 16
+
+// wireFlagError marks a response frame that carries an error string
+// instead of a reply payload.
+const wireFlagError = 0x01
+
+// Method ids replace ServiceMethod strings on the wire.
+const (
+	wireRequestWork    = 0x01
+	wireUpdateInterval = 0x02
+	wireReportSolution = 0x03
+	wireExchange       = 0x04
+)
+
+func wireMethodName(id byte) string {
+	switch id {
+	case wireRequestWork:
+		return serviceName + ".RequestWork"
+	case wireUpdateInterval:
+		return serviceName + ".UpdateInterval"
+	case wireReportSolution:
+		return serviceName + ".ReportSolution"
+	case wireExchange:
+		return serviceName + ".Exchange"
+	default:
+		return ""
+	}
+}
+
+func wireMethodID(name string) byte {
+	switch name {
+	case serviceName + ".RequestWork":
+		return wireRequestWork
+	case serviceName + ".UpdateInterval":
+		return wireUpdateInterval
+	case serviceName + ".ReportSolution":
+		return wireReportSolution
+	case serviceName + ".Exchange":
+		return wireExchange
+	default:
+		return 0
+	}
+}
+
+// readWireFrame reads one length-prefixed frame, reusing buf. The length
+// is vetted against max before a byte of body is read.
+func readWireFrame(br *bufio.Reader, max int64, buf []byte) ([]byte, error) {
+	n, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	if max > 0 && int64(n) > max {
+		return nil, fmt.Errorf("wire: %d-byte frame beyond %d: %w", n, max, ErrOversize)
+	}
+	if uint64(cap(buf)) < n {
+		buf = make([]byte, n)
+	} else {
+		buf = buf[:n]
+	}
+	if _, err := io.ReadFull(br, buf); err != nil {
+		return nil, fmt.Errorf("wire: truncated frame: %w", err)
+	}
+	return buf, nil
+}
+
+// wireReader is a cursor over one frame body; errors stick so decode
+// sequences read linearly and check once.
+type wireReader struct {
+	data []byte
+	pos  int
+	err  error
+}
+
+func (r *wireReader) fail(format string, args ...any) {
+	if r.err == nil {
+		r.err = fmt.Errorf(format, args...)
+	}
+}
+
+func (r *wireReader) byte() byte {
+	if r.err != nil {
+		return 0
+	}
+	if r.pos >= len(r.data) {
+		r.fail("wire: truncated body")
+		return 0
+	}
+	b := r.data[r.pos]
+	r.pos++
+	return b
+}
+
+func (r *wireReader) uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.data[r.pos:])
+	if n <= 0 {
+		r.fail("wire: bad uvarint")
+		return 0
+	}
+	r.pos += n
+	return v
+}
+
+func (r *wireReader) varint() int64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(r.data[r.pos:])
+	if n <= 0 {
+		r.fail("wire: bad varint")
+		return 0
+	}
+	r.pos += n
+	return v
+}
+
+func (r *wireReader) str() string {
+	n := r.uvarint()
+	if r.err != nil {
+		return ""
+	}
+	if uint64(len(r.data)-r.pos) < n {
+		r.fail("wire: truncated string")
+		return ""
+	}
+	s := string(r.data[r.pos : r.pos+int(n)])
+	r.pos += int(n)
+	return s
+}
+
+func (r *wireReader) interval(ref interval.Interval) interval.Interval {
+	if r.err != nil {
+		return interval.Interval{}
+	}
+	iv, n, err := interval.DecodeDelta(r.data[r.pos:], ref, 0)
+	if err != nil {
+		r.fail("wire: %v", err)
+		return interval.Interval{}
+	}
+	r.pos += n
+	return iv
+}
+
+func (r *wireReader) path() []int {
+	n := r.uvarint()
+	if r.err != nil {
+		return nil
+	}
+	// Each path element is at least one varint byte.
+	if uint64(len(r.data)-r.pos) < n {
+		r.fail("wire: truncated path")
+		return nil
+	}
+	p := make([]int, n)
+	for i := range p {
+		p[i] = int(r.varint())
+	}
+	return p
+}
+
+func appendWireStr(dst []byte, s string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+func appendWirePath(dst []byte, p []int) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(p)))
+	for _, v := range p {
+		dst = binary.AppendVarint(dst, int64(v))
+	}
+	return dst
+}
+
+func wireBool(b bool) byte {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// Request payloads.
+
+func appendWireRequestBody(dst []byte, ref interval.Interval, x any) (body []byte, intervalSeg []byte, err error) {
+	switch q := x.(type) {
+	case *WorkRequest:
+		dst = appendWireStr(dst, string(q.Worker))
+		dst = binary.AppendVarint(dst, q.Power)
+	case *UpdateRequest:
+		dst = appendWireStr(dst, string(q.Worker))
+		dst = binary.AppendVarint(dst, q.IntervalID)
+		p0 := len(dst)
+		dst = q.Remaining.AppendDelta(dst, ref)
+		intervalSeg = append([]byte(nil), dst[p0:]...)
+		dst = binary.AppendVarint(dst, q.Power)
+		dst = binary.AppendVarint(dst, q.ExploredDelta)
+		dst = binary.AppendVarint(dst, q.PrunedDelta)
+		dst = binary.AppendVarint(dst, q.LeavesDelta)
+	case *SolutionReport:
+		dst = appendWireStr(dst, string(q.Worker))
+		dst = binary.AppendVarint(dst, q.Cost)
+		dst = appendWirePath(dst, q.Path)
+	case *BatchRequest:
+		dst = appendWireStr(dst, string(q.Worker))
+		dst = binary.AppendVarint(dst, q.Power)
+		var f byte
+		if q.HasFold {
+			f |= 1
+		}
+		if q.HasReport {
+			f |= 2
+		}
+		if q.WantWork {
+			f |= 4
+		}
+		dst = append(dst, f)
+		if q.HasFold {
+			dst = binary.AppendVarint(dst, q.FoldID)
+			dst = q.Remaining.AppendDelta(dst, ref)
+			dst = binary.AppendVarint(dst, q.ExploredDelta)
+			dst = binary.AppendVarint(dst, q.PrunedDelta)
+			dst = binary.AppendVarint(dst, q.LeavesDelta)
+		}
+		if q.HasReport {
+			dst = binary.AppendVarint(dst, q.Cost)
+			dst = appendWirePath(dst, q.Path)
+		}
+	default:
+		return dst, nil, fmt.Errorf("wire: unsupported request type %T", x)
+	}
+	return dst, intervalSeg, nil
+}
+
+// decodeWireRequestBody fills x from r; for UpdateRequest it also returns
+// the raw byte segment of the encoded Remaining, for reply elision.
+func decodeWireRequestBody(r *wireReader, ref interval.Interval, x any) (intervalSeg []byte) {
+	switch q := x.(type) {
+	case *WorkRequest:
+		q.Worker = WorkerID(r.str())
+		q.Power = r.varint()
+	case *UpdateRequest:
+		q.Worker = WorkerID(r.str())
+		q.IntervalID = r.varint()
+		p0 := r.pos
+		q.Remaining = r.interval(ref)
+		if r.err == nil {
+			intervalSeg = append([]byte(nil), r.data[p0:r.pos]...)
+		}
+		q.Power = r.varint()
+		q.ExploredDelta = r.varint()
+		q.PrunedDelta = r.varint()
+		q.LeavesDelta = r.varint()
+	case *SolutionReport:
+		q.Worker = WorkerID(r.str())
+		q.Cost = r.varint()
+		q.Path = r.path()
+	case *BatchRequest:
+		q.Worker = WorkerID(r.str())
+		q.Power = r.varint()
+		f := r.byte()
+		q.HasFold = f&1 != 0
+		q.HasReport = f&2 != 0
+		q.WantWork = f&4 != 0
+		if q.HasFold {
+			q.FoldID = r.varint()
+			q.Remaining = r.interval(ref)
+			q.ExploredDelta = r.varint()
+			q.PrunedDelta = r.varint()
+			q.LeavesDelta = r.varint()
+		}
+		if q.HasReport {
+			q.Cost = r.varint()
+			q.Path = r.path()
+		}
+	default:
+		r.fail("wire: unsupported request type %T", x)
+	}
+	return intervalSeg
+}
+
+// Reply payloads.
+
+func appendWireReplyBody(dst []byte, ref interval.Interval, x any, elideWant []byte) ([]byte, error) {
+	switch p := x.(type) {
+	case *WorkReply:
+		dst = binary.AppendVarint(dst, int64(p.Status))
+		dst = binary.AppendVarint(dst, p.IntervalID)
+		dst = p.Interval.AppendDelta(dst, ref)
+		dst = binary.AppendVarint(dst, p.BestCost)
+		dst = append(dst, wireBool(p.Duplicated))
+	case *UpdateReply:
+		enc := p.Interval.AppendDelta(nil, ref)
+		elide := elideWant != nil && bytes.Equal(enc, elideWant)
+		var f byte
+		if p.Finished {
+			f |= 1
+		}
+		if p.Known {
+			f |= 2
+		}
+		if elide {
+			f |= 4
+		}
+		dst = append(dst, f)
+		if !elide {
+			dst = append(dst, enc...)
+		}
+		dst = binary.AppendVarint(dst, p.BestCost)
+	case *SolutionAck:
+		dst = binary.AppendVarint(dst, p.BestCost)
+		dst = append(dst, wireBool(p.Accepted))
+	case *BatchReply:
+		var f byte
+		if p.HasFold {
+			f |= 1
+		}
+		if p.Finished {
+			f |= 2
+		}
+		if p.Known {
+			f |= 4
+		}
+		if p.HasWork {
+			f |= 8
+		}
+		if p.Duplicated {
+			f |= 16
+		}
+		dst = append(dst, f)
+		if p.HasFold {
+			dst = p.Interval.AppendDelta(dst, ref)
+		}
+		if p.HasWork {
+			dst = binary.AppendVarint(dst, int64(p.Status))
+			dst = binary.AppendVarint(dst, p.IntervalID)
+			dst = p.WorkInterval.AppendDelta(dst, ref)
+		}
+		dst = binary.AppendVarint(dst, p.BestCost)
+	default:
+		return dst, fmt.Errorf("wire: unsupported reply type %T", x)
+	}
+	return dst, nil
+}
+
+// decodeWireReplyBody fills x from r; stashed is the encoded Remaining of
+// the matching request, consumed when the reply interval was elided.
+func decodeWireReplyBody(r *wireReader, ref interval.Interval, x any, stashed []byte) {
+	switch p := x.(type) {
+	case *WorkReply:
+		p.Status = WorkStatus(r.varint())
+		p.IntervalID = r.varint()
+		p.Interval = r.interval(ref)
+		p.BestCost = r.varint()
+		p.Duplicated = r.byte() != 0
+	case *UpdateReply:
+		f := r.byte()
+		p.Finished = f&1 != 0
+		p.Known = f&2 != 0
+		if f&4 != 0 {
+			if stashed == nil {
+				r.fail("wire: elided reply interval with no request copy")
+				return
+			}
+			iv, n, err := interval.DecodeDelta(stashed, ref, 0)
+			if err != nil || n != len(stashed) {
+				r.fail("wire: bad stashed interval: %v", err)
+				return
+			}
+			p.Interval = iv
+		} else {
+			p.Interval = r.interval(ref)
+		}
+		p.BestCost = r.varint()
+	case *SolutionAck:
+		p.BestCost = r.varint()
+		p.Accepted = r.byte() != 0
+	case *BatchReply:
+		f := r.byte()
+		p.HasFold = f&1 != 0
+		p.Finished = f&2 != 0
+		p.Known = f&4 != 0
+		p.HasWork = f&8 != 0
+		p.Duplicated = f&16 != 0
+		if p.HasFold {
+			p.Interval = r.interval(ref)
+		}
+		if p.HasWork {
+			p.Status = WorkStatus(r.varint())
+			p.IntervalID = r.varint()
+			p.WorkInterval = r.interval(ref)
+		}
+		p.BestCost = r.varint()
+	default:
+		r.fail("wire: unsupported reply type %T", x)
+	}
+}
+
+// wireServerCodec is the coordinator side of the compact dialect. Reads
+// run on net/rpc's single input goroutine; writes are serialized by the
+// rpc server's sending mutex (wmu is cheap insurance). The stash carries
+// each UpdateInterval request's encoded Remaining from the read side to
+// the response side, keyed by sequence number, so the reply interval can
+// be elided when the coordinator changed nothing.
+type wireServerCodec struct {
+	conn io.ReadWriteCloser
+	br   *bufio.Reader
+	ref  interval.Interval
+	max  int64
+
+	rbuf   []byte
+	method byte
+	seq    uint64
+	body   []byte
+
+	wmu        sync.Mutex
+	wbuf, pbuf []byte
+
+	stashMu sync.Mutex
+	stash   map[uint64][]byte
+}
+
+func newWireServerCodec(conn io.ReadWriteCloser, ref interval.Interval, max int64) *wireServerCodec {
+	return &wireServerCodec{
+		conn:  conn,
+		br:    bufio.NewReader(conn),
+		ref:   ref,
+		max:   max,
+		stash: make(map[uint64][]byte),
+	}
+}
+
+func (c *wireServerCodec) ReadRequestHeader(req *rpc.Request) error {
+	frame, err := readWireFrame(c.br, c.max, c.rbuf)
+	if err != nil {
+		return err
+	}
+	c.rbuf = frame
+	r := wireReader{data: frame}
+	c.method = r.byte()
+	c.seq = r.uvarint()
+	if r.err != nil {
+		return r.err
+	}
+	req.Seq = c.seq
+	if name := wireMethodName(c.method); name != "" {
+		req.ServiceMethod = name
+	} else {
+		// Unknown id: hand rpc a method it cannot find, so the peer gets
+		// a ServerError reply and the connection survives.
+		req.ServiceMethod = fmt.Sprintf("%s.wire#%d", serviceName, c.method)
+	}
+	c.body = frame[r.pos:]
+	return nil
+}
+
+func (c *wireServerCodec) ReadRequestBody(x any) error {
+	body := c.body
+	c.body = nil
+	if x == nil {
+		return nil
+	}
+	r := wireReader{data: body}
+	seg := decodeWireRequestBody(&r, c.ref, x)
+	if r.err != nil {
+		return r.err
+	}
+	if seg != nil {
+		c.stashMu.Lock()
+		c.stash[c.seq] = seg
+		c.stashMu.Unlock()
+	}
+	return nil
+}
+
+func (c *wireServerCodec) WriteResponse(resp *rpc.Response, x any) error {
+	c.stashMu.Lock()
+	want := c.stash[resp.Seq]
+	delete(c.stash, resp.Seq)
+	c.stashMu.Unlock()
+
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	body := c.pbuf[:0]
+	body = append(body, wireMethodID(resp.ServiceMethod))
+	body = binary.AppendUvarint(body, resp.Seq)
+	if resp.Error != "" {
+		body = append(body, wireFlagError)
+		body = appendWireStr(body, resp.Error)
+	} else {
+		body = append(body, 0)
+		var err error
+		if body, err = appendWireReplyBody(body, c.ref, x, want); err != nil {
+			return err
+		}
+	}
+	c.pbuf = body
+	out := binary.AppendUvarint(c.wbuf[:0], uint64(len(body)))
+	out = append(out, body...)
+	c.wbuf = out
+	_, err := c.conn.Write(out)
+	return err
+}
+
+func (c *wireServerCodec) Close() error { return c.conn.Close() }
+
+// wireClientCodec is the worker side. WriteRequest stashes the encoded
+// Remaining of each UpdateInterval by sequence number; ReadResponseBody
+// (which net/rpc calls exactly once per response, nil body included)
+// consumes the stash, restoring the interval when the reply elided it.
+type wireClientCodec struct {
+	conn io.ReadWriteCloser
+	br   *bufio.Reader
+	ref  interval.Interval
+	max  int64
+
+	wmu        sync.Mutex
+	wbuf, pbuf []byte
+
+	rbuf     []byte
+	respSeq  uint64
+	respBody []byte
+
+	stashMu sync.Mutex
+	stash   map[uint64][]byte
+}
+
+func newWireClientCodec(conn io.ReadWriteCloser, br *bufio.Reader, ref interval.Interval, max int64) *wireClientCodec {
+	return &wireClientCodec{
+		conn:  conn,
+		br:    br,
+		ref:   ref,
+		max:   max,
+		stash: make(map[uint64][]byte),
+	}
+}
+
+func (c *wireClientCodec) WriteRequest(req *rpc.Request, x any) error {
+	id := wireMethodID(req.ServiceMethod)
+	if id == 0 {
+		return fmt.Errorf("wire: unknown method %q", req.ServiceMethod)
+	}
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	body := c.pbuf[:0]
+	body = append(body, id)
+	body = binary.AppendUvarint(body, req.Seq)
+	body, seg, err := appendWireRequestBody(body, c.ref, x)
+	if err != nil {
+		return err
+	}
+	if seg != nil {
+		c.stashMu.Lock()
+		c.stash[req.Seq] = seg
+		c.stashMu.Unlock()
+	}
+	c.pbuf = body
+	out := binary.AppendUvarint(c.wbuf[:0], uint64(len(body)))
+	out = append(out, body...)
+	c.wbuf = out
+	_, werr := c.conn.Write(out)
+	return werr
+}
+
+func (c *wireClientCodec) ReadResponseHeader(resp *rpc.Response) error {
+	frame, err := readWireFrame(c.br, c.max, c.rbuf)
+	if err != nil {
+		return err
+	}
+	c.rbuf = frame
+	r := wireReader{data: frame}
+	mid := r.byte()
+	seq := r.uvarint()
+	flags := r.byte()
+	if r.err != nil {
+		return r.err
+	}
+	resp.Seq = seq
+	resp.ServiceMethod = wireMethodName(mid)
+	c.respSeq = seq
+	c.respBody = nil
+	if flags&wireFlagError != 0 {
+		resp.Error = r.str()
+		if r.err != nil {
+			return r.err
+		}
+		if resp.Error == "" {
+			resp.Error = "wire: unnamed server error"
+		}
+	} else {
+		c.respBody = frame[r.pos:]
+	}
+	return nil
+}
+
+func (c *wireClientCodec) ReadResponseBody(x any) error {
+	c.stashMu.Lock()
+	stashed := c.stash[c.respSeq]
+	delete(c.stash, c.respSeq)
+	c.stashMu.Unlock()
+	body := c.respBody
+	c.respBody = nil
+	if x == nil {
+		return nil
+	}
+	r := wireReader{data: body}
+	decodeWireReplyBody(&r, c.ref, x, stashed)
+	return r.err
+}
+
+func (c *wireClientCodec) Close() error { return c.conn.Close() }
+
+// negotiateCompact runs the client half of the dialect negotiation over
+// an authenticated connection and returns the compact codec on success.
+// Any failure — most commonly an old server closing the connection at the
+// sight of the preamble — leaves the connection unusable; the caller
+// closes it and re-dials plain gob.
+func negotiateCompact(conn io.ReadWriteCloser, max int64) (*wireClientCodec, error) {
+	if _, err := conn.Write(wirePreamble[:]); err != nil {
+		return nil, err
+	}
+	br := bufio.NewReader(conn)
+	ack, err := br.ReadByte()
+	if err != nil {
+		return nil, fmt.Errorf("wire: peer rejected preamble: %w", err)
+	}
+	if ack != wireAck {
+		return nil, fmt.Errorf("wire: bad negotiation ack 0x%02x", ack)
+	}
+	n, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("wire: reference frame: %w", err)
+	}
+	if n > maxWireRefBytes {
+		return nil, fmt.Errorf("wire: %d-byte reference frame: %w", n, ErrOversize)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(br, buf); err != nil {
+		return nil, fmt.Errorf("wire: reference frame: %w", err)
+	}
+	ref, used, err := interval.DecodeDelta(buf, interval.Interval{}, 0)
+	if err != nil || used != len(buf) {
+		return nil, fmt.Errorf("wire: bad reference interval: %v", err)
+	}
+	return newWireClientCodec(conn, br, ref, max), nil
+}
+
+// prefixedConn replays sniffed bytes before the underlying stream, so the
+// server's one-byte dialect sniff is invisible to the gob path.
+type prefixedConn struct {
+	io.ReadWriteCloser
+	prefix []byte
+}
+
+func (p *prefixedConn) Read(b []byte) (int, error) {
+	if len(p.prefix) > 0 {
+		n := copy(b, p.prefix)
+		p.prefix = p.prefix[n:]
+		return n, nil
+	}
+	return p.ReadWriteCloser.Read(b)
+}

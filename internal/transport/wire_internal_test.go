@@ -1,0 +1,103 @@
+package transport
+
+import (
+	"bufio"
+	"encoding/binary"
+	"net"
+	"net/rpc"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/interval"
+)
+
+// stubCoord is a canned Coordinator for codec-level tests (the real
+// farmer lives above this package and cannot be imported here).
+type stubCoord struct{}
+
+func (stubCoord) RequestWork(WorkRequest) (WorkReply, error) {
+	return WorkReply{Status: WorkAssigned, IntervalID: 7, Interval: interval.FromInt64(0, 10), BestCost: 42}, nil
+}
+func (stubCoord) UpdateInterval(req UpdateRequest) (UpdateReply, error) {
+	return UpdateReply{Known: true, Interval: req.Remaining}, nil
+}
+func (stubCoord) ReportSolution(SolutionReport) (SolutionAck, error) {
+	return SolutionAck{Accepted: true}, nil
+}
+
+// TestWireServerSurvivesUnknownMethodID: the forward-compatibility half of
+// the dialect matrix — a frame with a method id this server does not know
+// must come back as an rpc can't-find error on a connection that stays
+// alive for the next, known frame.
+func TestWireServerSurvivesUnknownMethodID(t *testing.T) {
+	cliSide, srvSide := net.Pipe()
+	defer cliSide.Close()
+	ref := interval.FromInt64(0, 1000)
+	rsrv := rpc.NewServer()
+	if err := rsrv.RegisterName(serviceName, NewRPCService(stubCoord{})); err != nil {
+		t.Fatal(err)
+	}
+	go rsrv.ServeCodec(newWireServerCodec(srvSide, ref, DefaultMaxMessageBytes))
+
+	cliSide.SetDeadline(time.Now().Add(5 * time.Second))
+	send := func(body []byte) {
+		t.Helper()
+		frame := append(binary.AppendUvarint(nil, uint64(len(body))), body...)
+		if _, err := cliSide.Write(frame); err != nil {
+			t.Fatal(err)
+		}
+	}
+	br := bufio.NewReader(cliSide)
+	recv := func() *wireReader {
+		t.Helper()
+		frame, err := readWireFrame(br, DefaultMaxMessageBytes, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return &wireReader{data: frame}
+	}
+
+	// A frame with method id 0x7F, which no dialect version defines.
+	send([]byte{0x7F, 0x01})
+	r := recv()
+	r.byte() // method id echo (zero for the unknown method)
+	if seq := r.uvarint(); seq != 1 {
+		t.Fatalf("response seq = %d, want 1", seq)
+	}
+	if flags := r.byte(); flags&wireFlagError == 0 {
+		t.Fatal("unknown method id did not come back as an error response")
+	}
+	if msg := r.str(); !strings.Contains(msg, "can't find") {
+		t.Fatalf("unknown-id error = %q, want the rpc can't-find text", msg)
+	}
+	if r.err != nil {
+		t.Fatal(r.err)
+	}
+
+	// The connection survived: a well-formed RequestWork frame still works.
+	body := []byte{wireRequestWork, 0x02}
+	body, _, err := appendWireRequestBody(body, ref, &WorkRequest{Worker: "w", Power: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	send(body)
+	r = recv()
+	if mid := r.byte(); mid != wireRequestWork {
+		t.Fatalf("reply method id = %#x", mid)
+	}
+	if seq := r.uvarint(); seq != 2 {
+		t.Fatalf("reply seq = %d, want 2", seq)
+	}
+	if flags := r.byte(); flags&wireFlagError != 0 {
+		t.Fatalf("live frame after unknown id failed: %q", r.str())
+	}
+	var reply WorkReply
+	decodeWireReplyBody(r, ref, &reply, nil)
+	if r.err != nil {
+		t.Fatal(r.err)
+	}
+	if reply.Status != WorkAssigned || reply.IntervalID != 7 || reply.BestCost != 42 {
+		t.Fatalf("reply after unknown frame = %+v", reply)
+	}
+}
