@@ -96,11 +96,13 @@ func decodeSignedBig(data []byte, maxBits int) (*big.Int, int, error) {
 	if hn <= 0 {
 		return nil, 0, fmt.Errorf("truncated or oversized header")
 	}
-	n := int(h >> 1)
-	if n*8 > maxBits+7 {
-		return nil, 0, fmt.Errorf("magnitude of %d bytes exceeds %d bits", n, maxBits)
+	// Vet the claimed byte count in uint64 space: converting first would
+	// let a 2^63-scale claim wrap negative and slip past both checks.
+	if h>>1 > (uint64(maxBits)+7)/8 {
+		return nil, 0, fmt.Errorf("magnitude of %d bytes exceeds %d bits", h>>1, maxBits)
 	}
-	if len(data) < hn+n {
+	n := int(h >> 1)
+	if len(data)-hn < n {
 		return nil, 0, fmt.Errorf("truncated magnitude: want %d bytes, have %d", n, len(data)-hn)
 	}
 	x := new(big.Int).SetBytes(data[hn : hn+n])

@@ -2,6 +2,8 @@ package interval
 
 import (
 	"bytes"
+	"encoding/binary"
+	"math"
 	"math/big"
 	"testing"
 )
@@ -90,6 +92,21 @@ func TestDeltaCodecWidthCap(t *testing.T) {
 	hostile := []byte{0xFF, 0xFF, 0xFF, 0xFF, 0x7F} // uvarint ~2^34: ~2^33 bytes claimed
 	if _, _, err := DecodeDelta(hostile, ref, 0); err == nil {
 		t.Fatal("absurd magnitude claim decoded")
+	}
+}
+
+// TestDeltaCodecHeaderOverflow: a header claiming ~2^63 magnitude bytes
+// must be rejected from the header alone. Converting the claim to int
+// first would wrap it negative, slipping past both the width cap and the
+// truncation check into a panicking slice expression — a 10-byte frame
+// killing the decoding process.
+func TestDeltaCodecHeaderOverflow(t *testing.T) {
+	ref := FromInt64(0, 1000)
+	for _, h := range []uint64{math.MaxUint64, 1 << 63, (1 << 63) + 2} {
+		hostile := binary.AppendUvarint(nil, h)
+		if _, _, err := DecodeDelta(hostile, ref, 0); err == nil {
+			t.Fatalf("overflowing header %#x decoded", h)
+		}
 	}
 }
 

@@ -33,6 +33,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"math"
 	"net/rpc"
 	"sync"
 
@@ -100,8 +101,13 @@ func readWireFrame(br *bufio.Reader, max int64, buf []byte) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	if max > 0 && int64(n) > max {
+	// Both checks stay in uint64 space: converting n first would let a
+	// 2^63-scale length wrap negative and reach make([]byte, n).
+	if max > 0 && n > uint64(max) {
 		return nil, fmt.Errorf("wire: %d-byte frame beyond %d: %w", n, max, ErrOversize)
+	}
+	if n > math.MaxInt {
+		return nil, fmt.Errorf("wire: %d-byte frame beyond the platform int: %w", n, ErrOversize)
 	}
 	if uint64(cap(buf)) < n {
 		buf = make([]byte, n)

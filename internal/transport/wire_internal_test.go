@@ -2,7 +2,9 @@ package transport
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/binary"
+	"math"
 	"net"
 	"net/rpc"
 	"strings"
@@ -24,6 +26,27 @@ func (stubCoord) UpdateInterval(req UpdateRequest) (UpdateReply, error) {
 }
 func (stubCoord) ReportSolution(SolutionReport) (SolutionAck, error) {
 	return SolutionAck{Accepted: true}, nil
+}
+
+// TestReadWireFrameLengthOverflow: a frame header claiming ~2^63 bytes
+// must be rejected before allocation. Converting the uvarint length to
+// int64 first would wrap it negative, slipping past the size window into
+// a panicking make — a 10-byte header killing coordinator or worker.
+func TestReadWireFrameLengthOverflow(t *testing.T) {
+	for _, n := range []uint64{math.MaxUint64, 1 << 63, math.MaxInt64 + 1} {
+		hdr := binary.AppendUvarint(nil, n)
+		br := bufio.NewReader(bytes.NewReader(hdr))
+		if _, err := readWireFrame(br, DefaultMaxMessageBytes, nil); err == nil {
+			t.Fatalf("length %#x passed the %d-byte window", n, int64(DefaultMaxMessageBytes))
+		}
+	}
+	// With the window disabled (negative max), lengths beyond the platform
+	// int must still be refused rather than handed to make.
+	hdr := binary.AppendUvarint(nil, math.MaxUint64)
+	br := bufio.NewReader(bytes.NewReader(hdr))
+	if _, err := readWireFrame(br, -1, nil); err == nil {
+		t.Fatal("MaxUint64 length passed with the size window disabled")
+	}
 }
 
 // TestWireServerSurvivesUnknownMethodID: the forward-compatibility half of
