@@ -5,7 +5,10 @@
 GO      ?= go
 BENCH_OUT ?= bench.json
 
-.PHONY: all build vet test race bench bench-hot bench-smoke bench-tree bench-transport bench-wire fuzz-smoke check docs-check
+.PHONY: all build vet test race bench bench-hot bench-smoke bench-tree bench-transport bench-wire bench-gate fuzz-smoke check docs-check
+
+# The committed perf record the bench-gate compares against.
+BENCH_BASELINE ?= BENCH_pr8.json
 
 all: vet build test
 
@@ -65,12 +68,24 @@ bench-transport:
 bench-wire:
 	$(GO) test -run '^$$' -bench 'BenchmarkWireBytesPerFold|BenchmarkHardenedCallOverhead' -benchmem -benchtime 1s -count 3 .
 
-# The coordinator-boundary fuzzer, briefly: the corpus seeds plus a few
-# seconds of fresh mutation on every gate run, so the hostile-peer
-# invariants (no panic, INTERVALS stays a partition fragment, rejections
-# are counted) cannot silently rot between dedicated fuzzing sessions.
+# The CI perf gate (DESIGN.md §12): the two protocol-hot benchmarks, three
+# repetitions each, best-of compared by cmd/benchgate against the gate
+# section of $(BENCH_BASELINE); fails on a regression beyond the record's
+# allowance. Deterministic metrics (wire-B/fold, allocs/op) hold across
+# hosts; ns/op is host-relative, hence the percentage allowance.
+bench-gate:
+	$(GO) test -run '^$$' -bench 'BenchmarkWireBytesPerFold|BenchmarkFarmerRequestThroughput' -benchmem -benchtime 1s -count 3 . | $(GO) run ./cmd/benchgate -baseline $(BENCH_BASELINE)
+
+# The hostile-input fuzzers, briefly: the corpus seeds plus a few seconds
+# of fresh mutation on every gate run, so the invariants cannot silently
+# rot between dedicated fuzzing sessions. Two frontiers: the coordinator
+# boundary (no panic, INTERVALS stays a partition fragment, rejections are
+# counted) and the compact wire codec (no panic or over-read on arbitrary
+# frames; decoded frames re-encode canonically). go test runs one fuzz
+# target per invocation, hence the two lines.
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzCoordinatorBoundary$$' -fuzztime 10s ./internal/farmer
+	$(GO) test -run '^$$' -fuzz '^FuzzWireFrame$$' -fuzztime 10s ./internal/transport
 
 # Every benchmark exactly once: not a measurement, a compile-and-run guard
 # so bench_test.go cannot bit-rot between perf PRs. CI runs this on every

@@ -656,6 +656,48 @@ func BenchmarkTable2Resolution(b *testing.B) {
 	b.ReportMetric(last.Table2.RedundantRate*100, "redundant-%")
 }
 
+// BenchmarkTreeEndgame is the PR-8 acceptance record: one full simulated
+// resolution under the 2-level tree versus the flat control at equal load,
+// pool, seed and calibration, reporting both virtual resolution times and
+// their ratio. The tree historically paid a ~2.2× virtual-time tail once
+// only crumbs remained; the crumb-endgame work (DESIGN.md §12) — steal
+// hints, low-water refill, root crumb duplication, gap-carving and
+// content-honest folds, plus owner-counted re-descent — pins the ratio
+// ≤ 1.4 (TestMassiveTreeGridScenario asserts it at 10k workers; this
+// benchmark records it at the same 10k-worker scale; expect ~40s per
+// iteration).
+func BenchmarkTreeEndgame(b *testing.B) {
+	ins := flowshop.Taillard(13, 10, 3) // ~285k sequential nodes
+	factory := func() bb.Problem {
+		return flowshop.NewProblem(ins, flowshop.BoundOneMachine, flowshop.PairsAll)
+	}
+	seq, _ := bb.Solve(factory(), bb.Infinity)
+	run := func(seed int64, subtrees int) gridsim.Result {
+		cfg := gridsim.MassiveTreeScenario(seed, 285_000, 1.5, 10_000, subtrees)
+		cfg.InitialUpper = seq.Cost + 1
+		cfg.MaxTicks = 30_000
+		res, err := gridsim.New(cfg, factory).Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Finished {
+			b.Fatalf("subtrees=%d: did not finish in %d ticks", subtrees, res.Ticks)
+		}
+		if res.Best.Cost != seq.Cost {
+			b.Fatalf("subtrees=%d: proved %d, want %d", subtrees, res.Best.Cost, seq.Cost)
+		}
+		return res
+	}
+	var tree, flat gridsim.Result
+	for i := 0; i < b.N; i++ {
+		tree = run(int64(i+1), 8)
+		flat = run(int64(i+1), 0)
+	}
+	b.ReportMetric(float64(tree.Ticks), "tree-vticks")
+	b.ReportMetric(float64(flat.Ticks), "flat-vticks")
+	b.ReportMetric(float64(tree.Ticks)/float64(flat.Ticks), "tree/flat")
+}
+
 func benchSimConfig(seed int64) gridsim.Config {
 	return gridsim.Config{
 		Pool: gridsim.SmallPool(24),

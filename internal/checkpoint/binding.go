@@ -34,9 +34,23 @@ const bindingFile = "upstream.ckpt"
 // SaveBinding persists the upstream binding atomically (same temp+rename
 // discipline as the two snapshot files).
 func (s *Store) SaveBinding(b Binding) error {
+	return s.SaveBindings([]Binding{b})
+}
+
+// SaveBindings persists every held upstream binding, one "bound" line per
+// entry — the multi-binding extension (a sub-farmer in a low-water episode
+// holds more than one parent copy, DESIGN.md §12). A single bound entry
+// writes byte-for-byte what SaveBinding always wrote, so a file from this
+// version loads in an old incarnation and vice versa; an old reader of a
+// multi-line file adopts one binding and lets the parent's lease mechanism
+// recover the rest, which is the pre-existing lost-binding story.
+func (s *Store) SaveBindings(bs []Binding) error {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "%s upstream\n", formatVersion)
-	if b.Bound {
+	for _, b := range bs {
+		if !b.Bound {
+			continue
+		}
 		text, err := b.Interval.MarshalText()
 		if err != nil {
 			return fmt.Errorf("checkpoint: marshal binding interval: %w", err)
@@ -46,22 +60,34 @@ func (s *Store) SaveBinding(b Binding) error {
 	return writeAtomic(filepath.Join(s.dir, bindingFile), sb.String())
 }
 
-// LoadBinding reads the upstream binding. ok is false when no binding file
-// exists (a first start, or a store written by a flat farmer).
-func (s *Store) LoadBinding() (b Binding, ok bool, err error) {
+// LoadBinding reads the primary upstream binding. ok is false when no
+// binding file exists (a first start, or a store written by a flat farmer).
+func (s *Store) LoadBinding() (Binding, bool, error) {
+	bs, ok, err := s.LoadBindings()
+	if err != nil || !ok || len(bs) == 0 {
+		return Binding{}, ok, err
+	}
+	return bs[0], true, nil
+}
+
+// LoadBindings reads every persisted upstream binding, in file order (the
+// primary binding first). ok is false when no binding file exists; an
+// existing file with no bound lines returns ok with an empty slice.
+func (s *Store) LoadBindings() ([]Binding, bool, error) {
 	f, err := os.Open(filepath.Join(s.dir, bindingFile))
 	if err != nil {
 		if os.IsNotExist(err) {
-			return Binding{}, false, nil
+			return nil, false, nil
 		}
-		return Binding{}, false, fmt.Errorf("checkpoint: %w", err)
+		return nil, false, fmt.Errorf("checkpoint: %w", err)
 	}
 	defer f.Close()
 	sc := bufio.NewScanner(f)
 	sc.Buffer(make([]byte, 1<<16), 1<<22)
 	if !sc.Scan() || !strings.HasPrefix(sc.Text(), formatVersion) {
-		return Binding{}, false, fmt.Errorf("checkpoint: %s: bad or missing header", bindingFile)
+		return nil, false, fmt.Errorf("checkpoint: %s: bad or missing header", bindingFile)
 	}
+	var bs []Binding
 	for sc.Scan() {
 		line := strings.TrimSpace(sc.Text())
 		if line == "" {
@@ -71,21 +97,23 @@ func (s *Store) LoadBinding() (b Binding, ok bool, err error) {
 		switch fields[0] {
 		case "bound":
 			if len(fields) != 4 {
-				return Binding{}, false, fmt.Errorf("checkpoint: bad bound line %q", line)
+				return nil, false, fmt.Errorf("checkpoint: bad bound line %q", line)
 			}
+			var b Binding
 			if _, err := fmt.Sscanf(fields[1], "%d", &b.ID); err != nil {
-				return Binding{}, false, fmt.Errorf("checkpoint: bad binding id %q: %w", fields[1], err)
+				return nil, false, fmt.Errorf("checkpoint: bad binding id %q: %w", fields[1], err)
 			}
 			if err := b.Interval.UnmarshalText([]byte(fields[2] + " " + fields[3])); err != nil {
-				return Binding{}, false, fmt.Errorf("checkpoint: %w", err)
+				return nil, false, fmt.Errorf("checkpoint: %w", err)
 			}
 			b.Bound = true
+			bs = append(bs, b)
 		default:
-			return Binding{}, false, fmt.Errorf("checkpoint: unknown record %q", fields[0])
+			return nil, false, fmt.Errorf("checkpoint: unknown record %q", fields[0])
 		}
 	}
 	if err := sc.Err(); err != nil {
-		return Binding{}, false, err
+		return nil, false, err
 	}
-	return b, true, nil
+	return bs, true, nil
 }

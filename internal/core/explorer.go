@@ -333,11 +333,24 @@ func (e *Explorer) Step(budget int64) (explored int64, done bool) {
 			// without descending and without counting.
 			continue
 		}
-		explored++
-		e.stats.Explored++
+		// A node is charged to the process that owns its leftmost leaf
+		// (a node's number IS that leaf). When childNum < lo the ground
+		// before lo — including this node — was already charged to
+		// whoever explored it; re-descending through it to reach lo is
+		// the O(depth) unfold of eq. 8–9, not new exploration, so it is
+		// neither counted nor billed against the step budget. This keeps
+		// node accounting partition-invariant: summed over any partition
+		// of the tree's range, Explored equals the sequential count.
+		counted := e.childNum.Cmp(e.lo) >= 0
+		if counted {
+			explored++
+			e.stats.Explored++
+		}
 		e.path[d] = r
 		p.Descend(r)
 		if childDepth == depthMax {
+			// A leaf's range is one unit wide, so it can never straddle
+			// lo: counted is always true here.
 			e.stats.Leaves++
 			if c := p.Cost(); c < e.best.Cost {
 				e.improve(c, childDepth)
@@ -351,7 +364,9 @@ func (e *Explorer) Step(budget int64) (explored int64, done bool) {
 			// process that may re-explore this region later; skipped
 			// numbers inside the folded interval are at worst
 			// redundant work after a failure, never lost work.
-			e.stats.Pruned++
+			if counted {
+				e.stats.Pruned++
+			}
 			p.Ascend()
 			continue
 		}

@@ -65,7 +65,12 @@ func referenceWalk(p bb.Problem, nb *Numbering, iv interval.Interval, initialUpp
 		if childEnd.Cmp(lo) <= 0 {
 			continue
 		}
-		stats.Explored++
+		// Same owner-counts rule as the explorer: a node straddling lo
+		// was charged to whoever explored the ground before lo.
+		counted := childNum.Cmp(lo) >= 0
+		if counted {
+			stats.Explored++
+		}
 		path[depth] = r
 		p.Descend(r)
 		if childDepth == depthMax {
@@ -79,7 +84,9 @@ func referenceWalk(p bb.Problem, nb *Numbering, iv interval.Interval, initialUpp
 			continue
 		}
 		if b := p.Bound(best.Cost); b >= best.Cost {
-			stats.Pruned++
+			if counted {
+				stats.Pruned++
+			}
 			p.Ascend()
 			continue
 		}

@@ -45,6 +45,18 @@ type Counters struct {
 	// Duplications counts threshold-triggered interval duplications, the
 	// paper's source of redundant exploration.
 	Duplications int64
+	// EndgameDuplications counts the subset of Duplications triggered by
+	// the endgame rule (WithEndgameThreshold): the tracked total, not the
+	// chosen interval, fell under a threshold, so the crumb was shared
+	// across subtrees instead of split (DESIGN.md §12).
+	EndgameDuplications int64
+	// GapCarves counts vouched explored gaps materialized as cuts: an
+	// edge-clamped gap trimmed off a copy at fold time, or an interior
+	// gap the partitioning operator split at — the requester took the
+	// live upper fragment and the explored hole left INTERVALS entirely.
+	// Each carve moves the tracked total closer to the truly-unexplored
+	// total (DESIGN.md §12).
+	GapCarves int64
 	// Expiry counts owners dropped by the lease mechanism (worker
 	// failures, real or presumed).
 	ExpiredOwners int64
@@ -118,6 +130,28 @@ type tracked struct {
 	owners    map[transport.WorkerID]*owner
 	coveredTo *big.Int // high watermark of reported beginnings
 
+	// gapA/gapB, when non-nil, bound the largest fully-explored hole
+	// strictly interior to iv that the holder vouched for in a gap-carving
+	// fold (DESIGN.md §12). The gap is advisory metadata, not a cut: the
+	// holder keeps working both sides, and the hole only materializes when
+	// the partitioning operator next splits this entry — at the gap, so
+	// the donated part is real work and the explored padding between the
+	// fragments leaves INTERVALS entirely.
+	gapA, gapB *big.Int
+
+	// content, when non-nil, is the holder's own count of unexplored
+	// ground behind this copy (a content-honest fold): a sub-farmer's hull
+	// can overstate its fragmented table by orders of magnitude, and the
+	// true total keeps size accounting honest. Advisory like the gap; it
+	// never moves work by itself.
+	content *big.Int
+
+	// slack caches this entry's contribution to f.slack: hull length
+	// minus vouched content, floored by the stored gap length (nil when
+	// zero). reslackLocked keeps it and the aggregate in sync after every
+	// change to iv, gapA/gapB, or content.
+	slack *big.Int
+
 	// Selection-index key cache (see index.go): the length and holder
 	// power this entry is currently filed under. Only the index touches
 	// these; they may lag iv/owners between a mutation and its fix.
@@ -176,6 +210,14 @@ type Farmer struct {
 	store      *checkpoint.Store
 	equalSplit bool
 
+	// hints makes fold replies carry a StealHint (WithStealHints);
+	// endgame, when non-nil, is the tracked-total threshold under which
+	// the partitioning operator duplicates instead of splitting even
+	// above the per-interval threshold (WithEndgameThreshold). Both are
+	// tree-root features; flat farmers leave them off.
+	hints   bool
+	endgame *big.Int
+
 	// front, when frontier tracking is enabled, is a lazy min-heap over
 	// the beginnings of all tracked intervals: its valid top is the fold
 	// frontier a sub-farmer reports upstream (min A over INTERVALS). Flat
@@ -198,10 +240,16 @@ type Farmer struct {
 	// with the same clock it measures wall time with.
 	busyNanos int64
 
+	// slack is the sum of all per-entry slacks: ground inside INTERVALS
+	// hulls that holders vouched is explored, via gap-carving folds and
+	// content-honest folds. Honest totals (Size, endgame, steal hints)
+	// subtract it; reslackLocked keeps it current.
+	slack *big.Int
+
 	// Scratch big.Ints reused across protocol calls (guarded by mu), so
 	// the steady-state message loop — one UpdateInterval per worker
 	// checkpoint — does not allocate per call.
-	scrA, scrLen, scrMul *big.Int
+	scrA, scrLen, scrMul, scrHint, scrGap *big.Int
 }
 
 // Option customizes a Farmer.
@@ -250,6 +298,26 @@ func WithFrontierTracking() Option {
 	return func(f *Farmer) { f.trackFront = true }
 }
 
+// WithStealHints makes every fold reply carry a transport.StealHint — a
+// summary of the work the farmer still tracks beyond the updated copy —
+// so a draining sub-farmer can refill before its table runs dry
+// (DESIGN.md §12). Off by default: the hint is only meaningful from a
+// tree root to its sub-farmers, and old peers ignore it anyway.
+func WithStealHints() Option {
+	return func(f *Farmer) { f.hints = true }
+}
+
+// WithEndgameThreshold arms the endgame duplication rule: when the total
+// tracked length falls under t, the partitioning operator duplicates
+// actively-held intervals instead of splitting them — the paper's §4.2
+// minimum-size rule lifted from one interval to the whole table. At that
+// point every split would mint crumbs anyway; sharing the survivors across
+// subtrees restores the global mixing a pull-only tree loses at the end of
+// a resolution. Off (nil) by default.
+func WithEndgameThreshold(t *big.Int) Option {
+	return func(f *Farmer) { f.endgame = new(big.Int).Set(t) }
+}
+
 // WithInitialBest primes SOLUTION with an externally known solution — the
 // paper initializes its Ta056 runs with the best known makespans 3681 and
 // 3680 (§5.3). The path may be nil when only the cost is known.
@@ -273,9 +341,12 @@ func New(root interval.Interval, opts ...Option) *Farmer {
 		threshold: big.NewInt(2),
 		clock:     func() int64 { return time.Now().UnixNano() },
 		leaseTTL:  int64(time.Minute),
+		slack:     new(big.Int),
 		scrA:      new(big.Int),
 		scrLen:    new(big.Int),
 		scrMul:    new(big.Int),
+		scrHint:   new(big.Int),
+		scrGap:    new(big.Int),
 	}
 	for _, opt := range opts {
 		opt(f)
@@ -484,8 +555,41 @@ func (f *Farmer) RequestWork(req transport.WorkRequest) (transport.WorkReply, er
 	chosen := f.intervals[chosenID]
 
 	reply := transport.WorkReply{Status: transport.WorkAssigned, BestCost: f.bestCost}
+	if chosen.owners[req.Worker] != nil {
+		// The requester already co-owns the chosen copy (an earlier
+		// duplication, or its own abandoned interval after a lease
+		// blip). Splitting or gap-carving it would mint a NEW id over
+		// ground the requester's local table already covers — one tier
+		// down that surfaces as overlapping INTERVALS entries and the
+		// same fleet exploring the same ground twice. Hand the same
+		// copy back instead: the requester recognizes the id and
+		// adopts the authoritative bounds without injecting (§4.2: one
+		// copy per duplicated interval).
+		o := &owner{power: req.Power, lastSeen: now, lastA: chosen.iv.A()}
+		chosen.owners[req.Worker] = o
+		f.idx.fix(chosen) // the holder-power class may have changed
+		f.pushLease(chosen, req.Worker, o)
+		f.counters.Duplications++
+		f.counters.WorkAllocations++
+		reply.IntervalID = chosen.id
+		reply.Interval = chosen.iv.Clone()
+		reply.Duplicated = true
+		return reply, nil
+	}
+	if nt, ok := f.splitAtGapLocked(chosen, req.Worker, req.Power, now); ok {
+		reply.IntervalID = nt.id
+		reply.Interval = nt.iv.Clone()
+		return reply, nil
+	}
 	holderPower := chosen.holderPower()
-	if chosen.iv.LenInto(f.scrLen).Cmp(f.threshold) < 0 && holderPower > 0 {
+	belowThreshold := chosen.iv.LenInto(f.scrLen).Cmp(f.threshold) < 0
+	// Endgame rule (WithEndgameThreshold): once the TOTAL tracked length
+	// is crumb-scale, splitting only mints smaller crumbs — share held
+	// intervals across requesters instead (DESIGN.md §12). Orphans
+	// (holderPower == 0) still hand off whole below.
+	endgame := !belowThreshold && f.endgame != nil &&
+		f.scrMul.Sub(f.idx.total, f.slack).Cmp(f.endgame) < 0
+	if (belowThreshold || endgame) && holderPower > 0 {
 		// Partitioning operator, duplication rule: the interval is
 		// below the threshold and actively explored — share it rather
 		// than splitting crumbs. "The coordinator keeps only one copy
@@ -496,6 +600,9 @@ func (f *Farmer) RequestWork(req transport.WorkRequest) (transport.WorkReply, er
 		f.idx.fix(chosen) // the holder-power class changed
 		f.pushLease(chosen, req.Worker, o)
 		f.counters.Duplications++
+		if endgame {
+			f.counters.EndgameDuplications++
+		}
 		f.counters.WorkAllocations++
 		reply.IntervalID = chosen.id
 		reply.Interval = chosen.iv.Clone()
@@ -516,10 +623,13 @@ func (f *Farmer) RequestWork(req transport.WorkRequest) (transport.WorkReply, er
 		// process rule). Retire the old copy; the new owner gets a
 		// fresh id so any late update from a presumed-dead previous
 		// owner is recognizably stale.
+		f.forgetSlackLocked(chosen)
 		f.idx.remove(chosen)
 		delete(f.intervals, chosen.id)
 	} else {
 		chosen.iv = holder
+		chosen.content = nil // the split invalidates the vouched count
+		f.reslackLocked(chosen)
 		f.idx.fix(chosen) // the kept part is shorter: re-key
 		// The holder keeps exploring [A,C) and learns of the shrink
 		// at its next update (§4.2: "After a certain time, the holder
@@ -531,6 +641,46 @@ func (f *Farmer) RequestWork(req transport.WorkRequest) (transport.WorkReply, er
 	reply.IntervalID = nt.id
 	reply.Interval = donated.Clone()
 	return reply, nil
+}
+
+// splitAtGapLocked is the partitioning operator's gap-aware cut
+// (DESIGN.md §12): when the chosen entry carries a vouched explored gap,
+// split THERE instead of proportionally. The holder keeps the fragment
+// below the gap, the requester gets the fragment above it, and the
+// explored padding in between leaves INTERVALS entirely — the cut lands
+// on ground nobody needs to re-explore, where a proportional midpoint
+// would land inside the padding and grant mostly-explored work. This
+// also pre-empts the duplication rule: sharing a gapped hull would make
+// the second worker re-walk the vouched-explored hole, while the gap
+// split hands it live work. Returns ok=false (after dropping any
+// invalid gap) when the entry carries no usable gap.
+func (f *Farmer) splitAtGapLocked(t *tracked, w transport.WorkerID, power int64, now int64) (*tracked, bool) {
+	if t.gapA == nil {
+		return nil, false
+	}
+	if t.iv.CmpA(t.gapA) >= 0 || t.iv.CmpB(t.gapB) <= 0 {
+		// The entry shrank since the gap was stored (defensive — every
+		// shrink revalidates); a gap no longer strictly interior cannot
+		// anchor a two-sided cut.
+		f.clearGapLocked(t)
+		return nil, false
+	}
+	donated := interval.New(t.gapB, t.iv.B())
+	t.iv.IntersectInPlace(interval.New(t.iv.A(), t.gapA))
+	if t.coveredTo.Cmp(t.gapA) > 0 {
+		t.coveredTo.Set(t.gapA)
+	}
+	// The holder's vouched content spanned the whole hull; neither
+	// fragment knows its share, so the kept copy falls back to hull
+	// semantics until the next fold re-reports.
+	t.content = nil
+	f.clearGapLocked(t)
+	f.idx.fix(t)
+	nt := f.addTrackedFor(donated, w,
+		&owner{power: power, lastSeen: now, lastA: donated.A()})
+	f.counters.GapCarves++
+	f.counters.WorkAllocations++
+	return nt, true
 }
 
 // donatedLength computes len([C,B)) for a hypothetical split of iv between
@@ -577,6 +727,7 @@ func (f *Farmer) UpdateInterval(req transport.UpdateRequest) (transport.UpdateRe
 			Known:    false,
 			Finished: len(f.intervals) == 0,
 			BestCost: f.bestCost,
+			Hint:     f.stealHintLocked(req.IntervalID),
 		}, nil
 	}
 	// Boundary hardening: a non-positive power claim never overwrites the
@@ -664,6 +815,7 @@ func (f *Farmer) UpdateInterval(req transport.UpdateRequest) (transport.UpdateRe
 				Known:    false,
 				BestCost: f.bestCost,
 				Finished: len(f.intervals) == 0,
+				Hint:     f.stealHintLocked(req.IntervalID),
 			}, nil
 		}
 	}
@@ -672,6 +824,22 @@ func (f *Farmer) UpdateInterval(req transport.UpdateRequest) (transport.UpdateRe
 	// the coordinator's copy in place. Only the reply's interval is a
 	// fresh copy — it escapes to the worker.
 	t.iv.IntersectInPlace(req.Remaining)
+	if t.iv.IsEmpty() {
+		f.forgetSlackLocked(t)
+	} else {
+		if req.Content != nil && req.Content.Sign() >= 0 {
+			// Content-honest fold: adopt the holder's own count of
+			// unexplored ground behind this hull (ownership transfers;
+			// decoders and sub-farmers hand over a fresh value).
+			t.content = req.Content
+		}
+		if req.HasGap {
+			f.noteGapLocked(t, req.Gap)
+		} else {
+			f.revalidateGapLocked(t)
+		}
+		f.reslackLocked(t)
+	}
 	reply := transport.UpdateReply{Known: true, BestCost: f.bestCost, Interval: t.iv.Clone()}
 	if t.iv.IsEmpty() {
 		f.idx.remove(t)
@@ -683,7 +851,235 @@ func (f *Farmer) UpdateInterval(req transport.UpdateRequest) (transport.UpdateRe
 	}
 	f.cleanLocked()
 	reply.Finished = len(f.intervals) == 0
+	reply.Hint = f.stealHintLocked(req.IntervalID)
 	return reply, nil
+}
+
+// noteGapLocked honours a fold's gap declaration (DESIGN.md §12): the
+// reporter vouches that gap holds no unexplored ground. A sub-farmer's
+// [C,B) hull fold overstates its fragmented table, and without gap
+// knowledge every steal from that hull re-issues mostly-explored padding
+// as if it were fresh work — the engine of the tree's redundant-
+// exploration tail. Crucially the gap is NOT carved out here: both sides
+// of the hole hold the reporter's live fragments, so an eager carve would
+// evict live work on every fold and churn it around the tree. Instead the
+// gap is remembered on the entry and materializes only when the
+// partitioning operator next cuts it (splitAtGapLocked) — exactly when
+// work was going to move anyway. Advisory and fail-safe: a dishonest gap
+// costs exactly what a dishonest fold frontier already could, because the
+// protocol trusts reporters about what they explored at every tier.
+func (f *Farmer) noteGapLocked(t *tracked, gap interval.Interval) {
+	if gap.IsEmpty() {
+		return
+	}
+	f.applyGapLocked(t, gap.A(), gap.B())
+}
+
+// revalidateGapLocked re-clamps a stored gap after the entry's interval
+// changed; a no-op for the (overwhelmingly common) gapless entry.
+func (f *Farmer) revalidateGapLocked(t *tracked) {
+	if t.gapA == nil {
+		return
+	}
+	ga, gb := t.gapA, t.gapB
+	t.gapA, t.gapB = nil, nil
+	f.applyGapLocked(t, ga, gb)
+}
+
+// applyGapLocked reconciles a vouched explored gap with the entry's
+// current bounds, taking ownership of ga/gb. A gap clamped to an edge of
+// the copy is free precision — the explored prefix or suffix is trimmed
+// off on the spot, no work moves, and the shrink reaches the holder
+// through the ordinary reply verdict. Only a strictly interior remainder
+// is stored for the partitioning operator.
+func (f *Farmer) applyGapLocked(t *tracked, ga, gb *big.Int) {
+	if t.iv.CmpA(ga) > 0 {
+		ga.Set(t.iv.AInto(f.scrGap))
+	}
+	if t.iv.CmpB(gb) < 0 {
+		gb.Set(t.iv.BInto(f.scrGap))
+	}
+	if ga.Cmp(gb) >= 0 {
+		f.clearGapLocked(t)
+		return
+	}
+	aEdge := t.iv.CmpA(ga) == 0
+	bEdge := t.iv.CmpB(gb) == 0
+	switch {
+	case aEdge && bEdge:
+		// The whole copy vouched explored: emptying it is the reply
+		// path's decision, not this accounting helper's. Drop the gap and
+		// leave the copy alone (defensive — no reporter vouches its own
+		// whole hull, the gap floor forbids it).
+		f.clearGapLocked(t)
+	case aEdge:
+		// Explored prefix: trim it off now.
+		t.iv.IntersectInPlace(interval.New(gb, t.iv.B()))
+		f.clearGapLocked(t)
+		f.counters.GapCarves++
+	case bEdge:
+		// Explored suffix: trim, keeping the redundancy watermark inside
+		// the shrunk bounds so overlap accounting stays conservative.
+		t.iv.IntersectInPlace(interval.New(t.iv.A(), ga))
+		if t.coveredTo.Cmp(ga) > 0 {
+			t.coveredTo.Set(ga)
+		}
+		f.clearGapLocked(t)
+		f.counters.GapCarves++
+	default:
+		f.setGapLocked(t, ga, gb)
+	}
+}
+
+func (f *Farmer) setGapLocked(t *tracked, ga, gb *big.Int) {
+	t.gapA, t.gapB = ga, gb
+	f.reslackLocked(t)
+}
+
+func (f *Farmer) clearGapLocked(t *tracked) {
+	if t.gapA == nil && t.slack == nil {
+		return
+	}
+	t.gapA, t.gapB = nil, nil
+	f.reslackLocked(t)
+}
+
+// reslackLocked recomputes the entry's slack — hull length minus vouched
+// content, floored by the stored gap length, clamped to [0, hull] — and
+// folds the change into the farmer-wide aggregate. Call it after any
+// change to t.iv, t.gapA/gapB, or t.content; it is idempotent.
+func (f *Farmer) reslackLocked(t *tracked) {
+	if t.slack != nil {
+		f.slack.Sub(f.slack, t.slack)
+	}
+	if t.content == nil && t.gapA == nil {
+		t.slack = nil
+		return
+	}
+	if t.slack == nil {
+		t.slack = new(big.Int)
+	}
+	hull := t.iv.LenInto(f.scrGap)
+	if t.content != nil {
+		t.slack.Sub(hull, t.content)
+		if t.slack.Sign() < 0 {
+			t.slack.SetInt64(0)
+		}
+	} else {
+		t.slack.SetInt64(0)
+	}
+	if t.gapA != nil {
+		// The gap is positional evidence the content count must cover.
+		if g := new(big.Int).Sub(t.gapB, t.gapA); t.slack.Cmp(g) < 0 {
+			t.slack.Set(g)
+		}
+	}
+	if t.slack.Cmp(hull) > 0 {
+		t.slack.Set(hull)
+	}
+	f.slack.Add(f.slack, t.slack)
+}
+
+// forgetSlackLocked removes the entry's slack contribution and drops its
+// advisory metadata. Call it before retiring the entry from INTERVALS.
+func (f *Farmer) forgetSlackLocked(t *tracked) {
+	if t.slack != nil {
+		f.slack.Sub(f.slack, t.slack)
+		t.slack = nil
+	}
+	t.gapA, t.gapB = nil, nil
+	t.content = nil
+}
+
+// LargestGapWithin reports the largest hole strictly inside iv covered by
+// no tracked interval — fully-explored ground a [C,B) hull fold would
+// misreport as remaining. A sub-farmer calls it on its embedded farmer at
+// fold time to build the gap-carving declaration. ok is false when fewer
+// than two tracked fragments intersect iv: then no interior hole exists
+// and the hull is already exact.
+func (f *Farmer) LargestGapWithin(iv interval.Interval) (a, b *big.Int, ok bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	type span struct{ a, b *big.Int }
+	spans := make([]span, 0, len(f.intervals))
+	for _, t := range f.intervals {
+		if t.iv.IsEmpty() || !t.iv.Overlaps(iv) {
+			continue
+		}
+		sa, sb := t.iv.A(), t.iv.B()
+		if iv.CmpA(sa) > 0 {
+			sa = iv.A()
+		}
+		if iv.CmpB(sb) < 0 {
+			sb = iv.B()
+		}
+		spans = append(spans, span{a: sa, b: sb})
+	}
+	if len(spans) < 2 {
+		return nil, nil, false
+	}
+	sort.Slice(spans, func(i, j int) bool { return spans[i].a.Cmp(spans[j].a) < 0 })
+	cover := new(big.Int).Set(spans[0].b)
+	bestLen := new(big.Int)
+	scratch := new(big.Int)
+	for _, s := range spans[1:] {
+		if s.a.Cmp(cover) > 0 {
+			scratch.Sub(s.a, cover)
+			if scratch.Cmp(bestLen) > 0 {
+				a, b = new(big.Int).Set(cover), s.a
+				bestLen.Set(scratch)
+			}
+		}
+		if s.b.Cmp(cover) > 0 {
+			cover.Set(s.b)
+		}
+	}
+	return a, b, a != nil
+}
+
+// ContentWithin sums the lengths of all tracked intervals inside iv — the
+// true unexplored content behind a [C,B) hull fold whose fragmented table
+// iv hulls over. A sub-farmer calls it on its embedded farmer at fold time
+// to build the content-honest declaration. O(cardinality).
+func (f *Farmer) ContentWithin(iv interval.Interval) *big.Int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	total := new(big.Int)
+	scratch := new(big.Int)
+	for _, t := range f.intervals {
+		if t.iv.IsEmpty() || !t.iv.Overlaps(iv) {
+			continue
+		}
+		clipped := t.iv.Intersect(iv)
+		total.Add(total, clipped.LenInto(scratch))
+	}
+	return total
+}
+
+// stealHintLocked summarizes what the farmer tracks beyond the copy with
+// id excludeID: how many other entries, and the bit length of their total
+// remaining length. Nil unless WithStealHints armed it. The exclusion
+// keeps the hint honest for the requester — its own copy is not stealable
+// work — and costs one subtraction on scratch.
+func (f *Farmer) stealHintLocked(excludeID int64) *transport.StealHint {
+	if !f.hints {
+		return nil
+	}
+	others := int64(len(f.intervals))
+	rem := f.scrHint.Sub(f.idx.total, f.slack)
+	if t, ok := f.intervals[excludeID]; ok {
+		others--
+		rem.Sub(rem, t.iv.LenInto(f.scrLen))
+		if t.slack != nil {
+			// The aggregate already discounted this entry's slack; restore
+			// it so the exclusion does not subtract it twice.
+			rem.Add(rem, t.slack)
+		}
+	}
+	if others < 0 {
+		others = 0
+	}
+	return &transport.StealHint{Others: others, RichestBits: int64(rem.BitLen())}
 }
 
 // ReportSolution implements transport.Coordinator (§4.4 rule 2).
@@ -795,7 +1191,7 @@ func sortRecords(recs []checkpoint.IntervalRecord) {
 func (f *Farmer) Size() (cardinality int, totalLen *big.Int) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	return len(f.intervals), new(big.Int).Set(f.idx.total)
+	return len(f.intervals), new(big.Int).Sub(f.idx.total, f.slack)
 }
 
 // Checkpoint persists INTERVALS and SOLUTION through the attached store
@@ -878,9 +1274,43 @@ func (f *Farmer) RestrictTo(iv interval.Interval) {
 	for id, t := range f.intervals {
 		t.iv.IntersectInPlace(iv)
 		if t.iv.IsEmpty() {
+			f.forgetSlackLocked(t)
 			f.idx.remove(t)
 			delete(f.intervals, id)
 		} else {
+			f.revalidateGapLocked(t)
+			f.reslackLocked(t)
+			f.idx.fix(t)
+		}
+	}
+}
+
+// RestrictToUnion intersects every tracked interval with the union of ivs,
+// retiring entries that empty — RestrictTo generalized to a sub-farmer
+// holding several upstream bindings at once (DESIGN.md §12). The bindings
+// a caller passes are pairwise disjoint (they are distinct copies of the
+// tier above's partition), and every local interval descends from exactly
+// one of them, so the union intersection resolves to at most one member
+// per entry.
+func (f *Farmer) RestrictToUnion(ivs []interval.Interval) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for id, t := range f.intervals {
+		hit := false
+		for _, iv := range ivs {
+			if t.iv.Overlaps(iv) {
+				t.iv.IntersectInPlace(iv)
+				hit = true
+				break
+			}
+		}
+		if !hit || t.iv.IsEmpty() {
+			f.forgetSlackLocked(t)
+			f.idx.remove(t)
+			delete(f.intervals, id)
+		} else {
+			f.revalidateGapLocked(t)
+			f.reslackLocked(t)
 			f.idx.fix(t)
 		}
 	}
@@ -908,6 +1338,28 @@ func (f *Farmer) FrontierInto(dst *big.Int) bool {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	return f.frontierLocked(dst)
+}
+
+// FrontierWithinInto writes the smallest beginning among tracked intervals
+// overlapping iv into dst, reporting false when none does. It is the
+// per-binding frontier of a multi-binding sub-farmer: each upstream fold
+// covers one binding's range, not the whole table. The scan is O(W) —
+// acceptable because a sub-farmer holds more than one binding only in
+// low-water episodes, and folds run once per cadence, not per message.
+func (f *Farmer) FrontierWithinInto(dst *big.Int, iv interval.Interval) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	found := false
+	for _, t := range f.intervals {
+		if t.iv.IsEmpty() || !t.iv.Overlaps(iv) {
+			continue
+		}
+		if !found || t.iv.CmpA(dst) < 0 {
+			t.iv.AInto(dst)
+			found = true
+		}
+	}
+	return found
 }
 
 var _ transport.Coordinator = (*Farmer)(nil)

@@ -5,14 +5,16 @@
 //     the sub-range it was assigned and serves RequestWork/UpdateInterval/
 //     ReportSolution exactly as a flat farmer would;
 //   - to the tier above it is a worker — its INTERVALS folds to one
-//     interval [frontier, B) (the same fold a multicore worker reports for
-//     its shards), its power is the fleet power sum, its checkpoint
-//     cadence keeps the parent lease alive, and it asks the parent for a
-//     fresh sub-range only when its local table runs dry.
+//     interval [frontier, B) per upstream binding (the same fold a
+//     multicore worker reports for its shards), its power is the fleet
+//     power sum, its checkpoint cadence keeps the parent lease alive, and
+//     it asks the parent for a fresh sub-range when its local table runs
+//     dry — or, when the parent hints there is work elsewhere, shortly
+//     before (the work-conserving low-water rule, DESIGN.md §12).
 //
 // Nothing in internal/transport changes: the three messages carry the tree
 // because the interval algebra composes — a sub-farmer's INTERVALS is
-// itself a partition of its assigned interval, so one fold per sub-farmer
+// itself a partition of its assigned intervals, so one fold per binding
 // is to the root exactly what one fold per worker is to a sub-farmer.
 package farmer
 
@@ -33,9 +35,11 @@ import (
 // SubCounters aggregates the sub-farmer's upstream protocol statistics.
 // The fleet-facing statistics live in the embedded farmer's Counters.
 type SubCounters struct {
-	// UpstreamRequests/Updates/Reports count protocol operations sent to
-	// the parent — coalesced legs included, so the trajectory of these
-	// counters is comparable whether or not batching engaged.
+	// UpstreamRequests/Updates/Reports count protocol operations
+	// DELIVERED to the parent — coalesced legs included, so the
+	// trajectory of these counters is comparable whether or not batching
+	// engaged. An exchange that failed in transit counts under
+	// UpstreamLost only: its legs were not delivered and will be retried.
 	UpstreamRequests, UpstreamUpdates, UpstreamReports int64
 	// UpstreamBatches counts coalesced Exchange round-trips; each one
 	// carried one fold plus whatever legs rode along, so
@@ -54,13 +58,17 @@ type SubCounters struct {
 	// Refills counts sub-ranges obtained from the parent: the first
 	// assignment plus every inter-subtree rebalance toward this subtree.
 	Refills int64
+	// LowWaterRefills counts the subset of Refills adopted while another
+	// live binding was still held — the work-conserving steals the
+	// low-water rule pulled in before the table ran dry.
+	LowWaterRefills int64
 	// Restricts counts table-wide restrictions applied because the
 	// parent shrank the authoritative copy (rebalances away from this
 	// subtree, or post-restart reconciliation).
 	Restricts int64
-	// DroppedTables counts local tables discarded because the parent no
-	// longer tracked the binding (lease expired during a long outage and
-	// the range was re-issued elsewhere).
+	// DroppedTables counts live local ranges discarded because the
+	// parent no longer tracked their binding (lease expired during a
+	// long outage and the range was re-issued elsewhere).
 	DroppedTables int64
 }
 
@@ -78,6 +86,15 @@ type SubConfig struct {
 	// FleetTTL is how long a silent fleet worker keeps contributing to
 	// the reported fleet power. Default one minute.
 	FleetTTL time.Duration
+	// LowWater, when set, arms the work-conserving refill rule: a fold
+	// cadence that finds the local remaining length under this mark —
+	// and the parent's last StealHint promising tracked work elsewhere —
+	// requests a second sub-range BEFORE the table runs dry, so the
+	// subtree never idles a WAN round-trip waiting for the retire-and-
+	// refill pair. Nil (default) keeps the strict refill-on-dry rule;
+	// the rule also stays dormant under a parent that never hints (an
+	// old root), so mixed-version trees behave exactly like before.
+	LowWater *big.Int
 	// Clock injects a nanosecond clock (virtual in the simulator and the
 	// chaos harness). Default wall clock.
 	Clock func() int64
@@ -113,6 +130,20 @@ type fleetEntry struct {
 	lastSeen int64
 }
 
+// upBinding is one parent-side copy this subtree is exploring. Bindings
+// are pairwise disjoint — they are distinct copies of the parent's
+// partition — so every local interval descends from exactly one of them.
+type upBinding struct {
+	id int64
+	iv interval.Interval
+}
+
+// maxBindings caps how many parent copies a sub-farmer holds at once: the
+// live range plus a few pre-fetched by the low-water rule. Four keeps the
+// per-binding fold fan-out bounded while letting a draining subtree soak up
+// enough foreign ground per cadence to matter at fleet scale.
+const maxBindings = 4
+
 // SubFarmer is the mid-tier coordinator. Like the Farmer it wraps, it is a
 // monitor — every operation takes the single mutex — with one deliberate
 // exception: the mutex is released around blocking parent RPCs (upCall),
@@ -126,16 +157,27 @@ type SubFarmer struct {
 	up    transport.Coordinator
 	inner *Farmer
 
-	// Upstream binding: the parent-side copy this subtree is exploring.
-	bound bool
-	upID  int64
-	upIV  interval.Interval
+	// Upstream bindings: the parent-side copies this subtree is
+	// exploring, primary first. Usually one; a second appears during a
+	// low-water episode (or when the parent's endgame rule duplicates a
+	// crumb here) and retires through the same per-binding fold.
+	bindings []upBinding
+
+	// lastBoundID remembers the most recent binding id even after the
+	// binding retired — the stale id the post-termination statistics
+	// flush rides (the parent accumulates deltas before the id lookup).
+	lastBoundID int64
+
+	// lastHint is the parent's latest StealHint (nil until one arrives;
+	// permanently nil under an old parent, which keeps the low-water
+	// rule dormant in mixed-version trees).
+	lastHint *transport.StealHint
 
 	// upBusy is the upstream-exchange token: the holder may release mu
 	// around the blocking parent RPC (upCall) while keeping exclusive
-	// ownership of the binding, bestSentUp, the sent-stats watermarks and
-	// the scratch big.Ints. Fleet messages keep being served during an
-	// in-flight exchange — one slow or hung parent round-trip must not
+	// ownership of the bindings, bestSentUp, the sent-stats watermarks
+	// and the scratch big.Ints. Fleet messages keep being served during
+	// an in-flight exchange — one slow or hung parent round-trip must not
 	// freeze the whole subtree — and any cadence that finds the token
 	// taken simply skips; the next cadence retries, which is the
 	// protocol's normal loss discipline anyway.
@@ -148,7 +190,9 @@ type SubFarmer struct {
 	// noBatch latches the discovery that the parent predates the batch
 	// Exchange frame (its rpc server answered "can't find method"); every
 	// later cadence speaks the three-call protocol directly instead of
-	// re-probing.
+	// re-probing. The discovering cadence itself replays its legs over
+	// the three calls immediately (replayCadenceLocked) — the probe must
+	// not cost the tree a cadence of folds.
 	noBatch bool
 
 	fleet map[transport.WorkerID]*fleetEntry
@@ -210,12 +254,20 @@ func RestoreSubFarmer(cfg SubConfig, up transport.Coordinator) (*SubFarmer, erro
 		return nil, err
 	}
 	s.inner = inner
-	b, ok, err := cfg.Store.LoadBinding()
+	bs, ok, err := cfg.Store.LoadBindings()
 	if err != nil {
 		return nil, err
 	}
-	if ok && b.Bound {
-		s.bound, s.upID, s.upIV = true, b.ID, b.Interval.Clone()
+	if ok {
+		for _, b := range bs {
+			if !b.Bound || len(s.bindings) >= maxBindings {
+				continue
+			}
+			s.bindings = append(s.bindings, upBinding{id: b.ID, iv: b.Interval.Clone()})
+		}
+		if len(s.bindings) > 0 {
+			s.lastBoundID = s.bindings[0].id
+		}
 	}
 	return s, nil
 }
@@ -262,11 +314,27 @@ func (s *SubFarmer) Finished() bool {
 }
 
 // Bound reports whether the sub-farmer currently holds a parent interval,
-// and its id.
+// and its (primary) id.
 func (s *SubFarmer) Bound() (int64, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.upID, s.bound
+	if len(s.bindings) == 0 {
+		return s.lastBoundID, false
+	}
+	return s.bindings[0].id, true
+}
+
+// Bindings returns the ids of every held upstream binding, primary first —
+// observability for tests and the harness; usually one entry, two during a
+// low-water episode.
+func (s *SubFarmer) Bindings() []int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ids := make([]int64, len(s.bindings))
+	for i, b := range s.bindings {
+		ids[i] = b.id
+	}
+	return ids
 }
 
 // IntervalsSnapshot exposes the local INTERVALS content — the tier view the
@@ -316,8 +384,9 @@ func (s *SubFarmer) fleetPowerLocked(now int64) int64 {
 }
 
 // RequestWork implements transport.Coordinator for the fleet. When the
-// local table is dry it refills from the parent first — the only moment a
-// subtree asks the tier above for load balancing.
+// local table is dry it refills from the parent first — the reactive half
+// of the tier-above load balancing (the proactive half is the low-water
+// rule riding the fold cadence).
 func (s *SubFarmer) RequestWork(req transport.WorkRequest) (transport.WorkReply, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -364,8 +433,8 @@ func (s *SubFarmer) UpdateInterval(req transport.UpdateRequest) (transport.Updat
 		return reply, err
 	}
 	if reply.Finished {
-		// Local table dry: retire the upstream copy (everything it
-		// still covered is genuinely explored — see foldUpLocked) and
+		// Local table dry: retire the upstream copies (everything they
+		// still covered is genuinely explored — see foldOneLocked) and
 		// try to pull a fresh sub-range immediately.
 		s.refillLocked(now)
 	} else {
@@ -407,14 +476,14 @@ func (s *SubFarmer) Pulse() {
 		s.flushStatsLocked(now)
 		return
 	}
-	if s.bound && now-s.lastFoldNanos >= int64(s.cfg.UpdatePeriod) {
+	if len(s.bindings) > 0 && now-s.lastFoldNanos >= int64(s.cfg.UpdatePeriod) {
 		s.foldUpLocked(now)
 	}
 }
 
 // upCall runs one parent exchange with the fleet mutex released. Caller
 // holds s.mu and has verified the upBusy token is free; upCall returns
-// with s.mu re-held. State owned by the token (binding, bestSentUp,
+// with s.mu re-held. State owned by the token (bindings, bestSentUp,
 // sent-stats, scratch) is stable across the window; the local table is
 // not, and callers must treat pre-call table snapshots accordingly.
 func (s *SubFarmer) upCall(f func(up transport.Coordinator)) {
@@ -426,7 +495,7 @@ func (s *SubFarmer) upCall(f func(up transport.Coordinator)) {
 }
 
 // flushStatsLocked ships exploration deltas that accrued after the final
-// fold. The binding is gone by now, so the update rides the last (stale)
+// fold. The bindings are gone by now, so the update rides the last (stale)
 // id: the parent accumulates statistics deltas before the id lookup, and
 // the Known=false verdict is exactly what we expect back. No-op while an
 // exchange is in flight or when nothing is pending.
@@ -440,13 +509,12 @@ func (s *SubFarmer) flushStatsLocked(now int64) {
 	}
 	req := transport.UpdateRequest{
 		Worker:        s.cfg.ID,
-		IntervalID:    s.upID,
+		IntervalID:    s.lastBoundID,
 		Power:         s.fleetPowerLocked(now),
 		ExploredDelta: ec - s.sentExplored,
 		PrunedDelta:   pc - s.sentPruned,
 		LeavesDelta:   lc - s.sentLeaves,
 	}
-	s.counters.UpstreamUpdates++
 	var err error
 	s.upCall(func(up transport.Coordinator) {
 		_, err = up.UpdateInterval(req)
@@ -455,31 +523,33 @@ func (s *SubFarmer) flushStatsLocked(now int64) {
 		s.noteUpstreamErrLocked(err)
 		return
 	}
+	s.counters.UpstreamUpdates++
 	s.sentExplored, s.sentPruned, s.sentLeaves = ec, pc, lc
 }
 
-// Checkpoint persists the local two-file snapshot and the upstream binding.
+// Checkpoint persists the local two-file snapshot and the upstream
+// bindings.
 func (s *SubFarmer) Checkpoint() error {
 	if err := s.inner.Checkpoint(); err != nil {
 		return err
 	}
 	s.mu.Lock()
-	b := checkpoint.Binding{Bound: s.bound, ID: s.upID}
-	if s.bound {
-		b.Interval = s.upIV.Clone()
+	bs := make([]checkpoint.Binding, 0, len(s.bindings))
+	for _, b := range s.bindings {
+		bs = append(bs, checkpoint.Binding{Bound: true, ID: b.id, Interval: b.iv.Clone()})
 	}
 	store := s.cfg.Store
 	s.mu.Unlock()
 	if store == nil {
 		return nil
 	}
-	return store.SaveBinding(b)
+	return store.SaveBindings(bs)
 }
 
 // tickCadenceLocked counts a served fleet message and folds upstream when
 // either cadence (message count or time) is due.
 func (s *SubFarmer) tickCadenceLocked(now int64) {
-	if !s.bound {
+	if len(s.bindings) == 0 {
 		return
 	}
 	s.sinceMsgs++
@@ -488,49 +558,205 @@ func (s *SubFarmer) tickCadenceLocked(now int64) {
 	}
 }
 
+// bindingIdx locates a binding by parent-side id; -1 when not held.
+func (s *SubFarmer) bindingIdx(id int64) int {
+	for i, b := range s.bindings {
+		if b.id == id {
+			return i
+		}
+	}
+	return -1
+}
+
+// bindingIvsLocked snapshots the authoritative intervals of every held
+// binding, for table-wide restriction to their union.
+func (s *SubFarmer) bindingIvsLocked() []interval.Interval {
+	ivs := make([]interval.Interval, len(s.bindings))
+	for i, b := range s.bindings {
+		ivs[i] = b.iv
+	}
+	return ivs
+}
+
+// frontierForLocked writes binding b's fold frontier into scrFront,
+// reporting false when no tracked interval remains under it. The common
+// single-binding case reads the O(log W) frontier heap; only a low-water
+// episode (two bindings) pays the O(W) per-range scan.
+func (s *SubFarmer) frontierForLocked(b upBinding) bool {
+	if len(s.bindings) == 1 {
+		return s.inner.FrontierInto(s.scrFront)
+	}
+	return s.inner.FrontierWithinInto(s.scrFront, b.iv)
+}
+
+// gapForFoldLocked builds the gap-carving declaration for binding b's
+// fold: the largest fully-explored hole interior to the local table's
+// share of the binding, offered when it is worth carving — at least 1/64
+// of the hull whose bounds the caller just wrote into scrFront/scrB. The
+// declaration is gated on having seen a parent hint: hints prove a parent
+// new enough to honour the gap field, so under an old root the fold stays
+// byte-for-byte the plain hull it always was. The gap is computed before
+// the mutex is released for the RPC, and stays valid across the flight:
+// explored ground never un-explores, and no refill can inject work into
+// the hole while the upBusy token is held.
+func (s *SubFarmer) gapForFoldLocked(b upBinding, rangeLive bool) (interval.Interval, bool) {
+	if s.lastHint == nil || !rangeLive {
+		return interval.Interval{}, false
+	}
+	ga, gb, ok := s.inner.LargestGapWithin(b.iv)
+	if !ok {
+		return interval.Interval{}, false
+	}
+	gapLen := new(big.Int).Sub(gb, ga)
+	hullLen := new(big.Int).Sub(s.scrB, s.scrFront)
+	if gapLen.Lsh(gapLen, 6).Cmp(hullLen) < 0 {
+		return interval.Interval{}, false
+	}
+	return interval.New(ga, gb), true
+}
+
+// contentForFoldLocked builds the content declaration for binding b's fold:
+// the true tracked length (in leaf units) behind the hull, so the parent can
+// value a fragmented table honestly instead of by its hull. Gated exactly
+// like the gap declaration — on having seen a parent hint, proving a parent
+// new enough to honour the field — so under an old root the fold stays
+// byte-for-byte the plain hull it always was. Unlike the gap there is no
+// worth-it floor: honest valuation is useful at any size. The value is a
+// snapshot taken before the RPC flight; it can only overstate the ground
+// left when the reply lands (exploration is monotone), which keeps the
+// parent's discount conservative.
+func (s *SubFarmer) contentForFoldLocked(b upBinding, rangeLive bool) *big.Int {
+	if s.lastHint == nil || !rangeLive {
+		return nil
+	}
+	return s.inner.ContentWithin(b.iv)
+}
+
 // foldUpLocked sends the worker-side checkpoint of this tier: the fold
-// [frontier, B) of the local INTERVALS, the fleet power, and the
-// exploration deltas. The parent's reply is authoritative (eq. 14): the
-// local table is restricted to it, which is how inter-subtree rebalancing
-// decisions propagate down.
+// [frontier, B) of each binding's share of the local INTERVALS, the fleet
+// power, and the exploration deltas. The parent's reply is authoritative
+// (eq. 14): the local table is restricted to it, which is how
+// inter-subtree rebalancing decisions propagate down. When the parent's
+// last hint promises tracked work elsewhere and the local remainder is
+// under the low-water mark, the cadence also pulls a fresh sub-range in
+// the same round-trip (batch) or an extra one (three-call) — refilling
+// BEFORE the table runs dry instead of idling the retire-refill gap.
 //
 // The fold is sound in both directions. Its end is pinned at the last
 // known copy end, which never undershoots the parent's (the parent's end
 // only shrinks, and every shrink this sub-farmer has seen is reflected
 // here), so the parent's stale-copy carve — the farmer-restart repair —
 // never misfires on a live subtree. Its beginning is the minimum beginning
-// over the local table: everything below it was reported consumed by fleet
-// workers, so the parent crediting [old A, frontier) as explored is exact.
+// over the binding's share of the local table: everything below it was
+// reported consumed by fleet workers, so the parent crediting
+// [old A, frontier) as explored is exact.
 func (s *SubFarmer) foldUpLocked(now int64) {
-	if !s.bound || s.upBusy {
+	if len(s.bindings) == 0 || s.upBusy {
 		return
 	}
 	if bc, ok := s.batchUpstreamLocked(); ok {
-		s.exchangeUpLocked(bc, now, false)
+		want := s.wantMoreLocked()
+		// Snapshot the secondary ids before the exchange: the verdict may
+		// reshuffle the slice (retire the primary, promote a secondary).
+		var secondaries []int64
+		for _, b := range s.bindings[1:] {
+			secondaries = append(secondaries, b.id)
+		}
+		reply, ok, _ := s.exchangeUpLocked(bc, now, want)
+		if !ok {
+			// A lost batch retries next cadence; the noBatch discovery
+			// already replayed every leg (including the secondaries'
+			// folds) over the three-call path.
+			return
+		}
+		if want && reply.HasWork {
+			s.adoptWorkReplyLocked(transport.WorkReply{
+				Status:     reply.Status,
+				IntervalID: reply.IntervalID,
+				Interval:   reply.WorkInterval,
+				BestCost:   reply.BestCost,
+				Duplicated: reply.Duplicated,
+			}, now)
+		}
+		for _, id := range secondaries {
+			if s.finished {
+				break
+			}
+			s.foldOneLocked(id, now, false)
+		}
 		return
 	}
 	s.pushBestUpLocked()
-	// tableLive is a snapshot: the fleet keeps updating while the RPC is
-	// in flight, so the table may drain before the reply lands. The drop
-	// branches below stay correct either way (restricting an already
-	// empty table is a no-op).
-	tableLive := s.inner.FrontierInto(s.scrFront)
-	if !tableLive {
-		// Empty local table folds to the empty interval [B, B): the
-		// parent retires the copy, completing this sub-range.
-		s.upIV.BInto(s.scrFront)
+	s.foldAllLocked(now)
+	if s.wantMoreLocked() {
+		s.requestMoreLocked(now)
 	}
-	fold := interval.New(s.scrFront, s.upIV.BInto(s.scrB))
-	ec, pc, lc := s.innerStatsLocked()
-	s.counters.UpstreamUpdates++
+}
+
+// foldAllLocked folds every held binding upstream over the three-call
+// protocol. The first fold to succeed carries the exploration deltas (the
+// parent accumulates them before the id lookup, so any binding's id is a
+// valid vehicle); the rest fold with zero deltas. A successful cadence —
+// any fold delivered — resets both fold cadences.
+func (s *SubFarmer) foldAllLocked(now int64) {
+	ids := make([]int64, 0, maxBindings)
+	for _, b := range s.bindings {
+		ids = append(ids, b.id)
+	}
+	withDeltas := true
+	any := false
+	for _, id := range ids {
+		if s.finished {
+			break
+		}
+		if s.foldOneLocked(id, now, withDeltas) {
+			withDeltas = false
+			any = true
+		}
+	}
+	if any {
+		s.sinceMsgs = 0
+		s.lastFoldNanos = now
+	}
+}
+
+// foldOneLocked folds one binding upstream over UpdateInterval. Counters
+// and watermarks move only on success: a lost fold is retried by a later
+// cadence with nothing double-counted. Reports whether the fold was
+// delivered.
+func (s *SubFarmer) foldOneLocked(id int64, now int64, withDeltas bool) bool {
+	bi := s.bindingIdx(id)
+	if bi < 0 {
+		return false
+	}
+	b := s.bindings[bi]
+	// rangeLive is a snapshot: the fleet keeps updating while the RPC is
+	// in flight, so the range may drain before the reply lands. The drop
+	// branches in the verdict stay correct either way (restricting an
+	// already empty range is a no-op).
+	rangeLive := s.frontierForLocked(b)
+	if !rangeLive {
+		// An empty range folds to the empty interval [B, B): the parent
+		// retires the copy, completing this sub-range.
+		b.iv.BInto(s.scrFront)
+	}
+	fold := interval.New(s.scrFront, b.iv.BInto(s.scrB))
 	req := transport.UpdateRequest{
-		Worker:        s.cfg.ID,
-		IntervalID:    s.upID,
-		Remaining:     fold,
-		Power:         s.fleetPowerLocked(now),
-		ExploredDelta: ec - s.sentExplored,
-		PrunedDelta:   pc - s.sentPruned,
-		LeavesDelta:   lc - s.sentLeaves,
+		Worker:     s.cfg.ID,
+		IntervalID: id,
+		Remaining:  fold,
+		Power:      s.fleetPowerLocked(now),
+	}
+	if g, withGap := s.gapForFoldLocked(b, rangeLive); withGap {
+		req.HasGap, req.Gap = true, g
+	}
+	req.Content = s.contentForFoldLocked(b, rangeLive)
+	var ec, pc, lc int64
+	if withDeltas {
+		ec, pc, lc = s.innerStatsLocked()
+		req.ExploredDelta = ec - s.sentExplored
+		req.PrunedDelta = pc - s.sentPruned
+		req.LeavesDelta = lc - s.sentLeaves
 	}
 	var (
 		reply transport.UpdateReply
@@ -541,13 +767,18 @@ func (s *SubFarmer) foldUpLocked(now int64) {
 	})
 	if err != nil {
 		s.noteUpstreamErrLocked(err)
-		return
+		return false
 	}
-	s.sentExplored, s.sentPruned, s.sentLeaves = ec, pc, lc
-	s.sinceMsgs = 0
-	s.lastFoldNanos = now
+	s.counters.UpstreamUpdates++
+	if withDeltas {
+		s.sentExplored, s.sentPruned, s.sentLeaves = ec, pc, lc
+	}
 	s.adoptUpstreamBestLocked(reply.BestCost)
-	s.applyFoldVerdictLocked(reply, tableLive)
+	if reply.Hint != nil {
+		s.lastHint = reply.Hint
+	}
+	s.applyFoldVerdictLocked(id, reply, rangeLive)
+	return true
 }
 
 // batchUpstreamLocked reports whether upstream exchanges should coalesce:
@@ -571,39 +802,40 @@ func isNoBatchErr(err error) bool {
 	return errors.As(err, &se) && strings.Contains(string(se), "can't find")
 }
 
-// exchangeUpLocked is foldUpLocked over the coalesced batch frame: one
-// round-trip carries the fold, the fleet power, any unsent best solution,
-// and — when wantWork is set — the refill request that would otherwise be
-// a separate exchange after the retire. Caller holds mu, owns the upBusy
-// token window, and has verified s.bound. Returns the reply and whether
-// the exchange succeeded.
-func (s *SubFarmer) exchangeUpLocked(bc transport.BatchCoordinator, now int64, wantWork bool) (transport.BatchReply, bool) {
-	tableLive := s.inner.FrontierInto(s.scrFront)
-	if !tableLive {
-		s.upIV.BInto(s.scrFront)
+// exchangeUpLocked is the fold cadence over the coalesced batch frame: one
+// round-trip carries the primary binding's fold, the fleet power, any
+// unsent best solution, and — when wantWork is set — the refill request
+// that would otherwise be a separate exchange. Caller holds mu, owns the
+// upBusy token window, and has verified bindings exist. Returns the reply,
+// whether the exchange was delivered, and — only when the parent turned
+// out to predate the batch frame — whether the three-call replay left the
+// table ready for another allocation attempt.
+func (s *SubFarmer) exchangeUpLocked(bc transport.BatchCoordinator, now int64, wantWork bool) (transport.BatchReply, bool, bool) {
+	b := s.bindings[0]
+	rangeLive := s.frontierForLocked(b)
+	if !rangeLive {
+		b.iv.BInto(s.scrFront)
 	}
-	fold := interval.New(s.scrFront, s.upIV.BInto(s.scrB))
+	fold := interval.New(s.scrFront, b.iv.BInto(s.scrB))
 	ec, pc, lc := s.innerStatsLocked()
 	req := transport.BatchRequest{
 		Worker:        s.cfg.ID,
 		Power:         s.fleetPowerLocked(now),
 		HasFold:       true,
-		FoldID:        s.upID,
+		FoldID:        b.id,
 		Remaining:     fold,
 		ExploredDelta: ec - s.sentExplored,
 		PrunedDelta:   pc - s.sentPruned,
 		LeavesDelta:   lc - s.sentLeaves,
 		WantWork:      wantWork,
 	}
+	if g, withGap := s.gapForFoldLocked(b, rangeLive); withGap {
+		req.HasFoldGap, req.FoldGap = true, g
+	}
+	req.FoldContent = s.contentForFoldLocked(b, rangeLive)
 	if best := s.inner.Best(); best.Cost < s.bestSentUp {
 		req.HasReport, req.Cost, req.Path = true, best.Cost, best.Path
-		s.counters.UpstreamReports++
 	}
-	s.counters.UpstreamUpdates++
-	if wantWork {
-		s.counters.UpstreamRequests++
-	}
-	s.counters.UpstreamBatches++
 	var (
 		reply transport.BatchReply
 		err   error
@@ -613,119 +845,85 @@ func (s *SubFarmer) exchangeUpLocked(bc transport.BatchCoordinator, now int64, w
 	})
 	if err != nil {
 		if isNoBatchErr(err) {
+			// An old parent rejecting the batch frame is a dialect
+			// discovery, not an upstream loss: none of the legs were
+			// delivered, so replay them over the three-call protocol in
+			// THIS cadence instead of idling until the next one, and
+			// count nothing for the undelivered batch.
 			s.noBatch = true
+			return reply, false, s.replayCadenceLocked(now, wantWork)
 		}
 		s.noteUpstreamErrLocked(err)
-		return reply, false
+		return reply, false, false
 	}
-	if req.HasReport && req.Cost < s.bestSentUp {
-		s.bestSentUp = req.Cost
+	s.counters.UpstreamBatches++
+	s.counters.UpstreamUpdates++
+	if req.HasReport {
+		s.counters.UpstreamReports++
+		if req.Cost < s.bestSentUp {
+			s.bestSentUp = req.Cost
+		}
+	}
+	if wantWork {
+		s.counters.UpstreamRequests++
 	}
 	s.sentExplored, s.sentPruned, s.sentLeaves = ec, pc, lc
 	s.sinceMsgs = 0
 	s.lastFoldNanos = now
 	s.adoptUpstreamBestLocked(reply.BestCost)
-	s.applyFoldVerdictLocked(transport.UpdateReply{
+	if reply.Hint != nil {
+		s.lastHint = reply.Hint
+	}
+	s.applyFoldVerdictLocked(b.id, transport.UpdateReply{
 		Finished: reply.Finished,
 		Known:    reply.Known,
 		Interval: reply.Interval,
-	}, tableLive)
-	return reply, true
+	}, rangeLive)
+	return reply, true, false
 }
 
-// applyFoldVerdictLocked applies the parent's authoritative fold reply —
-// shared by the three-call and batch paths, so the drop/restrict
-// semantics cannot drift between dialects. Caller still owns the fold
-// scratch (scrFront/scrB hold the fold bounds just sent).
-func (s *SubFarmer) applyFoldVerdictLocked(reply transport.UpdateReply, tableLive bool) {
-	if s.finished = s.finished || reply.Finished; s.finished {
-		// Global termination: whatever remains locally is duplicated
-		// residue of ground another subtree already proved (the root's
-		// union is empty, so every leaf is accounted for). Drop it so
-		// the fleet stops instead of re-proving it.
-		s.bound = false
-		if tableLive {
-			s.inner.RestrictTo(interval.Interval{})
-		}
-		return
+// replayCadenceLocked re-runs the legs an undelivered batch probe meant to
+// carry, over the three-call protocol, within the same cadence: best
+// report, every binding's fold, and — when the caller wanted work and the
+// folds left the table entitled to it — the refill request. Reports
+// whether the table is ready for another allocation attempt.
+func (s *SubFarmer) replayCadenceLocked(now int64, wantWork bool) bool {
+	s.pushBestUpLocked()
+	s.foldAllLocked(now)
+	if !wantWork || s.finished {
+		return false
 	}
-	if !reply.Known {
-		// The parent no longer tracks the binding. For an empty table
-		// that is just the retire racing a completed copy; for a live
-		// one it means the lease expired during an outage and the
-		// range lives on under other owners — keeping the table would
-		// duplicate their work leaf for leaf, so drop it and rejoin
-		// through the refill path.
-		s.bound = false
-		if tableLive {
-			s.inner.RestrictTo(interval.Interval{})
-			s.counters.DroppedTables++
-		}
-		return
+	if len(s.bindings) == 0 || s.wantMoreLocked() {
+		return s.requestMoreLocked(now)
 	}
-	if reply.Interval.IsEmpty() {
-		// The copy emptied: the normal case is our own retire fold
-		// ([B,B) on a drained table); with a live table it means the
-		// parent already saw everything we still plan consumed under
-		// other owners — duplicated residue, dropped like above.
-		s.bound = false
-		if tableLive {
-			s.inner.RestrictTo(interval.Interval{})
-			s.counters.DroppedTables++
-		}
-		return
-	}
-	// Restrict the local table to the authoritative copy when it
-	// actually cuts something: a tail donated to another subtree, or —
-	// after a restart from checkpoint — ground below the frontier the
-	// previous incarnation had already reported consumed.
-	if reply.Interval.CmpA(s.scrFront) > 0 || reply.Interval.CmpB(s.scrB) < 0 {
-		s.inner.RestrictTo(reply.Interval)
-		s.counters.Restricts++
-	}
-	s.upIV = reply.Interval.Clone()
+	// A retire fold lost in transit left the binding in place; the next
+	// cadence retries it. Do not stack another refill on this message.
+	return false
 }
 
-// refillLocked handles the dry-table moment: fold the (empty) table up so
-// the parent retires the finished copy, then request a fresh sub-range
-// with the fleet's aggregate power. Reports whether the local table is
-// ready for another allocation attempt.
-func (s *SubFarmer) refillLocked(now int64) bool {
-	if s.upBusy {
-		// Another worker's message is already mid-exchange with the
-		// parent; this one waits its turn (WorkWait → retry).
+// wantMoreLocked is the work-conserving low-water rule: ask the parent for
+// a second sub-range when the local remainder is under the mark, the
+// parent's last hint promises tracked work elsewhere, and there is a free
+// binding slot. Dormant without a LowWater mark or under a parent that
+// never hints (an old root) — then refill stays strictly on-dry.
+func (s *SubFarmer) wantMoreLocked() bool {
+	if s.cfg.LowWater == nil || s.finished || s.lastHint == nil {
 		return false
 	}
-	if bc, ok := s.batchUpstreamLocked(); ok && s.bound {
-		// Coalesced: retire fold and refill in ONE round-trip instead of
-		// the fold-then-request pair below.
-		reply, ok := s.exchangeUpLocked(bc, now, true)
-		if !ok || s.finished || !reply.HasWork {
-			// A lost batch, global termination, or a fold verdict that
-			// suppressed the work leg; the next fleet message retries.
-			return false
-		}
-		return s.adoptWorkReplyLocked(transport.WorkReply{
-			Status:     reply.Status,
-			IntervalID: reply.IntervalID,
-			Interval:   reply.WorkInterval,
-			BestCost:   reply.BestCost,
-			Duplicated: reply.Duplicated,
-		}, now)
-	}
-	if s.bound {
-		s.foldUpLocked(now)
-		if s.bound {
-			// The retire fold was lost in transit; the next cadence
-			// retries it. Do not stack a second upstream exchange on
-			// this fleet message.
-			return false
-		}
-	}
-	if s.finished {
+	if len(s.bindings) == 0 || len(s.bindings) >= maxBindings {
 		return false
 	}
-	s.counters.UpstreamRequests++
+	if s.lastHint.Others <= 0 || s.lastHint.RichestBits <= 0 {
+		return false
+	}
+	_, total := s.inner.Size()
+	return total.Cmp(s.cfg.LowWater) < 0
+}
+
+// requestMoreLocked asks the parent for a sub-range over the three-call
+// protocol and adopts the grant. Reports whether the table is ready for
+// another allocation attempt.
+func (s *SubFarmer) requestMoreLocked(now int64) bool {
 	req := transport.WorkRequest{
 		Worker: s.cfg.ID,
 		Power:  s.fleetPowerLocked(now),
@@ -741,7 +939,108 @@ func (s *SubFarmer) refillLocked(now int64) bool {
 		s.noteUpstreamErrLocked(err)
 		return false
 	}
+	s.counters.UpstreamRequests++
 	return s.adoptWorkReplyLocked(reply, now)
+}
+
+// applyFoldVerdictLocked applies the parent's authoritative fold reply for
+// one binding — shared by the three-call and batch paths, so the
+// drop/restrict semantics cannot drift between dialects. Caller still owns
+// the fold scratch (scrFront/scrB hold the fold bounds just sent).
+func (s *SubFarmer) applyFoldVerdictLocked(id int64, reply transport.UpdateReply, rangeLive bool) {
+	if s.finished = s.finished || reply.Finished; s.finished {
+		// Global termination: whatever remains locally is duplicated
+		// residue of ground another subtree already proved (the root's
+		// union is empty, so every leaf is accounted for). Drop it so
+		// the fleet stops instead of re-proving it.
+		s.bindings = nil
+		s.inner.RestrictTo(interval.Interval{})
+		return
+	}
+	bi := s.bindingIdx(id)
+	if bi < 0 {
+		return
+	}
+	if !reply.Known || reply.Interval.IsEmpty() {
+		// Known=false: the parent no longer tracks the binding. For an
+		// empty range that is just the retire racing a completed copy;
+		// for a live one it means the lease expired during an outage and
+		// the range lives on under other owners — keeping it would
+		// duplicate their work leaf for leaf. An empty authoritative
+		// copy means the same from the other side: our own retire fold,
+		// or the parent saw everything we still plan consumed elsewhere.
+		// Either way the binding retires and any live residue under it
+		// is cut away (the union restriction spares the other binding).
+		s.bindings = append(s.bindings[:bi], s.bindings[bi+1:]...)
+		if rangeLive {
+			s.inner.RestrictToUnion(s.bindingIvsLocked())
+			s.counters.DroppedTables++
+		}
+		return
+	}
+	// Restrict the binding's share of the local table to the
+	// authoritative copy when it actually cuts something: a tail donated
+	// to another subtree, or — after a restart from checkpoint — ground
+	// below the frontier the previous incarnation had already reported
+	// consumed.
+	cut := reply.Interval.CmpA(s.scrFront) > 0 || reply.Interval.CmpB(s.scrB) < 0
+	s.bindings[bi].iv = reply.Interval.Clone()
+	if cut {
+		if len(s.bindings) == 1 {
+			s.inner.RestrictTo(reply.Interval)
+		} else {
+			s.inner.RestrictToUnion(s.bindingIvsLocked())
+		}
+		s.counters.Restricts++
+	}
+}
+
+// refillLocked handles the dry-table moment: fold the (empty) table up so
+// the parent retires the finished copies, then request a fresh sub-range
+// with the fleet's aggregate power. Reports whether the local table is
+// ready for another allocation attempt.
+func (s *SubFarmer) refillLocked(now int64) bool {
+	if s.upBusy {
+		// Another worker's message is already mid-exchange with the
+		// parent; this one waits its turn (WorkWait → retry).
+		return false
+	}
+	if bc, ok := s.batchUpstreamLocked(); ok && len(s.bindings) > 0 {
+		// Coalesced: retire fold and refill in ONE round-trip instead of
+		// the fold-then-request pair below.
+		reply, ok, workReady := s.exchangeUpLocked(bc, now, true)
+		if !ok {
+			// workReady carries the three-call replay's verdict when the
+			// parent turned out to predate the batch frame; an ordinary
+			// lost batch reports false and the next fleet message
+			// retries.
+			return workReady
+		}
+		if s.finished || !reply.HasWork {
+			return false
+		}
+		return s.adoptWorkReplyLocked(transport.WorkReply{
+			Status:     reply.Status,
+			IntervalID: reply.IntervalID,
+			Interval:   reply.WorkInterval,
+			BestCost:   reply.BestCost,
+			Duplicated: reply.Duplicated,
+		}, now)
+	}
+	if len(s.bindings) > 0 {
+		s.pushBestUpLocked()
+		s.foldAllLocked(now)
+		if len(s.bindings) > 0 {
+			// A retire fold was lost in transit; the next cadence
+			// retries it. Do not stack a second upstream exchange on
+			// this fleet message.
+			return false
+		}
+	}
+	if s.finished {
+		return false
+	}
+	return s.requestMoreLocked(now)
 }
 
 // adoptWorkReplyLocked applies the parent's work assignment — shared by
@@ -754,14 +1053,36 @@ func (s *SubFarmer) adoptWorkReplyLocked(reply transport.WorkReply, now int64) b
 		s.finished = true
 		return false
 	case transport.WorkAssigned:
+		if bi := s.bindingIdx(reply.IntervalID); bi >= 0 {
+			// The parent handed our own copy back — the endgame
+			// duplication rule keeps one copy per interval and may pick
+			// the requester's (§4.2). The table already covers it;
+			// adopt the authoritative bounds and inject nothing, or the
+			// subtree would re-explore its own remainder.
+			s.bindings[bi].iv = reply.Interval.Clone()
+			return false
+		}
+		if len(s.bindings) >= maxBindings {
+			// No free slot (a racing refill filled it): fold the grant
+			// straight back so the parent retires or re-issues it.
+			s.bindings = append(s.bindings, upBinding{id: reply.IntervalID, iv: reply.Interval.Clone()})
+			s.lastBoundID = reply.IntervalID
+			s.foldOneLocked(reply.IntervalID, now, false)
+			return false
+		}
 		if reply.Interval.IsEmpty() {
 			// A crumb split can donate the empty interval; hand it
 			// straight back so the parent retires it.
-			s.bound, s.upID, s.upIV = true, reply.IntervalID, reply.Interval.Clone()
-			s.foldUpLocked(now)
+			s.bindings = append(s.bindings, upBinding{id: reply.IntervalID, iv: reply.Interval.Clone()})
+			s.lastBoundID = reply.IntervalID
+			s.foldOneLocked(reply.IntervalID, now, false)
 			return false
 		}
-		s.bound, s.upID, s.upIV = true, reply.IntervalID, reply.Interval.Clone()
+		if len(s.bindings) > 0 {
+			s.counters.LowWaterRefills++
+		}
+		s.bindings = append(s.bindings, upBinding{id: reply.IntervalID, iv: reply.Interval.Clone()})
+		s.lastBoundID = reply.IntervalID
 		s.inner.Inject(reply.Interval)
 		s.sinceMsgs = 0
 		s.lastFoldNanos = now
@@ -784,7 +1105,6 @@ func (s *SubFarmer) pushBestUpLocked() {
 	if best.Cost >= s.bestSentUp {
 		return
 	}
-	s.counters.UpstreamReports++
 	req := transport.SolutionReport{
 		Worker: s.cfg.ID,
 		Cost:   best.Cost,
@@ -801,6 +1121,7 @@ func (s *SubFarmer) pushBestUpLocked() {
 		s.noteUpstreamErrLocked(err)
 		return
 	}
+	s.counters.UpstreamReports++
 	if best.Cost < s.bestSentUp {
 		s.bestSentUp = best.Cost
 	}

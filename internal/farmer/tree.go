@@ -7,6 +7,7 @@ package farmer
 
 import (
 	"fmt"
+	"math/big"
 	"time"
 
 	"repro/internal/bb"
@@ -26,6 +27,13 @@ type TreeConfig struct {
 	SubUpdatePeriod time.Duration
 	// FleetTTL is the sub-farmers' fleet power TTL.
 	FleetTTL time.Duration
+	// SubLowWater arms each sub-farmer's work-conserving refill rule
+	// (SubConfig.LowWater): refill before the local table runs dry when
+	// the root's steal hints promise work elsewhere. Nil keeps the
+	// strict refill-on-dry rule. Pair it with WithStealHints (and
+	// optionally WithEndgameThreshold) in RootOptions — without hints
+	// the rule stays dormant.
+	SubLowWater *big.Int
 	// Clock is shared by the root and every sub-farmer. Default wall
 	// clock.
 	Clock func() int64
@@ -71,6 +79,7 @@ func NewTree(root interval.Interval, cfg TreeConfig) *Tree {
 			UpdateEvery:  cfg.SubUpdateEvery,
 			UpdatePeriod: cfg.SubUpdatePeriod,
 			FleetTTL:     cfg.FleetTTL,
+			LowWater:     cfg.SubLowWater,
 			Clock:        cfg.Clock,
 			InnerOptions: cfg.InnerOptions,
 		}

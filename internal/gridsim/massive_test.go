@@ -114,12 +114,28 @@ func TestMassiveTreeGridScenario(t *testing.T) {
 		t.Errorf("tree root exploitation %.2f%% not below the flat farmer's %.2f%% at equal load",
 			tree.Table2.FarmerExploitation*100, flat.Table2.FarmerExploitation*100)
 	}
-	if tree.Table2.FarmerExploitation >= 0.05 {
-		t.Errorf("tree root exploitation %.2f%%, want < 5%% — the root must be almost idle at 10k workers",
+	// Absolute root-utilization ceiling. 10% rather than the pre-PR-8 5%:
+	// the endgame protocol (steal hints, low-water refills, crumb
+	// duplication) is deliberately chattier at the root, and the whole run
+	// is now ~4× shorter, so the fixed per-message cost divides by a much
+	// smaller wall clock. The measured value (~7%) is still ~5× below the
+	// flat farmer's, which the relative assertion above pins.
+	if tree.Table2.FarmerExploitation >= 0.10 {
+		t.Errorf("tree root exploitation %.2f%%, want < 10%% — the root must stay far from saturation at 10k workers",
 			tree.Table2.FarmerExploitation*100)
 	}
 	if tree.Table2.WorkerExploitation <= 0.90 {
 		t.Errorf("tree worker exploitation %.1f%%, want > 90%%", tree.Table2.WorkerExploitation*100)
+	}
+	// The PR-8 endgame acceptance gate: the tree's virtual resolution time
+	// must be within 1.4× the flat farmer's at equal load (it was ~2.2×
+	// before the crumb-endgame work; see BENCH_pr8.json for the recorded
+	// run). The tree historically lost the tail twice over — every refill
+	// re-descended from the tree root on the workers' dime, and root-scale
+	// crumbs were duplicated across whole sub-fleets.
+	if limit := flat.Ticks * 14 / 10; tree.Ticks > limit {
+		t.Errorf("tree resolved in %d ticks vs flat %d (%.2fx), want ≤ 1.4x",
+			tree.Ticks, flat.Ticks, float64(tree.Ticks)/float64(flat.Ticks))
 	}
 	t.Logf("tree: ticks=%d maxW=%d avgW=%.0f root=%.3f%% worker=%.2f%% redundant=%.2f%%",
 		tree.Ticks, tree.Table2.MaxWorkers, tree.Table2.AvgWorkers,

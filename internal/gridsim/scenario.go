@@ -81,7 +81,13 @@ func MassiveTreeScenario(seed int64, expectedNodes int64, wallDays float64, work
 		// cost of 3 messages per sub-farmer-minute at the root — noise
 		// against the fleet's tens of thousands.
 		SubUpdatePeriodSeconds: 60,
-		NodesPerGHzPerSecond:   CalibrateRate(pool, m, expectedNodes, wallDays*1200),
+		// The endgame trio (steal hints, low-water refill, crumb
+		// duplication) is on: without it the tree pays a ~2.2× virtual-
+		// time tail over the flat control once only crumbs remain
+		// (BENCH_pr5.json); with it the ratio is pinned ≤ 1.4× by
+		// TestMassiveTreeGridScenario.
+		Endgame:              true,
+		NodesPerGHzPerSecond: CalibrateRate(pool, m, expectedNodes, wallDays*1200),
 	}
 }
 

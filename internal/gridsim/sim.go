@@ -75,6 +75,24 @@ type Config struct {
 	// SubUpdatePeriodSeconds is the sub→root fold cadence. Default:
 	// UpdatePeriodSeconds (the same cadence a worker checkpoints at).
 	SubUpdatePeriodSeconds float64
+	// Endgame arms the tree's crumb-endgame trio (DESIGN.md §12) in tree
+	// mode: the root piggybacks steal hints on fold replies, sub-farmers
+	// refill before their tables run dry (low-water rule), and the root
+	// duplicates the survivors across subtrees once its tracked total is
+	// crumb-scale. No effect when Subtrees < 2.
+	Endgame bool
+	// EndgameFactor and LowWaterFactor scale the two endgame thresholds
+	// as multiples of the duplication threshold: the root's endgame
+	// duplication arms under EndgameFactor×threshold of tracked total,
+	// and a sub-farmer pre-fetches under LowWaterFactor×threshold of
+	// local remainder. Defaults 512 and 1024: the threshold is
+	// leaf-units scale (a handful of tree nodes), while the endgame is
+	// governed by fleet-scale quantities — a starving subtree needs
+	// several cadences of fleet throughput pre-fetched to stay busy
+	// across the refill RTT, and the root must start duplicating the
+	// survivors while there is still enough tail left for every
+	// subtree's fleet to chew in parallel.
+	EndgameFactor, LowWaterFactor int64
 }
 
 func (c *Config) fillDefaults() {
@@ -110,6 +128,12 @@ func (c *Config) fillDefaults() {
 	}
 	if c.MaxTicks <= 0 {
 		c.MaxTicks = 200_000
+	}
+	if c.EndgameFactor <= 0 {
+		c.EndgameFactor = 64
+	}
+	if c.LowWaterFactor <= 0 {
+		c.LowWaterFactor = 1024
 	}
 }
 
@@ -209,6 +233,9 @@ type Sim struct {
 	retired   []*simWorker
 	lostNodes int64 // explored but never reported before a crash
 	result    Result
+
+	// onTick, when set (tests), observes the state after every step.
+	onTick func(tick int)
 }
 
 // New builds a simulation. factory must return a fresh Problem per call
@@ -264,6 +291,22 @@ func New(cfg Config, factory func() bb.Problem) *Sim {
 			fopts = append(fopts, farmer.WithCheckpointStore(store))
 		}
 	}
+	var lowWater *big.Int
+	// An inner farmer serves a fleet 1/Subtrees the size of the grid over
+	// a table that is itself a slice of the root's, so its no-split
+	// threshold scales down with the tree's fan-out: duplicating a
+	// root-scale "crumb" (thousands of unit-dense deep leaves) to every
+	// idle worker of a subtree is the dominant redundancy of tree mode.
+	innerThr := thr
+	if cfg.Endgame && cfg.Subtrees >= 2 {
+		endgame := new(big.Int).Mul(thr, big.NewInt(cfg.EndgameFactor))
+		lowWater = new(big.Int).Mul(thr, big.NewInt(cfg.LowWaterFactor))
+		fopts = append(fopts, farmer.WithStealHints(), farmer.WithEndgameThreshold(endgame))
+		innerThr = new(big.Int).Div(thr, big.NewInt(int64(cfg.Subtrees)*8))
+		if innerThr.Sign() <= 0 {
+			innerThr = big.NewInt(1)
+		}
+	}
 	s.farmer = farmer.New(nb.RootRange(), fopts...)
 	if cfg.Subtrees >= 2 {
 		subPeriod := cfg.SubUpdatePeriodSeconds
@@ -276,10 +319,11 @@ func New(cfg Config, factory func() bb.Problem) *Sim {
 				UpdateEvery:  64,
 				UpdatePeriod: time.Duration(subPeriod * 1e9),
 				FleetTTL:     time.Duration(cfg.LeaseTTLSeconds * 1e9),
+				LowWater:     lowWater,
 				Clock:        func() int64 { return int64(s.nowSecs * 1e9) },
 				InnerOptions: []farmer.Option{
 					farmer.WithLeaseTTL(time.Duration(cfg.LeaseTTLSeconds * 1e9)),
-					farmer.WithThreshold(thr),
+					farmer.WithThreshold(innerThr),
 					farmer.WithEqualSplit(cfg.EqualSplit),
 				},
 			}, s.farmer))
@@ -393,6 +437,9 @@ func (s *Sim) Run() (Result, error) {
 		// keep their leases alive and rebalancing decisions propagate.
 		for _, sub := range s.subs {
 			sub.Pulse()
+		}
+		if s.onTick != nil {
+			s.onTick(tick)
 		}
 		s.result.Trace = append(s.result.Trace, TracePoint{TimeSeconds: s.nowSecs, Active: activeCount})
 		sumActive += int64(activeCount)

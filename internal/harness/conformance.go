@@ -26,7 +26,11 @@ type auditedCoordinator interface {
 //
 //   - allocation (RequestWork) and solution sharing (ReportSolution) leave
 //     the union of INTERVALS exactly unchanged — the partitioning operator
-//     tiles, it never creates or destroys work (§4.2);
+//     tiles, it never creates or destroys work (§4.2). One amendment since
+//     PR 8: a gap-carving split (DESIGN.md §12) may shrink the union at
+//     allocation time, but only by ground some reporter has explicitly
+//     vouched as explored in a prior fold's gap declaration — that ground
+//     is credited to the covered set exactly like a fold removal;
 //   - a checkpoint update (UpdateInterval) only ever shrinks the union
 //     (eq. 14 intersections), and whatever it removes is credited to the
 //     workers' covered set — eq. 10: consumed leaf numbers leave INTERVALS
@@ -44,6 +48,12 @@ type tracker struct {
 
 	// covered accumulates regions removed from INTERVALS by updates.
 	covered *interval.Set
+	// declaredGaps accumulates every gap region a fold has vouched as
+	// explored (UpdateRequest.Gap). A vouch is permanent — explored is
+	// explored — and it is the ONLY license for an allocation-time union
+	// shrink: the gap-carving split hands out the far side of a declared
+	// hole and retires the hole itself.
+	declaredGaps *interval.Set
 	// overlap is the total re-covered measure (redundant exploration).
 	overlap *big.Int
 	// reworkBudget is how much overlap the observed fault events justify.
@@ -63,6 +73,7 @@ func newTracker(root interval.Interval) *tracker {
 	return &tracker{
 		root:             root.Clone(),
 		covered:          interval.NewSet(),
+		declaredGaps:     interval.NewSet(),
 		overlap:          new(big.Int),
 		reworkBudget:     new(big.Int),
 		coveredSinceCkpt: new(big.Int),
@@ -91,12 +102,22 @@ func (t *tracker) union() *interval.Set {
 }
 
 // RequestWork implements transport.Coordinator: allocation conserves the
-// union exactly.
+// union exactly, except that a gap-carving split may retire ground a
+// reporter has vouched as explored — which is then covered work.
 func (t *tracker) RequestWork(req transport.WorkRequest) (transport.WorkReply, error) {
 	before := t.union()
 	reply, err := t.f.RequestWork(req)
-	if after := t.union(); !before.Equal(after) {
-		t.violatef("RequestWork(%s) changed the INTERVALS union: %s -> %s", req.Worker, before, after)
+	after := t.union()
+	if grown := interval.SetDiff(after, before); !grown.IsEmpty() {
+		t.violatef("RequestWork(%s) grew the INTERVALS union by %s", req.Worker, grown)
+	}
+	removed := interval.SetDiff(before, after)
+	if stray := interval.SetDiff(removed, t.declaredGaps); !stray.IsEmpty() {
+		t.violatef("RequestWork(%s) shrank the INTERVALS union by %s, which no fold vouched as an explored gap", req.Worker, stray)
+	}
+	for _, iv := range removed.Intervals() {
+		t.overlap.Add(t.overlap, t.covered.Add(iv))
+		t.coveredSinceCkpt.Add(t.coveredSinceCkpt, iv.Len())
 	}
 	return reply, err
 }
@@ -107,6 +128,9 @@ func (t *tracker) UpdateInterval(req transport.UpdateRequest) (transport.UpdateR
 	before := t.union()
 	reply, err := t.f.UpdateInterval(req)
 	after := t.union()
+	if req.HasGap && err == nil && reply.Known {
+		t.declaredGaps.Add(req.Gap)
+	}
 	if grown := interval.SetDiff(after, before); !grown.IsEmpty() {
 		t.violatef("UpdateInterval(%s id=%d) grew INTERVALS by %s", req.Worker, req.IntervalID, grown)
 	}

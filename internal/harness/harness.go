@@ -103,6 +103,14 @@ type Scenario struct {
 	// checkpoint store, binding file included, while its fleet keeps
 	// hammering the same endpoint.
 	SubRestarts []SubRestart
+	// Endgame arms the crumb-endgame machinery (tree mode, DESIGN.md
+	// §12): steal hints and endgame crumb duplication at the root,
+	// low-water pre-fetch and gap/content-honest folds at the subs, and
+	// the fan-out-scaled inner threshold. The thresholds are derived
+	// from the root range exactly as the grid simulator derives them,
+	// so the chaos matrix exercises the same code paths the 10k-fleet
+	// scenario measures.
+	Endgame bool
 }
 
 func (s *Scenario) fillDefaults() {
@@ -150,6 +158,10 @@ type Report struct {
 	Timeouts         int
 	UpstreamTimeouts int64
 	Refills          int64
+	// LowWaterRefills aggregates the subset of Refills the sub-farmers
+	// adopted while still holding live bindings — the work-conserving
+	// pre-fetch of the endgame machinery (tree mode, Endgame scenarios).
+	LowWaterRefills int64
 	// OverlapUnits is the re-covered leaf measure; ReworkBudget what the
 	// fault events justify.
 	OverlapUnits, ReworkBudget *big.Int

@@ -151,6 +151,23 @@ func TestScenariosExerciseTheirFaults(t *testing.T) {
 		t.Errorf("tree-churn: no checkpoints written — the sub restarts restored nothing")
 	}
 
+	endgame, err := Run(EndgameChurn())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if endgame.Refills < int64(EndgameChurn().Subtrees) {
+		t.Errorf("endgame-churn: only %d refills across %d subtrees", endgame.Refills, EndgameChurn().Subtrees)
+	}
+	if endgame.LowWaterRefills == 0 {
+		t.Errorf("endgame-churn: no low-water refill — the work-conserving pre-fetch never fired")
+	}
+	if endgame.Counters.GapCarves == 0 {
+		t.Errorf("endgame-churn: no gap carve — no fold ever vouched an explored hole the root cut out")
+	}
+	if endgame.Counters.Duplications == 0 {
+		t.Errorf("endgame-churn: no duplication — the crumb-sharing rule never fired")
+	}
+
 	stalled, err := Run(StalledCoordinator())
 	if err != nil {
 		t.Fatal(err)

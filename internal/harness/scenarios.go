@@ -186,6 +186,47 @@ func TreeChurn() Scenario {
 	}
 }
 
+// EndgameChurn is the crumb-endgame story (DESIGN.md §12) under the §4.1
+// failure model, on a flowshop instance (~60k sequential nodes): a
+// two-tier tree with the full endgame machinery armed — steal hints on
+// fold replies, work-conserving low-water pre-fetch, endgame crumb
+// duplication at the root, gap-carving and content-honest folds from the
+// subs, and the fan-out-scaled inner threshold — while replies drop on
+// both legs, workers crash without goodbye, and a sub-farmer dies and
+// restores mid-run with low-water bindings in flight. The conformance
+// stakes are higher than TreeChurn's: hints and pre-fetch move intervals
+// between subtrees aggressively, and gap folds shrink the root table by
+// interior carves, so the §5 invariants (partition at the root, growth
+// only at refills below) audit exactly the paths the 10k-fleet scenario
+// relies on for its resolution-time claim — and the double run must stay
+// byte-identical with all of it armed.
+func EndgameChurn() Scenario {
+	ins := flowshop.Taillard(12, 5, 41)
+	return Scenario{
+		Name: "endgame-churn",
+		Seed: 13,
+		Factory: func() bb.Problem {
+			return flowshop.NewProblem(ins, flowshop.BoundOneMachine, flowshop.PairsAll)
+		},
+		Workers:           6,
+		Subtrees:          3,
+		SubUpdateEvery:    4,
+		UpdatePeriodNodes: 256,
+		TickBudget:        256,
+		LeaseTTLTicks:     3,
+		CheckpointEvery:   3,
+		DropReplyPct:      6,
+		Endgame:           true,
+		Kills: []KillEvent{
+			{Tick: 5, Slot: 2, RejoinAfter: 3},
+			{Tick: 11, Slot: 0, RejoinAfter: 4},
+		},
+		SubRestarts: []SubRestart{
+			{Tick: 8, Sub: 2},
+		},
+	}
+}
+
 // StalledCoordinator is the hostile-WAN liveness story (DESIGN.md §10) on
 // a flowshop instance (~60k sequential nodes): a two-tier tree where a
 // slice of the calls on BOTH legs is black-holed — the coordinator never
@@ -239,5 +280,5 @@ func PartitionedRing() RingScenario {
 
 // GridScenarios returns the farmer-based scenario matrix.
 func GridScenarios() []Scenario {
-	return []Scenario{QuietGrid(), ChurnyGrid(), FarmerFailover(), MulticoreChurn(), PackedGrid(), TreeChurn(), StalledCoordinator()}
+	return []Scenario{QuietGrid(), ChurnyGrid(), FarmerFailover(), MulticoreChurn(), PackedGrid(), TreeChurn(), EndgameChurn(), StalledCoordinator()}
 }

@@ -145,6 +145,11 @@ type treeGrid struct {
 	upChaos   *transport.Interceptor
 	subStores []*checkpoint.Store
 
+	// Endgame-mode thresholds (nil when Scenario.Endgame is off),
+	// derived once so restarted sub-farmers get the same configuration.
+	endgameLowWater *big.Int
+	endgameInnerThr *big.Int
+
 	slots   []*slot
 	trace   []string
 	report  *Report
@@ -211,6 +216,24 @@ func runTree(sc Scenario) (Report, error) {
 	if sc.InitialUpper < bb.Infinity {
 		rootOpts = append(rootOpts, farmer.WithInitialBest(sc.InitialUpper, nil))
 	}
+	if sc.Endgame {
+		// Same derivation as gridsim.New: threshold 1e-6 of the root
+		// range, endgame at 64×, low water at 1024×, inner threshold
+		// divided by 8× the fan-out (see DESIGN.md §12).
+		thr := new(big.Int).Div(root.Len(), big.NewInt(1_000_000))
+		if thr.Sign() <= 0 {
+			thr = big.NewInt(2)
+		}
+		g.endgameLowWater = new(big.Int).Mul(thr, big.NewInt(1024))
+		g.endgameInnerThr = new(big.Int).Div(thr, big.NewInt(int64(sc.Subtrees)*8))
+		if g.endgameInnerThr.Sign() <= 0 {
+			g.endgameInnerThr = big.NewInt(1)
+		}
+		rootOpts = append(rootOpts,
+			farmer.WithThreshold(thr),
+			farmer.WithStealHints(),
+			farmer.WithEndgameThreshold(new(big.Int).Mul(thr, big.NewInt(64))))
+	}
 	g.root = farmer.New(root, rootOpts...)
 	g.rootTrack = newTracker(root)
 	g.rootTrack.attach(g.root)
@@ -273,6 +296,7 @@ func runTree(sc Scenario) (Report, error) {
 	}
 	for _, sub := range g.subs {
 		rep.Refills += sub.Counters().Refills
+		rep.LowWaterRefills += sub.Counters().LowWaterRefills
 		rep.UpstreamTimeouts += sub.Counters().UpstreamTimeouts
 	}
 	rep.Best = g.root.Best()
@@ -287,16 +311,21 @@ func runTree(sc Scenario) (Report, error) {
 
 // subCfg builds the (restart-stable) configuration of sub-farmer i.
 func (g *treeGrid) subCfg(i int) farmer.SubConfig {
+	inner := []farmer.Option{
+		farmer.WithLeaseTTL(time.Duration(g.sc.LeaseTTLTicks) * time.Second),
+	}
+	if g.endgameInnerThr != nil {
+		inner = append(inner, farmer.WithThreshold(g.endgameInnerThr))
+	}
 	return farmer.SubConfig{
 		ID:           transport.WorkerID(fmt.Sprintf("sub-%d", i)),
 		UpdateEvery:  g.sc.SubUpdateEvery,
 		UpdatePeriod: time.Second, // one virtual tick
 		FleetTTL:     time.Duration(g.sc.LeaseTTLTicks) * time.Second,
+		LowWater:     g.endgameLowWater,
 		Clock:        func() int64 { return g.nowNano },
 		Store:        g.subStores[i],
-		InnerOptions: []farmer.Option{
-			farmer.WithLeaseTTL(time.Duration(g.sc.LeaseTTLTicks) * time.Second),
-		},
+		InnerOptions: inner,
 	}
 }
 

@@ -17,7 +17,10 @@
 // makes: any lost exchange is retried by its sender.
 package transport
 
-import "sync"
+import (
+	"net/rpc"
+	"sync"
+)
 
 // poolKey identifies a shareable connection: same address, same options.
 // DialOptions is comparable (its TLS config and backoff Rng compare by
@@ -71,24 +74,55 @@ func DialShared(addr string, opts DialOptions) *Shared {
 	return &Shared{p: p}
 }
 
+// leg returns the shared Redial, or rpc.ErrShutdown once this handle has
+// been Closed. The check is what keeps the pool's refcount honest: a
+// closed handle already released its reference, so letting it reach the
+// Redial could drive calls on — or re-dial — a connection the pool no
+// longer accounts for (and, if the key was re-pooled since, a different
+// handle's connection than the caller ever dialed).
+func (s *Shared) leg() (*Redial, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, rpc.ErrShutdown
+	}
+	return s.p.r, nil
+}
+
 // RequestWork implements Coordinator.
 func (s *Shared) RequestWork(req WorkRequest) (WorkReply, error) {
-	return s.p.r.RequestWork(req)
+	r, err := s.leg()
+	if err != nil {
+		return WorkReply{}, err
+	}
+	return r.RequestWork(req)
 }
 
 // UpdateInterval implements Coordinator.
 func (s *Shared) UpdateInterval(req UpdateRequest) (UpdateReply, error) {
-	return s.p.r.UpdateInterval(req)
+	r, err := s.leg()
+	if err != nil {
+		return UpdateReply{}, err
+	}
+	return r.UpdateInterval(req)
 }
 
 // ReportSolution implements Coordinator.
 func (s *Shared) ReportSolution(req SolutionReport) (SolutionAck, error) {
-	return s.p.r.ReportSolution(req)
+	r, err := s.leg()
+	if err != nil {
+		return SolutionAck{}, err
+	}
+	return r.ReportSolution(req)
 }
 
 // Exchange implements BatchCoordinator.
 func (s *Shared) Exchange(req BatchRequest) (BatchReply, error) {
-	return s.p.r.Exchange(req)
+	r, err := s.leg()
+	if err != nil {
+		return BatchReply{}, err
+	}
+	return r.Exchange(req)
 }
 
 // Close releases this handle; the shared connection closes when the last

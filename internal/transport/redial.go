@@ -73,6 +73,7 @@ type Redial struct {
 	opts    DialOptions
 	client  *Client
 	dialing bool
+	closed  bool // terminal: set by Close, never cleared
 	backoff Backoff
 	nextTry time.Time
 	lastErr error
@@ -119,6 +120,16 @@ func (r *Redial) do(f func(*Client) error) error {
 		if _, serverSide := err.(rpc.ServerError); serverSide {
 			return err
 		}
+		// A terminal Close is never retried — but an rpc.ErrShutdown
+		// from the call itself (a sharer's deadline expiry closed the
+		// connection mid-flight) is only terminal when this Redial was
+		// actually Closed; otherwise the retry re-dials as usual.
+		r.mu.Lock()
+		closed := r.closed
+		r.mu.Unlock()
+		if closed {
+			return rpc.ErrShutdown
+		}
 	}
 	return err
 }
@@ -133,6 +144,9 @@ func (r *Redial) acquire(force bool) (*Client, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	for {
+		if r.closed {
+			return nil, rpc.ErrShutdown
+		}
 		if r.client != nil {
 			return r.client, nil
 		}
@@ -158,6 +172,15 @@ func (r *Redial) acquire(force bool) (*Client, error) {
 			r.lastErr = err
 			r.nextTry = time.Now().Add(r.backoff.Next())
 			return nil, err
+		}
+		if r.closed {
+			// Close raced the dial: the fresh socket must not outlive
+			// the handle that owns it — close it instead of installing
+			// an orphan no caller can ever reach or tear down.
+			r.mu.Unlock()
+			c.Close()
+			r.mu.Lock()
+			return nil, rpc.ErrShutdown
 		}
 		r.client = c
 		r.backoff.Reset()
@@ -237,13 +260,23 @@ func (r *Redial) Exchange(req BatchRequest) (reply BatchReply, err error) {
 	return reply, err
 }
 
-// Close tears down the current connection, if any. It swaps the client
-// out under the lock and closes outside it, so a Close never waits for
-// an in-flight call to come back.
+// Close tears down the current connection, if any, and retires the Redial
+// for good: every later (or concurrently waiting) call fails fast with
+// rpc.ErrShutdown instead of re-dialing. Terminal semantics are what make
+// the connection pool's accounting sound — a closed handle that could
+// quietly resurrect its socket would leak a connection the pool no longer
+// counts. It swaps the client out under the lock and closes outside it, so
+// a Close never waits for an in-flight call to come back. Idempotent.
 func (r *Redial) Close() error {
 	r.mu.Lock()
+	r.closed = true
 	c := r.client
 	r.client = nil
+	if r.cond != nil {
+		// Wake dial waiters so they observe the shutdown rather than
+		// sleeping until a dial that may never be attempted resolves.
+		r.cond.Broadcast()
+	}
 	r.mu.Unlock()
 	if c == nil {
 		return nil

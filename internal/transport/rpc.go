@@ -79,6 +79,9 @@ func (s *RPCService) Exchange(req *BatchRequest, reply *BatchReply) error {
 			ExploredDelta: req.ExploredDelta,
 			PrunedDelta:   req.PrunedDelta,
 			LeavesDelta:   req.LeavesDelta,
+			HasGap:        req.HasFoldGap,
+			Gap:           req.FoldGap,
+			Content:       req.FoldContent,
 		})
 		if err != nil {
 			return err
@@ -88,6 +91,7 @@ func (s *RPCService) Exchange(req *BatchRequest, reply *BatchReply) error {
 		reply.Known = ur.Known
 		reply.Interval = ur.Interval
 		reply.BestCost = ur.BestCost
+		reply.Hint = ur.Hint
 	}
 	if req.WantWork && !reply.Finished {
 		wr, err := s.coord.RequestWork(WorkRequest{Worker: req.Worker, Power: req.Power})

@@ -17,6 +17,8 @@
 package transport
 
 import (
+	"math/big"
+
 	"repro/internal/interval"
 )
 
@@ -94,6 +96,24 @@ type UpdateRequest struct {
 	// ExploredDelta, PrunedDelta, LeavesDelta report exploration
 	// progress since the previous message, for the Table 2 statistics.
 	ExploredDelta, PrunedDelta, LeavesDelta int64
+	// HasGap gates Gap: a gap-carving fold (DESIGN.md §12). Gap is a
+	// region strictly interior to Remaining that the reporter vouches is
+	// fully explored — a sub-farmer's [C,B) hull fold overstates its
+	// fragmented table, and the gap lets the coordinator carve the
+	// explored hole out instead of re-issuing it as work. Optional in
+	// both directions: old senders omit it, old coordinators ignore it
+	// (the fold then keeps plain hull semantics), so mixed-version trees
+	// stay correct either way.
+	HasGap bool
+	Gap    interval.Interval
+	// Content, when non-nil, is the true amount of unexplored ground (in
+	// leaf units) behind this fold. A sub-farmer's Remaining is the hull
+	// of a fragmented table and can overstate its holdings by orders of
+	// magnitude; Content lets the coordinator value the copy honestly for
+	// size accounting, victim selection, and endgame detection. Advisory
+	// and optional in both directions: old senders omit it, old
+	// coordinators ignore it, and it never moves work by itself.
+	Content *big.Int
 }
 
 // UpdateReply carries the reconciled interval.
@@ -109,6 +129,27 @@ type UpdateReply struct {
 	Interval interval.Interval
 	// BestCost is the current global best (rule 3 of solution sharing).
 	BestCost int64
+	// Hint, when non-nil, is a root-initiated steal hint (DESIGN.md §12):
+	// a summary of the work the coordinator still tracks beyond the
+	// updated copy. Optional in both directions — old peers omit it and
+	// ignore it — so its absence must never change caller behaviour.
+	Hint *StealHint
+}
+
+// StealHint is the root's frontier summary piggybacked on fold replies to
+// its sub-farmers. A draining sub-farmer uses it to refill *before* its
+// table runs dry (the work-conserving low-water rule): Others > 0 says
+// the root still tracks ground elsewhere, and RichestBits bounds how much.
+// It rides existing replies — no new message type, preserving the paper's
+// three-operation pull protocol.
+type StealHint struct {
+	// Others is how many tracked copies the coordinator holds besides
+	// the one this reply reconciles.
+	Others int64
+	// RichestBits is the bit length of the total tracked length beyond
+	// the reconciled copy — a magnitude, not an exact count, because the
+	// sub-farmer only needs scale to make a refill decision.
+	RichestBits int64
 }
 
 // SolutionReport pushes an improving solution (rule 2 of solution sharing).
@@ -145,6 +186,13 @@ type BatchRequest struct {
 	FoldID                                  int64
 	Remaining                               interval.Interval
 	ExploredDelta, PrunedDelta, LeavesDelta int64
+	// HasFoldGap/FoldGap mirror UpdateRequest.HasGap/Gap for the fold
+	// leg: an explored hole interior to Remaining the coordinator may
+	// carve out. Optional in both directions, like the steal hint.
+	HasFoldGap bool
+	FoldGap    interval.Interval
+	// FoldContent mirrors UpdateRequest.Content for the fold leg.
+	FoldContent *big.Int
 	// HasReport gates the ReportSolution leg.
 	HasReport bool
 	Cost      int64
@@ -172,6 +220,9 @@ type BatchReply struct {
 	// BestCost is the global best after every leg ran (each leg also
 	// reports it; the last one wins, and they are monotone anyway).
 	BestCost int64
+	// Hint mirrors UpdateReply.Hint for the fold leg (optional, may be
+	// nil; old peers omit and ignore it).
+	Hint *StealHint
 }
 
 // BatchCoordinator is the optional coalescing extension of Coordinator.

@@ -34,6 +34,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"math/big"
 	"net/rpc"
 	"sync"
 
@@ -237,6 +238,29 @@ func wireBool(b bool) byte {
 	return 0
 }
 
+// appendWireBig encodes a non-negative big.Int as a length-prefixed
+// big-endian byte string (the fold-content field; interval deltas have
+// their own codec).
+func appendWireBig(dst []byte, v *big.Int) []byte {
+	b := v.Bytes()
+	dst = binary.AppendUvarint(dst, uint64(len(b)))
+	return append(dst, b...)
+}
+
+func (r *wireReader) big() *big.Int {
+	n := r.uvarint()
+	if r.err != nil {
+		return nil
+	}
+	if n > maxWireRefBytes || uint64(len(r.data)-r.pos) < n {
+		r.fail("wire: truncated big int")
+		return nil
+	}
+	v := new(big.Int).SetBytes(r.data[r.pos : r.pos+int(n)])
+	r.pos += int(n)
+	return v
+}
+
 // Request payloads.
 
 func appendWireRequestBody(dst []byte, ref interval.Interval, x any) (body []byte, intervalSeg []byte, err error) {
@@ -254,6 +278,25 @@ func appendWireRequestBody(dst []byte, ref interval.Interval, x any) (body []byt
 		dst = binary.AppendVarint(dst, q.ExploredDelta)
 		dst = binary.AppendVarint(dst, q.PrunedDelta)
 		dst = binary.AppendVarint(dst, q.LeavesDelta)
+		// Extensions trail the fixed layout behind a bitmask byte (1 = gap,
+		// 2 = content): an old decoder stops at LeavesDelta and ignores the
+		// trailing bytes, so both folds are optional in both directions.
+		ext := byte(0)
+		if q.HasGap {
+			ext |= 1
+		}
+		if q.Content != nil {
+			ext |= 2
+		}
+		if ext != 0 {
+			dst = append(dst, ext)
+			if q.HasGap {
+				dst = q.Gap.AppendDelta(dst, ref)
+			}
+			if q.Content != nil {
+				dst = appendWireBig(dst, q.Content)
+			}
+		}
 	case *SolutionReport:
 		dst = appendWireStr(dst, string(q.Worker))
 		dst = binary.AppendVarint(dst, q.Cost)
@@ -271,6 +314,12 @@ func appendWireRequestBody(dst []byte, ref interval.Interval, x any) (body []byt
 		if q.WantWork {
 			f |= 4
 		}
+		if q.HasFoldGap {
+			f |= 8
+		}
+		if q.FoldContent != nil {
+			f |= 16
+		}
 		dst = append(dst, f)
 		if q.HasFold {
 			dst = binary.AppendVarint(dst, q.FoldID)
@@ -282,6 +331,15 @@ func appendWireRequestBody(dst []byte, ref interval.Interval, x any) (body []byt
 		if q.HasReport {
 			dst = binary.AppendVarint(dst, q.Cost)
 			dst = appendWirePath(dst, q.Path)
+		}
+		// Trailing gap and content, same mixed-version discipline as the
+		// reply hints: an old decoder ignores the unknown flag bits and
+		// these bytes.
+		if q.HasFoldGap {
+			dst = q.FoldGap.AppendDelta(dst, ref)
+		}
+		if q.FoldContent != nil {
+			dst = appendWireBig(dst, q.FoldContent)
 		}
 	default:
 		return dst, nil, fmt.Errorf("wire: unsupported request type %T", x)
@@ -308,6 +366,25 @@ func decodeWireRequestBody(r *wireReader, ref interval.Interval, x any) (interva
 		q.ExploredDelta = r.varint()
 		q.PrunedDelta = r.varint()
 		q.LeavesDelta = r.varint()
+		// Optional trailing extensions behind a bitmask byte: 1 = delta-coded
+		// gap interval, 2 = fold-content length. Unknown bits are future
+		// extensions this decoder ignores, exactly as an old decoder ignores
+		// these.
+		if r.err == nil && r.pos < len(r.data) {
+			ext := r.byte()
+			if ext&1 != 0 {
+				g := r.interval(ref)
+				if r.err == nil {
+					q.HasGap, q.Gap = true, g
+				}
+			}
+			if ext&2 != 0 {
+				c := r.big()
+				if r.err == nil {
+					q.Content = c
+				}
+			}
+		}
 	case *SolutionReport:
 		q.Worker = WorkerID(r.str())
 		q.Cost = r.varint()
@@ -329,6 +406,18 @@ func decodeWireRequestBody(r *wireReader, ref interval.Interval, x any) (interva
 		if q.HasReport {
 			q.Cost = r.varint()
 			q.Path = r.path()
+		}
+		if f&8 != 0 {
+			g := r.interval(ref)
+			if r.err == nil {
+				q.HasFoldGap, q.FoldGap = true, g
+			}
+		}
+		if f&16 != 0 {
+			c := r.big()
+			if r.err == nil {
+				q.FoldContent = c
+			}
 		}
 	default:
 		r.fail("wire: unsupported request type %T", x)
@@ -359,11 +448,21 @@ func appendWireReplyBody(dst []byte, ref interval.Interval, x any, elideWant []b
 		if elide {
 			f |= 4
 		}
+		if p.Hint != nil {
+			f |= 8
+		}
 		dst = append(dst, f)
 		if !elide {
 			dst = append(dst, enc...)
 		}
 		dst = binary.AppendVarint(dst, p.BestCost)
+		// The hint trails the fixed layout: an old decoder stops at
+		// BestCost and ignores both the unknown flag bit and these bytes,
+		// which is exactly the "optional in both directions" contract.
+		if p.Hint != nil {
+			dst = binary.AppendVarint(dst, p.Hint.Others)
+			dst = binary.AppendVarint(dst, p.Hint.RichestBits)
+		}
 	case *SolutionAck:
 		dst = binary.AppendVarint(dst, p.BestCost)
 		dst = append(dst, wireBool(p.Accepted))
@@ -384,6 +483,9 @@ func appendWireReplyBody(dst []byte, ref interval.Interval, x any, elideWant []b
 		if p.Duplicated {
 			f |= 16
 		}
+		if p.Hint != nil {
+			f |= 32
+		}
 		dst = append(dst, f)
 		if p.HasFold {
 			dst = p.Interval.AppendDelta(dst, ref)
@@ -394,6 +496,11 @@ func appendWireReplyBody(dst []byte, ref interval.Interval, x any, elideWant []b
 			dst = p.WorkInterval.AppendDelta(dst, ref)
 		}
 		dst = binary.AppendVarint(dst, p.BestCost)
+		// Trailing hint, same mixed-version discipline as UpdateReply.
+		if p.Hint != nil {
+			dst = binary.AppendVarint(dst, p.Hint.Others)
+			dst = binary.AppendVarint(dst, p.Hint.RichestBits)
+		}
 	default:
 		return dst, fmt.Errorf("wire: unsupported reply type %T", x)
 	}
@@ -429,6 +536,12 @@ func decodeWireReplyBody(r *wireReader, ref interval.Interval, x any, stashed []
 			p.Interval = r.interval(ref)
 		}
 		p.BestCost = r.varint()
+		if f&8 != 0 {
+			h := &StealHint{Others: r.varint(), RichestBits: r.varint()}
+			if r.err == nil {
+				p.Hint = h
+			}
+		}
 	case *SolutionAck:
 		p.BestCost = r.varint()
 		p.Accepted = r.byte() != 0
@@ -448,6 +561,12 @@ func decodeWireReplyBody(r *wireReader, ref interval.Interval, x any, stashed []
 			p.WorkInterval = r.interval(ref)
 		}
 		p.BestCost = r.varint()
+		if f&32 != 0 {
+			h := &StealHint{Others: r.varint(), RichestBits: r.varint()}
+			if r.err == nil {
+				p.Hint = h
+			}
+		}
 	default:
 		r.fail("wire: unsupported reply type %T", x)
 	}

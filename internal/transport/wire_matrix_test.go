@@ -1,0 +1,376 @@
+package transport
+
+import (
+	"math/big"
+	"testing"
+
+	"repro/internal/interval"
+)
+
+// This file is the PR-8 mixed-version matrix at the codec layer: the
+// steal-hint and gap-carving extensions ride spare flag bits and trailing
+// bytes, so an old-vintage peer must parse a new frame identically minus
+// the optionals, and a new peer must parse an old frame with the optionals
+// absent. The "old vintage" decoders below are frozen copies of the PR-7
+// layout — they must never learn the new fields; that they still decode
+// every pre-extension field from a new frame IS the compatibility claim.
+
+func mustEqualIv(t *testing.T, name string, got, want interval.Interval) {
+	t.Helper()
+	if got.IsEmpty() != want.IsEmpty() || (!got.IsEmpty() && (got.CmpA(want.A()) != 0 || got.CmpB(want.B()) != 0)) {
+		t.Fatalf("%s = %v, want %v", name, got, want)
+	}
+}
+
+// oldDecodeUpdateRequest is the PR-7 UpdateRequest layout: it ends at
+// LeavesDelta and never looks at trailing bytes.
+func oldDecodeUpdateRequest(r *wireReader, ref interval.Interval) UpdateRequest {
+	var q UpdateRequest
+	q.Worker = WorkerID(r.str())
+	q.IntervalID = r.varint()
+	q.Remaining = r.interval(ref)
+	q.Power = r.varint()
+	q.ExploredDelta = r.varint()
+	q.PrunedDelta = r.varint()
+	q.LeavesDelta = r.varint()
+	return q
+}
+
+// oldDecodeBatchRequest is the PR-7 BatchRequest layout: flag bits 1|2|4
+// only, ending after the report leg.
+func oldDecodeBatchRequest(r *wireReader, ref interval.Interval) BatchRequest {
+	var q BatchRequest
+	q.Worker = WorkerID(r.str())
+	q.Power = r.varint()
+	f := r.byte()
+	q.HasFold = f&1 != 0
+	q.HasReport = f&2 != 0
+	q.WantWork = f&4 != 0
+	if q.HasFold {
+		q.FoldID = r.varint()
+		q.Remaining = r.interval(ref)
+		q.ExploredDelta = r.varint()
+		q.PrunedDelta = r.varint()
+		q.LeavesDelta = r.varint()
+	}
+	if q.HasReport {
+		q.Cost = r.varint()
+		q.Path = r.path()
+	}
+	return q
+}
+
+// oldDecodeUpdateReply is the PR-7 UpdateReply layout: flag bits 1|2|4
+// only, ending at BestCost.
+func oldDecodeUpdateReply(r *wireReader, ref interval.Interval, stashed []byte) UpdateReply {
+	var p UpdateReply
+	f := r.byte()
+	p.Finished = f&1 != 0
+	p.Known = f&2 != 0
+	if f&4 != 0 {
+		iv, _, err := interval.DecodeDelta(stashed, ref, 0)
+		if err != nil {
+			r.fail("stash: %v", err)
+			return p
+		}
+		p.Interval = iv
+	} else {
+		p.Interval = r.interval(ref)
+	}
+	p.BestCost = r.varint()
+	return p
+}
+
+// oldDecodeBatchReply is the PR-7 BatchReply layout: flag bits up to 16,
+// ending at BestCost.
+func oldDecodeBatchReply(r *wireReader, ref interval.Interval) BatchReply {
+	var p BatchReply
+	f := r.byte()
+	p.HasFold = f&1 != 0
+	p.Finished = f&2 != 0
+	p.Known = f&4 != 0
+	p.HasWork = f&8 != 0
+	p.Duplicated = f&16 != 0
+	if p.HasFold {
+		p.Interval = r.interval(ref)
+	}
+	if p.HasWork {
+		p.Status = WorkStatus(r.varint())
+		p.IntervalID = r.varint()
+		p.WorkInterval = r.interval(ref)
+	}
+	p.BestCost = r.varint()
+	return p
+}
+
+// TestWireMatrixOldSubReadsHintedReplies: new root → old sub. A reply
+// carrying a steal hint must decode on the PR-7 layout with every
+// pre-hint field intact; the hint occupies only the spare flag bit and
+// trailing bytes the old decoder never reaches.
+func TestWireMatrixOldSubReadsHintedReplies(t *testing.T) {
+	ref := interval.FromInt64(0, 1_000_000)
+	hint := &StealHint{Others: 5, RichestBits: 31}
+
+	up := &UpdateReply{Known: true, Interval: interval.FromInt64(100, 2000), BestCost: 77, Hint: hint}
+	enc, err := appendWireReplyBody(nil, ref, up, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := oldDecodeUpdateReply(&wireReader{data: enc}, ref, nil)
+	if old.Known != true || old.Finished != false || old.BestCost != 77 {
+		t.Fatalf("old decode of hinted UpdateReply = %+v", old)
+	}
+	mustEqualIv(t, "old UpdateReply.Interval", old.Interval, up.Interval)
+
+	// The same frame round-trips fully on the new decoder.
+	var back UpdateReply
+	r := &wireReader{data: enc}
+	decodeWireReplyBody(r, ref, &back, nil)
+	if r.err != nil {
+		t.Fatal(r.err)
+	}
+	if back.Hint == nil || *back.Hint != *hint {
+		t.Fatalf("new decode lost the hint: %+v", back.Hint)
+	}
+
+	// Elided variant: flag bit 4 plus the stash must still work under the
+	// hint bit.
+	stash := up.Interval.AppendDelta(nil, ref)
+	enc, err = appendWireReplyBody(nil, ref, up, stash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	old = oldDecodeUpdateReply(&wireReader{data: enc}, ref, stash)
+	mustEqualIv(t, "old elided UpdateReply.Interval", old.Interval, up.Interval)
+
+	br := &BatchReply{
+		HasFold: true, Known: true, Interval: interval.FromInt64(50, 600),
+		HasWork: true, Status: WorkAssigned, IntervalID: 9,
+		WorkInterval: interval.FromInt64(600, 900),
+		Duplicated:   true, BestCost: 42, Hint: hint,
+	}
+	enc, err = appendWireReplyBody(nil, ref, br, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oldB := oldDecodeBatchReply(&wireReader{data: enc}, ref)
+	if !oldB.HasFold || !oldB.Known || !oldB.HasWork || !oldB.Duplicated || oldB.BestCost != 42 ||
+		oldB.Status != WorkAssigned || oldB.IntervalID != 9 {
+		t.Fatalf("old decode of hinted BatchReply = %+v", oldB)
+	}
+	mustEqualIv(t, "old BatchReply.Interval", oldB.Interval, br.Interval)
+	mustEqualIv(t, "old BatchReply.WorkInterval", oldB.WorkInterval, br.WorkInterval)
+
+	var backB BatchReply
+	r = &wireReader{data: enc}
+	decodeWireReplyBody(r, ref, &backB, nil)
+	if r.err != nil {
+		t.Fatal(r.err)
+	}
+	if backB.Hint == nil || *backB.Hint != *hint {
+		t.Fatalf("new decode lost the batch hint: %+v", backB.Hint)
+	}
+}
+
+// TestWireMatrixOldRootReadsGappedRequests: new sub → old root. A fold
+// carrying a gap declaration must decode on the PR-7 layout with every
+// pre-gap field intact — the gap trails the fixed layout (UpdateRequest)
+// or rides flag bit 8 plus trailing bytes (BatchRequest), and the old
+// server codec never rejects trailing request bytes.
+func TestWireMatrixOldRootReadsGappedRequests(t *testing.T) {
+	ref := interval.FromInt64(0, 1_000_000)
+	gap := interval.FromInt64(40_000, 90_000)
+
+	uq := &UpdateRequest{
+		Worker: "sub-1", IntervalID: 12,
+		Remaining: interval.FromInt64(10_000, 500_000),
+		Power:     640, ExploredDelta: 1000, PrunedDelta: 400, LeavesDelta: 7,
+		HasGap: true, Gap: gap,
+		Content: big.NewInt(123_456),
+	}
+	enc, _, err := appendWireRequestBody(nil, ref, uq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := &wireReader{data: enc}
+	old := oldDecodeUpdateRequest(r, ref)
+	if r.err != nil {
+		t.Fatal(r.err)
+	}
+	if old.Worker != uq.Worker || old.IntervalID != uq.IntervalID || old.Power != uq.Power ||
+		old.ExploredDelta != uq.ExploredDelta || old.PrunedDelta != uq.PrunedDelta || old.LeavesDelta != uq.LeavesDelta {
+		t.Fatalf("old decode of gapped UpdateRequest = %+v", old)
+	}
+	mustEqualIv(t, "old UpdateRequest.Remaining", old.Remaining, uq.Remaining)
+	if r.pos >= len(r.data) {
+		t.Fatal("gap bytes missing: nothing trails the old layout")
+	}
+
+	var back UpdateRequest
+	r = &wireReader{data: enc}
+	decodeWireRequestBody(r, ref, &back)
+	if r.err != nil {
+		t.Fatal(r.err)
+	}
+	if !back.HasGap {
+		t.Fatal("new decode lost the gap")
+	}
+	mustEqualIv(t, "new UpdateRequest.Gap", back.Gap, gap)
+	if back.Content == nil || back.Content.Cmp(uq.Content) != 0 {
+		t.Fatalf("new decode lost the content: %v", back.Content)
+	}
+
+	// Content without a gap is its own extension shape (ext bit 2 alone).
+	cq := &UpdateRequest{
+		Worker: "sub-3", IntervalID: 8,
+		Remaining: interval.FromInt64(0, 900_000),
+		Power:     5, Content: big.NewInt(7),
+	}
+	encC, _, err := appendWireRequestBody(nil, ref, cq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r = &wireReader{data: encC}
+	oldC := oldDecodeUpdateRequest(r, ref)
+	if r.err != nil {
+		t.Fatal(r.err)
+	}
+	mustEqualIv(t, "old UpdateRequest.Remaining (content-only)", oldC.Remaining, cq.Remaining)
+	var backC UpdateRequest
+	r = &wireReader{data: encC}
+	decodeWireRequestBody(r, ref, &backC)
+	if r.err != nil {
+		t.Fatal(r.err)
+	}
+	if backC.HasGap {
+		t.Fatal("content-only frame decoded a gap")
+	}
+	if backC.Content == nil || backC.Content.Cmp(cq.Content) != 0 {
+		t.Fatalf("content-only decode = %v", backC.Content)
+	}
+
+	bq := &BatchRequest{
+		Worker: "sub-2", Power: 77,
+		HasFold: true, FoldID: 3, Remaining: interval.FromInt64(1000, 800_000),
+		ExploredDelta: 5, PrunedDelta: 6, LeavesDelta: 7,
+		HasReport: true, Cost: 1109, Path: []int{3, 1, 2},
+		WantWork:   true,
+		HasFoldGap: true, FoldGap: gap,
+		FoldContent: big.NewInt(424_242),
+	}
+	enc, _, err = appendWireRequestBody(nil, ref, bq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r = &wireReader{data: enc}
+	oldB := oldDecodeBatchRequest(r, ref)
+	if r.err != nil {
+		t.Fatal(r.err)
+	}
+	if oldB.Worker != bq.Worker || oldB.Power != bq.Power || !oldB.HasFold || !oldB.HasReport || !oldB.WantWork ||
+		oldB.FoldID != bq.FoldID || oldB.Cost != bq.Cost || len(oldB.Path) != 3 {
+		t.Fatalf("old decode of gapped BatchRequest = %+v", oldB)
+	}
+	mustEqualIv(t, "old BatchRequest.Remaining", oldB.Remaining, bq.Remaining)
+	if r.pos >= len(r.data) {
+		t.Fatal("fold-gap bytes missing: nothing trails the old layout")
+	}
+
+	var backB BatchRequest
+	r = &wireReader{data: enc}
+	decodeWireRequestBody(r, ref, &backB)
+	if r.err != nil {
+		t.Fatal(r.err)
+	}
+	if !backB.HasFoldGap {
+		t.Fatal("new decode lost the fold gap")
+	}
+	mustEqualIv(t, "new BatchRequest.FoldGap", backB.FoldGap, gap)
+	if backB.FoldContent == nil || backB.FoldContent.Cmp(bq.FoldContent) != 0 {
+		t.Fatalf("new decode lost the fold content: %v", backB.FoldContent)
+	}
+}
+
+// TestWireMatrixNewPeerReadsOldFrames: the reverse direction. Frames
+// WITHOUT the extensions — what an old peer emits — must decode on the
+// new decoders with the optional fields absent, and must be byte-for-byte
+// what the new encoder emits with the optionals off (the layout is
+// frozen; the extensions are strictly additive).
+func TestWireMatrixNewPeerReadsOldFrames(t *testing.T) {
+	ref := interval.FromInt64(0, 1_000_000)
+
+	uq := &UpdateRequest{
+		Worker: "w", IntervalID: 4, Remaining: interval.FromInt64(5, 500),
+		Power: 9, ExploredDelta: 10, PrunedDelta: 11, LeavesDelta: 12,
+	}
+	enc, _, err := appendWireRequestBody(nil, ref, uq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := &wireReader{data: enc}
+	var back UpdateRequest
+	decodeWireRequestBody(r, ref, &back)
+	if r.err != nil {
+		t.Fatal(r.err)
+	}
+	if back.HasGap || !back.Gap.IsEmpty() || back.Content != nil {
+		t.Fatalf("gapless frame decoded an extension: %+v", back)
+	}
+	if r.pos != len(r.data) {
+		t.Fatalf("gapless UpdateRequest leaves %d trailing bytes", len(r.data)-r.pos)
+	}
+
+	up := &UpdateReply{Known: true, Interval: interval.FromInt64(5, 500), BestCost: 3}
+	encR, err := appendWireReplyBody(nil, ref, up, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r = &wireReader{data: encR}
+	var backR UpdateReply
+	decodeWireReplyBody(r, ref, &backR, nil)
+	if r.err != nil {
+		t.Fatal(r.err)
+	}
+	if backR.Hint != nil {
+		t.Fatalf("hintless frame decoded a hint: %+v", backR.Hint)
+	}
+	if r.pos != len(r.data) {
+		t.Fatalf("hintless UpdateReply leaves %d trailing bytes", len(r.data)-r.pos)
+	}
+
+	bq := &BatchRequest{Worker: "w", Power: 2, WantWork: true}
+	encB, _, err := appendWireRequestBody(nil, ref, bq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f := encB[len(appendWireStr(nil, "w"))+1]; f&8 != 0 {
+		t.Fatalf("gapless BatchRequest sets flag bit 8: %#x", f)
+	}
+	r = &wireReader{data: encB}
+	var backB BatchRequest
+	decodeWireRequestBody(r, ref, &backB)
+	if r.err != nil {
+		t.Fatal(r.err)
+	}
+	if backB.HasFoldGap || backB.FoldContent != nil {
+		t.Fatal("gapless batch decoded a fold extension")
+	}
+
+	bp := &BatchReply{Known: true, BestCost: 8}
+	encBR, err := appendWireReplyBody(nil, ref, bp, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r = &wireReader{data: encBR}
+	var backBR BatchReply
+	decodeWireReplyBody(r, ref, &backBR, nil)
+	if r.err != nil {
+		t.Fatal(r.err)
+	}
+	if backBR.Hint != nil {
+		t.Fatalf("hintless batch frame decoded a hint: %+v", backBR.Hint)
+	}
+	if r.pos != len(r.data) {
+		t.Fatalf("hintless BatchReply leaves %d trailing bytes", len(r.data)-r.pos)
+	}
+}
