@@ -8,7 +8,7 @@ BENCH_OUT ?= bench.json
 .PHONY: all build vet test race bench bench-hot bench-smoke bench-tree bench-transport bench-wire bench-gate fuzz-smoke check docs-check
 
 # The committed perf record the bench-gate compares against.
-BENCH_BASELINE ?= BENCH_pr8.json
+BENCH_BASELINE ?= BENCH_pr9.json
 
 all: vet build test
 
@@ -68,23 +68,27 @@ bench-transport:
 bench-wire:
 	$(GO) test -run '^$$' -bench 'BenchmarkWireBytesPerFold|BenchmarkHardenedCallOverhead' -benchmem -benchtime 1s -count 3 .
 
-# The CI perf gate (DESIGN.md §12): the two protocol-hot benchmarks, three
+# The CI perf gate (DESIGN.md §12): the three protocol-hot benchmarks —
+# wire fold, single-farmer request, multi-tenant job-table request — three
 # repetitions each, best-of compared by cmd/benchgate against the gate
 # section of $(BENCH_BASELINE); fails on a regression beyond the record's
 # allowance. Deterministic metrics (wire-B/fold, allocs/op) hold across
 # hosts; ns/op is host-relative, hence the percentage allowance.
 bench-gate:
-	$(GO) test -run '^$$' -bench 'BenchmarkWireBytesPerFold|BenchmarkFarmerRequestThroughput' -benchmem -benchtime 1s -count 3 . | $(GO) run ./cmd/benchgate -baseline $(BENCH_BASELINE)
+	$(GO) test -run '^$$' -bench 'BenchmarkWireBytesPerFold|BenchmarkFarmerRequestThroughput|BenchmarkJobTableRequestThroughput' -benchmem -benchtime 1s -count 3 . | $(GO) run ./cmd/benchgate -baseline $(BENCH_BASELINE)
 
 # The hostile-input fuzzers, briefly: the corpus seeds plus a few seconds
 # of fresh mutation on every gate run, so the invariants cannot silently
-# rot between dedicated fuzzing sessions. Two frontiers: the coordinator
+# rot between dedicated fuzzing sessions. Three frontiers: the coordinator
 # boundary (no panic, INTERVALS stays a partition fragment, rejections are
-# counted) and the compact wire codec (no panic or over-read on arbitrary
+# counted), the multi-tenant job boundary (hostile job tags and cross-job
+# intervals land in rejection counters, the partition invariant holds per
+# job), and the compact wire codec (no panic or over-read on arbitrary
 # frames; decoded frames re-encode canonically). go test runs one fuzz
-# target per invocation, hence the two lines.
+# target per invocation, hence the separate lines.
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzCoordinatorBoundary$$' -fuzztime 10s ./internal/farmer
+	$(GO) test -run '^$$' -fuzz '^FuzzJobBoundary$$' -fuzztime 10s ./internal/jobs
 	$(GO) test -run '^$$' -fuzz '^FuzzWireFrame$$' -fuzztime 10s ./internal/transport
 
 # Every benchmark exactly once: not a measurement, a compile-and-run guard

@@ -44,6 +44,7 @@ import (
 	"repro/internal/flowshop"
 	"repro/internal/gridsim"
 	"repro/internal/interval"
+	"repro/internal/jobs"
 	"repro/internal/knapsack"
 	"repro/internal/p2p"
 	"repro/internal/qap"
@@ -247,6 +248,90 @@ func BenchmarkFarmerRequestThroughput(b *testing.B) {
 				end := reply.Interval.B()
 				if _, err := f.UpdateInterval(transport.UpdateRequest{
 					Worker: w, IntervalID: reply.IntervalID, Remaining: interval.New(end, end),
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkJobTableRequestThroughput measures the multi-tenant tax on the
+// serving path: one untagged RequestWork against a job table — the
+// fair-share scan over active jobs plus the chosen farmer's indexed
+// selection — followed by the tagged retire of the donated interval. The
+// total tracked-interval count is pinned at 2000 whatever the job count,
+// so the jobs=1 case is the single-farmer BenchmarkFarmerRequestThroughput
+// workload routed through the table, and jobs=8/jobs=64 split the same
+// fleet across tenants. Acceptance gate (BENCH_pr9.json): the fair-share
+// pick at 64 jobs stays within ~2x the single-job indexed cost — the scan
+// is O(active jobs) of integer compares, dwarfed by the big.Int split.
+//
+// Every job is a 50x20 flowshop instance: a Ta056-scale root (~2^214)
+// keeps every donation far above the duplication threshold, and periodic
+// untimed rebuilds pin the length scale exactly like the farmer record.
+func BenchmarkJobTableRequestThroughput(b *testing.B) {
+	const tracked = 2000
+	powers := []int64{800, 1300, 1700, 2000, 2200, 2400, 2800, 3200}
+	for _, njobs := range []int{1, 8, 64} {
+		b.Run(fmt.Sprintf("jobs=%d", njobs), func(b *testing.B) {
+			populate := func() *jobs.Table {
+				tb := jobs.NewTable(jobs.Config{
+					MaxActive: njobs,
+					Clock:     func() int64 { return 0 },
+					LeaseTTL:  time.Hour,
+				})
+				for j := 0; j < njobs; j++ {
+					err := tb.Submit(fmt.Sprintf("job-%02d", j), jobs.Spec{
+						Domain: "flowshop", Jobs: 50, Machines: 20, Seed: int64(j + 1),
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+				// Untagged seeds: fair share spreads ~tracked/njobs
+				// in-flight intervals across the tenants.
+				for i := 0; i < tracked; i++ {
+					r, err := tb.RequestWork(transport.WorkRequest{
+						Worker: transport.WorkerID(fmt.Sprintf("seed-%d", i)),
+						Power:  powers[i%len(powers)],
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					if r.Status != transport.WorkAssigned {
+						b.Fatal("seed request starved")
+					}
+				}
+				return tb
+			}
+			tb := populate()
+			rebuildEvery := 100 * tracked
+			sinceRebuild := 0
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if sinceRebuild == rebuildEvery {
+					b.StopTimer()
+					tb = populate()
+					sinceRebuild = 0
+					b.StartTimer()
+				}
+				sinceRebuild++
+				w := transport.WorkerID(fmt.Sprintf("req-%d", i%tracked))
+				reply, err := tb.RequestWork(transport.WorkRequest{Worker: w, Power: powers[i%len(powers)]})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if reply.Status != transport.WorkAssigned {
+					b.Fatal("ran out of work")
+				}
+				// Retire the donation under its job's tag so every
+				// tenant's tracked count stays pinned.
+				end := reply.Interval.B()
+				if _, err := tb.UpdateInterval(transport.UpdateRequest{
+					Worker: w, Job: reply.Job, IntervalID: reply.IntervalID,
+					Remaining: interval.New(end, end),
 				}); err != nil {
 					b.Fatal(err)
 				}

@@ -1,0 +1,109 @@
+// Checkpoint namespaces: the multi-tenant extension of the §4.1 two-file
+// layout. One store directory holds one sub-store per job, each with its
+// own intervals.ckpt/solution.ckpt pair, so every job's resolution is
+// independently resumable and inspectable:
+//
+//	store/
+//	  default/intervals.ckpt  ← pre-namespace stores migrate here
+//	  default/solution.ckpt
+//	  <job-id>/intervals.ckpt
+//	  <job-id>/solution.ckpt
+//
+// Namespace names are vetted before they touch the filesystem — a job id
+// arrives over the network, and "../" or a path separator must never
+// escape the store directory.
+package checkpoint
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// DefaultNamespace is where a bare (pre-namespace, single-job) store's
+// files migrate, and where requests that name no job resolve.
+const DefaultNamespace = "default"
+
+// MaxNamespaceBytes bounds a namespace name; job ids arrive over the
+// network and become directory names.
+const MaxNamespaceBytes = 128
+
+// ValidNamespace reports whether name is safe to use as a sub-store
+// directory: non-empty, bounded, and built only from bytes that cannot
+// carry path structure or filesystem surprises.
+func ValidNamespace(name string) bool {
+	if name == "" || len(name) > MaxNamespaceBytes {
+		return false
+	}
+	if name[0] == '.' || name[len(name)-1] == '.' {
+		return false
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z':
+		case c >= 'A' && c <= 'Z':
+		case c >= '0' && c <= '9':
+		case c == '-' || c == '_' || c == '.':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// Namespace returns the sub-store for one job, creating its directory.
+// A bare single-job store (files directly under dir, from before the
+// namespace layout) is migrated once into the default namespace, so old
+// deployments resume under the new layout with nothing lost.
+func (s *Store) Namespace(name string) (*Store, error) {
+	if !ValidNamespace(name) {
+		return nil, fmt.Errorf("checkpoint: invalid namespace %q", name)
+	}
+	if name == DefaultNamespace {
+		if err := s.migrateBare(); err != nil {
+			return nil, err
+		}
+	}
+	return NewStore(filepath.Join(s.dir, name))
+}
+
+// migrateBare moves a pre-namespace store's two files into the default
+// sub-directory. The rename order matters for crash safety: intervals
+// moves last, so a store interrupted mid-migration still Exists() in
+// exactly one layout (Exists needs both files; the solution file alone
+// satisfies neither the bare nor the namespaced probe).
+func (s *Store) migrateBare() error {
+	if !s.Exists() {
+		return nil
+	}
+	sub := filepath.Join(s.dir, DefaultNamespace)
+	if err := os.MkdirAll(sub, 0o755); err != nil {
+		return fmt.Errorf("checkpoint: migrate %s: %w", s.dir, err)
+	}
+	for _, f := range []string{solutionFile, intervalsFile} {
+		if err := os.Rename(filepath.Join(s.dir, f), filepath.Join(sub, f)); err != nil {
+			return fmt.Errorf("checkpoint: migrate %s: %w", f, err)
+		}
+	}
+	return nil
+}
+
+// Namespaces lists the sub-stores holding a checkpoint, in directory
+// order — the resumable jobs of a multi-tenant store.
+func (s *Store) Namespaces() ([]string, error) {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	var out []string
+	for _, e := range entries {
+		if !e.IsDir() || !ValidNamespace(e.Name()) {
+			continue
+		}
+		if (&Store{dir: filepath.Join(s.dir, e.Name())}).Exists() {
+			out = append(out, e.Name())
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,126 @@
+package checkpoint
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/interval"
+)
+
+func TestValidNamespace(t *testing.T) {
+	good := []string{"default", "job-1", "a", "Flow_Shop.12", "x9"}
+	for _, n := range good {
+		if !ValidNamespace(n) {
+			t.Errorf("ValidNamespace(%q) = false, want true", n)
+		}
+	}
+	long := make([]byte, MaxNamespaceBytes+1)
+	for i := range long {
+		long[i] = 'a'
+	}
+	bad := []string{"", ".", "..", ".hidden", "trail.", "a/b", `a\b`, "a b", "a\x00b", string(long), "jé"}
+	for _, n := range bad {
+		if ValidNamespace(n) {
+			t.Errorf("ValidNamespace(%q) = true, want false", n)
+		}
+	}
+}
+
+func TestNamespaceIsolation(t *testing.T) {
+	root, err := NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := root.Namespace("job-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := root.Namespace("job-b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	snapA := Snapshot{
+		Intervals: []IntervalRecord{{ID: 1, Interval: interval.FromInt64(0, 100)}},
+		BestCost:  10,
+	}
+	if err := a.Save(snapA); err != nil {
+		t.Fatal(err)
+	}
+	if b.Exists() {
+		t.Fatal("saving job-a made job-b exist")
+	}
+	if err := b.Save(Snapshot{BestCost: 99}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := a.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.BestCost != 10 || len(got.Intervals) != 1 {
+		t.Fatalf("job-a loaded %+v", got)
+	}
+	names, err := root.Namespaces()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 2 || names[0] != "job-a" || names[1] != "job-b" {
+		t.Fatalf("Namespaces() = %v", names)
+	}
+}
+
+func TestNamespaceRejectsHostileNames(t *testing.T) {
+	root, err := NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []string{"", "..", "../escape", "a/b", ".git"} {
+		if _, err := root.Namespace(n); err == nil {
+			t.Errorf("Namespace(%q) accepted a hostile name", n)
+		}
+	}
+}
+
+// TestNamespaceMigratesBareStore: a pre-namespace store's two files move
+// into default/ the first time the default namespace is opened, and the
+// snapshot survives the move byte for byte.
+func TestNamespaceMigratesBareStore(t *testing.T) {
+	dir := t.TempDir()
+	bare, err := NewStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := Snapshot{
+		Intervals: []IntervalRecord{{ID: 7, Interval: interval.FromInt64(3, 44)}},
+		Epoch:     2,
+		BestCost:  123,
+		BestPath:  []int{1, 0, 2},
+	}
+	if err := bare.Save(snap); err != nil {
+		t.Fatal(err)
+	}
+	def, err := bare.Namespace(DefaultNamespace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bare.Exists() {
+		t.Fatal("bare files survived the migration")
+	}
+	if !def.Exists() {
+		t.Fatal("migrated snapshot missing from default/")
+	}
+	got, err := def.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.BestCost != 123 || got.Epoch != 2 || len(got.Intervals) != 1 || len(got.BestPath) != 3 {
+		t.Fatalf("migrated snapshot = %+v", got)
+	}
+	if _, err := os.Stat(filepath.Join(dir, intervalsFile)); !os.IsNotExist(err) {
+		t.Fatalf("bare intervals file still present: %v", err)
+	}
+	// Re-opening is idempotent: no bare files left, nothing to migrate.
+	if _, err := bare.Namespace(DefaultNamespace); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -85,8 +85,18 @@ func (f *Farmer) CheckIndexInvariantsForTest() error {
 	if total.Cmp(f.idx.total) != 0 {
 		return fmt.Errorf("incremental total %s, re-summed table %s", f.idx.total, total)
 	}
+	var powerSum int64
+	for _, t := range f.intervals {
+		powerSum += t.holderPower()
+	}
+	if powerSum != f.idx.powerSum {
+		return fmt.Errorf("incremental power sum %d, re-summed table %d", f.idx.powerSum, powerSum)
+	}
 	return nil
 }
+
+// FleetPowerForTest re-exports the incremental fleet power.
+func (f *Farmer) FleetPowerForTest() int64 { return f.FleetPower() }
 
 func (f *Farmer) groupRootsLocked() map[int64]*selNode { return f.idx.groups }
 

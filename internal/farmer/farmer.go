@@ -1194,6 +1194,19 @@ func (f *Farmer) Size() (cardinality int, totalLen *big.Int) {
 	return len(f.intervals), new(big.Int).Sub(f.idx.total, f.slack)
 }
 
+// FleetPower returns the total power of all live owners across INTERVALS
+// — the compute currently attached to this resolution. Maintained
+// incrementally by the selection index at its three mutation points, so
+// the multi-tenant fair-share rule (internal/jobs) can read every job's
+// share per request without a table sweep. A worker owning several copies
+// counts once per copy; in the one-interval-per-worker steady state the
+// sum is exactly the fleet's power.
+func (f *Farmer) FleetPower() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.idx.powerSum
+}
+
 // Checkpoint persists INTERVALS and SOLUTION through the attached store
 // (§4.1). It errors if no store is attached. Concurrent callers are
 // serialized in snapshot order; workers are only blocked for the in-memory

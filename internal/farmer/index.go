@@ -193,6 +193,13 @@ func minIDAtLeast(root *selNode, minLen *big.Int) (int64, bool) {
 type selIndex struct {
 	groups map[int64]*selNode // holder power → treap over (len, id)
 	total  *big.Int           // Σ len of all indexed intervals
+	// powerSum is Σ idxHP over all indexed intervals: the fleet power
+	// currently attached to this table, maintained at the same three
+	// mutation points as total. The multi-tenant fair-share rule reads it
+	// per request (jobs.Table), so it must be O(1), not a table sweep.
+	// Holder powers are clamped at MaxPower and the entry count is
+	// bounded by tracked intervals, so the sum stays far from overflow.
+	powerSum int64
 
 	rng uint64 // deterministic treap priorities (splitmix64)
 
@@ -243,6 +250,7 @@ func (x *selIndex) insert(t *tracked) {
 	t.idxHP = t.holderPower()
 	x.setRoot(t.idxHP, insertNode(x.groups[t.idxHP], &selNode{t: t, pri: x.nextPri()}))
 	x.total.Add(x.total, t.idxLen)
+	x.powerSum += t.idxHP
 }
 
 // remove unindexes a retired interval.
@@ -250,6 +258,7 @@ func (x *selIndex) remove(t *tracked) {
 	root, _ := deleteNode(x.groups[t.idxHP], t.idxLen, t.id)
 	x.setRoot(t.idxHP, root)
 	x.total.Sub(x.total, t.idxLen)
+	x.powerSum -= t.idxHP
 }
 
 // fix re-keys t after any mutation that may have changed its length (the
@@ -267,6 +276,7 @@ func (x *selIndex) fix(t *tracked) {
 	root, n := deleteNode(x.groups[t.idxHP], t.idxLen, t.id)
 	x.setRoot(t.idxHP, root)
 	x.total.Sub(x.total, t.idxLen)
+	x.powerSum += hp - t.idxHP
 	t.idxLen.Set(x.scrLen)
 	t.idxHP = hp
 	if n == nil {

@@ -1,0 +1,354 @@
+// Multi-tenant grid simulation: the same volatile processor pool and
+// availability physics as Sim, but the coordinator is a jobs.Table holding
+// several concurrent resolutions and every simulated host runs the
+// multiplexing jobs.WorkerSession — one machine serves whichever tenant
+// fair share routes it to, switching trees between work units. This is the
+// acceptance substrate for the multi-tenant service: many jobs of mixed
+// domains sharing one fleet, each terminating at its proven optimum,
+// resumable per job from its namespaced checkpoint.
+package gridsim
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/bb"
+	"repro/internal/checkpoint"
+	"repro/internal/jobs"
+	"repro/internal/transport"
+)
+
+// SubmittedJob is one tenant of a multi-job simulation.
+type SubmittedJob struct {
+	// ID keys the job and its checkpoint namespace.
+	ID string
+	// Spec describes the instance (weight included).
+	Spec jobs.Spec
+}
+
+// MultiJobConfig parameterizes a simulated multi-tenant service. The
+// fields shared with Config mean exactly what they mean there.
+type MultiJobConfig struct {
+	Pool         []CPUSpec
+	Availability AvailabilityModel
+	Seed         int64
+	TickSeconds  float64
+	// NodesPerGHzPerSecond calibrates exploration speed (required).
+	NodesPerGHzPerSecond float64
+	UpdatePeriodSeconds  float64
+	// TableCheckpointSeconds is the service snapshot cadence: every
+	// running job's farmer writes its namespaced two-file checkpoint.
+	// Default 1800. Effective only with CheckpointDir set.
+	TableCheckpointSeconds float64
+	LeaseTTLSeconds        float64
+	MaxTicks               int
+	// CheckpointDir, when set, backs the table with a namespaced store —
+	// jobs resume from it on resubmission (crash recovery of the whole
+	// service: build a new sim over the same dir and the same job list).
+	CheckpointDir string
+	// MaxActive bounds concurrently running jobs (0: all submitted).
+	MaxActive int
+	// Jobs is the tenant list, submitted in order before the first tick.
+	Jobs []SubmittedJob
+}
+
+func (c *MultiJobConfig) fillDefaults() {
+	if len(c.Pool) == 0 {
+		c.Pool = SmallPool(24)
+	}
+	if c.Availability == (AvailabilityModel{}) {
+		c.Availability = DefaultAvailability()
+	}
+	if c.TickSeconds <= 0 {
+		c.TickSeconds = 60
+	}
+	if c.UpdatePeriodSeconds <= 0 {
+		c.UpdatePeriodSeconds = 180
+	}
+	if c.TableCheckpointSeconds <= 0 {
+		c.TableCheckpointSeconds = 1800
+	}
+	if c.LeaseTTLSeconds <= 0 {
+		c.LeaseTTLSeconds = 3600
+	}
+	if c.MaxTicks <= 0 {
+		c.MaxTicks = 200_000
+	}
+	if c.MaxActive <= 0 {
+		c.MaxActive = len(c.Jobs)
+	}
+}
+
+// JobSimResult is one tenant's outcome.
+type JobSimResult struct {
+	ID    string
+	State string
+	// Best is the job's final incumbent (the proven optimum when State
+	// is "done").
+	Best bb.Solution
+	// Explored is the job's farmer-accounted node total.
+	Explored int64
+}
+
+// MultiJobResult summarizes a multi-tenant simulation.
+type MultiJobResult struct {
+	// Jobs holds per-tenant outcomes in submission order.
+	Jobs []JobSimResult
+	// Table carries the service-level tallies (fair-share assignments,
+	// resumes, rejections).
+	Table jobs.Counters
+	// Trace is the availability series (one point per tick).
+	Trace []TracePoint
+	Ticks int
+	// Finished reports whether every job reached a terminal state
+	// (false: MaxTicks hit first — the resume path picks up from the
+	// last table checkpoint).
+	Finished               bool
+	Joins, Leaves, Crashes int64
+}
+
+// mjSimWorker is one active processor hosting a multi-job session.
+type mjSimWorker struct {
+	id      transport.WorkerID
+	session *jobs.WorkerSession
+	rate    float64 // nodes per virtual second
+	credit  float64 // fractional node budget
+
+	lastUpdateCount int64
+	lastUpdateSecs  float64
+}
+
+// MultiJobSim runs one multi-tenant service over a volatile pool. Create
+// with NewMultiJob, drive with Run.
+type MultiJobSim struct {
+	cfg       MultiJobConfig
+	rng       *rand.Rand
+	table     *jobs.Table
+	factories jobs.Factories
+
+	slots   []float64
+	cores   []int
+	domains []domainState
+	active  []*mjSimWorker
+
+	nowSecs   float64
+	nextID    int64
+	lostNodes int64
+	result    MultiJobResult
+
+	// onTick, when set (tests), observes the state after every step.
+	onTick func(tick int)
+}
+
+// NewMultiJob builds a multi-tenant simulation and submits every
+// configured job. With CheckpointDir set, jobs whose namespace already
+// holds a snapshot resume from it — the service-restart story.
+func NewMultiJob(cfg MultiJobConfig) (*MultiJobSim, error) {
+	cfg.fillDefaults()
+	if len(cfg.Jobs) == 0 {
+		return nil, fmt.Errorf("gridsim: no jobs configured")
+	}
+	s := &MultiJobSim{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+	s.slots, s.cores, s.domains = layoutPool(cfg.Pool, cfg.Availability.PhaseJitterRadians, s.rng)
+	s.active = make([]*mjSimWorker, len(s.slots))
+
+	var store *checkpoint.Store
+	if cfg.CheckpointDir != "" {
+		var err error
+		store, err = checkpoint.NewStore(cfg.CheckpointDir)
+		if err != nil {
+			return nil, err
+		}
+	}
+	s.table = jobs.NewTable(jobs.Config{
+		MaxActive: cfg.MaxActive,
+		Store:     store,
+		Clock:     func() int64 { return int64(s.nowSecs * 1e9) },
+		LeaseTTL:  time.Duration(cfg.LeaseTTLSeconds * 1e9),
+	})
+	specs := make(map[string]jobs.Spec, len(cfg.Jobs))
+	for _, sj := range cfg.Jobs {
+		if err := s.table.Submit(sj.ID, sj.Spec); err != nil {
+			return nil, err
+		}
+		specs[sj.ID] = sj.Spec
+	}
+	s.factories = jobs.SpecFactories(specs)
+	return s, nil
+}
+
+// Table exposes the job table (mid-run progress queries in tests and
+// tooling — the same surface cmd/jobd serves over HTTP).
+func (s *MultiJobSim) Table() *jobs.Table { return s.table }
+
+// Run executes the simulation until every job terminates (or MaxTicks).
+func (s *MultiJobSim) Run() (MultiJobResult, error) {
+	cfg := &s.cfg
+	if cfg.NodesPerGHzPerSecond <= 0 {
+		return MultiJobResult{}, fmt.Errorf("gridsim: NodesPerGHzPerSecond must be set")
+	}
+	dt := cfg.TickSeconds
+	nextCkpt := cfg.TableCheckpointSeconds
+	for tick := 0; tick < cfg.MaxTicks; tick++ {
+		s.nowSecs = float64(tick) * dt
+		driveChurn(&cfg.Availability, dt, s.nowSecs, s.rng, s.domains,
+			func(slot int) bool { return s.active[slot] != nil }, s.join, s.leave)
+
+		activeCount := 0
+		for _, w := range s.active {
+			if w == nil {
+				continue
+			}
+			activeCount++
+			w.credit += w.rate * dt
+			budget := int64(w.credit)
+			if budget <= 0 {
+				// Not enough credit for a whole node yet: still acquire
+				// work if idle and keep the time-based checkpoint alive.
+				if !w.session.HasWork() {
+					if _, _, err := w.session.Advance(0); err != nil {
+						return s.result, fmt.Errorf("gridsim: worker %s: %w", w.id, err)
+					}
+				}
+				if err := s.maybeCheckpoint(w); err != nil {
+					return s.result, err
+				}
+				continue
+			}
+			n, _, err := w.session.Advance(budget)
+			if err != nil {
+				return s.result, fmt.Errorf("gridsim: worker %s: %w", w.id, err)
+			}
+			w.credit -= float64(n)
+			if n < budget && !w.session.HasWork() {
+				// Starved partway through the slice; drop the rest.
+				w.credit = 0
+			}
+			if err := s.maybeCheckpoint(w); err != nil {
+				return s.result, err
+			}
+		}
+		if s.onTick != nil {
+			s.onTick(tick)
+		}
+		s.result.Trace = append(s.result.Trace, TracePoint{TimeSeconds: s.nowSecs, Active: activeCount})
+		if cfg.CheckpointDir != "" && s.nowSecs >= nextCkpt {
+			if err := s.table.Checkpoint(); err != nil {
+				return s.result, err
+			}
+			nextCkpt += cfg.TableCheckpointSeconds
+		}
+		s.result.Ticks = tick + 1
+		if s.table.Done() {
+			s.result.Finished = true
+			break
+		}
+	}
+	for _, p := range s.table.List() {
+		s.result.Jobs = append(s.result.Jobs, JobSimResult{
+			ID:       p.ID,
+			State:    p.State,
+			Best:     bb.Solution{Cost: p.BestCost, Path: p.BestPath},
+			Explored: p.Counters.ExploredNodes,
+		})
+	}
+	s.result.Table = s.table.Counters()
+	return s.result, nil
+}
+
+// join starts a fresh multi-job session on the slot.
+func (s *MultiJobSim) join(slot int) {
+	s.nextID++
+	id := transport.WorkerID(fmt.Sprintf("mj-%d-s%d", s.nextID, slot))
+	cores := s.cores[slot]
+	rate := s.slots[slot] * float64(cores) * s.cfg.NodesPerGHzPerSecond * (1 - s.cfg.Availability.HostLoadFraction)
+	power := int64(rate * 1000) // fixed-point so slow hosts stay > 0
+	if power < 1 {
+		power = 1
+	}
+	updateNodes := int64(rate * s.cfg.UpdatePeriodSeconds)
+	if updateNodes < 1 {
+		updateNodes = 1
+	}
+	sess := jobs.NewWorkerSession(jobs.WorkerConfig{
+		ID:                id,
+		Power:             power,
+		UpdatePeriodNodes: updateNodes,
+	}, s.table, s.factories)
+	s.active[slot] = &mjSimWorker{id: id, session: sess, rate: rate, lastUpdateSecs: s.nowSecs}
+	s.result.Joins++
+}
+
+// leave retires the slot's worker, gracefully (final per-engine
+// checkpoint) or by crash (the lease mechanism orphans its intervals).
+func (s *MultiJobSim) leave(slot int) {
+	w := s.active[slot]
+	if w == nil {
+		return
+	}
+	if s.rng.Float64() < s.cfg.Availability.CrashShare {
+		s.lostNodes += w.session.Stats().Explored - w.session.Reported().Explored
+		s.result.Crashes++
+	} else {
+		if err := w.session.Checkpoint(); err == nil {
+			s.result.Leaves++
+		} else {
+			s.result.Crashes++
+		}
+	}
+	s.active[slot] = nil
+}
+
+// maybeCheckpoint triggers the time-based interval update for hosts too
+// slow to hit the node-count cadence — it keeps their leases alive across
+// every job they hold (§4.1, per tenant).
+func (s *MultiJobSim) maybeCheckpoint(w *mjSimWorker) error {
+	if u := w.session.Messages.Updates; u > w.lastUpdateCount {
+		w.lastUpdateCount = u
+		w.lastUpdateSecs = s.nowSecs
+		return nil
+	}
+	if s.nowSecs-w.lastUpdateSecs < s.cfg.UpdatePeriodSeconds {
+		return nil
+	}
+	if err := w.session.Checkpoint(); err != nil {
+		return fmt.Errorf("gridsim: worker %s checkpoint: %w", w.id, err)
+	}
+	w.lastUpdateCount = w.session.Messages.Updates
+	w.lastUpdateSecs = s.nowSecs
+	return nil
+}
+
+// MultiTenantScenario returns the 8-job acceptance configuration: two
+// instances each of the four problem domains — mixed tree shapes and
+// weights — on the compressed 60-processor pool with 20-minute "days".
+// Every job must terminate at its proven optimum with zero cross-job
+// leakage; with a checkpoint dir the whole service survives a restart.
+func MultiTenantScenario(seed int64) MultiJobConfig {
+	m := AvailabilityModel{
+		BaseFraction: 0.2, Amplitude: 0.6, NoiseFraction: 0.08,
+		NoisePeriodSeconds: 60, DaySeconds: 1200, CrashShare: 0.25,
+		RampSeconds: 60, PhaseJitterRadians: 0.3, HostLoadFraction: 0.025,
+	}
+	return MultiJobConfig{
+		Pool:                   SmallPool(60),
+		Availability:           m,
+		Seed:                   seed,
+		TickSeconds:            1,
+		NodesPerGHzPerSecond:   3,
+		UpdatePeriodSeconds:    10,
+		TableCheckpointSeconds: 30,
+		LeaseTTLSeconds:        60,
+		Jobs: []SubmittedJob{
+			{ID: "fs10x5a", Spec: jobs.Spec{Domain: "flowshop", Jobs: 10, Machines: 5, Seed: 2, Weight: 3}},
+			{ID: "fs10x5b", Spec: jobs.Spec{Domain: "flowshop", Jobs: 10, Machines: 5, Seed: 5, Weight: 2}},
+			{ID: "tsp9", Spec: jobs.Spec{Domain: "tsp", N: 9, Seed: 5}},
+			{ID: "tsp8", Spec: jobs.Spec{Domain: "tsp", N: 8, Seed: 3}},
+			{ID: "qap7a", Spec: jobs.Spec{Domain: "qap", N: 7, Seed: 1}},
+			{ID: "qap7b", Spec: jobs.Spec{Domain: "qap", N: 7, Seed: 5}},
+			{ID: "knap24", Spec: jobs.Spec{Domain: "knapsack", N: 24, Seed: 5}},
+			{ID: "knap20", Spec: jobs.Spec{Domain: "knapsack", N: 20, Seed: 1}},
+		},
+	}
+}

@@ -215,6 +215,36 @@ type domainState struct {
 	nextNoise float64 // when to redraw it
 }
 
+// layoutPool expands a pool into per-slot speeds and cores plus domain
+// groups, drawing each domain's availability phase from rng.
+func layoutPool(pool []CPUSpec, phaseJitter float64, rng *rand.Rand) ([]float64, []int, []domainState) {
+	var slots []float64
+	var cores []int
+	var domains []domainState
+	domIdx := make(map[string]int)
+	for _, spec := range pool {
+		di, ok := domIdx[spec.Domain]
+		if !ok {
+			di = len(domains)
+			domIdx[spec.Domain] = di
+			domains = append(domains, domainState{
+				name:  spec.Domain,
+				phase: (rng.Float64()*2 - 1) * phaseJitter,
+			})
+		}
+		slotCores := spec.Cores
+		if slotCores < 1 {
+			slotCores = 1
+		}
+		for i := 0; i < spec.Count; i++ {
+			domains[di].slots = append(domains[di].slots, len(slots))
+			slots = append(slots, spec.GHz)
+			cores = append(cores, slotCores)
+		}
+	}
+	return slots, cores, domains
+}
+
 // Sim runs one simulated resolution. Create with New, drive with Run.
 type Sim struct {
 	cfg     Config
@@ -244,29 +274,7 @@ type Sim struct {
 func New(cfg Config, factory func() bb.Problem) *Sim {
 	cfg.fillDefaults()
 	s := &Sim{cfg: cfg, factory: factory, rng: rand.New(rand.NewSource(cfg.Seed))}
-	// Slot and domain layout.
-	domIdx := make(map[string]int)
-	for _, spec := range cfg.Pool {
-		di, ok := domIdx[spec.Domain]
-		if !ok {
-			di = len(s.domains)
-			domIdx[spec.Domain] = di
-			jitter := cfg.Availability.PhaseJitterRadians
-			s.domains = append(s.domains, domainState{
-				name:  spec.Domain,
-				phase: (s.rng.Float64()*2 - 1) * jitter,
-			})
-		}
-		slotCores := spec.Cores
-		if slotCores < 1 {
-			slotCores = 1
-		}
-		for i := 0; i < spec.Count; i++ {
-			s.domains[di].slots = append(s.domains[di].slots, len(s.slots))
-			s.slots = append(s.slots, spec.GHz)
-			s.cores = append(s.cores, slotCores)
-		}
-	}
+	s.slots, s.cores, s.domains = layoutPool(cfg.Pool, cfg.Availability.PhaseJitterRadians, s.rng)
 	s.active = make([]*simWorker, len(s.slots))
 
 	nb := core.NewNumbering(factory().Shape())
@@ -468,23 +476,32 @@ func (s *Sim) Run() (Result, error) {
 }
 
 // adjustAvailability moves each domain toward its availability target,
-// creating and retiring workers. The random component of the target is
-// redrawn only every NoisePeriodSeconds — hosts are claimed and released by
-// their owners on the scale of tens of minutes, not per scheduler tick —
-// and a small deadband avoids churning workers over one-host wobbles.
+// creating and retiring workers.
 func (s *Sim) adjustAvailability() {
-	m := &s.cfg.Availability
-	for di := range s.domains {
-		d := &s.domains[di]
-		if s.nowSecs >= d.nextNoise {
-			d.noise = (s.rng.Float64()*2 - 1) * m.NoiseFraction
+	driveChurn(&s.cfg.Availability, s.cfg.TickSeconds, s.nowSecs, s.rng, s.domains,
+		func(slot int) bool { return s.active[slot] != nil }, s.join, s.leave)
+}
+
+// driveChurn moves each domain toward its availability target, invoking
+// join on idle slots and leave on occupied ones. The random component of
+// the target is redrawn only every NoisePeriodSeconds — hosts are claimed
+// and released by their owners on the scale of tens of minutes, not per
+// scheduler tick — and a small deadband avoids churning workers over
+// one-host wobbles. Shared between the single-resolution Sim and the
+// multi-tenant MultiJobSim, which differ only in what a worker runs.
+func driveChurn(m *AvailabilityModel, tickSeconds, nowSecs float64, rng *rand.Rand,
+	domains []domainState, occupied func(int) bool, join, leave func(int)) {
+	for di := range domains {
+		d := &domains[di]
+		if nowSecs >= d.nextNoise {
+			d.noise = (rng.Float64()*2 - 1) * m.NoiseFraction
 			period := m.NoisePeriodSeconds
 			if period <= 0 {
 				period = 1800
 			}
-			d.nextNoise = s.nowSecs + period
+			d.nextNoise = nowSecs + period
 		}
-		frac := m.Fraction(d.phase, s.nowSecs) + d.noise
+		frac := m.Fraction(d.phase, nowSecs) + d.noise
 		if frac < 0 {
 			frac = 0
 		}
@@ -494,7 +511,7 @@ func (s *Sim) adjustAvailability() {
 		target := int(frac * float64(len(d.slots)))
 		active := 0
 		for _, slot := range d.slots {
-			if s.active[slot] != nil {
+			if occupied(slot) {
 				active++
 			}
 		}
@@ -504,7 +521,7 @@ func (s *Sim) adjustAvailability() {
 		}
 		maxDelta := len(d.slots)
 		if m.RampSeconds > 0 {
-			maxDelta = int(math.Ceil(float64(len(d.slots)) * s.cfg.TickSeconds / m.RampSeconds))
+			maxDelta = int(math.Ceil(float64(len(d.slots)) * tickSeconds / m.RampSeconds))
 			if maxDelta < 1 {
 				maxDelta = 1
 			}
@@ -519,8 +536,8 @@ func (s *Sim) adjustAvailability() {
 				if need == 0 {
 					break
 				}
-				if s.active[slot] == nil {
-					s.join(slot)
+				if !occupied(slot) {
+					join(slot)
 					need--
 				}
 			}
@@ -533,8 +550,8 @@ func (s *Sim) adjustAvailability() {
 				if drop == 0 {
 					break
 				}
-				if s.active[slot] != nil {
-					s.leave(slot)
+				if occupied(slot) {
+					leave(slot)
 					drop--
 				}
 			}

@@ -93,7 +93,8 @@ type Scenario struct {
 	// Subtrees ≥ 2 runs the scenario as a 2-level farmer tree (tree.go):
 	// workers attach to sub-farmers round-robin, sub-farmers speak the
 	// unchanged protocol to the root, and the conformance layer audits
-	// both tiers. FarmerRestarts is not supported in tree mode.
+	// both tiers. FarmerRestarts restarts the root farmer, composing
+	// with SubRestarts.
 	Subtrees int
 	// SubUpdateEvery is the sub→root fold cadence in fleet messages
 	// (tree mode). Default 4.

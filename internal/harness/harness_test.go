@@ -135,8 +135,8 @@ func TestScenariosExerciseTheirFaults(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if tree.Restarts != len(TreeChurn().SubRestarts) {
-		t.Errorf("tree-churn: %d sub restarts, scheduled %d", tree.Restarts, len(TreeChurn().SubRestarts))
+	if want := len(TreeChurn().SubRestarts) + len(TreeChurn().FarmerRestarts); tree.Restarts != want {
+		t.Errorf("tree-churn: %d restarts, scheduled %d (sub + root)", tree.Restarts, want)
 	}
 	if tree.Kills == 0 || tree.Rejoins == 0 {
 		t.Errorf("tree-churn: kills=%d rejoins=%d — fault schedule never fired", tree.Kills, tree.Rejoins)

@@ -1,0 +1,72 @@
+package harness
+
+import (
+	"testing"
+)
+
+// TestMultiJobChurnConformance runs the multi-tenant chaos scenario twice:
+// the first run must satisfy every per-job conformance invariant (interval
+// partition per job, incumbent optimality per job, zero cross-job leakage)
+// and actually exercise its faults; the second must produce a
+// byte-identical event trace.
+func TestMultiJobChurnConformance(t *testing.T) {
+	sc := MultiJobChurn()
+	rep, err := RunMultiJob(sc)
+	if err != nil {
+		t.Fatalf("harness error: %v", err)
+	}
+	for _, v := range rep.Violations {
+		t.Errorf("%s: VIOLATION: %s", rep.Name, v)
+	}
+	if !rep.Finished {
+		t.Fatalf("%s: did not finish (%d ticks)", rep.Name, rep.Ticks)
+	}
+
+	// The fault schedule must actually land: kills with rejoins, dropped
+	// replies, a mid-run cancel, and checkpoints across all three jobs.
+	if rep.Kills < len(sc.Kills) {
+		t.Errorf("%d kills, scheduled %d", rep.Kills, len(sc.Kills))
+	}
+	if rep.Rejoins == 0 {
+		t.Errorf("no rejoins")
+	}
+	if rep.Drops == 0 {
+		t.Errorf("no dropped messages despite DropReplyPct=%d", sc.DropReplyPct)
+	}
+	if rep.Checkpoints == 0 {
+		t.Errorf("no checkpoints")
+	}
+	if got := rep.Table.Cancelled; got != 1 {
+		t.Errorf("table cancelled %d jobs, want 1", got)
+	}
+	if rep.Table.FairShareAssignments == 0 {
+		t.Errorf("no fair-share assignments — the fleet never multiplexed")
+	}
+
+	// Per-job outcomes: the survivors prove their optima, the cancelled
+	// job stays cancelled, and every completed job explored a plausible
+	// share of its tree.
+	states := map[string]string{}
+	for _, out := range rep.Jobs {
+		states[out.ID] = out.State
+		if out.State == "done" && out.Explored == 0 {
+			t.Errorf("job %s: done with zero explored nodes", out.ID)
+		}
+	}
+	if states["fs10x5"] != "done" || states["tsp9"] != "done" {
+		t.Errorf("surviving jobs not done: %v", states)
+	}
+	if states["qap7"] != "cancelled" {
+		t.Errorf("qap7 state %q, want cancelled", states["qap7"])
+	}
+
+	again, err := RunMultiJob(sc)
+	if err != nil {
+		t.Fatalf("second run: %v", err)
+	}
+	assertSameTrace(t, rep.Trace, again.Trace)
+
+	t.Logf("%s: ticks=%d drops=%d kills=%d rejoins=%d ckpts=%d fair-share=%d",
+		rep.Name, rep.Ticks, rep.Drops, rep.Kills, rep.Rejoins,
+		rep.Checkpoints, rep.Table.FairShareAssignments)
+}

@@ -183,6 +183,9 @@ func TreeChurn() Scenario {
 			{Tick: 5, Sub: 1},
 			{Tick: 10, Sub: 0},
 		},
+		// Root restarts compose with sub restarts: tick 7 lands between
+		// the two sub restarts, one checkpoint after the first.
+		FarmerRestarts: []int{7},
 	}
 }
 

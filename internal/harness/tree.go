@@ -138,6 +138,8 @@ type treeGrid struct {
 
 	nb        *core.Numbering
 	root      *farmer.Farmer
+	rootStore *checkpoint.Store
+	rootOpts  []farmer.Option
 	rootTrack *tracker
 	subs      []*farmer.SubFarmer
 	subTracks []*subTracker
@@ -176,9 +178,6 @@ func (sc *Scenario) fillTreeDefaults() {
 func runTree(sc Scenario) (Report, error) {
 	sc.fillTreeDefaults()
 	rep := Report{Name: sc.Name, OverlapUnits: new(big.Int), ReworkBudget: new(big.Int)}
-	if len(sc.FarmerRestarts) > 0 {
-		return rep, fmt.Errorf("harness: FarmerRestarts is not supported in tree mode (root restarts compose with sub restarts in a later PR)")
-	}
 
 	dir := sc.Dir
 	if dir == "" {
@@ -234,6 +233,7 @@ func runTree(sc Scenario) (Report, error) {
 			farmer.WithStealHints(),
 			farmer.WithEndgameThreshold(new(big.Int).Mul(thr, big.NewInt(64))))
 	}
+	g.rootStore, g.rootOpts = rootStore, rootOpts
 	g.root = farmer.New(root, rootOpts...)
 	g.rootTrack = newTracker(root)
 	g.rootTrack.attach(g.root)
@@ -336,6 +336,13 @@ func (g *treeGrid) loop() error {
 		g.tick = tick
 		g.nowNano = int64(tick) * int64(time.Second)
 
+		for _, rt := range sc.FarmerRestarts {
+			if rt == tick {
+				if err := g.restartRoot(); err != nil {
+					return err
+				}
+			}
+		}
 		for _, r := range sc.SubRestarts {
 			if r.Tick == tick {
 				if err := g.restartSub(r.Sub); err != nil {
@@ -460,6 +467,25 @@ func (g *treeGrid) kill(i, rejoinAt int, why string) {
 // the §4.1 mechanics replayed one tier up. The fleet keeps its endpoint
 // (the chaos interceptor and tracker), exactly like real workers keep the
 // address of a restarted coordinator.
+// restartRoot kills the root farmer and restores it from its latest
+// snapshot, exactly as the flat grid does. The sub-farmers keep their
+// endpoint (the chaos interceptor wraps the tracker, and the tracker
+// re-attaches to the restored incarnation), so their next folds hit the
+// new epoch, collect Known:false verdicts for stale bindings, and refill
+// — the §4.1 composition of root restarts with live subtrees.
+func (g *treeGrid) restartRoot() error {
+	f, err := farmer.Restore(g.nb.RootRange(), g.rootStore, g.rootOpts...)
+	if err != nil {
+		return err
+	}
+	g.root = f
+	g.rootTrack.attach(f)
+	g.rootTrack.noteRestart()
+	g.report.Restarts++
+	g.tracef("root-restart n=%d", g.report.Restarts)
+	return nil
+}
+
 func (g *treeGrid) restartSub(i int) error {
 	sub, err := farmer.RestoreSubFarmer(g.subCfg(i), g.upChaos)
 	if err != nil {

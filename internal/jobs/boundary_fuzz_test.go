@@ -1,0 +1,227 @@
+package jobs
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/interval"
+	"repro/internal/transport"
+)
+
+// FuzzJobBoundary extends the farmer's FuzzCoordinatorBoundary up one
+// layer: an adversarial message stream against a live multi-tenant table
+// holding two running jobs and one cancelled one. Hostile probes carry
+// unknown job ids, oversize and malformed ids, traffic for the cancelled
+// job, and intervals in one job's coordinates tagged with the other job's
+// id. After every message each running job's INTERVALS table must still be
+// pairwise disjoint and inside that job's own root — the per-tenant
+// partition invariant — and every provably hostile probe must land in the
+// matching rejection counter.
+func FuzzJobBoundary(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 250, 251, 252, 253, 254, 255})
+	f.Add([]byte("hostile-tenant-stream-aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa"))
+	f.Add([]byte{7, 7, 7, 7, 6, 6, 6, 6, 5, 5, 5, 5, 4, 4, 4, 4, 3, 3, 3, 3})
+
+	// alpha's root is 2^12 leaves, beta's 2^20 — so a beta-coordinate
+	// interval tagged alpha provably escapes alpha's root.
+	alphaSpec := Spec{Domain: "knapsack", N: 12, Seed: 1}
+	betaSpec := Spec{Domain: "knapsack", N: 20, Seed: 2}
+	roots := map[string]interval.Interval{}
+	for id, spec := range map[string]Spec{"alpha": alphaSpec, "beta": betaSpec} {
+		factory, err := spec.Factory()
+		if err != nil {
+			f.Fatal(err)
+		}
+		roots[id] = core.NewNumbering(factory().Shape()).RootRange()
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tb := NewTable(Config{})
+		if err := tb.Submit("alpha", alphaSpec); err != nil {
+			t.Fatal(err)
+		}
+		if err := tb.Submit("beta", betaSpec); err != nil {
+			t.Fatal(err)
+		}
+		if err := tb.Submit("gone", Spec{Domain: "knapsack", N: 14, Seed: 3}); err != nil {
+			t.Fatal(err)
+		}
+		if err := tb.Cancel("gone"); err != nil {
+			t.Fatal(err)
+		}
+
+		pos := 0
+		next := func() byte {
+			if pos >= len(data) {
+				return 0
+			}
+			b := data[pos]
+			pos++
+			return b
+		}
+		nextInt64 := func() int64 {
+			var v uint64
+			for i := 0; i < 8; i++ {
+				v = v<<8 | uint64(next())
+			}
+			return int64(v)
+		}
+		liveJob := func() string {
+			if next()%2 == 0 {
+				return "alpha"
+			}
+			return "beta"
+		}
+
+		// Interval ids observed from honest assignments, per job, so
+		// hostile updates can reuse a real id under the wrong tag.
+		ids := map[string][]int64{}
+		var unknownBad, invalidBad, stoppedBad, crossBad int
+
+		checkInvariant := func() {
+			t.Helper()
+			for id, root := range roots {
+				fm := tb.Farmer(id)
+				if fm == nil {
+					continue
+				}
+				set := interval.NewSet()
+				for _, rec := range fm.IntervalsSnapshot() {
+					if rec.Interval.IsEmpty() {
+						continue
+					}
+					if !root.ContainsInterval(rec.Interval) {
+						t.Fatalf("job %s: tracked interval %v escaped its root", id, rec.Interval)
+					}
+					if ov := set.Add(rec.Interval); ov.Sign() != 0 {
+						t.Fatalf("job %s: tracked intervals overlap by %s units", id, ov)
+					}
+				}
+			}
+		}
+
+		for s := 0; s < 64; s++ {
+			switch next() % 8 {
+			case 0: // honest tagged request
+				job := liveJob()
+				r, err := tb.RequestWork(transport.WorkRequest{
+					Worker: transport.WorkerID([]byte{'h', next() % 4}),
+					Power:  1 + int64(next()%16),
+					Job:    job,
+				})
+				if err == nil && r.Status == transport.WorkAssigned {
+					ids[job] = append(ids[job], r.IntervalID)
+				}
+			case 1: // honest untagged request: fair-share routed
+				r, err := tb.RequestWork(transport.WorkRequest{
+					Worker: transport.WorkerID([]byte{'u', next() % 4}),
+					Power:  1 + int64(next()%16),
+				})
+				if err == nil && r.Status == transport.WorkAssigned {
+					ids[r.Job] = append(ids[r.Job], r.IntervalID)
+				}
+			case 2: // unknown job tag on a random op: always an error
+				job := "no-such-job-" + string([]byte{'a' + next()%26})
+				var err error
+				switch next() % 3 {
+				case 0:
+					_, err = tb.RequestWork(transport.WorkRequest{Worker: "x", Power: 1, Job: job})
+				case 1:
+					_, err = tb.UpdateInterval(transport.UpdateRequest{Worker: "x", Job: job})
+				default:
+					_, err = tb.ReportSolution(transport.SolutionReport{Worker: "x", Cost: nextInt64(), Job: job})
+				}
+				if err == nil {
+					t.Fatalf("unknown job %q accepted", job)
+				}
+				unknownBad++
+			case 3: // malformed job id: oversize or path-escaping
+				job := strings.Repeat("x", 129+int(next()))
+				if next()%2 == 0 {
+					job = ".." // path escape, rejected by namespace validation
+				}
+				if _, err := tb.RequestWork(transport.WorkRequest{Worker: "x", Power: 1, Job: job}); err == nil {
+					t.Fatalf("malformed job id accepted")
+				}
+				invalidBad++
+			case 4: // traffic for the cancelled job: terminal verdict, no error
+				switch next() % 3 {
+				case 0:
+					r, err := tb.RequestWork(transport.WorkRequest{Worker: "x", Power: 1, Job: "gone"})
+					if err != nil || r.Status != transport.WorkFinished {
+						t.Fatalf("cancelled-job request: status %v err %v", r.Status, err)
+					}
+				case 1:
+					r, err := tb.UpdateInterval(transport.UpdateRequest{Worker: "x", Job: "gone", IntervalID: nextInt64()})
+					if err != nil || r.Known || !r.Finished {
+						t.Fatalf("cancelled-job update: known=%v finished=%v err %v", r.Known, r.Finished, err)
+					}
+				default:
+					if _, err := tb.ReportSolution(transport.SolutionReport{Worker: "x", Cost: nextInt64(), Job: "gone"}); err != nil {
+						t.Fatalf("cancelled-job report: %v", err)
+					}
+				}
+				stoppedBad++
+			case 5: // cross-job interval: beta coordinates under alpha's tag
+				id := nextInt64()
+				if len(ids["alpha"]) > 0 && next()%2 == 0 {
+					id = ids["alpha"][int(next())%len(ids["alpha"])]
+				}
+				lo := 1 << 13 // past alpha's 2^12-leaf root, inside beta's
+				hi := lo + 1 + int(next())
+				tb.UpdateInterval(transport.UpdateRequest{
+					Worker:     transport.WorkerID([]byte{'c', next() % 4}),
+					Job:        "alpha",
+					IntervalID: id,
+					Remaining:  interval.FromInt64(int64(lo), int64(hi)),
+					Power:      1,
+				})
+				crossBad++
+			case 6: // hostile update under a live tag: random id and bounds
+				job := liveJob()
+				tb.UpdateInterval(transport.UpdateRequest{
+					Worker:        transport.WorkerID([]byte{'h', next() % 4}),
+					Job:           job,
+					IntervalID:    nextInt64(),
+					Remaining:     interval.FromInt64(nextInt64()%(1<<21), nextInt64()%(1<<21)),
+					Power:         nextInt64() % 100,
+					ExploredDelta: int64(next()),
+				})
+			case 7: // hostile report under a live tag
+				path := make([]int, int(next())%8)
+				for i := range path {
+					path[i] = int(int8(next()))
+				}
+				tb.ReportSolution(transport.SolutionReport{
+					Worker: transport.WorkerID([]byte{'r', next() % 4}),
+					Job:    liveJob(),
+					Cost:   nextInt64(),
+					Path:   path,
+				})
+			}
+			checkInvariant()
+		}
+
+		c := tb.Counters()
+		if int(c.UnknownJobs) < unknownBad {
+			t.Fatalf("%d unknown-job probes, UnknownJobs counter %d", unknownBad, c.UnknownJobs)
+		}
+		if int(c.InvalidJobIDs) < invalidBad {
+			t.Fatalf("%d malformed-id probes, InvalidJobIDs counter %d", invalidBad, c.InvalidJobIDs)
+		}
+		if int(c.StoppedJobTraffic) < stoppedBad {
+			t.Fatalf("%d cancelled-job probes, StoppedJobTraffic counter %d", stoppedBad, c.StoppedJobTraffic)
+		}
+		if crossBad > 0 {
+			fm := tb.Farmer("alpha")
+			if fm == nil {
+				t.Fatalf("alpha stopped running under a hostile stream")
+			}
+			if fm.Counters().RejectedIntervals == 0 {
+				t.Fatalf("%d cross-job interval probes, alpha rejected none", crossBad)
+			}
+		}
+	})
+}

@@ -1,0 +1,329 @@
+package jobs
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/bb"
+	"repro/internal/checkpoint"
+	"repro/internal/knapsack"
+	"repro/internal/transport"
+	"repro/internal/tsp"
+	"repro/internal/worker"
+)
+
+func knapSpec(n int, seed int64) Spec {
+	return Spec{Domain: "knapsack", N: n, Seed: seed}
+}
+
+// drain runs one mux worker session against the table to completion.
+func drain(t *testing.T, tb *Table, specs map[string]Spec) *WorkerSession {
+	t.Helper()
+	sess := NewWorkerSession(WorkerConfig{ID: "w0", Power: 100, UpdatePeriodNodes: 1 << 10},
+		tb, SpecFactories(specs))
+	for i := 0; ; i++ {
+		_, fin, err := sess.Advance(1 << 14)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fin {
+			return sess
+		}
+		if i > 10_000 {
+			t.Fatal("worker never finished")
+		}
+	}
+}
+
+func TestSingleJobSolvesToOptimum(t *testing.T) {
+	spec := knapSpec(18, 3)
+	want, _ := bb.Solve(knapsack.NewProblem(knapsack.Random(18, 3)), bb.Infinity)
+	tb := NewTable(Config{})
+	if err := tb.Submit("k18", spec); err != nil {
+		t.Fatal(err)
+	}
+	drain(t, tb, map[string]Spec{"k18": spec})
+	p, err := tb.Progress("k18")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.State != "done" || p.BestCost != want.Cost {
+		t.Fatalf("job state %s cost %d, want done/%d", p.State, p.BestCost, want.Cost)
+	}
+	if p.FrontierPct != 100 {
+		t.Fatalf("frontier %.1f%%, want 100", p.FrontierPct)
+	}
+	if !tb.Done() {
+		t.Fatal("table not done after its only job finished")
+	}
+}
+
+// TestDefaultJobServesLegacyWorkers: a pre-multitenant worker.Session
+// (no Job tags anywhere) solves a job named "default" through the table.
+func TestDefaultJobServesLegacyWorkers(t *testing.T) {
+	spec := knapSpec(18, 7)
+	want, _ := bb.Solve(knapsack.NewProblem(knapsack.Random(18, 7)), bb.Infinity)
+	tb := NewTable(Config{})
+	if err := tb.Submit(checkpoint.DefaultNamespace, spec); err != nil {
+		t.Fatal(err)
+	}
+	sess := worker.NewSession(worker.Config{ID: "legacy", Power: 50, UpdatePeriodNodes: 1 << 10},
+		tb, knapsack.NewProblem(knapsack.Random(18, 7)))
+	for i := 0; ; i++ {
+		_, fin, err := sess.Advance(1 << 14)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fin {
+			break
+		}
+		if i > 10_000 {
+			t.Fatal("legacy worker never finished")
+		}
+	}
+	p, _ := tb.Progress(checkpoint.DefaultNamespace)
+	if p.BestCost != want.Cost {
+		t.Fatalf("legacy worker proved %d, want %d", p.BestCost, want.Cost)
+	}
+}
+
+// TestSoleJobServesLegacyWorkers: the single-job deployment story must
+// not hinge on the operator picking the magic "default" id — an untagged
+// legacy fleet's folds and reports route to the sole running job whatever
+// it is named. (Caught live: a legacy worker against a one-job jobd
+// reconnect-looped forever on "unknown job default" and never explored a
+// node.) With a second job live the ambiguity is real and untagged
+// non-request traffic goes back to being an error.
+func TestSoleJobServesLegacyWorkers(t *testing.T) {
+	spec := knapSpec(18, 7)
+	want, _ := bb.Solve(knapsack.NewProblem(knapsack.Random(18, 7)), bb.Infinity)
+	tb := NewTable(Config{})
+	if err := tb.Submit("ops-picked-a-name", spec); err != nil {
+		t.Fatal(err)
+	}
+	sess := worker.NewSession(worker.Config{ID: "legacy", Power: 50, UpdatePeriodNodes: 1 << 10},
+		tb, knapsack.NewProblem(knapsack.Random(18, 7)))
+	for i := 0; ; i++ {
+		_, fin, err := sess.Advance(1 << 14)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fin {
+			break
+		}
+		if i > 10_000 {
+			t.Fatal("legacy worker never finished")
+		}
+	}
+	p, _ := tb.Progress("ops-picked-a-name")
+	if p.State != "done" || p.BestCost != want.Cost {
+		t.Fatalf("legacy worker left job %s at %d, want done/%d", p.State, p.BestCost, want.Cost)
+	}
+
+	// Two running jobs: untagged folds and reports are ambiguous again.
+	tb2 := NewTable(Config{})
+	if err := tb2.Submit("one", knapSpec(14, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb2.Submit("two", knapSpec(14, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tb2.UpdateInterval(transport.UpdateRequest{Worker: "legacy"}); err == nil {
+		t.Fatal("untagged update accepted with two jobs running")
+	}
+	if _, err := tb2.ReportSolution(transport.SolutionReport{Worker: "legacy", Cost: 1}); err == nil {
+		t.Fatal("untagged report accepted with two jobs running")
+	}
+	if tb2.Counters().UnknownJobs != 2 {
+		t.Fatalf("UnknownJobs %d, want 2", tb2.Counters().UnknownJobs)
+	}
+}
+
+func TestAdmissionControl(t *testing.T) {
+	tb := NewTable(Config{MaxActive: 2, MaxQueued: 2, MaxPerUser: 3})
+	for i, id := range []string{"a", "b", "c", "d"} {
+		s := knapSpec(12, int64(i))
+		s.Owner = "alice"
+		if i == 3 {
+			s.Owner = "bob"
+		}
+		if err := tb.Submit(id, s); err != nil {
+			t.Fatalf("submit %s: %v", id, err)
+		}
+	}
+	for id, want := range map[string]string{"a": "running", "b": "running", "c": "queued", "d": "queued"} {
+		if p, _ := tb.Progress(id); p.State != want {
+			t.Errorf("job %s state %s, want %s", id, p.State, want)
+		}
+	}
+	// Queue is full now.
+	if err := tb.Submit("e", knapSpec(12, 9)); err == nil || !strings.Contains(err.Error(), "queue full") {
+		t.Fatalf("submit into a full queue: %v", err)
+	}
+	// alice is at her cap (a, b, c live).
+	over := knapSpec(12, 10)
+	over.Owner = "alice"
+	if err := tb.Submit("f", over); err == nil || !strings.Contains(err.Error(), "cap") {
+		t.Fatalf("submit over per-user cap: %v", err)
+	}
+	// Duplicate id.
+	if err := tb.Submit("a", knapSpec(12, 11)); err == nil || !strings.Contains(err.Error(), "exists") {
+		t.Fatalf("duplicate submit: %v", err)
+	}
+	// Hostile id.
+	if err := tb.Submit("../escape", knapSpec(12, 12)); err == nil {
+		t.Fatal("hostile job id admitted")
+	}
+	ctr := tb.Counters()
+	if ctr.RejectedSubmits != 3 || ctr.InvalidJobIDs != 1 {
+		t.Fatalf("counters %+v", ctr)
+	}
+	// Cancelling a running job promotes the queue head.
+	if err := tb.Cancel("a"); err != nil {
+		t.Fatal(err)
+	}
+	if p, _ := tb.Progress("c"); p.State != "running" {
+		t.Errorf("queued job not promoted after cancel: %s", p.State)
+	}
+	if p, _ := tb.Progress("d"); p.State != "queued" {
+		t.Errorf("queue order broken: d is %s", p.State)
+	}
+}
+
+// TestFairShareHonorsWeights: with weights 1 and 3, eight one-request
+// workers split 2/6 across the two jobs.
+func TestFairShareHonorsWeights(t *testing.T) {
+	tb := NewTable(Config{})
+	light := knapSpec(16, 1)
+	heavy := knapSpec(16, 2)
+	heavy.Weight = 3
+	if err := tb.Submit("light", light); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.Submit("heavy", heavy); err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]int{}
+	for i := 0; i < 8; i++ {
+		rep, err := tb.RequestWork(transport.WorkRequest{
+			Worker: transport.WorkerID(string(rune('a' + i))), Power: 100,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Status != transport.WorkAssigned {
+			t.Fatalf("request %d: status %v", i, rep.Status)
+		}
+		got[rep.Job]++
+	}
+	if got["light"] != 2 || got["heavy"] != 6 {
+		t.Fatalf("assignments split %v, want light:2 heavy:6", got)
+	}
+	if c := tb.Counters(); c.FairShareAssignments != 8 {
+		t.Fatalf("FairShareAssignments = %d, want 8", c.FairShareAssignments)
+	}
+}
+
+func TestCancelResubmitResumesFromCheckpoint(t *testing.T) {
+	store, err := checkpoint.NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := Spec{Domain: "tsp", N: 9, Seed: 2} // ~10k sequential nodes
+	want, _ := bb.Solve(tsp.NewProblem(tsp.RandomEuclidean(9, 1000, 2)), bb.Infinity)
+	tb := NewTable(Config{Store: store})
+	if err := tb.Submit("resume-me", spec); err != nil {
+		t.Fatal(err)
+	}
+	// Explore a little, fold, checkpoint, cancel.
+	sess := NewWorkerSession(WorkerConfig{ID: "w0", Power: 100, UpdatePeriodNodes: 256},
+		tb, SpecFactories(map[string]Spec{"resume-me": spec}))
+	for i := 0; i < 4; i++ {
+		if _, _, err := sess.Advance(512); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if p, _ := tb.Progress("resume-me"); p.State != "running" {
+		t.Fatalf("job already %s after the partial explore — instance too small", p.State)
+	}
+	if err := tb.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.Cancel("resume-me"); err != nil {
+		t.Fatal(err)
+	}
+	if p, _ := tb.Progress("resume-me"); p.State != "cancelled" {
+		t.Fatalf("state %s after cancel", p.State)
+	}
+	// Resubmit under the same id: the namespace checkpoint is picked up.
+	if err := tb.Submit("resume-me", spec); err != nil {
+		t.Fatal(err)
+	}
+	if c := tb.Counters(); c.Resumed != 1 {
+		t.Fatalf("Resumed = %d, want 1", c.Resumed)
+	}
+	drain(t, tb, map[string]Spec{"resume-me": spec})
+	p, _ := tb.Progress("resume-me")
+	if p.State != "done" || p.BestCost != want.Cost {
+		t.Fatalf("resumed job ended %s/%d, want done/%d", p.State, p.BestCost, want.Cost)
+	}
+}
+
+// TestStoppedJobTraffic: messages addressed to a cancelled job get
+// terminal verdicts, touch nothing, and are counted.
+func TestStoppedJobTraffic(t *testing.T) {
+	tb := NewTable(Config{})
+	if err := tb.Submit("gone", knapSpec(14, 1)); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := tb.RequestWork(transport.WorkRequest{Worker: "w", Power: 10, Job: "gone"})
+	if err != nil || rep.Status != transport.WorkAssigned {
+		t.Fatalf("seed request: %v %v", rep.Status, err)
+	}
+	if err := tb.Cancel("gone"); err != nil {
+		t.Fatal(err)
+	}
+	if rep, err := tb.RequestWork(transport.WorkRequest{Worker: "w", Power: 10, Job: "gone"}); err != nil ||
+		rep.Status != transport.WorkFinished {
+		t.Fatalf("request to cancelled job: %v %v", rep.Status, err)
+	}
+	urep, err := tb.UpdateInterval(transport.UpdateRequest{
+		Worker: "w", IntervalID: rep.IntervalID, Remaining: rep.Interval, Power: 10, Job: "gone",
+	})
+	if err != nil || urep.Known || !urep.Finished {
+		t.Fatalf("update to cancelled job: %+v %v", urep, err)
+	}
+	if _, err := tb.ReportSolution(transport.SolutionReport{Worker: "w", Cost: 1, Path: []int{0}, Job: "gone"}); err != nil {
+		t.Fatalf("report to cancelled job: %v", err)
+	}
+	if c := tb.Counters(); c.StoppedJobTraffic != 3 {
+		t.Fatalf("StoppedJobTraffic = %d, want 3", c.StoppedJobTraffic)
+	}
+	// Unknown and invalid ids are errors with their own counters.
+	if _, err := tb.UpdateInterval(transport.UpdateRequest{Worker: "w", Job: "never-was"}); err == nil {
+		t.Fatal("update for unknown job accepted")
+	}
+	if _, err := tb.RequestWork(transport.WorkRequest{Worker: "w", Power: 10, Job: "bad/id"}); err == nil {
+		t.Fatal("request with invalid job id accepted")
+	}
+	if c := tb.Counters(); c.UnknownJobs != 1 || c.InvalidJobIDs != 1 {
+		t.Fatalf("counters %+v", c)
+	}
+}
+
+// TestKeepAliveHoldsWorkers: a drained keep-alive table answers WorkWait,
+// and a later submission puts the same workers back to work.
+func TestKeepAliveHoldsWorkers(t *testing.T) {
+	tb := NewTable(Config{KeepAlive: true})
+	rep, err := tb.RequestWork(transport.WorkRequest{Worker: "w", Power: 10})
+	if err != nil || rep.Status != transport.WorkWait {
+		t.Fatalf("empty keep-alive table: %v %v", rep.Status, err)
+	}
+	if err := tb.Submit("late", knapSpec(12, 4)); err != nil {
+		t.Fatal(err)
+	}
+	if rep, err := tb.RequestWork(transport.WorkRequest{Worker: "w", Power: 10}); err != nil ||
+		rep.Status != transport.WorkAssigned || rep.Job != "late" {
+		t.Fatalf("post-submission request: %+v %v", rep, err)
+	}
+}

@@ -63,6 +63,13 @@ type WorkRequest struct {
 	// per second); the partitioning operator splits proportionally to
 	// the holder's and requester's powers (§4.2).
 	Power int64
+	// Job, when non-empty, pins the request to one job of a multi-tenant
+	// coordinator (internal/jobs): the reply must come from that job's
+	// interval table. Empty means "any job" — a single-job coordinator
+	// ignores the field entirely, and a job table picks by fair share.
+	// Optional in both directions: old peers omit it and are served from
+	// the default job.
+	Job string
 }
 
 // WorkReply carries the assignment.
@@ -81,6 +88,13 @@ type WorkReply struct {
 	// Duplicated tells the worker its interval is shared with other
 	// processes (informational; behaviour is identical).
 	Duplicated bool
+	// Job names the job the assignment belongs to, when the coordinator
+	// is a multi-tenant job table. A worker that asked with an empty
+	// WorkRequest.Job learns here which job it was routed to and must
+	// echo the value on every fold and report for this interval. Empty
+	// from single-job coordinators; old workers ignore it (they only
+	// ever talk to one job anyway).
+	Job string
 }
 
 // UpdateRequest re-registers a worker's remaining interval.
@@ -114,6 +128,10 @@ type UpdateRequest struct {
 	// and optional in both directions: old senders omit it, old
 	// coordinators ignore it, and it never moves work by itself.
 	Content *big.Int
+	// Job routes the fold to one job of a multi-tenant coordinator: the
+	// IntervalID namespace is per job, so a fold must name the table it
+	// folds into. Empty means the default job (what old workers are).
+	Job string
 }
 
 // UpdateReply carries the reconciled interval.
@@ -160,6 +178,10 @@ type SolutionReport struct {
 	Cost int64
 	// Path is the rank path of the leaf (problem-independent form).
 	Path []int
+	// Job routes the report to one job's SOLUTION file on a multi-tenant
+	// coordinator — incumbents never cross jobs. Empty means the default
+	// job. Optional in both directions like WorkRequest.Job.
+	Job string
 }
 
 // SolutionAck acknowledges a report.
@@ -176,6 +198,10 @@ type SolutionAck struct {
 // work refill — into a single round-trip. Flat deployments keep the three
 // separate calls; the batch exists for the hierarchical tree, where a
 // sub-farmer's cadence would otherwise pay two to four WAN round-trips.
+// The batch deliberately carries no Job field: a sub-farmer binds to one
+// job for its lifetime (its local table must be one partition fragment),
+// so its upstream leg is single-job by construction and the server-side
+// decomposition routes it to the default job.
 type BatchRequest struct {
 	// Worker and Power are as in WorkRequest/UpdateRequest.
 	Worker WorkerID

@@ -268,6 +268,13 @@ func appendWireRequestBody(dst []byte, ref interval.Interval, x any) (body []byt
 	case *WorkRequest:
 		dst = appendWireStr(dst, string(q.Worker))
 		dst = binary.AppendVarint(dst, q.Power)
+		// Job trails the PR-7 fixed layout behind an ext bitmask byte
+		// (1 = job id), the same mixed-version discipline as the fold
+		// extensions: an old decoder stops at Power and never sees it.
+		if q.Job != "" {
+			dst = append(dst, 1)
+			dst = appendWireStr(dst, q.Job)
+		}
 	case *UpdateRequest:
 		dst = appendWireStr(dst, string(q.Worker))
 		dst = binary.AppendVarint(dst, q.IntervalID)
@@ -288,6 +295,9 @@ func appendWireRequestBody(dst []byte, ref interval.Interval, x any) (body []byt
 		if q.Content != nil {
 			ext |= 2
 		}
+		if q.Job != "" {
+			ext |= 4
+		}
 		if ext != 0 {
 			dst = append(dst, ext)
 			if q.HasGap {
@@ -296,11 +306,19 @@ func appendWireRequestBody(dst []byte, ref interval.Interval, x any) (body []byt
 			if q.Content != nil {
 				dst = appendWireBig(dst, q.Content)
 			}
+			if q.Job != "" {
+				dst = appendWireStr(dst, q.Job)
+			}
 		}
 	case *SolutionReport:
 		dst = appendWireStr(dst, string(q.Worker))
 		dst = binary.AppendVarint(dst, q.Cost)
 		dst = appendWirePath(dst, q.Path)
+		// Job trails the fixed layout behind an ext byte, like WorkRequest.
+		if q.Job != "" {
+			dst = append(dst, 1)
+			dst = appendWireStr(dst, q.Job)
+		}
 	case *BatchRequest:
 		dst = appendWireStr(dst, string(q.Worker))
 		dst = binary.AppendVarint(dst, q.Power)
@@ -354,6 +372,15 @@ func decodeWireRequestBody(r *wireReader, ref interval.Interval, x any) (interva
 	case *WorkRequest:
 		q.Worker = WorkerID(r.str())
 		q.Power = r.varint()
+		if r.err == nil && r.pos < len(r.data) {
+			ext := r.byte()
+			if ext&1 != 0 {
+				j := r.str()
+				if r.err == nil {
+					q.Job = j
+				}
+			}
+		}
 	case *UpdateRequest:
 		q.Worker = WorkerID(r.str())
 		q.IntervalID = r.varint()
@@ -384,11 +411,26 @@ func decodeWireRequestBody(r *wireReader, ref interval.Interval, x any) (interva
 					q.Content = c
 				}
 			}
+			if ext&4 != 0 {
+				j := r.str()
+				if r.err == nil {
+					q.Job = j
+				}
+			}
 		}
 	case *SolutionReport:
 		q.Worker = WorkerID(r.str())
 		q.Cost = r.varint()
 		q.Path = r.path()
+		if r.err == nil && r.pos < len(r.data) {
+			ext := r.byte()
+			if ext&1 != 0 {
+				j := r.str()
+				if r.err == nil {
+					q.Job = j
+				}
+			}
+		}
 	case *BatchRequest:
 		q.Worker = WorkerID(r.str())
 		q.Power = r.varint()
@@ -435,6 +477,12 @@ func appendWireReplyBody(dst []byte, ref interval.Interval, x any, elideWant []b
 		dst = p.Interval.AppendDelta(dst, ref)
 		dst = binary.AppendVarint(dst, p.BestCost)
 		dst = append(dst, wireBool(p.Duplicated))
+		// Job trails the PR-7 fixed layout behind an ext byte: an old
+		// worker stops at Duplicated and never sees the routing tag.
+		if p.Job != "" {
+			dst = append(dst, 1)
+			dst = appendWireStr(dst, p.Job)
+		}
 	case *UpdateReply:
 		enc := p.Interval.AppendDelta(nil, ref)
 		elide := elideWant != nil && bytes.Equal(enc, elideWant)
@@ -517,6 +565,15 @@ func decodeWireReplyBody(r *wireReader, ref interval.Interval, x any, stashed []
 		p.Interval = r.interval(ref)
 		p.BestCost = r.varint()
 		p.Duplicated = r.byte() != 0
+		if r.err == nil && r.pos < len(r.data) {
+			ext := r.byte()
+			if ext&1 != 0 {
+				j := r.str()
+				if r.err == nil {
+					p.Job = j
+				}
+			}
+		}
 	case *UpdateReply:
 		f := r.byte()
 		p.Finished = f&1 != 0

@@ -291,6 +291,207 @@ func TestWireMatrixOldRootReadsGappedRequests(t *testing.T) {
 	}
 }
 
+// oldDecodeWorkRequest is the PR-8 WorkRequest layout: worker + power,
+// nothing trailing.
+func oldDecodeWorkRequest(r *wireReader) WorkRequest {
+	var q WorkRequest
+	q.Worker = WorkerID(r.str())
+	q.Power = r.varint()
+	return q
+}
+
+// oldDecodeSolutionReport is the PR-8 SolutionReport layout: worker,
+// cost, path.
+func oldDecodeSolutionReport(r *wireReader) SolutionReport {
+	var q SolutionReport
+	q.Worker = WorkerID(r.str())
+	q.Cost = r.varint()
+	q.Path = r.path()
+	return q
+}
+
+// oldDecodeWorkReply is the PR-8 WorkReply layout, ending at Duplicated.
+func oldDecodeWorkReply(r *wireReader, ref interval.Interval) WorkReply {
+	var p WorkReply
+	p.Status = WorkStatus(r.varint())
+	p.IntervalID = r.varint()
+	p.Interval = r.interval(ref)
+	p.BestCost = r.varint()
+	p.Duplicated = r.byte() != 0
+	return p
+}
+
+// TestWireMatrixJobTags: the PR-9 job extension in all four tagged frames.
+// Old decoders must read every pre-job field from a tagged frame (the tag
+// trails the frozen layout, or rides the spare ext bit on UpdateRequest);
+// new decoders must round-trip the tag, and untagged frames must decode
+// with the tag absent and no trailing bytes.
+func TestWireMatrixJobTags(t *testing.T) {
+	ref := interval.FromInt64(0, 1_000_000)
+
+	wq := &WorkRequest{Worker: "w-1", Power: 640, Job: "job-a"}
+	enc, _, err := appendWireRequestBody(nil, ref, wq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := &wireReader{data: enc}
+	oldW := oldDecodeWorkRequest(r)
+	if r.err != nil {
+		t.Fatal(r.err)
+	}
+	if oldW.Worker != wq.Worker || oldW.Power != wq.Power {
+		t.Fatalf("old decode of tagged WorkRequest = %+v", oldW)
+	}
+	if r.pos >= len(r.data) {
+		t.Fatal("job bytes missing: nothing trails the old WorkRequest layout")
+	}
+	var backW WorkRequest
+	r = &wireReader{data: enc}
+	decodeWireRequestBody(r, ref, &backW)
+	if r.err != nil || backW.Job != "job-a" {
+		t.Fatalf("new decode of tagged WorkRequest = %+v (err %v)", backW, r.err)
+	}
+
+	uq := &UpdateRequest{
+		Worker: "w-2", IntervalID: 7,
+		Remaining: interval.FromInt64(10, 900),
+		Power:     5, ExploredDelta: 3,
+		HasGap: true, Gap: interval.FromInt64(100, 200),
+		Content: big.NewInt(55),
+		Job:     "job-b",
+	}
+	enc, _, err = appendWireRequestBody(nil, ref, uq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r = &wireReader{data: enc}
+	oldU := oldDecodeUpdateRequest(r, ref)
+	if r.err != nil {
+		t.Fatal(r.err)
+	}
+	if oldU.Worker != uq.Worker || oldU.IntervalID != uq.IntervalID || oldU.ExploredDelta != uq.ExploredDelta {
+		t.Fatalf("old decode of tagged UpdateRequest = %+v", oldU)
+	}
+	var backU UpdateRequest
+	r = &wireReader{data: enc}
+	decodeWireRequestBody(r, ref, &backU)
+	if r.err != nil || backU.Job != "job-b" || !backU.HasGap || backU.Content == nil {
+		t.Fatalf("new decode of tagged UpdateRequest = %+v (err %v)", backU, r.err)
+	}
+	mustEqualIv(t, "tagged UpdateRequest.Gap", backU.Gap, uq.Gap)
+
+	// A job tag with no other extension stands alone on ext bit 4.
+	lone := &UpdateRequest{Worker: "w-5", IntervalID: 1, Remaining: interval.FromInt64(0, 10), Job: "job-e"}
+	enc, _, err = appendWireRequestBody(nil, ref, lone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var backL UpdateRequest
+	r = &wireReader{data: enc}
+	decodeWireRequestBody(r, ref, &backL)
+	if r.err != nil || backL.Job != "job-e" || backL.HasGap || backL.Content != nil {
+		t.Fatalf("new decode of job-only UpdateRequest = %+v (err %v)", backL, r.err)
+	}
+
+	sq := &SolutionReport{Worker: "w-3", Cost: 42, Path: []int{1, 2, 3}, Job: "job-c"}
+	enc, _, err = appendWireRequestBody(nil, ref, sq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r = &wireReader{data: enc}
+	oldS := oldDecodeSolutionReport(r)
+	if r.err != nil {
+		t.Fatal(r.err)
+	}
+	if oldS.Worker != sq.Worker || oldS.Cost != sq.Cost || len(oldS.Path) != 3 {
+		t.Fatalf("old decode of tagged SolutionReport = %+v", oldS)
+	}
+	if r.pos >= len(r.data) {
+		t.Fatal("job bytes missing: nothing trails the old SolutionReport layout")
+	}
+	var backS SolutionReport
+	r = &wireReader{data: enc}
+	decodeWireRequestBody(r, ref, &backS)
+	if r.err != nil || backS.Job != "job-c" {
+		t.Fatalf("new decode of tagged SolutionReport = %+v (err %v)", backS, r.err)
+	}
+
+	wp := &WorkReply{
+		Status: WorkAssigned, IntervalID: 9,
+		Interval: interval.FromInt64(50, 500),
+		BestCost: 7, Duplicated: true, Job: "job-d",
+	}
+	encR, err := appendWireReplyBody(nil, ref, wp, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r = &wireReader{data: encR}
+	oldR := oldDecodeWorkReply(r, ref)
+	if r.err != nil {
+		t.Fatal(r.err)
+	}
+	if oldR.Status != WorkAssigned || oldR.IntervalID != 9 || oldR.BestCost != 7 || !oldR.Duplicated {
+		t.Fatalf("old decode of tagged WorkReply = %+v", oldR)
+	}
+	mustEqualIv(t, "old WorkReply.Interval", oldR.Interval, wp.Interval)
+	if r.pos >= len(r.data) {
+		t.Fatal("job bytes missing: nothing trails the old WorkReply layout")
+	}
+	var backR WorkReply
+	r = &wireReader{data: encR}
+	decodeWireReplyBody(r, ref, &backR, nil)
+	if r.err != nil || backR.Job != "job-d" {
+		t.Fatalf("new decode of tagged WorkReply = %+v (err %v)", backR, r.err)
+	}
+
+	// Untagged frames — what old peers emit — decode with the tag absent
+	// and leave no trailing bytes (the layout is frozen when the tag is
+	// off).
+	for _, x := range []any{
+		&WorkRequest{Worker: "w", Power: 1},
+		&SolutionReport{Worker: "w", Cost: 1, Path: []int{1}},
+	} {
+		enc, _, err := appendWireRequestBody(nil, ref, x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := &wireReader{data: enc}
+		switch x.(type) {
+		case *WorkRequest:
+			var q WorkRequest
+			decodeWireRequestBody(r, ref, &q)
+			if q.Job != "" {
+				t.Fatalf("untagged WorkRequest decoded job %q", q.Job)
+			}
+		case *SolutionReport:
+			var q SolutionReport
+			decodeWireRequestBody(r, ref, &q)
+			if q.Job != "" {
+				t.Fatalf("untagged SolutionReport decoded job %q", q.Job)
+			}
+		}
+		if r.err != nil {
+			t.Fatal(r.err)
+		}
+		if r.pos != len(r.data) {
+			t.Fatalf("untagged %T leaves %d trailing bytes", x, len(r.data)-r.pos)
+		}
+	}
+	encP, err := appendWireReplyBody(nil, ref, &WorkReply{Status: WorkWait, Interval: interval.Interval{}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r = &wireReader{data: encP}
+	var plain WorkReply
+	decodeWireReplyBody(r, ref, &plain, nil)
+	if r.err != nil || plain.Job != "" {
+		t.Fatalf("untagged WorkReply = %+v (err %v)", plain, r.err)
+	}
+	if r.pos != len(r.data) {
+		t.Fatalf("untagged WorkReply leaves %d trailing bytes", len(r.data)-r.pos)
+	}
+}
+
 // TestWireMatrixNewPeerReadsOldFrames: the reverse direction. Frames
 // WITHOUT the extensions — what an old peer emits — must decode on the
 // new decoders with the optional fields absent, and must be byte-for-byte
