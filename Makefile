@@ -8,7 +8,7 @@ BENCH_OUT ?= bench.json
 .PHONY: all build vet test race bench bench-hot bench-smoke bench-tree bench-transport bench-wire bench-gate fuzz-smoke check docs-check
 
 # The committed perf record the bench-gate compares against.
-BENCH_BASELINE ?= BENCH_pr9.json
+BENCH_BASELINE ?= BENCH_pr10.json
 
 all: vet build test
 
@@ -68,14 +68,15 @@ bench-transport:
 bench-wire:
 	$(GO) test -run '^$$' -bench 'BenchmarkWireBytesPerFold|BenchmarkHardenedCallOverhead' -benchmem -benchtime 1s -count 3 .
 
-# The CI perf gate (DESIGN.md §12): the three protocol-hot benchmarks —
-# wire fold, single-farmer request, multi-tenant job-table request — three
-# repetitions each, best-of compared by cmd/benchgate against the gate
-# section of $(BENCH_BASELINE); fails on a regression beyond the record's
-# allowance. Deterministic metrics (wire-B/fold, allocs/op) hold across
-# hosts; ns/op is host-relative, hence the percentage allowance.
+# The CI perf gate (DESIGN.md §12): the protocol-hot benchmarks — wire
+# fold, single-farmer request, multi-tenant job-table request, durable
+# snapshot write — three repetitions each, best-of compared by
+# cmd/benchgate against the gate section of $(BENCH_BASELINE); fails on a
+# regression beyond the record's allowance. Deterministic metrics
+# (wire-B/fold, file-B, allocs/op) hold across hosts; ns/op is
+# host-relative, hence the percentage allowance.
 bench-gate:
-	$(GO) test -run '^$$' -bench 'BenchmarkWireBytesPerFold|BenchmarkFarmerRequestThroughput|BenchmarkJobTableRequestThroughput' -benchmem -benchtime 1s -count 3 . | $(GO) run ./cmd/benchgate -baseline $(BENCH_BASELINE)
+	$(GO) test -run '^$$' -bench 'BenchmarkWireBytesPerFold|BenchmarkFarmerRequestThroughput|BenchmarkJobTableRequestThroughput|BenchmarkCheckpointSave' -benchmem -benchtime 1s -count 3 . | $(GO) run ./cmd/benchgate -baseline $(BENCH_BASELINE)
 
 # The hostile-input fuzzers, briefly: the corpus seeds plus a few seconds
 # of fresh mutation on every gate run, so the invariants cannot silently
@@ -83,18 +84,23 @@ bench-gate:
 # boundary (no panic, INTERVALS stays a partition fragment, rejections are
 # counted), the multi-tenant job boundary (hostile job tags and cross-job
 # intervals land in rejection counters, the partition invariant holds per
-# job), and the compact wire codec (no panic or over-read on arbitrary
-# frames; decoded frames re-encode canonically). go test runs one fuzz
-# target per invocation, hence the separate lines.
+# job), the compact wire codec (no panic or over-read on arbitrary
+# frames; decoded frames re-encode canonically), and the checkpoint
+# snapshot parser (arbitrary on-disk bytes either load cleanly or fail
+# with ErrCorrupt — never panic, never a silently wrong snapshot). go
+# test runs one fuzz target per invocation, hence the separate lines.
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzCoordinatorBoundary$$' -fuzztime 10s ./internal/farmer
 	$(GO) test -run '^$$' -fuzz '^FuzzJobBoundary$$' -fuzztime 10s ./internal/jobs
 	$(GO) test -run '^$$' -fuzz '^FuzzWireFrame$$' -fuzztime 10s ./internal/transport
+	$(GO) test -run '^$$' -fuzz '^FuzzCheckpointLoad$$' -fuzztime 10s ./internal/checkpoint
 
 # Every benchmark exactly once: not a measurement, a compile-and-run guard
 # so bench_test.go cannot bit-rot between perf PRs. CI runs this on every
 # push (BenchmarkFarmerTreeThroughput included, so the tree record cannot
 # bit-rot either), and the race job runs the full test suite — the
-# tree-churn chaos scenario included — under the race detector.
+# chaos scenarios included (tree-churn, ring-restart, and the disk-fault
+# schedules in farmer-failover and multi-job-churn) — under the race
+# detector.
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x .

@@ -32,6 +32,8 @@ import (
 	"math/big"
 	"math/rand"
 	"net"
+	"os"
+	"path/filepath"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -39,6 +41,7 @@ import (
 	"time"
 
 	"repro/internal/bb"
+	"repro/internal/checkpoint"
 	"repro/internal/core"
 	"repro/internal/farmer"
 	"repro/internal/flowshop"
@@ -644,6 +647,51 @@ func BenchmarkWireBytesPerFold(b *testing.B) {
 	}
 	b.Run("textgob", func(b *testing.B) { run(b, false) })
 	b.Run("compact", func(b *testing.B) { run(b, true) })
+}
+
+// BenchmarkCheckpointSave measures one durable §4.1 farmer snapshot at
+// fleet scale: 2000 interval records over the ta056 numbering (numbers
+// around 2^214) plus an incumbent path, CRC-footered and written
+// tmp-first with fsync before the generation rotation (DESIGN.md §14).
+// ns/op is fsync-dominated — pure host weather — so the perf gate reads
+// it with the wide ns/op allowance and holds allocs/op and file-B, the
+// deterministic metrics, tightly.
+func BenchmarkCheckpointSave(b *testing.B) {
+	const records = 2000
+	nb := ta056Numbering()
+	root := nb.RootRange()
+	width := new(big.Int).Div(root.Len(), big.NewInt(records))
+	snap := checkpoint.Snapshot{
+		Epoch:    3,
+		NextID:   records,
+		BestCost: 4242,
+		BestPath: randomLeafPath(rand.New(rand.NewSource(1)), tree.Permutation{N: 50}),
+		TotalLen: new(big.Int),
+	}
+	lo := root.A()
+	for i := 0; i < records; i++ {
+		hi := new(big.Int).Add(lo, width)
+		iv := interval.New(lo, hi)
+		snap.Intervals = append(snap.Intervals, checkpoint.IntervalRecord{ID: int64(i), Interval: iv})
+		snap.TotalLen.Add(snap.TotalLen, iv.Len())
+		lo = hi
+	}
+	dir := b.TempDir()
+	store, err := checkpoint.NewStore(dir)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := store.Save(snap); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if fi, err := os.Stat(filepath.Join(dir, "intervals.ckpt")); err == nil {
+		b.ReportMetric(float64(fi.Size()), "file-B")
+	}
 }
 
 // BenchmarkTable1PoolBuild builds and validates the paper's pool (Figure 6

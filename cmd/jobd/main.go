@@ -52,17 +52,28 @@ func saveSpec(storeDir, id string, spec jobs.Spec) error {
 	return os.WriteFile(filepath.Join(storeDir, id, specFile), data, 0o644)
 }
 
-// resumeAll resubmits every namespaced checkpoint that has a spec sidecar.
-func resumeAll(tb *jobs.Table, store *checkpoint.Store, storeDir string) {
-	names, err := store.Namespaces()
+// resumeAll resubmits every namespace directory that has a spec sidecar —
+// the sidecar, not the checkpoint, is the source of truth for "this job
+// existed". A namespace without snapshot files (submitted but never
+// checkpointed) restarts from scratch; one whose snapshot is corrupt
+// beyond fallback ends Quarantined in the table, queryable over the API
+// with its load error, while every other job resumes normally.
+func resumeAll(tb *jobs.Table, storeDir string) {
+	entries, err := os.ReadDir(storeDir)
 	if err != nil {
 		log.Printf("resume scan: %v", err)
 		return
 	}
-	for _, id := range names {
+	for _, e := range entries {
+		id := e.Name()
+		if !e.IsDir() || !checkpoint.ValidNamespace(id) {
+			continue
+		}
 		data, err := os.ReadFile(filepath.Join(storeDir, id, specFile))
 		if err != nil {
-			log.Printf("resume %s: no spec sidecar (%v), skipping", id, err)
+			if !os.IsNotExist(err) {
+				log.Printf("resume %s: spec sidecar unreadable: %v", id, err)
+			}
 			continue
 		}
 		var spec jobs.Spec
@@ -71,7 +82,11 @@ func resumeAll(tb *jobs.Table, store *checkpoint.Store, storeDir string) {
 			continue
 		}
 		if err := tb.Submit(id, spec); err != nil {
-			log.Printf("resume %s: %v", id, err)
+			if errors.Is(err, checkpoint.ErrCorrupt) {
+				log.Printf("resume %s: checkpoint corrupt, job quarantined: %v", id, err)
+			} else {
+				log.Printf("resume %s: %v", id, err)
+			}
 			continue
 		}
 		log.Printf("resumed job %s (%s)", id, spec.Domain)
@@ -216,7 +231,7 @@ func main() {
 		LeaseTTL:   time.Duration(*leaseTTL) * time.Second,
 		KeepAlive:  true, // a service waits for the next submission
 	})
-	resumeAll(tb, store, *storeDir)
+	resumeAll(tb, *storeDir)
 
 	so := transport.ServerOptions{
 		ReadTimeout:     time.Duration(*readTimeout) * time.Second,

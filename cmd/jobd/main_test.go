@@ -1,0 +1,160 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/checkpoint"
+	"repro/internal/jobs"
+)
+
+func newTestTable(t *testing.T, dir string, maxActive int) *jobs.Table {
+	t.Helper()
+	store, err := checkpoint.NewStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return jobs.NewTable(jobs.Config{Store: store, MaxActive: maxActive, KeepAlive: true})
+}
+
+func decodeProgress(t *testing.T, rec *httptest.ResponseRecorder) jobs.Progress {
+	t.Helper()
+	var p jobs.Progress
+	if err := json.NewDecoder(rec.Body).Decode(&p); err != nil {
+		t.Fatalf("decode %q: %v", rec.Body.String(), err)
+	}
+	return p
+}
+
+// TestResumeSpecWithoutCheckpoint: a namespace holding only the spec
+// sidecar — the job was submitted but jobd died before its first snapshot
+// — resumes as a fresh running job instead of silently vanishing.
+func TestResumeSpecWithoutCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.MkdirAll(filepath.Join(dir, "young"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := saveSpec(dir, "young", jobs.Spec{Domain: "knapsack", N: 12, Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	tb := newTestTable(t, dir, 8)
+	resumeAll(tb, dir)
+	p, err := tb.Progress("young")
+	if err != nil {
+		t.Fatalf("spec-only job not resumed: %v", err)
+	}
+	if p.State != "running" {
+		t.Fatalf("spec-only job is %s, want running", p.State)
+	}
+	if c := tb.Counters(); c.Resumed != 0 {
+		t.Fatalf("Resumed = %d, want 0 (no checkpoint existed)", c.Resumed)
+	}
+}
+
+// TestResumeQuarantinesCorruptJob: a corrupt checkpoint quarantines its
+// own job and only its own job, and the HTTP API reports the state and
+// the load error.
+func TestResumeQuarantinesCorruptJob(t *testing.T) {
+	dir := t.TempDir()
+	// A healthy job: real checkpoint written through the real store.
+	store, err := checkpoint.NewStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	healthy, err := store.Namespace("healthy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	seed := jobs.NewTable(jobs.Config{Store: store})
+	if err := seed.Submit("healthy", jobs.Spec{Domain: "knapsack", N: 12, Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := seed.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if !healthy.Exists() {
+		t.Fatal("healthy namespace has no checkpoint")
+	}
+	if err := saveSpec(dir, "healthy", jobs.Spec{Domain: "knapsack", N: 12, Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	// A rotten job: both snapshot files present but garbage, no previous
+	// generation to fall back to.
+	if err := os.MkdirAll(filepath.Join(dir, "rotten"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []string{"intervals.ckpt", "solution.ckpt"} {
+		if err := os.WriteFile(filepath.Join(dir, "rotten", f), []byte("garbage\n"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := saveSpec(dir, "rotten", jobs.Spec{Domain: "knapsack", N: 12, Seed: 2}); err != nil {
+		t.Fatal(err)
+	}
+
+	tb := newTestTable(t, dir, 8)
+	resumeAll(tb, dir)
+	a := &api{tb: tb, storeDir: dir}
+	rec := httptest.NewRecorder()
+	a.handler().ServeHTTP(rec, httptest.NewRequest("GET", "/jobs/rotten", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("GET /jobs/rotten: %d %s", rec.Code, rec.Body)
+	}
+	p := decodeProgress(t, rec)
+	if p.State != "quarantined" {
+		t.Fatalf("rotten job state %q, want quarantined", p.State)
+	}
+	if !strings.Contains(p.Error, "corrupt") {
+		t.Fatalf("rotten job error %q does not name the corruption", p.Error)
+	}
+	rec = httptest.NewRecorder()
+	a.handler().ServeHTTP(rec, httptest.NewRequest("GET", "/jobs/healthy", nil))
+	if p := decodeProgress(t, rec); p.State != "running" {
+		t.Fatalf("healthy job state %q, want running", p.State)
+	}
+	if c := tb.Counters(); c.QuarantinedJobs != 1 || c.Resumed != 1 {
+		t.Fatalf("counters %+v, want 1 quarantined / 1 resumed", c)
+	}
+}
+
+// TestDeleteQueuedJob: DELETE of a job still waiting for a running slot
+// cancels it cleanly through the API.
+func TestDeleteQueuedJob(t *testing.T) {
+	dir := t.TempDir()
+	tb := newTestTable(t, dir, 1)
+	a := &api{tb: tb, storeDir: dir}
+	h := a.handler()
+	for _, id := range []string{"first", "second"} {
+		body := strings.NewReader(`{"id":"` + id + `","spec":{"domain":"knapsack","n":12,"seed":3}}`)
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("POST", "/jobs", body))
+		if rec.Code != http.StatusCreated {
+			t.Fatalf("POST %s: %d %s", id, rec.Code, rec.Body)
+		}
+	}
+	if p, _ := tb.Progress("second"); p.State != "queued" {
+		t.Fatalf("second job is %s, want queued (MaxActive=1)", p.State)
+	}
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("DELETE", "/jobs/second", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("DELETE queued job: %d %s", rec.Code, rec.Body)
+	}
+	if p := decodeProgress(t, rec); p.State != "cancelled" {
+		t.Fatalf("deleted queued job is %s, want cancelled", p.State)
+	}
+	// The running job is untouched, and deleting it also works.
+	if p, _ := tb.Progress("first"); p.State != "running" {
+		t.Fatalf("first job is %s, want running", p.State)
+	}
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("DELETE", "/jobs/second", nil))
+	if rec.Code != http.StatusConflict {
+		t.Fatalf("double delete: %d, want conflict", rec.Code)
+	}
+}

@@ -1,10 +1,9 @@
 package checkpoint
 
 import (
-	"bufio"
+	"errors"
 	"fmt"
-	"os"
-	"path/filepath"
+	iofs "io/fs"
 	"strings"
 
 	"repro/internal/interval"
@@ -31,22 +30,18 @@ type Binding struct {
 // bindingFile is the sub-farmer's upstream-session file.
 const bindingFile = "upstream.ckpt"
 
-// SaveBinding persists the upstream binding atomically (same temp+rename
-// discipline as the two snapshot files).
+// SaveBinding persists the upstream binding durably (same footer, fsync
+// and rotation discipline as the two snapshot files).
 func (s *Store) SaveBinding(b Binding) error {
 	return s.SaveBindings([]Binding{b})
 }
 
 // SaveBindings persists every held upstream binding, one "bound" line per
 // entry — the multi-binding extension (a sub-farmer in a low-water episode
-// holds more than one parent copy, DESIGN.md §12). A single bound entry
-// writes byte-for-byte what SaveBinding always wrote, so a file from this
-// version loads in an old incarnation and vice versa; an old reader of a
-// multi-line file adopts one binding and lets the parent's lease mechanism
-// recover the rest, which is the pre-existing lost-binding story.
+// holds more than one parent copy, DESIGN.md §12).
 func (s *Store) SaveBindings(bs []Binding) error {
 	var sb strings.Builder
-	fmt.Fprintf(&sb, "%s upstream\n", formatVersion)
+	records := 0
 	for _, b := range bs {
 		if !b.Bound {
 			continue
@@ -56,8 +51,9 @@ func (s *Store) SaveBindings(bs []Binding) error {
 			return fmt.Errorf("checkpoint: marshal binding interval: %w", err)
 		}
 		fmt.Fprintf(&sb, "bound %d %s\n", b.ID, text)
+		records++
 	}
-	return writeAtomic(filepath.Join(s.dir, bindingFile), sb.String())
+	return s.writeSnapshotFile(bindingFile, "upstream", sb.String(), records)
 }
 
 // LoadBinding reads the primary upstream binding. ok is false when no
@@ -73,47 +69,58 @@ func (s *Store) LoadBinding() (Binding, bool, error) {
 // LoadBindings reads every persisted upstream binding, in file order (the
 // primary binding first). ok is false when no binding file exists; an
 // existing file with no bound lines returns ok with an empty slice.
+//
+// Unlike Load, a corrupt binding never fails the caller: losing a binding
+// is a designed-for state (the parent's lease mechanism recovers the
+// interval), so a corrupt current generation falls back to *.prev — a
+// stale binding is safe, the parent rejects retired ids — and if every
+// generation is corrupt the sub-farmer simply starts unbound. The corrupt
+// files are quarantined and counted either way.
 func (s *Store) LoadBindings() ([]Binding, bool, error) {
-	f, err := os.Open(filepath.Join(s.dir, bindingFile))
-	if err != nil {
-		if os.IsNotExist(err) {
-			return nil, false, nil
-		}
-		return nil, false, fmt.Errorf("checkpoint: %w", err)
-	}
-	defer f.Close()
-	sc := bufio.NewScanner(f)
-	sc.Buffer(make([]byte, 1<<16), 1<<22)
-	if !sc.Scan() || !strings.HasPrefix(sc.Text(), formatVersion) {
-		return nil, false, fmt.Errorf("checkpoint: %s: bad or missing header", bindingFile)
-	}
 	var bs []Binding
-	for sc.Scan() {
-		line := strings.TrimSpace(sc.Text())
-		if line == "" {
-			continue
+	fromPrev, err := s.loadGeneration(bindingFile, "upstream", func(lines []string) error {
+		parsed, err := parseBindingLines(lines)
+		if err != nil {
+			return err
 		}
+		bs = parsed
+		return nil
+	})
+	switch {
+	case err == nil:
+		if fromPrev {
+			s.stats.fallback.Add(1)
+		}
+		return bs, true, nil
+	case errors.Is(err, iofs.ErrNotExist):
+		return nil, false, nil
+	default:
+		// Corrupt beyond recovery: degrade to unbound.
+		return nil, false, nil
+	}
+}
+
+func parseBindingLines(lines []string) ([]Binding, error) {
+	bs := []Binding{}
+	for _, line := range lines {
 		fields := strings.Fields(line)
 		switch fields[0] {
 		case "bound":
 			if len(fields) != 4 {
-				return nil, false, fmt.Errorf("checkpoint: bad bound line %q", line)
+				return nil, fmt.Errorf("checkpoint: bad bound line %q", line)
 			}
 			var b Binding
 			if _, err := fmt.Sscanf(fields[1], "%d", &b.ID); err != nil {
-				return nil, false, fmt.Errorf("checkpoint: bad binding id %q: %w", fields[1], err)
+				return nil, fmt.Errorf("checkpoint: bad binding id %q: %w", fields[1], err)
 			}
 			if err := b.Interval.UnmarshalText([]byte(fields[2] + " " + fields[3])); err != nil {
-				return nil, false, fmt.Errorf("checkpoint: %w", err)
+				return nil, fmt.Errorf("checkpoint: %w", err)
 			}
 			b.Bound = true
 			bs = append(bs, b)
 		default:
-			return nil, false, fmt.Errorf("checkpoint: unknown record %q", fields[0])
+			return nil, fmt.Errorf("checkpoint: unknown record %q", fields[0])
 		}
 	}
-	if err := sc.Err(); err != nil {
-		return nil, false, err
-	}
-	return bs, true, nil
+	return bs, nil
 }

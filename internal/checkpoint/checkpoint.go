@@ -4,17 +4,26 @@
 // SOLUTION. In the case of the farmer failure, the coordinator initializes
 // INTERVALS and SOLUTION by the contents of these files."
 //
-// Snapshots are versioned text files written atomically (temp file + rename)
-// so a crash mid-write can never corrupt the previous checkpoint.
+// Snapshots are versioned text files with a CRC32 footer, written durably
+// (temp file, fsync, rename, directory fsync) with generation rotation: the
+// previous good snapshot survives as "*.prev". A Load that finds a corrupt
+// file quarantines it and falls back to the previous generation, so a torn
+// write or bit flip degrades the resolution by one checkpoint period instead
+// of losing it. Every filesystem touch goes through the FS seam so the chaos
+// harness can make the disk itself fail.
 package checkpoint
 
 import (
-	"bufio"
+	"bytes"
+	"errors"
 	"fmt"
+	"hash/crc32"
+	iofs "io/fs"
 	"math/big"
-	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
+	"sync/atomic"
 
 	"repro/internal/interval"
 )
@@ -57,40 +66,133 @@ type Snapshot struct {
 	TotalLen *big.Int
 }
 
+// ErrCorrupt marks a Load failure caused by corrupt snapshot files (CRC or
+// record-count mismatch, truncation, unparseable records, TotalLen drift)
+// with no previous generation left to fall back to. The corrupt files have
+// already been quarantined when this is returned; callers that multiplex
+// many resolutions (the job table) use it to quarantine one job instead of
+// failing the whole restart.
+var ErrCorrupt = errors.New("corrupt snapshot")
+
+// Stats counts the store's self-healing events. Namespaced sub-stores share
+// their parent's counters, so a multi-tenant store reports one aggregate.
+type Stats struct {
+	// CorruptSnapshots counts snapshot files found corrupt and moved to
+	// the quarantine directory.
+	CorruptSnapshots int64
+	// FallbackLoads counts Loads that served any file from its previous
+	// generation instead of the current one.
+	FallbackLoads int64
+	// SweptTmpFiles counts stale *.tmp leftovers removed at store open.
+	SweptTmpFiles int64
+}
+
+type storeStats struct {
+	corrupt  atomic.Int64
+	fallback atomic.Int64
+	swept    atomic.Int64
+}
+
 // Store reads and writes snapshots under a directory, using the paper's
-// two-file layout.
+// two-file layout plus the durability additions (generations, quarantine).
 type Store struct {
-	dir string
+	dir   string
+	fs    FS
+	stats *storeStats
 }
 
 // intervalsFile and solutionFile are the two files of §4.1.
 const (
 	intervalsFile = "intervals.ckpt"
 	solutionFile  = "solution.ckpt"
-	formatVersion = "gridbb-checkpoint-v1"
+	// formatVersion (v2) adds a mandatory CRC32-and-record-count footer:
+	// any truncation destroys the footer line, any byte flip fails the
+	// checksum, so "last line parses as a valid footer" certifies the
+	// whole file. legacyVersion files (v1, no footer) still load.
+	formatVersion = "gridbb-checkpoint-v2"
+	legacyVersion = "gridbb-checkpoint-v1"
+	// prevSuffix names the rotated previous generation of each file.
+	prevSuffix = ".prev"
+	// quarantineDir collects corrupt files (bytes preserved for forensics
+	// and for the epoch salvage scan) instead of deleting them.
+	quarantineDir = "quarantine"
 )
 
-// NewStore creates the directory if needed and returns a store over it.
+// crcTable is Castagnoli, the hardware-accelerated polynomial.
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// NewStore creates the directory if needed and returns a store over the
+// real filesystem.
 func NewStore(dir string) (*Store, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return nil, fmt.Errorf("checkpoint: create %s: %w", dir, err)
+	return NewStoreFS(OSFS(), dir)
+}
+
+// NewStoreFS is NewStore over an explicit filesystem — the injection point
+// for disk-fault testing. Opening a store sweeps stale *.tmp leftovers: a
+// crash between write and rename strands them, and nothing else ever
+// deletes them.
+func NewStoreFS(fs FS, dir string) (*Store, error) {
+	s := &Store{dir: dir, fs: fs, stats: &storeStats{}}
+	if err := s.init(); err != nil {
+		return nil, err
 	}
-	return &Store{dir: dir}, nil
+	return s, nil
+}
+
+func (s *Store) init() error {
+	if err := s.fs.MkdirAll(s.dir); err != nil {
+		return fmt.Errorf("checkpoint: create %s: %w", s.dir, err)
+	}
+	s.sweepTmp()
+	return nil
+}
+
+// sweepTmp removes stale *.tmp files left by a crash between write and
+// rename. Best effort: a failure to sweep never blocks opening the store.
+func (s *Store) sweepTmp() {
+	entries, err := s.fs.ReadDir(s.dir)
+	if err != nil {
+		return
+	}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".tmp") {
+			continue
+		}
+		if s.fs.Remove(filepath.Join(s.dir, e.Name())) == nil {
+			s.stats.swept.Add(1)
+		}
+	}
 }
 
 // Dir returns the store's directory.
 func (s *Store) Dir() string { return s.dir }
 
-// Save persists the snapshot atomically: each file is written to a
-// temporary name and renamed into place, so readers always see either the
-// old or the new checkpoint in full.
+// Stats returns the self-healing counters. Namespaced sub-stores share one
+// counter set with their parent, so the root of a multi-tenant store
+// aggregates every job.
+func (s *Store) Stats() Stats {
+	return Stats{
+		CorruptSnapshots: s.stats.corrupt.Load(),
+		FallbackLoads:    s.stats.fallback.Load(),
+		SweptTmpFiles:    s.stats.swept.Load(),
+	}
+}
+
+// Save persists the snapshot durably. Each file is written to a temporary
+// name and fsynced, the current generation (if any) rotates to *.prev, the
+// temp renames into place, and the directory is fsynced — so after a crash
+// at any point there is always at least one complete, checksummed
+// generation of each file on disk.
 func (s *Store) Save(snap Snapshot) error {
 	var iv strings.Builder
-	fmt.Fprintf(&iv, "%s intervals\n", formatVersion)
 	fmt.Fprintf(&iv, "epoch %d\n", snap.Epoch)
 	fmt.Fprintf(&iv, "nextid %d\n", snap.NextID)
 	if snap.TotalLen != nil {
 		fmt.Fprintf(&iv, "total %s\n", snap.TotalLen.Text(10))
+	}
+	records := 2
+	if snap.TotalLen != nil {
+		records++
 	}
 	for _, rec := range snap.Intervals {
 		text, err := rec.Interval.MarshalText()
@@ -98,168 +200,399 @@ func (s *Store) Save(snap Snapshot) error {
 			return fmt.Errorf("checkpoint: marshal interval %d: %w", rec.ID, err)
 		}
 		fmt.Fprintf(&iv, "interval %d %s\n", rec.ID, text)
+		records++
 	}
-	if err := writeAtomic(filepath.Join(s.dir, intervalsFile), iv.String()); err != nil {
+	if err := s.writeSnapshotFile(intervalsFile, "intervals", iv.String(), records); err != nil {
 		return err
 	}
 	var sol strings.Builder
-	fmt.Fprintf(&sol, "%s solution\n", formatVersion)
 	fmt.Fprintf(&sol, "cost %d\n", snap.BestCost)
+	records = 1
 	if snap.BestPath != nil {
 		fmt.Fprintf(&sol, "path")
 		for _, r := range snap.BestPath {
 			fmt.Fprintf(&sol, " %d", r)
 		}
 		fmt.Fprintf(&sol, "\n")
+		records++
 	}
-	return writeAtomic(filepath.Join(s.dir, solutionFile), sol.String())
+	return s.writeSnapshotFile(solutionFile, "solution", sol.String(), records)
 }
 
-func writeAtomic(path, content string) error {
-	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, []byte(content), 0o644); err != nil {
+// writeSnapshotFile frames body in the v2 format (header, body, CRC
+// footer) and writes it durably with generation rotation.
+func (s *Store) writeSnapshotFile(name, kind, body string, records int) error {
+	payload := formatVersion + " " + kind + "\n" + body
+	footer := fmt.Sprintf("footer %d %08x\n", records, crc32.Checksum([]byte(payload), crcTable))
+	return s.writeDurable(name, []byte(payload+footer))
+}
+
+// writeDurable is the crash-consistency core: tmp write, tmp fsync,
+// current→prev rotation, tmp→current rename, directory fsync. A crash (or
+// injected fault) at any step leaves either the old generation in place or
+// the old generation as *.prev — never zero complete generations, and
+// never a half-written current (the footer check catches the torn-write
+// disks that ignore the fsync).
+func (s *Store) writeDurable(name string, data []byte) error {
+	full := filepath.Join(s.dir, name)
+	tmp := full + ".tmp"
+	if err := s.fs.WriteFile(tmp, data); err != nil {
 		return fmt.Errorf("checkpoint: write %s: %w", tmp, err)
 	}
-	if err := os.Rename(tmp, path); err != nil {
+	if err := s.fs.Sync(tmp); err != nil {
+		return fmt.Errorf("checkpoint: sync %s: %w", tmp, err)
+	}
+	if _, err := s.fs.Stat(full); err == nil {
+		if err := s.fs.Rename(full, full+prevSuffix); err != nil {
+			return fmt.Errorf("checkpoint: rotate %s: %w", full, err)
+		}
+	}
+	if err := s.fs.Rename(tmp, full); err != nil {
 		return fmt.Errorf("checkpoint: rename %s: %w", tmp, err)
+	}
+	if err := s.fs.SyncDir(s.dir); err != nil {
+		return fmt.Errorf("checkpoint: sync dir %s: %w", s.dir, err)
 	}
 	return nil
 }
 
-// Exists reports whether a checkpoint is present.
+// Exists reports whether a checkpoint is present: some generation (current
+// or previous) of both files.
 func (s *Store) Exists() bool {
-	_, err1 := os.Stat(filepath.Join(s.dir, intervalsFile))
-	_, err2 := os.Stat(filepath.Join(s.dir, solutionFile))
-	return err1 == nil && err2 == nil
+	return s.anyGeneration(intervalsFile) && s.anyGeneration(solutionFile)
 }
 
-// Load reads the latest snapshot.
+func (s *Store) anyGeneration(name string) bool {
+	if _, err := s.fs.Stat(filepath.Join(s.dir, name)); err == nil {
+		return true
+	}
+	_, err := s.fs.Stat(filepath.Join(s.dir, name+prevSuffix))
+	return err == nil
+}
+
+// Load reads the latest loadable snapshot. Each of the two files
+// independently falls back to its previous generation when the current one
+// is corrupt (the corrupt file is quarantined and counted); mixing
+// generations is safe — an older SOLUTION only weakens the incumbent bound
+// and an older INTERVALS only enlarges the frontier, both pure rework,
+// never a lost region. When any fallback happened the restored epoch is
+// raised above every epoch findable on disk (including quarantined files),
+// so ids issued by the newer, lost incarnation can never collide with ids
+// the restored farmer will issue.
 func (s *Store) Load() (Snapshot, error) {
 	var snap Snapshot
-	if err := s.loadIntervals(&snap); err != nil {
-		return snap, err
+	fellBack := false
+	fromPrev, err := s.loadGeneration(intervalsFile, "intervals", func(lines []string) error {
+		part, err := parseIntervalLines(lines)
+		if err != nil {
+			return err
+		}
+		snap.Epoch, snap.NextID, snap.TotalLen, snap.Intervals = part.epoch, part.nextID, part.total, part.records
+		return nil
+	})
+	if err != nil {
+		return Snapshot{}, err
 	}
-	if err := s.loadSolution(&snap); err != nil {
-		return snap, err
+	fellBack = fellBack || fromPrev
+	fromPrev, err = s.loadGeneration(solutionFile, "solution", func(lines []string) error {
+		part, err := parseSolutionLines(lines)
+		if err != nil {
+			return err
+		}
+		snap.BestCost, snap.BestPath = part.cost, part.path
+		return nil
+	})
+	if err != nil {
+		return Snapshot{}, err
+	}
+	fellBack = fellBack || fromPrev
+	if fellBack {
+		s.stats.fallback.Add(1)
+		if max := s.maxEpochOnDisk(); max > snap.Epoch {
+			snap.Epoch = max
+		}
 	}
 	return snap, nil
 }
 
-func (s *Store) loadIntervals(snap *Snapshot) error {
-	f, err := os.Open(filepath.Join(s.dir, intervalsFile))
+// loadGeneration tries the current generation of one file, then its
+// previous one. parse must mutate its target only on success, so a failed
+// current attempt leaves nothing behind for the prev attempt to collide
+// with. Corrupt generations are quarantined as they are ruled out.
+func (s *Store) loadGeneration(name, kind string, parse func(lines []string) error) (fromPrev bool, err error) {
+	curErr := s.tryLoadFile(name, kind, parse)
+	if curErr == nil {
+		return false, nil
+	}
+	corrupt := false
+	if !errors.Is(curErr, iofs.ErrNotExist) {
+		s.quarantineFile(name)
+		corrupt = true
+	}
+	prevErr := s.tryLoadFile(name+prevSuffix, kind, parse)
+	if prevErr == nil {
+		return true, nil
+	}
+	if !errors.Is(prevErr, iofs.ErrNotExist) {
+		s.quarantineFile(name + prevSuffix)
+		corrupt = true
+	}
+	if corrupt {
+		return false, fmt.Errorf("checkpoint: %s: %w: %v", name, ErrCorrupt, curErr)
+	}
+	return false, fmt.Errorf("checkpoint: %s: %w", name, curErr)
+}
+
+func (s *Store) tryLoadFile(name, kind string, parse func(lines []string) error) error {
+	data, err := s.fs.ReadFile(filepath.Join(s.dir, name))
 	if err != nil {
-		return fmt.Errorf("checkpoint: %w", err)
+		return err
 	}
-	defer f.Close()
-	sc := bufio.NewScanner(f)
-	sc.Buffer(make([]byte, 1<<16), 1<<22)
-	if !sc.Scan() || !strings.HasPrefix(sc.Text(), formatVersion) {
-		return fmt.Errorf("checkpoint: %s: bad or missing header", intervalsFile)
+	lines, err := parseBody(name, kind, data)
+	if err != nil {
+		return err
 	}
-	for sc.Scan() {
-		line := strings.TrimSpace(sc.Text())
-		if line == "" {
+	return parse(lines)
+}
+
+// quarantineFile moves a corrupt file into quarantine/ under a fresh
+// numbered name, preserving its bytes. Best effort: if the move itself
+// fails the file stays put (the next Save rotates over it), but the
+// corruption is counted either way.
+func (s *Store) quarantineFile(name string) {
+	s.stats.corrupt.Add(1)
+	src := filepath.Join(s.dir, name)
+	qdir := filepath.Join(s.dir, quarantineDir)
+	if err := s.fs.MkdirAll(qdir); err != nil {
+		return
+	}
+	for n := 0; n < 10000; n++ {
+		dst := filepath.Join(qdir, fmt.Sprintf("%s.%d", name, n))
+		if _, err := s.fs.Stat(dst); err == nil {
 			continue
 		}
+		_ = s.fs.Rename(src, dst)
+		return
+	}
+}
+
+// maxEpochOnDisk scans every intervals file the store can still see —
+// current, previous, quarantined — for the highest recorded epoch,
+// ignoring checksums (a corrupt file's epoch line is still the best
+// available evidence of how high the lost incarnation counted). Used only
+// after a fallback load, where restoring an older generation's epoch could
+// otherwise re-issue ids the crashed incarnation already handed out.
+func (s *Store) maxEpochOnDisk() int64 {
+	var max int64
+	scan := func(path string) {
+		data, err := s.fs.ReadFile(path)
+		if err != nil {
+			return
+		}
+		for _, line := range strings.Split(string(data), "\n") {
+			rest, ok := strings.CutPrefix(line, "epoch ")
+			if !ok {
+				continue
+			}
+			if v, err := strconv.ParseInt(strings.TrimSpace(rest), 10, 64); err == nil && v > max {
+				max = v
+			}
+		}
+	}
+	scan(filepath.Join(s.dir, intervalsFile))
+	scan(filepath.Join(s.dir, intervalsFile+prevSuffix))
+	if entries, err := s.fs.ReadDir(filepath.Join(s.dir, quarantineDir)); err == nil {
+		for _, e := range entries {
+			if strings.HasPrefix(e.Name(), intervalsFile) {
+				scan(filepath.Join(s.dir, quarantineDir, e.Name()))
+			}
+		}
+	}
+	return max
+}
+
+// parseBody validates a snapshot file's framing and returns its body
+// lines. v2 files must end in a valid footer line whose CRC covers header
+// and body and whose record count matches the non-empty body lines; v1
+// files (written before footers existed) are accepted without one.
+func parseBody(name, kind string, data []byte) ([]string, error) {
+	nl := bytes.IndexByte(data, '\n')
+	if nl < 0 {
+		return nil, fmt.Errorf("checkpoint: %s: bad or missing header", name)
+	}
+	header := string(data[:nl])
+	legacy := strings.HasPrefix(header, legacyVersion)
+	if !legacy {
+		if !strings.HasPrefix(header, formatVersion) {
+			return nil, fmt.Errorf("checkpoint: %s: bad or missing header", name)
+		}
+		if header != formatVersion+" "+kind {
+			return nil, fmt.Errorf("checkpoint: %s: header %q is not a %s header", name, header, kind)
+		}
+	}
+	rest := data[nl+1:]
+	if !legacy {
+		var err error
+		rest, err = checkFooter(name, data, rest)
+		if err != nil {
+			return nil, err
+		}
+	}
+	var lines []string
+	for _, line := range strings.Split(string(rest), "\n") {
+		line = strings.TrimSpace(line)
+		if line != "" {
+			lines = append(lines, line)
+		}
+	}
+	return lines, nil
+}
+
+// checkFooter verifies the v2 trailer and returns the body with the footer
+// line stripped. data is the whole file, body the part after the header.
+func checkFooter(name string, data, body []byte) ([]byte, error) {
+	if len(body) == 0 || !bytes.HasSuffix(data, []byte("\n")) {
+		return nil, fmt.Errorf("checkpoint: %s: truncated (no trailing newline)", name)
+	}
+	trimmed := body[:len(body)-1]
+	j := bytes.LastIndexByte(trimmed, '\n')
+	footerLine := string(trimmed[j+1:]) // j == -1 means the body is just the footer
+	fields := strings.Fields(footerLine)
+	if len(fields) != 3 || fields[0] != "footer" {
+		return nil, fmt.Errorf("checkpoint: %s: truncated or missing footer", name)
+	}
+	wantRecords, err := strconv.Atoi(fields[1])
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: %s: bad footer count %q", name, fields[1])
+	}
+	wantCRC, err := strconv.ParseUint(fields[2], 16, 32)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: %s: bad footer crc %q", name, fields[2])
+	}
+	payload := data[:len(data)-len(body)+j+1] // header + body lines, footer excluded
+	if got := crc32.Checksum(payload, crcTable); got != uint32(wantCRC) {
+		return nil, fmt.Errorf("checkpoint: %s: crc mismatch (file %08x, computed %08x)", name, wantCRC, got)
+	}
+	records := 0
+	for _, line := range strings.Split(string(trimmed[:j+1]), "\n") {
+		if strings.TrimSpace(line) != "" {
+			records++
+		}
+	}
+	if records != wantRecords {
+		return nil, fmt.Errorf("checkpoint: %s: footer promises %d records, file has %d", name, wantRecords, records)
+	}
+	return body[:len(body)-len(footerLine)-1], nil
+}
+
+// intervalsPart is a fully parsed INTERVALS file.
+type intervalsPart struct {
+	epoch   int64
+	nextID  int64
+	total   *big.Int
+	records []IntervalRecord
+}
+
+func parseIntervalLines(lines []string) (intervalsPart, error) {
+	var p intervalsPart
+	for _, line := range lines {
 		fields := strings.Fields(line)
 		switch fields[0] {
 		case "epoch":
 			// Absent in files written before the epoch mechanism; the
 			// zero default makes the restore bump it to 1 either way.
 			if len(fields) != 2 {
-				return fmt.Errorf("checkpoint: bad epoch line %q", line)
+				return p, fmt.Errorf("checkpoint: bad epoch line %q", line)
 			}
-			if _, err := fmt.Sscanf(fields[1], "%d", &snap.Epoch); err != nil {
-				return fmt.Errorf("checkpoint: bad epoch %q: %w", fields[1], err)
+			v, err := strconv.ParseInt(fields[1], 10, 64)
+			if err != nil {
+				return p, fmt.Errorf("checkpoint: bad epoch %q: %w", fields[1], err)
 			}
+			p.epoch = v
 		case "nextid":
 			if len(fields) != 2 {
-				return fmt.Errorf("checkpoint: bad nextid line %q", line)
+				return p, fmt.Errorf("checkpoint: bad nextid line %q", line)
 			}
-			if _, err := fmt.Sscanf(fields[1], "%d", &snap.NextID); err != nil {
-				return fmt.Errorf("checkpoint: bad nextid %q: %w", fields[1], err)
+			v, err := strconv.ParseInt(fields[1], 10, 64)
+			if err != nil {
+				return p, fmt.Errorf("checkpoint: bad nextid %q: %w", fields[1], err)
 			}
+			p.nextID = v
 		case "total":
 			if len(fields) != 2 {
-				return fmt.Errorf("checkpoint: bad total line %q", line)
+				return p, fmt.Errorf("checkpoint: bad total line %q", line)
 			}
 			total, ok := new(big.Int).SetString(fields[1], 10)
 			if !ok {
-				return fmt.Errorf("checkpoint: bad total %q", fields[1])
+				return p, fmt.Errorf("checkpoint: bad total %q", fields[1])
 			}
-			snap.TotalLen = total
+			p.total = total
 		case "interval":
 			if len(fields) != 4 {
-				return fmt.Errorf("checkpoint: bad interval line %q", line)
+				return p, fmt.Errorf("checkpoint: bad interval line %q", line)
 			}
 			var rec IntervalRecord
-			if _, err := fmt.Sscanf(fields[1], "%d", &rec.ID); err != nil {
-				return fmt.Errorf("checkpoint: bad interval id %q: %w", fields[1], err)
+			id, err := strconv.ParseInt(fields[1], 10, 64)
+			if err != nil {
+				return p, fmt.Errorf("checkpoint: bad interval id %q: %w", fields[1], err)
 			}
+			rec.ID = id
 			if err := rec.Interval.UnmarshalText([]byte(fields[2] + " " + fields[3])); err != nil {
-				return fmt.Errorf("checkpoint: %w", err)
+				return p, fmt.Errorf("checkpoint: %w", err)
 			}
-			snap.Intervals = append(snap.Intervals, rec)
+			p.records = append(p.records, rec)
 		default:
-			return fmt.Errorf("checkpoint: unknown record %q", fields[0])
+			return p, fmt.Errorf("checkpoint: unknown record %q", fields[0])
 		}
-	}
-	if err := sc.Err(); err != nil {
-		return err
 	}
 	// Integrity cross-check: the incremental total the farmer carried must
 	// match what the records actually sum to. This is the only place the
 	// lengths are ever re-summed — at restore time, once, not per snapshot.
-	if snap.TotalLen != nil {
+	if p.total != nil {
 		sum := new(big.Int)
-		for _, rec := range snap.Intervals {
+		for _, rec := range p.records {
 			sum.Add(sum, rec.Interval.Len())
 		}
-		if sum.Cmp(snap.TotalLen) != 0 {
-			return fmt.Errorf("checkpoint: %s: interval records sum to %s but the recorded total is %s (corrupt or inconsistent snapshot)",
-				intervalsFile, sum, snap.TotalLen)
+		if sum.Cmp(p.total) != 0 {
+			return p, fmt.Errorf("checkpoint: %s: interval records sum to %s but the recorded total is %s (corrupt or inconsistent snapshot)",
+				intervalsFile, sum, p.total)
 		}
 	}
-	return nil
+	return p, nil
 }
 
-func (s *Store) loadSolution(snap *Snapshot) error {
-	f, err := os.Open(filepath.Join(s.dir, solutionFile))
-	if err != nil {
-		return fmt.Errorf("checkpoint: %w", err)
-	}
-	defer f.Close()
-	sc := bufio.NewScanner(f)
-	sc.Buffer(make([]byte, 1<<16), 1<<22)
-	if !sc.Scan() || !strings.HasPrefix(sc.Text(), formatVersion) {
-		return fmt.Errorf("checkpoint: %s: bad or missing header", solutionFile)
-	}
-	for sc.Scan() {
-		line := strings.TrimSpace(sc.Text())
-		if line == "" {
-			continue
-		}
+// solutionPart is a fully parsed SOLUTION file.
+type solutionPart struct {
+	cost int64
+	path []int
+}
+
+func parseSolutionLines(lines []string) (solutionPart, error) {
+	var p solutionPart
+	for _, line := range lines {
 		fields := strings.Fields(line)
 		switch fields[0] {
 		case "cost":
 			if len(fields) != 2 {
-				return fmt.Errorf("checkpoint: bad cost line %q", line)
+				return p, fmt.Errorf("checkpoint: bad cost line %q", line)
 			}
-			if _, err := fmt.Sscanf(fields[1], "%d", &snap.BestCost); err != nil {
-				return fmt.Errorf("checkpoint: bad cost %q: %w", fields[1], err)
+			v, err := strconv.ParseInt(fields[1], 10, 64)
+			if err != nil {
+				return p, fmt.Errorf("checkpoint: bad cost %q: %w", fields[1], err)
 			}
+			p.cost = v
 		case "path":
-			snap.BestPath = make([]int, 0, len(fields)-1)
+			p.path = make([]int, 0, len(fields)-1)
 			for _, fstr := range fields[1:] {
-				var r int
-				if _, err := fmt.Sscanf(fstr, "%d", &r); err != nil {
-					return fmt.Errorf("checkpoint: bad path entry %q: %w", fstr, err)
+				r, err := strconv.Atoi(fstr)
+				if err != nil {
+					return p, fmt.Errorf("checkpoint: bad path entry %q: %w", fstr, err)
 				}
-				snap.BestPath = append(snap.BestPath, r)
+				p.path = append(p.path, r)
 			}
 		default:
-			return fmt.Errorf("checkpoint: unknown record %q", fields[0])
+			return p, fmt.Errorf("checkpoint: unknown record %q", fields[0])
 		}
 	}
-	return sc.Err()
+	return p, nil
 }

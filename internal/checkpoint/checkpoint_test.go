@@ -1,6 +1,7 @@
 package checkpoint
 
 import (
+	"errors"
 	"math/big"
 	"os"
 	"path/filepath"
@@ -90,8 +91,16 @@ func TestSaveOverwritesAtomically(t *testing.T) {
 			t.Fatalf("temp file %s left behind", e.Name())
 		}
 	}
-	if len(entries) != 2 {
-		t.Fatalf("expected the paper's two files, found %d", len(entries))
+	// The paper's two files, each with its rotated previous generation.
+	if len(entries) != 4 {
+		t.Fatalf("expected two files and two previous generations, found %d: %v", len(entries), entries)
+	}
+	prev, err := os.ReadFile(filepath.Join(dir, "intervals.ckpt.prev"))
+	if err != nil {
+		t.Fatalf("previous generation missing: %v", err)
+	}
+	if !strings.Contains(string(prev), "nextid 1") {
+		t.Fatalf("previous generation is not the first save:\n%s", prev)
 	}
 }
 
@@ -113,31 +122,40 @@ func TestEmptySolution(t *testing.T) {
 	}
 }
 
-// TestLoadRejectsCorruption: headerless or garbled files fail loudly, never
-// silently restoring a wrong state.
+// TestLoadRejectsCorruption: headerless or garbled files with no previous
+// generation to fall back to fail loudly — and as ErrCorrupt, with the bad
+// file quarantined and counted — never silently restoring a wrong state.
 func TestLoadRejectsCorruption(t *testing.T) {
-	dir := t.TempDir()
-	store, err := NewStore(dir)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if err := store.Save(Snapshot{NextID: 1}); err != nil {
-		t.Fatal(err)
-	}
 	cases := map[string]string{
 		"intervals.ckpt": "not a checkpoint\n",
 		"solution.ckpt":  "gridbb-checkpoint-v1 solution\ncost notanumber\n",
 	}
 	for file, content := range cases {
+		// A fresh store per case: a single save has no *.prev generation,
+		// so corruption of the current file must surface as an error.
+		dir := t.TempDir()
+		store, err := NewStore(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := store.Save(Snapshot{NextID: 1}); err != nil {
+			t.Fatal(err)
+		}
 		if err := os.WriteFile(filepath.Join(dir, file), []byte(content), 0o644); err != nil {
 			t.Fatal(err)
 		}
-		if _, err := store.Load(); err == nil {
+		_, err = store.Load()
+		if err == nil {
 			t.Fatalf("corrupted %s accepted", file)
 		}
-		// Restore a valid pair for the next case.
-		if err := store.Save(Snapshot{NextID: 1}); err != nil {
-			t.Fatal(err)
+		if !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("corrupted %s: err = %v, want ErrCorrupt", file, err)
+		}
+		if got := store.Stats().CorruptSnapshots; got == 0 {
+			t.Fatalf("corrupted %s not counted", file)
+		}
+		if _, err := os.Stat(filepath.Join(dir, "quarantine", file+".0")); err != nil {
+			t.Fatalf("corrupted %s not quarantined: %v", file, err)
 		}
 	}
 }

@@ -1,0 +1,102 @@
+package checkpoint
+
+import (
+	"io/fs"
+	"os"
+)
+
+// Op identifies one filesystem operation crossing the FS seam. The fault
+// injector (FaultFS) keys its decisions on it, and error messages carry it.
+type Op string
+
+// The operations a Store performs. Write, sync and rename are the
+// durability-critical ones — a disk that lies on any of them is exactly
+// what the crash-consistency machinery must survive.
+const (
+	OpMkdirAll  Op = "mkdirall"
+	OpWriteFile Op = "write"
+	OpSync      Op = "sync"
+	OpSyncDir   Op = "syncdir"
+	OpRename    Op = "rename"
+	OpRemove    Op = "remove"
+	OpReadFile  Op = "read"
+	OpReadDir   Op = "readdir"
+	OpStat      Op = "stat"
+)
+
+// FS is the filesystem seam under a Store: every byte a checkpoint writes
+// or reads goes through it. The production implementation is the OS
+// (osFS); tests and the chaos harness substitute FaultFS to make the disk
+// itself a fault domain — short writes, torn writes, I/O errors on sync or
+// rename, crash points — without leaving the deterministic harness.
+type FS interface {
+	// MkdirAll creates a directory and its parents.
+	MkdirAll(dir string) error
+	// WriteFile creates (or truncates) the file with the given bytes. It
+	// does NOT sync: durability is a separate Sync call, so the injector
+	// can make the two fail independently — the torn-write window is the
+	// gap between them.
+	WriteFile(name string, data []byte) error
+	// Sync fsyncs the named file's content to stable storage.
+	Sync(name string) error
+	// SyncDir fsyncs the directory itself, making renames inside it
+	// durable.
+	SyncDir(dir string) error
+	// Rename atomically replaces newname with oldname's file.
+	Rename(oldname, newname string) error
+	// Remove deletes a file.
+	Remove(name string) error
+	// ReadFile returns the file's full content.
+	ReadFile(name string) ([]byte, error)
+	// ReadDir lists a directory.
+	ReadDir(dir string) ([]fs.DirEntry, error)
+	// Stat probes a path.
+	Stat(name string) (fs.FileInfo, error)
+}
+
+// osFS is the production FS: the operating system, with real fsync.
+type osFS struct{}
+
+// OSFS returns the production filesystem implementation.
+func OSFS() FS { return osFS{} }
+
+func (osFS) MkdirAll(dir string) error { return os.MkdirAll(dir, 0o755) }
+
+func (osFS) WriteFile(name string, data []byte) error {
+	return os.WriteFile(name, data, 0o644)
+}
+
+func (osFS) Sync(name string) error {
+	f, err := os.OpenFile(name, os.O_RDWR, 0)
+	if err != nil {
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func (osFS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	// A directory fsync makes the renames inside it durable on every
+	// filesystem that journals metadata; where the operation is not
+	// supported the open-for-read handle still syncs what it can.
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+func (osFS) Rename(oldname, newname string) error { return os.Rename(oldname, newname) }
+func (osFS) Remove(name string) error             { return os.Remove(name) }
+func (osFS) ReadFile(name string) ([]byte, error) { return os.ReadFile(name) }
+func (osFS) ReadDir(dir string) ([]fs.DirEntry, error) {
+	return os.ReadDir(dir)
+}
+func (osFS) Stat(name string) (fs.FileInfo, error) { return os.Stat(name) }

@@ -16,7 +16,6 @@ package checkpoint
 
 import (
 	"fmt"
-	"os"
 	"path/filepath"
 )
 
@@ -30,9 +29,14 @@ const MaxNamespaceBytes = 128
 
 // ValidNamespace reports whether name is safe to use as a sub-store
 // directory: non-empty, bounded, and built only from bytes that cannot
-// carry path structure or filesystem surprises.
+// carry path structure or filesystem surprises. The quarantine directory
+// name is reserved — a job by that name would collide with the store's
+// corrupt-file holding area.
 func ValidNamespace(name string) bool {
 	if name == "" || len(name) > MaxNamespaceBytes {
+		return false
+	}
+	if name == quarantineDir {
 		return false
 	}
 	if name[0] == '.' || name[len(name)-1] == '.' {
@@ -53,7 +57,9 @@ func ValidNamespace(name string) bool {
 }
 
 // Namespace returns the sub-store for one job, creating its directory.
-// A bare single-job store (files directly under dir, from before the
+// The sub-store shares the parent's filesystem and self-healing counters,
+// so injected disk faults and quarantine events aggregate at the root. A
+// bare single-job store (files directly under dir, from before the
 // namespace layout) is migrated once into the default namespace, so old
 // deployments resume under the new layout with nothing lost.
 func (s *Store) Namespace(name string) (*Store, error) {
@@ -65,24 +71,35 @@ func (s *Store) Namespace(name string) (*Store, error) {
 			return nil, err
 		}
 	}
-	return NewStore(filepath.Join(s.dir, name))
+	sub := &Store{dir: filepath.Join(s.dir, name), fs: s.fs, stats: s.stats}
+	if err := sub.init(); err != nil {
+		return nil, err
+	}
+	return sub, nil
 }
 
-// migrateBare moves a pre-namespace store's two files into the default
-// sub-directory. The rename order matters for crash safety: intervals
-// moves last, so a store interrupted mid-migration still Exists() in
-// exactly one layout (Exists needs both files; the solution file alone
-// satisfies neither the bare nor the namespaced probe).
+// migrateBare moves a pre-namespace store's files (both generations) into
+// the default sub-directory. The rename order matters for crash safety:
+// intervals moves last, so a store interrupted mid-migration still
+// Exists() in at most one layout (Exists needs both files; the solution
+// file alone satisfies neither the bare nor the namespaced probe).
 func (s *Store) migrateBare() error {
 	if !s.Exists() {
 		return nil
 	}
 	sub := filepath.Join(s.dir, DefaultNamespace)
-	if err := os.MkdirAll(sub, 0o755); err != nil {
+	if err := s.fs.MkdirAll(sub); err != nil {
 		return fmt.Errorf("checkpoint: migrate %s: %w", s.dir, err)
 	}
-	for _, f := range []string{solutionFile, intervalsFile} {
-		if err := os.Rename(filepath.Join(s.dir, f), filepath.Join(sub, f)); err != nil {
+	for _, f := range []string{
+		solutionFile + prevSuffix, solutionFile,
+		intervalsFile + prevSuffix, intervalsFile,
+	} {
+		src := filepath.Join(s.dir, f)
+		if _, err := s.fs.Stat(src); err != nil {
+			continue
+		}
+		if err := s.fs.Rename(src, filepath.Join(sub, f)); err != nil {
 			return fmt.Errorf("checkpoint: migrate %s: %w", f, err)
 		}
 	}
@@ -92,7 +109,7 @@ func (s *Store) migrateBare() error {
 // Namespaces lists the sub-stores holding a checkpoint, in directory
 // order — the resumable jobs of a multi-tenant store.
 func (s *Store) Namespaces() ([]string, error) {
-	entries, err := os.ReadDir(s.dir)
+	entries, err := s.fs.ReadDir(s.dir)
 	if err != nil {
 		return nil, fmt.Errorf("checkpoint: %w", err)
 	}
@@ -101,7 +118,8 @@ func (s *Store) Namespaces() ([]string, error) {
 		if !e.IsDir() || !ValidNamespace(e.Name()) {
 			continue
 		}
-		if (&Store{dir: filepath.Join(s.dir, e.Name())}).Exists() {
+		probe := &Store{dir: filepath.Join(s.dir, e.Name()), fs: s.fs, stats: s.stats}
+		if probe.Exists() {
 			out = append(out, e.Name())
 		}
 	}

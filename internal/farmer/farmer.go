@@ -90,6 +90,14 @@ type Counters struct {
 	// the transport's whole-message byte budget. It overlaps the two
 	// rejection counters above: an oversize update charges both.
 	OversizeMessages int64
+	// CorruptSnapshots and FallbackLoads mirror the checkpoint store's
+	// self-healing counters (checkpoint.Stats): snapshot files found
+	// corrupt and quarantined, and loads served from the previous
+	// generation. Zero when no store is attached. A nonzero fallback
+	// means the last restore cost up to one checkpoint period of rework;
+	// a corruption with no fallback left surfaces as a Restore error,
+	// never as silent state.
+	CorruptSnapshots, FallbackLoads int64
 }
 
 // RedundancyStats measures duplicated work in leaf-number units, the
@@ -1153,7 +1161,13 @@ func (f *Farmer) BestCost() int64 {
 func (f *Farmer) Counters() Counters {
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	return f.counters
+	c := f.counters
+	if f.store != nil {
+		st := f.store.Stats()
+		c.CorruptSnapshots = st.CorruptSnapshots
+		c.FallbackLoads = st.FallbackLoads
+	}
+	return c
 }
 
 // Redundancy returns a snapshot of the redundancy accounting.

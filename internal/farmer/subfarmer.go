@@ -70,6 +70,14 @@ type SubCounters struct {
 	// parent no longer tracked their binding (lease expired during a
 	// long outage and the range was re-issued elsewhere).
 	DroppedTables int64
+	// CorruptSnapshots and FallbackLoads mirror the checkpoint store's
+	// self-healing counters (checkpoint.Stats) for this sub-farmer's
+	// store: corrupt files quarantined (snapshot or upstream binding)
+	// and loads served from the previous generation. A corrupt binding
+	// never fails a restore — the sub-farmer starts unbound and the
+	// parent's lease mechanism recovers the interval — but it is counted
+	// here.
+	CorruptSnapshots, FallbackLoads int64
 }
 
 // SubConfig parameterizes a sub-farmer.
@@ -292,7 +300,13 @@ func (s *SubFarmer) Inner() *Farmer { return s.inner }
 func (s *SubFarmer) Counters() SubCounters {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.counters
+	c := s.counters
+	if s.cfg.Store != nil {
+		st := s.cfg.Store.Stats()
+		c.CorruptSnapshots = st.CorruptSnapshots
+		c.FallbackLoads = st.FallbackLoads
+	}
+	return c
 }
 
 // noteUpstreamErrLocked accounts one failed upstream exchange, splitting

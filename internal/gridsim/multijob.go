@@ -106,6 +106,10 @@ type MultiJobResult struct {
 	// last table checkpoint).
 	Finished               bool
 	Joins, Leaves, Crashes int64
+	// Store reports the checkpoint store's self-healing events across
+	// every job namespace (namespaced sub-stores share their parent's
+	// counters). Zero-valued with no CheckpointDir.
+	Store checkpoint.Stats
 }
 
 // mjSimWorker is one active processor hosting a multi-job session.
@@ -125,6 +129,7 @@ type MultiJobSim struct {
 	cfg       MultiJobConfig
 	rng       *rand.Rand
 	table     *jobs.Table
+	store     *checkpoint.Store
 	factories jobs.Factories
 
 	slots   []float64
@@ -160,6 +165,7 @@ func NewMultiJob(cfg MultiJobConfig) (*MultiJobSim, error) {
 		if err != nil {
 			return nil, err
 		}
+		s.store = store
 	}
 	s.table = jobs.NewTable(jobs.Config{
 		MaxActive: cfg.MaxActive,
@@ -254,6 +260,9 @@ func (s *MultiJobSim) Run() (MultiJobResult, error) {
 		})
 	}
 	s.result.Table = s.table.Counters()
+	if s.store != nil {
+		s.result.Store = s.store.Stats()
+	}
 	return s.result, nil
 }
 

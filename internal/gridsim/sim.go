@@ -183,6 +183,10 @@ type Result struct {
 	Finished bool
 	// Joins and Leaves and Crashes count churn events.
 	Joins, Leaves, Crashes int64
+	// Store reports the checkpoint store's self-healing events (corrupt
+	// generations quarantined, fallback loads, stale temp files swept) —
+	// all zero on a healthy disk. Zero-valued with no CheckpointDir.
+	Store checkpoint.Stats
 }
 
 // simWorker is one active processor hosting a B&B process.
@@ -252,6 +256,7 @@ type Sim struct {
 	rng     *rand.Rand
 
 	farmer  *farmer.Farmer
+	store   *checkpoint.Store
 	subs    []*farmer.SubFarmer // tree mode: mid-tier coordinators
 	slots   []float64           // GHz per processor slot
 	cores   []int               // cores per processor slot (>= 1)
@@ -296,6 +301,7 @@ func New(cfg Config, factory func() bb.Problem) *Sim {
 	}
 	if cfg.CheckpointDir != "" {
 		if store, err := checkpoint.NewStore(cfg.CheckpointDir); err == nil {
+			s.store = store
 			fopts = append(fopts, farmer.WithCheckpointStore(store))
 		}
 	}
@@ -662,6 +668,9 @@ func (s *Sim) finalize(sumActive int64) {
 	c := s.farmer.Counters()
 	s.result.Counters = c
 	s.result.Redundancy = s.farmer.Redundancy()
+	if s.store != nil {
+		s.result.Store = s.store.Stats()
+	}
 	totalMsgs := c.WorkRequests + c.WorkerCheckpoints + c.SolutionReports
 	if t2.WallClockSeconds > 0 {
 		t2.FarmerExploitation = float64(totalMsgs) * cfg.FarmerCostPerMessageSeconds / t2.WallClockSeconds

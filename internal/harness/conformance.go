@@ -65,6 +65,13 @@ type tracker struct {
 	// range before any snapshot: a restart with no checkpoint restarts
 	// the whole resolution).
 	lastCkpt *interval.Set
+	// prevCkpt / coveredSincePrev mirror lastCkpt / coveredSinceCkpt one
+	// generation back: the store keeps the previous snapshot as *.prev,
+	// so a restart whose current generation is corrupt legitimately
+	// restores this older state — re-opening at most what was covered
+	// since THAT snapshot.
+	prevCkpt         *interval.Set
+	coveredSincePrev *big.Int
 
 	violations []string
 }
@@ -78,6 +85,8 @@ func newTracker(root interval.Interval) *tracker {
 		reworkBudget:     new(big.Int),
 		coveredSinceCkpt: new(big.Int),
 		lastCkpt:         interval.NewSet(root),
+		prevCkpt:         interval.NewSet(root),
+		coveredSincePrev: new(big.Int),
 	}
 }
 
@@ -155,8 +164,12 @@ func (t *tracker) ReportSolution(req transport.SolutionReport) (transport.Soluti
 
 // noteCheckpoint records a farmer snapshot and checks the partition
 // invariant at this observation point: covered ∪ INTERVALS ⊇ root — no
-// leaf number is unaccounted for.
+// leaf number is unaccounted for. The store rotates the old current
+// generation to *.prev on every successful save, so the generation
+// bookkeeping shifts in step.
 func (t *tracker) noteCheckpoint() {
+	t.prevCkpt = t.lastCkpt
+	t.coveredSincePrev = new(big.Int).Set(t.coveredSinceCkpt)
 	t.lastCkpt = t.union()
 	t.coveredSinceCkpt.SetInt64(0)
 	all := t.covered.Clone()
@@ -168,23 +181,37 @@ func (t *tracker) noteCheckpoint() {
 	}
 }
 
-// noteRestart audits a farmer restored from the last snapshot: the restored
-// INTERVALS must equal what was saved, and the re-opened (to-be-re-explored)
-// measure must not exceed what was covered since that snapshot.
-func (t *tracker) noteRestart() {
+// noteRestart audits a farmer restored from a snapshot: the restored
+// INTERVALS must equal what was saved — the last generation normally, the
+// previous one when the load fell back past a corrupt current — and the
+// re-opened (to-be-re-explored) measure must not exceed what was covered
+// since the restored snapshot.
+func (t *tracker) noteRestart(fellBack bool) {
 	restored := t.union()
-	if !restored.Equal(t.lastCkpt) {
-		t.violatef("restore disagrees with last checkpoint: %s != %s", restored, t.lastCkpt)
+	want, allowed := t.lastCkpt, new(big.Int).Set(t.coveredSinceCkpt)
+	if fellBack {
+		want = t.prevCkpt
+		allowed.Add(allowed, t.coveredSincePrev)
+	}
+	if !restored.Equal(want) {
+		t.violatef("restore disagrees with its checkpoint generation: %s != %s", restored, want)
 	}
 	reopened := new(big.Int)
 	for _, iv := range restored.Intervals() {
 		reopened.Add(reopened, t.covered.Sub(iv))
 	}
-	if reopened.Cmp(t.coveredSinceCkpt) > 0 {
-		t.violatef("restart re-opened %s units, more than the %s covered since the last checkpoint", reopened, t.coveredSinceCkpt)
+	if reopened.Cmp(allowed) > 0 {
+		t.violatef("restart re-opened %s units, more than the %s covered since the restored checkpoint", reopened, allowed)
 	}
 	t.reworkBudget.Add(t.reworkBudget, reopened)
 	t.coveredSinceCkpt.SetInt64(0)
+	if fellBack {
+		// The previous generation is now the live one: the corrupt
+		// current was quarantined, so the next save writes a fresh
+		// current while *.prev stays this very generation on disk.
+		t.lastCkpt = restored
+		t.coveredSincePrev.SetInt64(0)
+	}
 }
 
 // noteTermination runs the end-of-resolution checks: exact partition (the

@@ -21,6 +21,7 @@ import (
 	"math/big"
 	"math/rand"
 	"os"
+	"path/filepath"
 	"time"
 
 	"repro/internal/bb"
@@ -72,6 +73,15 @@ type Scenario struct {
 	// FarmerRestarts lists ticks at which the farmer process is killed
 	// and restored from its latest snapshot.
 	FarmerRestarts []int
+	// DiskFaultEvery fails every Nth farmer checkpoint attempt with an
+	// injected EIO on the snapshot file's fsync (flat grid only): the
+	// save aborts cleanly before any rename, the on-disk generations
+	// stay whole, and the next restart simply re-opens a larger window.
+	DiskFaultEvery int
+	// CorruptTicks lists ticks at which a byte of the current intervals
+	// snapshot is flipped on disk (flat grid only): a later restart must
+	// quarantine the corrupt generation and fall back to *.prev.
+	CorruptTicks []int
 	// Kills schedules worker crashes.
 	Kills []KillEvent
 	// DropRequestPct / DropReplyPct / DuplicatePct are per-message fault
@@ -153,6 +163,9 @@ type Report struct {
 	// restarts and Refills the sub-ranges pulled from the root (the
 	// first fill of each subtree plus every inter-subtree rebalance).
 	Drops, Duplicates, Kills, Rejoins, Restarts, Checkpoints int
+	// DiskFaults counts checkpoint attempts killed by injected I/O
+	// errors; CorruptInjections the snapshot bytes flipped on disk.
+	DiskFaults, CorruptInjections int
 	// Timeouts counts black-holed calls that surfaced as ErrDeadline to
 	// a worker; in tree mode UpstreamTimeouts aggregates the deadline
 	// failures the sub-farmers saw on their root leg.
@@ -186,15 +199,18 @@ type grid struct {
 	tick    int
 	nowNano int64
 
-	nb      *core.Numbering
-	store   *checkpoint.Store
-	farmer  *farmer.Farmer
-	track   *tracker
-	chaos   *transport.Interceptor
-	slots   []*slot
-	trace   []string
-	report  *Report
-	crashed map[transport.WorkerID]bool // lost-report verdicts pending a kill
+	nb           *core.Numbering
+	dir          string
+	fs           *checkpoint.FaultFS
+	store        *checkpoint.Store
+	farmer       *farmer.Farmer
+	track        *tracker
+	chaos        *transport.Interceptor
+	slots        []*slot
+	trace        []string
+	report       *Report
+	ckptAttempts int
+	crashed      map[transport.WorkerID]bool // lost-report verdicts pending a kill
 }
 
 func (g *grid) tracef(format string, args ...any) {
@@ -220,7 +236,10 @@ func Run(sc Scenario) (Report, error) {
 		defer os.RemoveAll(d)
 		dir = d
 	}
-	store, err := checkpoint.NewStore(dir)
+	// The store always goes through the fault seam; it injects nothing
+	// until a DiskFaultEvery tick arms it.
+	faultFS := checkpoint.NewFaultFS(nil)
+	store, err := checkpoint.NewStoreFS(faultFS, dir)
 	if err != nil {
 		return rep, err
 	}
@@ -234,6 +253,8 @@ func Run(sc Scenario) (Report, error) {
 		sc:      sc,
 		rng:     rand.New(rand.NewSource(sc.Seed)),
 		nb:      nb,
+		dir:     dir,
+		fs:      faultFS,
 		store:   store,
 		track:   newTracker(root),
 		report:  &rep,
@@ -300,13 +321,15 @@ func (g *grid) loop() error {
 				return err
 			}
 		}
+		for _, ct := range sc.CorruptTicks {
+			if ct == tick {
+				g.corruptIntervals()
+			}
+		}
 		if sc.CheckpointEvery > 0 && tick > 0 && tick%sc.CheckpointEvery == 0 {
-			if err := g.farmer.Checkpoint(); err != nil {
+			if err := g.checkpoint(); err != nil {
 				return err
 			}
-			g.track.noteCheckpoint()
-			g.report.Checkpoints++
-			g.tracef("ckpt n=%d", g.report.Checkpoints)
 		}
 		for _, k := range sc.Kills {
 			if k.Tick == tick {
@@ -408,20 +431,79 @@ func (g *grid) kill(i, rejoinAt int, why string) {
 	g.report.Kills++
 }
 
+// checkpoint runs one farmer snapshot attempt, arming the disk-fault seam
+// on every DiskFaultEvery'th one: the injected EIO lands on the snapshot
+// file's fsync, so the save aborts before any rename touches the
+// generations and the only cost is a wider re-exploration window at the
+// next restart — which is exactly what the tracker then holds it to, by
+// NOT advancing its generation bookkeeping for the failed attempt.
+func (g *grid) checkpoint() error {
+	g.ckptAttempts++
+	faulty := g.sc.DiskFaultEvery > 0 && g.ckptAttempts%g.sc.DiskFaultEvery == 0
+	if faulty {
+		g.fs.SetDecide(func(op checkpoint.Op, path string) checkpoint.Fault {
+			if op == checkpoint.OpSync {
+				return checkpoint.EIO()
+			}
+			return checkpoint.Fault{}
+		})
+		defer g.fs.SetDecide(nil)
+	}
+	err := g.farmer.Checkpoint()
+	if faulty {
+		if err == nil {
+			g.track.violatef("tick %d: checkpoint survived an injected fsync EIO", g.tick)
+		} else if !errors.Is(err, checkpoint.ErrInjected) {
+			return err
+		}
+		g.report.DiskFaults++
+		g.tracef("ckpt-fault n=%d", g.report.DiskFaults)
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	g.track.noteCheckpoint()
+	g.report.Checkpoints++
+	g.tracef("ckpt n=%d", g.report.Checkpoints)
+	return nil
+}
+
+// corruptIntervals flips one byte in the middle of the current intervals
+// snapshot — the silent on-disk corruption the CRC footer exists to catch.
+func (g *grid) corruptIntervals() {
+	path := filepath.Join(g.dir, "intervals.ckpt")
+	data, err := os.ReadFile(path)
+	if err != nil || len(data) == 0 {
+		g.tracef("disk-corrupt-skipped err=%v", err)
+		return
+	}
+	data[len(data)/2] ^= 0x40
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		g.tracef("disk-corrupt-skipped err=%v", err)
+		return
+	}
+	g.report.CorruptInjections++
+	g.tracef("disk-corrupt n=%d", g.report.CorruptInjections)
+}
+
 // restartFarmer kills the coordinator and restores it from the latest
 // snapshot — or from scratch when none exists. The workers keep their
 // connection object (the interceptor) exactly like real workers reconnect
-// to a restarted coordinator address.
+// to a restarted coordinator address. A restore that had to fall back past
+// a corrupt current generation is audited against the previous one.
 func (g *grid) restartFarmer() error {
+	before := g.store.Stats().FallbackLoads
 	f, err := farmer.Restore(g.nb.RootRange(), g.store, g.farmerOpts()...)
 	if err != nil {
 		return err
 	}
+	fellBack := g.store.Stats().FallbackLoads > before
 	g.farmer = f
 	g.track.attach(f)
-	g.track.noteRestart()
+	g.track.noteRestart(fellBack)
 	g.report.Restarts++
-	g.tracef("farmer-restart n=%d", g.report.Restarts)
+	g.tracef("farmer-restart n=%d fallback=%v", g.report.Restarts, fellBack)
 	return nil
 }
 

@@ -34,19 +34,21 @@ func TestScenarioMatrixConformance(t *testing.T) {
 			assertSameTrace(t, rep.Trace, again.Trace)
 		})
 	}
-	t.Run(PartitionedRing().Name, func(t *testing.T) {
-		sc := PartitionedRing()
-		rep, err := RunRing(sc)
-		if err != nil {
-			t.Fatalf("harness error: %v", err)
-		}
-		assertConformant(t, rep)
-		again, err := RunRing(sc)
-		if err != nil {
-			t.Fatalf("second run: %v", err)
-		}
-		assertSameTrace(t, rep.Trace, again.Trace)
-	})
+	for _, sc := range RingScenarios() {
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) {
+			rep, err := RunRing(sc)
+			if err != nil {
+				t.Fatalf("harness error: %v", err)
+			}
+			assertConformant(t, rep)
+			again, err := RunRing(sc)
+			if err != nil {
+				t.Fatalf("second run: %v", err)
+			}
+			assertSameTrace(t, rep.Trace, again.Trace)
+		})
+	}
 }
 
 func assertConformant(t *testing.T, rep Report) {
@@ -101,6 +103,16 @@ func TestScenariosExerciseTheirFaults(t *testing.T) {
 	}
 	if failover.Checkpoints == 0 {
 		t.Errorf("farmer-failover: no farmer checkpoints written")
+	}
+	if failover.DiskFaults == 0 {
+		t.Errorf("farmer-failover: no checkpoint attempt hit the injected fsync EIO")
+	}
+	if failover.CorruptInjections == 0 {
+		t.Errorf("farmer-failover: the on-disk corruption was never injected")
+	}
+	if failover.Counters.CorruptSnapshots == 0 || failover.Counters.FallbackLoads == 0 {
+		t.Errorf("farmer-failover: corrupt=%d fallback=%d — the restart never exercised the *.prev fallback",
+			failover.Counters.CorruptSnapshots, failover.Counters.FallbackLoads)
 	}
 
 	mc, err := Run(MulticoreChurn())
@@ -203,6 +215,20 @@ func TestScenariosExerciseTheirFaults(t *testing.T) {
 	}
 	if !blocked {
 		t.Errorf("partitioned-ring: the partition window never blocked anything")
+	}
+
+	restart, err := RunRing(RingRestart())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := len(RingRestart().Kills); restart.Restarts != want {
+		t.Errorf("ring-restart: %d restores, scheduled %d", restart.Restarts, want)
+	}
+	if restart.Checkpoints == 0 {
+		t.Errorf("ring-restart: the periodic checkpoint cadence never fired")
+	}
+	if restart.ReworkBudget.Sign() == 0 {
+		t.Errorf("ring-restart: every restore re-opened a fresh frontier — the kills landed on idle peers and exercised nothing")
 	}
 }
 

@@ -49,12 +49,17 @@ type MultiJobScenario struct {
 	TickBudget        int64
 	LeaseTTLTicks     int
 	CheckpointEvery   int
-	DropRequestPct    int
-	DropReplyPct      int
-	DuplicatePct      int
-	BlackholePct      int
-	Kills             []KillEvent
-	MaxTicks          int
+	// DiskFaultEvery fails every Nth table checkpoint sweep with injected
+	// EIO on every snapshot fsync: all jobs' saves abort uniformly (the
+	// table iterates jobs in map order, so a partial fault would save a
+	// nondeterministic subset and break trace reproducibility).
+	DiskFaultEvery int
+	DropRequestPct int
+	DropReplyPct   int
+	DuplicatePct   int
+	BlackholePct   int
+	Kills          []KillEvent
+	MaxTicks       int
 	// MaxActive bounds concurrently running jobs (0: all of them).
 	MaxActive int
 }
@@ -101,7 +106,9 @@ type MultiJobReport struct {
 	Finished   bool
 
 	Drops, Duplicates, Kills, Rejoins, Checkpoints, Timeouts int
-	Table                                                    jobs.Counters
+	// DiskFaults counts checkpoint sweeps killed by injected I/O errors.
+	DiskFaults int
+	Table      jobs.Counters
 }
 
 // mjSlot is one worker seat, holding a multi-job session instead of a
@@ -121,15 +128,17 @@ type mjGrid struct {
 	tick    int
 	nowNano int64
 
-	table     *jobs.Table
-	factories map[string]func() bb.Problem
-	roots     map[string]interval.Interval
-	tracks    map[string]*tracker
-	chaos     *transport.Interceptor
-	slots     []*mjSlot
-	trace     []string
-	report    *MultiJobReport
-	crashed   map[transport.WorkerID]bool
+	table        *jobs.Table
+	fs           *checkpoint.FaultFS
+	ckptAttempts int
+	factories    map[string]func() bb.Problem
+	roots        map[string]interval.Interval
+	tracks       map[string]*tracker
+	chaos        *transport.Interceptor
+	slots        []*mjSlot
+	trace        []string
+	report       *MultiJobReport
+	crashed      map[transport.WorkerID]bool
 
 	violations []string
 }
@@ -184,13 +193,17 @@ func RunMultiJob(sc MultiJobScenario) (MultiJobReport, error) {
 		return rep, err
 	}
 	defer os.RemoveAll(dir)
-	store, err := checkpoint.NewStore(dir)
+	// The store goes through the fault seam; it injects nothing until a
+	// DiskFaultEvery sweep arms it.
+	faultFS := checkpoint.NewFaultFS(nil)
+	store, err := checkpoint.NewStoreFS(faultFS, dir)
 	if err != nil {
 		return rep, err
 	}
 
 	g := &mjGrid{
 		sc:        sc,
+		fs:        faultFS,
 		rng:       rand.New(rand.NewSource(sc.Seed)),
 		factories: make(map[string]func() bb.Problem),
 		roots:     make(map[string]interval.Interval),
@@ -318,16 +331,9 @@ func (g *mjGrid) loop() error {
 			}
 		}
 		if sc.CheckpointEvery > 0 && tick > 0 && tick%sc.CheckpointEvery == 0 {
-			if err := g.table.Checkpoint(); err != nil {
+			if err := g.checkpoint(); err != nil {
 				return err
 			}
-			for _, p := range g.table.List() {
-				if p.State == "running" {
-					g.tracks[p.ID].noteCheckpoint()
-				}
-			}
-			g.report.Checkpoints++
-			g.tracef("ckpt n=%d", g.report.Checkpoints)
 		}
 		for _, k := range sc.Kills {
 			if k.Tick == tick {
@@ -377,6 +383,49 @@ func (g *mjGrid) loop() error {
 		}
 	}
 	g.report.Ticks = g.sc.MaxTicks
+	return nil
+}
+
+// checkpoint runs one table-wide snapshot sweep, arming the disk-fault
+// seam on every DiskFaultEvery'th one. The fault hits EVERY snapshot fsync
+// during the sweep — the table visits jobs in map order, so a partial
+// fault would persist a nondeterministic subset of jobs and two equal
+// seeds would diverge. No job's generation rotates on a failed save, so
+// skipping all the per-job noteCheckpoint calls keeps every tracker in
+// step with its job's disk.
+func (g *mjGrid) checkpoint() error {
+	g.ckptAttempts++
+	faulty := g.sc.DiskFaultEvery > 0 && g.ckptAttempts%g.sc.DiskFaultEvery == 0
+	if faulty {
+		g.fs.SetDecide(func(op checkpoint.Op, path string) checkpoint.Fault {
+			if op == checkpoint.OpSync {
+				return checkpoint.EIO()
+			}
+			return checkpoint.Fault{}
+		})
+		defer g.fs.SetDecide(nil)
+	}
+	err := g.table.Checkpoint()
+	if faulty {
+		if err == nil {
+			g.violatef("tick %d: table checkpoint survived an injected fsync EIO", g.tick)
+		} else if !errors.Is(err, checkpoint.ErrInjected) {
+			return err
+		}
+		g.report.DiskFaults++
+		g.tracef("ckpt-fault n=%d", g.report.DiskFaults)
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	for _, p := range g.table.List() {
+		if p.State == "running" {
+			g.tracks[p.ID].noteCheckpoint()
+		}
+	}
+	g.report.Checkpoints++
+	g.tracef("ckpt n=%d", g.report.Checkpoints)
 	return nil
 }
 
@@ -489,6 +538,7 @@ func MultiJobChurn() MultiJobScenario {
 		TickBudget:        256,
 		LeaseTTLTicks:     3,
 		CheckpointEvery:   3,
+		DiskFaultEvery:    2,
 		DropReplyPct:      6,
 		Kills: []KillEvent{
 			{Tick: 4, Slot: 1, RejoinAfter: 3},

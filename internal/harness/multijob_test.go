@@ -36,6 +36,9 @@ func TestMultiJobChurnConformance(t *testing.T) {
 	if rep.Checkpoints == 0 {
 		t.Errorf("no checkpoints")
 	}
+	if rep.DiskFaults == 0 {
+		t.Errorf("no checkpoint sweep hit the injected fsync EIO despite DiskFaultEvery=%d", sc.DiskFaultEvery)
+	}
 	if got := rep.Table.Cancelled; got != 1 {
 		t.Errorf("table cancelled %d jobs, want 1", got)
 	}
@@ -66,7 +69,7 @@ func TestMultiJobChurnConformance(t *testing.T) {
 	}
 	assertSameTrace(t, rep.Trace, again.Trace)
 
-	t.Logf("%s: ticks=%d drops=%d kills=%d rejoins=%d ckpts=%d fair-share=%d",
+	t.Logf("%s: ticks=%d drops=%d kills=%d rejoins=%d ckpts=%d ckpt-faults=%d fair-share=%d",
 		rep.Name, rep.Ticks, rep.Drops, rep.Kills, rep.Rejoins,
-		rep.Checkpoints, rep.Table.FairShareAssignments)
+		rep.Checkpoints, rep.DiskFaults, rep.Table.FairShareAssignments)
 }

@@ -3,8 +3,10 @@ package harness
 import (
 	"fmt"
 	"math/big"
+	"os"
 
 	"repro/internal/bb"
+	"repro/internal/checkpoint"
 	"repro/internal/core"
 	"repro/internal/interval"
 	"repro/internal/p2p"
@@ -33,8 +35,24 @@ type RingScenario struct {
 	// which the ring is cut; PartitionCut splits peers [0,cut) from
 	// [cut,n).
 	PartitionFrom, PartitionUntil, PartitionCut int
+	// Kills schedules peer crashes; any kill (or CheckpointEvery > 0)
+	// arms the §6 ring checkpointing: every peer gets its own two-file
+	// snapshot store and a killed peer restarts from its own snapshot.
+	Kills []RingKill
+	// CheckpointEvery snapshots every live peer every so many sweeps
+	// (0 with kills: only the attach-time and steal-time saves).
+	CheckpointEvery int
 	// MaxSweeps aborts a stuck scenario. Default 20000.
 	MaxSweeps int
+}
+
+// RingKill schedules one peer crash: the peer on Peer dies before sweep
+// Sweep runs — its in-memory frontier is gone — and restarts from its own
+// checkpoint RestoreAfter sweeps later. RestoreAfter must be > 0: the
+// DFvG token cannot complete a round through a hole in the ring, so a
+// never-restored peer wedges the scenario by design.
+type RingKill struct {
+	Sweep, Peer, RestoreAfter int
 }
 
 func (s *RingScenario) fillDefaults() {
@@ -77,6 +95,25 @@ func RunRing(sc RingScenario) (Report, error) {
 	violatef := func(format string, args ...any) {
 		violations = append(violations, fmt.Sprintf(format, args...))
 	}
+
+	// Peer crashes arm the §6 ring checkpointing: each peer gets its own
+	// two-file snapshot namespace and restarts from it alone.
+	reworkAllowed := len(sc.Kills) > 0
+	if reworkAllowed || sc.CheckpointEvery > 0 {
+		dir, err := os.MkdirTemp("", "harness-ring-*")
+		if err != nil {
+			return rep, err
+		}
+		defer os.RemoveAll(dir)
+		store, err := checkpoint.NewStore(dir)
+		if err != nil {
+			return rep, err
+		}
+		if err := l.AttachStore(store); err != nil {
+			return rep, err
+		}
+	}
+
 	covered := interval.NewSet()
 	overlap := new(big.Int)
 	cover := func(a, b *big.Int, who int) {
@@ -85,12 +122,34 @@ func RunRing(sc RingScenario) (Report, error) {
 		}
 		if ov := covered.Add(interval.New(a, b)); ov.Sign() != 0 {
 			overlap.Add(overlap, ov)
-			violatef("peer %d re-covered %s units in [%s,%s)", who, ov, a, b)
+			// With kills in the schedule, re-covering is legitimate
+			// rework (bounded below); without them it is a violation
+			// outright — steals alone never duplicate work.
+			if !reworkAllowed {
+				violatef("peer %d re-covered %s units in [%s,%s)", who, ov, a, b)
+			}
 		}
 	}
 
 	views := make([]view, sc.Peers)
 	views[0] = view{a: root.A(), b: root.B(), active: true}
+	dead := make([]bool, sc.Peers)
+	// intersect measures |[a1,b1) ∩ [a2,b2)| — the rework a restore may
+	// legitimately duplicate against another live peer's region.
+	intersect := func(a1, b1, a2, b2 *big.Int) *big.Int {
+		lo := a1
+		if a2.Cmp(lo) > 0 {
+			lo = a2
+		}
+		hi := b1
+		if b2.Cmp(hi) < 0 {
+			hi = b2
+		}
+		if lo.Cmp(hi) >= 0 {
+			return new(big.Int)
+		}
+		return new(big.Int).Sub(hi, lo)
+	}
 
 	processed := 0
 	trace := []string{}
@@ -118,15 +177,60 @@ func RunRing(sc RingScenario) (Report, error) {
 					cover(t.a, t.b, thief)
 				}
 				*t = view{a: iv.A(), b: iv.B(), active: true}
+			case "kill":
+				dead[ev.From] = true
+			case "restore":
+				i := ev.From
+				dead[i] = false
+				v := &views[i]
+				riv := ev.Interval
+				if riv.IsEmpty() {
+					if v.active {
+						violatef("sweep %d: restore of peer %d re-opened nothing but it owned [%s,%s)",
+							ev.Sweep, i, v.a, v.b)
+					}
+					views[i] = view{}
+					continue
+				}
+				// The wrong-search-space guard: the re-opened frontier
+				// must cover everything the dead peer exclusively owned.
+				if v.active && (riv.A().Cmp(v.a) > 0 || riv.B().Cmp(v.b) < 0) {
+					violatef("sweep %d: restore of peer %d re-opened [%s,%s), losing part of its owned [%s,%s)",
+						ev.Sweep, i, riv.A(), riv.B(), v.a, v.b)
+				}
+				// Rework budget: the snapshot's staleness. Ground already
+				// covered is removed from the covered set (it will be
+				// cleanly re-covered, the tracker idiom), and ground
+				// concurrently owned by another live peer may end up
+				// explored by both — both bounded by this restore event.
+				budget := covered.Sub(riv)
+				for j := range views {
+					if j == i || !views[j].active || dead[j] {
+						continue
+					}
+					budget.Add(budget, intersect(riv.A(), riv.B(), views[j].a, views[j].b))
+				}
+				rep.ReworkBudget.Add(rep.ReworkBudget, budget)
+				views[i] = view{a: riv.A(), b: riv.B(), active: true}
+				rep.Restarts++
 			case "terminate":
 				if ev.Sweep >= sc.PartitionFrom && ev.Sweep < sc.PartitionUntil {
 					violatef("sweep %d: termination declared while the ring was partitioned", ev.Sweep)
 				}
+				for i := range dead {
+					if dead[i] {
+						violatef("sweep %d: termination declared while peer %d was dead", ev.Sweep, i)
+					}
+				}
 			}
 		}
 		// Progress audit: each active peer's fold must advance
-		// monotonically inside its owned region.
+		// monotonically inside its owned region. Dead peers are skipped —
+		// their explorer state is the crash leftover, not ownership.
 		for i := range views {
+			if dead[i] {
+				continue
+			}
 			v := &views[i]
 			rem := l.Remaining(i)
 			if !v.active {
@@ -153,8 +257,26 @@ func RunRing(sc RingScenario) (Report, error) {
 		}
 	}
 
+	restoreAt := make(map[int][]int)
 	terminated := false
 	for sweep = 1; sweep <= sc.MaxSweeps; sweep++ {
+		for _, p := range restoreAt[sweep] {
+			if _, err := l.Restore(p); err != nil {
+				violatef("sweep %d: restore of peer %d failed: %v", sweep, p, err)
+			}
+		}
+		for _, k := range sc.Kills {
+			if k.Sweep == sweep {
+				l.Kill(k.Peer)
+				restoreAt[sweep+k.RestoreAfter] = append(restoreAt[sweep+k.RestoreAfter], k.Peer)
+			}
+		}
+		if sc.CheckpointEvery > 0 && sweep%sc.CheckpointEvery == 0 {
+			if err := l.CheckpointAll(); err != nil {
+				violatef("sweep %d: checkpoint failed: %v", sweep, err)
+			}
+			rep.Checkpoints++
+		}
 		done := l.Sweep()
 		reconcile()
 		if done {
@@ -183,8 +305,15 @@ func RunRing(sc RingScenario) (Report, error) {
 	if covered.Total().Cmp(root.Len()) != 0 {
 		violatef("covered measure %s != root measure %s", covered.Total(), root.Len())
 	}
-	if overlap.Sign() != 0 {
-		violatef("p2p re-covered %s units; steals must never duplicate work", overlap)
+	if !reworkAllowed {
+		if overlap.Sign() != 0 {
+			violatef("p2p re-covered %s units; steals must never duplicate work", overlap)
+		}
+	} else if overlap.Cmp(rep.ReworkBudget) > 0 {
+		violatef("p2p re-covered %s units but restore events justify only %s", overlap, rep.ReworkBudget)
+	}
+	if err := l.StoreErr(); err != nil {
+		violatef("ring checkpointing failed mid-run: %v", err)
 	}
 
 	res := l.Result()

@@ -81,6 +81,8 @@ func FarmerFailover() Scenario {
 		LeaseTTLTicks:     2,
 		CheckpointEvery:   3,
 		FarmerRestarts:    []int{7, 15},
+		DiskFaultEvery:    2,
+		CorruptTicks:      []int{13},
 		DropReplyPct:      4,
 	}
 }
@@ -281,7 +283,41 @@ func PartitionedRing() RingScenario {
 	}
 }
 
+// RingRestart is the §6 ring-checkpointing story: peer crashes composed
+// with a partition window on a QAP instance (~13k sequential nodes). Every
+// peer owns a two-file snapshot (saved at attach, on every steal, and on a
+// periodic cadence); two peers die mid-resolution — one of them while the
+// ring is still partitioned — and restart from their own snapshots with
+// the DFvG token tainted. The conformance layer holds every restore to the
+// wrong-search-space guard (the re-opened frontier must cover everything
+// the dead peer owned), bounds all re-covered ground by the restore
+// events' staleness, forbids termination while any peer is down, and the
+// double run must stay byte-identical.
+func RingRestart() RingScenario {
+	ins := qap.Random(8, 15, 21)
+	return RingScenario{
+		Name:            "ring-restart",
+		Seed:            7,
+		Factory:         func() bb.Problem { return qap.NewProblem(ins) },
+		Peers:           4,
+		StepBudget:      256,
+		PartitionFrom:   2,
+		PartitionUntil:  5,
+		PartitionCut:    2,
+		CheckpointEvery: 4,
+		Kills: []RingKill{
+			{Sweep: 4, Peer: 1, RestoreAfter: 3},
+			{Sweep: 10, Peer: 3, RestoreAfter: 4},
+		},
+	}
+}
+
 // GridScenarios returns the farmer-based scenario matrix.
 func GridScenarios() []Scenario {
 	return []Scenario{QuietGrid(), ChurnyGrid(), FarmerFailover(), MulticoreChurn(), PackedGrid(), TreeChurn(), EndgameChurn(), StalledCoordinator()}
+}
+
+// RingScenarios returns the p2p scenario matrix.
+func RingScenarios() []RingScenario {
+	return []RingScenario{PartitionedRing(), RingRestart()}
 }

@@ -474,13 +474,14 @@ func (g *treeGrid) kill(i, rejoinAt int, why string) {
 // new epoch, collect Known:false verdicts for stale bindings, and refill
 // — the §4.1 composition of root restarts with live subtrees.
 func (g *treeGrid) restartRoot() error {
+	before := g.rootStore.Stats().FallbackLoads
 	f, err := farmer.Restore(g.nb.RootRange(), g.rootStore, g.rootOpts...)
 	if err != nil {
 		return err
 	}
 	g.root = f
 	g.rootTrack.attach(f)
-	g.rootTrack.noteRestart()
+	g.rootTrack.noteRestart(g.rootStore.Stats().FallbackLoads > before)
 	g.report.Restarts++
 	g.tracef("root-restart n=%d", g.report.Restarts)
 	return nil

@@ -16,6 +16,7 @@
 package jobs
 
 import (
+	"errors"
 	"fmt"
 	"math/big"
 	"math/bits"
@@ -46,6 +47,13 @@ const (
 	Cancelled
 	// Failed: the job could not start (checkpoint store failure).
 	Failed
+	// Quarantined: the job's checkpoint was corrupt beyond fallback at
+	// resume time (checkpoint.ErrCorrupt). The corrupt files sit in the
+	// store's quarantine directory, the load error is queryable, and the
+	// rest of the table keeps running — one bad disk sector must not
+	// block service restart. Resubmitting the id starts the job over
+	// from whatever the store still holds (usually nothing).
+	Quarantined
 )
 
 // String renders the state for logs and the HTTP API.
@@ -61,6 +69,8 @@ func (s State) String() string {
 		return "cancelled"
 	case Failed:
 		return "failed"
+	case Quarantined:
+		return "quarantined"
 	default:
 		return "unknown"
 	}
@@ -124,6 +134,14 @@ type Counters struct {
 	// FairShareAssignments counts untagged work requests that the
 	// deficit rule routed to a job.
 	FairShareAssignments int64
+	// QuarantinedJobs counts jobs whose checkpoint was corrupt beyond
+	// fallback at start — each one is parked in the Quarantined state
+	// with its load error, never silently dropped.
+	QuarantinedJobs int64
+	// CorruptSnapshots and FallbackLoads aggregate the shared store's
+	// self-healing counters (checkpoint.Stats) across every namespace:
+	// files quarantined and loads served from a previous generation.
+	CorruptSnapshots, FallbackLoads int64
 }
 
 // job is one tenant resolution.
@@ -191,7 +209,7 @@ func (tb *Table) Submit(id string, spec Spec) error {
 		tb.ctr.InvalidJobIDs++
 		return fmt.Errorf("jobs: invalid job id %q", clipID(id))
 	}
-	if j, ok := tb.jobs[id]; ok && j.state != Cancelled && j.state != Failed {
+	if j, ok := tb.jobs[id]; ok && j.state != Cancelled && j.state != Failed && j.state != Quarantined {
 		tb.ctr.RejectedSubmits++
 		return fmt.Errorf("jobs: job %q already exists (%s)", id, j.state)
 	}
@@ -276,7 +294,16 @@ func (tb *Table) startLocked(j *job) error {
 	if ns != nil && ns.Exists() {
 		f, err := farmer.Restore(j.root, ns, opts...)
 		if err != nil {
-			j.state = Failed
+			// A corrupt snapshot with no generation left to fall back to
+			// quarantines this one job; any other failure is Failed. Either
+			// way the job stays in the table with its error, and the rest
+			// of the service is unaffected.
+			if errors.Is(err, checkpoint.ErrCorrupt) {
+				j.state = Quarantined
+				tb.ctr.QuarantinedJobs++
+			} else {
+				j.state = Failed
+			}
 			j.err = err
 			return fmt.Errorf("jobs: resume %q: %w", j.id, err)
 		}
@@ -629,7 +656,13 @@ func (tb *Table) Checkpoint() error {
 func (tb *Table) Counters() Counters {
 	tb.mu.Lock()
 	defer tb.mu.Unlock()
-	return tb.ctr
+	c := tb.ctr
+	if tb.cfg.Store != nil {
+		st := tb.cfg.Store.Stats()
+		c.CorruptSnapshots = st.CorruptSnapshots
+		c.FallbackLoads = st.FallbackLoads
+	}
+	return c
 }
 
 // Farmer exposes a running job's farmer for tests and local tooling; nil

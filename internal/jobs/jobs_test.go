@@ -1,6 +1,9 @@
 package jobs
 
 import (
+	"errors"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -325,5 +328,90 @@ func TestKeepAliveHoldsWorkers(t *testing.T) {
 	if rep, err := tb.RequestWork(transport.WorkRequest{Worker: "w", Power: 10}); err != nil ||
 		rep.Status != transport.WorkAssigned || rep.Job != "late" {
 		t.Fatalf("post-submission request: %+v %v", rep, err)
+	}
+}
+
+// TestCorruptJobQuarantined: one corrupt checkpoint must not block the
+// others — the table restart quarantines that job (with its load error
+// queryable) and resumes the rest; resubmitting the quarantined id starts
+// it over.
+func TestCorruptJobQuarantined(t *testing.T) {
+	dir := t.TempDir()
+	store, err := checkpoint.NewStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := map[string]Spec{
+		"healthy": {Domain: "tsp", N: 9, Seed: 2},
+		"rotten":  {Domain: "tsp", N: 9, Seed: 5},
+	}
+	tb := NewTable(Config{Store: store})
+	for id, spec := range specs {
+		if err := tb.Submit(id, spec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sess := NewWorkerSession(WorkerConfig{ID: "w0", Power: 100, UpdatePeriodNodes: 256},
+		tb, SpecFactories(specs))
+	for i := 0; i < 6; i++ {
+		if _, _, err := sess.Advance(512); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Exactly one checkpoint: no *.prev generation, so corruption has no
+	// fallback and must quarantine.
+	if err := tb.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "rotten", "intervals.ckpt"),
+		[]byte("rotten to the core\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Service restart: fresh table over the same store.
+	store2, err := checkpoint.NewStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb2 := NewTable(Config{Store: store2})
+	if err := tb2.Submit("healthy", specs["healthy"]); err != nil {
+		t.Fatalf("healthy job blocked by sibling corruption: %v", err)
+	}
+	err = tb2.Submit("rotten", specs["rotten"])
+	if err == nil || !errors.Is(err, checkpoint.ErrCorrupt) {
+		t.Fatalf("rotten submit: err = %v, want ErrCorrupt", err)
+	}
+	p, err := tb2.Progress("rotten")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.State != "quarantined" || p.Error == "" {
+		t.Fatalf("rotten job: state %s error %q, want quarantined with load error", p.State, p.Error)
+	}
+	if hp, _ := tb2.Progress("healthy"); hp.State != "running" {
+		t.Fatalf("healthy job is %s, want running", hp.State)
+	}
+	c := tb2.Counters()
+	if c.QuarantinedJobs != 1 || c.Resumed != 1 || c.CorruptSnapshots == 0 {
+		t.Fatalf("counters %+v, want 1 quarantined / 1 resumed / corruption counted", c)
+	}
+	// Traffic to the quarantined job gets a terminal verdict, not a hang.
+	urep, err := tb2.UpdateInterval(transport.UpdateRequest{Worker: "w", Job: "rotten"})
+	if err != nil || urep.Known || !urep.Finished {
+		t.Fatalf("update to quarantined job: %+v %v", urep, err)
+	}
+	// Resubmission starts the job over (the bad files are in quarantine/,
+	// not in the namespace).
+	if err := tb2.Submit("rotten", specs["rotten"]); err != nil {
+		t.Fatalf("resubmit of quarantined job: %v", err)
+	}
+	if p, _ := tb2.Progress("rotten"); p.State != "running" {
+		t.Fatalf("resubmitted job is %s, want running", p.State)
+	}
+	drain(t, tb2, specs)
+	for id := range specs {
+		if p, _ := tb2.Progress(id); p.State != "done" {
+			t.Fatalf("job %s ended %s", id, p.State)
+		}
 	}
 }

@@ -13,6 +13,7 @@ import (
 	"math/rand"
 
 	"repro/internal/bb"
+	"repro/internal/checkpoint"
 	"repro/internal/interval"
 )
 
@@ -21,7 +22,7 @@ type LockstepEvent struct {
 	// Sweep is the round-robin pass the event happened in.
 	Sweep int
 	// Kind is one of "steal", "steal-empty", "steal-blocked",
-	// "token", "token-blocked", "terminate".
+	// "token", "token-blocked", "terminate", "kill", "restore".
 	Kind string
 	// From and To are peer indices (steal: thief ← victim; token:
 	// holder → successor). -1 when not applicable.
@@ -34,10 +35,11 @@ type LockstepEvent struct {
 // advance with Sweep until it reports termination. Not safe for concurrent
 // use — single-threadedness is its entire point.
 type Lockstep struct {
-	g    *group
-	best *sharedBest
-	opt  Options
-	rng  *rand.Rand
+	g       *group
+	best    *sharedBest
+	opt     Options
+	rng     *rand.Rand
+	factory func() bb.Problem // retained for Restore's fresh explorers
 
 	// Blocked, when non-nil, vetoes communication between two peers —
 	// the chaos hook. A blocked pair can neither steal nor pass the
@@ -50,6 +52,13 @@ type Lockstep struct {
 	tokenAt    int
 	terminated bool
 
+	// Ring checkpointing (ringstore.go): per-peer snapshot namespaces,
+	// crash flags and restore epochs, nil/absent until AttachStore.
+	stores   []*checkpoint.Store
+	dead     []bool
+	epochs   []int64
+	storeErr error
+
 	events []LockstepEvent
 	sweeps int
 }
@@ -60,9 +69,10 @@ func NewLockstep(factory func() bb.Problem, opt Options) *Lockstep {
 	opt.fillDefaults()
 	g, best := newGroup(factory, opt)
 	return &Lockstep{
-		g:    g,
-		best: best,
-		opt:  opt,
+		g:       g,
+		best:    best,
+		opt:     opt,
+		factory: factory,
 		// A ring-level rng (not the per-peer ones): victim choices are
 		// drawn in deterministic visit order.
 		rng: rand.New(rand.NewSource(opt.Seed ^ 0x5bd1e995)),
@@ -102,6 +112,12 @@ func (l *Lockstep) Sweep() bool {
 	}
 	l.sweeps++
 	for _, p := range l.g.peers {
+		if l.Dead(p.idx) {
+			// A crashed peer does nothing — and because the token is
+			// never delivered into it (serveToken), the ring cannot
+			// declare termination while its work is unaccounted for.
+			continue
+		}
 		if !p.ex.Done() {
 			p.ex.AdoptBest(l.best.get())
 			p.ex.Step(l.opt.StepBudget)
@@ -129,7 +145,9 @@ func (l *Lockstep) trySteal(p *peer) {
 			victimIdx++
 		}
 		p.stats.attempts++
-		if l.blocked(p.idx, victimIdx) {
+		if l.blocked(p.idx, victimIdx) || l.Dead(victimIdx) {
+			// A dead victim is indistinguishable from a partitioned
+			// one: the request goes unanswered.
 			l.record("steal-blocked", p.idx, victimIdx, interval.Interval{})
 			continue
 		}
@@ -143,6 +161,10 @@ func (l *Lockstep) trySteal(p *peer) {
 		p.ex.AdoptBest(l.best.get())
 		p.stats.steals++
 		l.record("steal", p.idx, victimIdx, iv.Clone())
+		// Ownership moved: the stolen interval must enter the thief's
+		// snapshot now, before the victim's restriction makes it
+		// unreachable from any other peer's checkpoint.
+		l.noteSteal(p.idx)
 		return
 	}
 }
@@ -155,9 +177,10 @@ func (l *Lockstep) serveToken(p *peer) {
 		return
 	}
 	next := (p.idx + 1) % len(l.g.peers)
-	if l.blocked(p.idx, next) {
-		// The partition holds the token; no round can complete until
-		// it heals — conservative, like any lost-message delay.
+	if l.blocked(p.idx, next) || l.Dead(next) {
+		// The partition (or the successor's crash) holds the token; no
+		// round can complete until it heals — conservative, like any
+		// lost-message delay.
 		l.record("token-blocked", p.idx, next, interval.Interval{})
 		return
 	}

@@ -1,0 +1,233 @@
+package p2p
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/bb"
+	"repro/internal/checkpoint"
+	"repro/internal/knapsack"
+)
+
+func ringFactory() bb.Problem { return knapsack.NewProblem(knapsack.Random(16, 21)) }
+
+// attachRing builds a lockstep ring with per-peer checkpointing over a
+// fresh store rooted at dir.
+func attachRing(t *testing.T, dir string, peers int, seed int64) (*Lockstep, *checkpoint.Store) {
+	t.Helper()
+	l := NewLockstep(ringFactory, Options{Peers: peers, Seed: seed, StepBudget: 300})
+	store, err := checkpoint.NewStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.AttachStore(store); err != nil {
+		t.Fatal(err)
+	}
+	return l, store
+}
+
+// runToEnd sweeps until termination or the bound, failing on a wedged ring.
+func runToEnd(t *testing.T, l *Lockstep, maxSweeps int) {
+	t.Helper()
+	for i := 0; i < maxSweeps; i++ {
+		if l.Sweep() {
+			return
+		}
+	}
+	t.Fatalf("ring did not terminate within %d sweeps", maxSweeps)
+}
+
+// TestRingKillRestoreTerminatesAtOptimum: a peer is killed right after it
+// stole work — with no explicit checkpoint call in between, so the only
+// durable record of its interval is the steal-time save — then restored
+// from its own snapshot. The ring must still terminate at the sequential
+// optimum: the re-opened frontier covers everything the dead peer owned.
+func TestRingKillRestoreTerminatesAtOptimum(t *testing.T) {
+	want, _ := bb.Solve(ringFactory(), bb.Infinity)
+	l, _ := attachRing(t, t.TempDir(), 4, 5)
+	const victim = 1
+	killedAt := -1
+	for s := 0; !l.Sweep(); s++ {
+		if killedAt < 0 && !l.Remaining(victim).IsEmpty() {
+			l.Kill(victim)
+			killedAt = s
+		}
+		if killedAt >= 0 && s == killedAt+5 {
+			iv, err := l.Restore(victim)
+			if err != nil {
+				t.Fatalf("restore: %v", err)
+			}
+			if iv.IsEmpty() {
+				t.Fatal("restore re-opened an empty frontier for a peer killed with work")
+			}
+			if !l.g.peers[victim].dirty {
+				t.Fatal("restored peer is not dirty: the next token round could wrongly stay white")
+			}
+		}
+		if s > 200000 {
+			t.Fatal("no termination")
+		}
+	}
+	if killedAt < 0 {
+		t.Fatal("victim never held work; test exercised nothing")
+	}
+	if err := l.StoreErr(); err != nil {
+		t.Fatalf("checkpoint error during run: %v", err)
+	}
+	res := l.Result()
+	if res.Best.Cost != want.Cost {
+		t.Fatalf("best %d after kill/restore, want %d", res.Best.Cost, want.Cost)
+	}
+	kills, restores := 0, 0
+	for _, ev := range l.Events() {
+		switch ev.Kind {
+		case "kill":
+			kills++
+		case "restore":
+			restores++
+		}
+	}
+	if kills != 1 || restores != 1 {
+		t.Fatalf("trace has %d kills / %d restores, want 1/1", kills, restores)
+	}
+}
+
+// TestRingDeadPeerBlocksTermination: while any peer is down, the token
+// cannot complete a round, so the ring must not terminate — even after
+// every live peer drains. Only the restore unblocks it, and the result is
+// still the optimum: the dead peer's work was re-opened, not forgotten.
+func TestRingDeadPeerBlocksTermination(t *testing.T) {
+	want, _ := bb.Solve(ringFactory(), bb.Infinity)
+	l, _ := attachRing(t, t.TempDir(), 3, 1)
+	const victim = 2
+	killed := false
+	for s := 0; s < 200000 && !killed; s++ {
+		if !l.Remaining(victim).IsEmpty() {
+			l.Kill(victim)
+			killed = true
+			break
+		}
+		if l.Sweep() {
+			t.Fatal("terminated before the kill could happen")
+		}
+	}
+	if !killed {
+		t.Fatal("victim never held work")
+	}
+	for i := 0; i < 2000; i++ {
+		if l.Sweep() {
+			t.Fatalf("ring terminated at sweep %d with peer %d dead and its work lost", i, victim)
+		}
+	}
+	if _, err := l.Restore(victim); err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+	runToEnd(t, l, 200000)
+	if res := l.Result(); res.Best.Cost != want.Cost {
+		t.Fatalf("best %d, want %d", res.Best.Cost, want.Cost)
+	}
+}
+
+// TestRingRestoreFallsBackToPrevGeneration: a torn current snapshot does
+// not strand a dead peer — Restore falls back to the previous generation
+// (which the steal-time double save guarantees also covers the stolen
+// work) and the ring still proves the optimum.
+func TestRingRestoreFallsBackToPrevGeneration(t *testing.T) {
+	want, _ := bb.Solve(ringFactory(), bb.Infinity)
+	dir := t.TempDir()
+	l, store := attachRing(t, dir, 4, 5)
+	const victim = 1
+	for s := 0; l.Remaining(victim).IsEmpty(); s++ {
+		if l.Sweep() {
+			t.Fatal("terminated before the victim got work")
+		}
+		if s > 200000 {
+			t.Fatal("victim never held work")
+		}
+	}
+	l.Kill(victim)
+	// Tear the current intervals file; the .prev generation (written by
+	// the same steal's double save) stays intact.
+	path := filepath.Join(dir, "peer-1", "intervals.ckpt")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	iv, err := l.Restore(victim)
+	if err != nil {
+		t.Fatalf("restore with torn current generation: %v", err)
+	}
+	if iv.IsEmpty() {
+		t.Fatal("fallback restore re-opened an empty frontier")
+	}
+	st := store.Stats()
+	if st.FallbackLoads == 0 || st.CorruptSnapshots == 0 {
+		t.Fatalf("stats %+v: fallback restore left no trace", st)
+	}
+	runToEnd(t, l, 200000)
+	if res := l.Result(); res.Best.Cost != want.Cost {
+		t.Fatalf("best %d after fallback restore, want %d", res.Best.Cost, want.Cost)
+	}
+}
+
+// TestRingRestoreBumpsEpoch: each restore advances the persisted epoch, so
+// incarnations are totally ordered on disk just like farmer restarts.
+func TestRingRestoreBumpsEpoch(t *testing.T) {
+	l, store := attachRing(t, t.TempDir(), 2, 3)
+	ns, err := store.Namespace("peer-0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 3; i++ {
+		l.Kill(0)
+		if _, err := l.Restore(0); err != nil {
+			t.Fatalf("restore %d: %v", i, err)
+		}
+		snap, err := ns.Load()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if snap.Epoch != int64(i) {
+			t.Fatalf("epoch %d after %d restores", snap.Epoch, i)
+		}
+	}
+}
+
+// TestRingRestoreOfLivePeerRefused: Restore is only meaningful for a
+// crashed peer; restoring a live one would clobber in-memory progress.
+func TestRingRestoreOfLivePeerRefused(t *testing.T) {
+	l, _ := attachRing(t, t.TempDir(), 2, 3)
+	if _, err := l.Restore(0); err == nil {
+		t.Fatal("restore of a live peer succeeded")
+	}
+	if l.Dead(0) {
+		t.Fatal("failed restore marked the peer dead")
+	}
+}
+
+// TestRingCheckpointAllSkipsDead: the periodic cadence must not overwrite
+// a dead peer's snapshot with its (stale, in-memory) explorer state — the
+// disk image is frozen at the crash, exactly like a farmer's.
+func TestRingCheckpointAllSkipsDead(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := attachRing(t, dir, 2, 3)
+	l.Kill(0)
+	before, err := os.ReadFile(filepath.Join(dir, "peer-0", "intervals.ckpt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.CheckpointAll(); err != nil {
+		t.Fatal(err)
+	}
+	after, err := os.ReadFile(filepath.Join(dir, "peer-0", "intervals.ckpt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(before) != string(after) {
+		t.Fatal("CheckpointAll rewrote a dead peer's snapshot")
+	}
+}
